@@ -1,0 +1,36 @@
+"""Section 2.3 ablation: per-layer numeric error of every low-precision
+scheme across representative Table 2 layers, plus the interpolation-
+point-set extension study."""
+
+import pytest
+
+from repro.experiments import numeric_error_ablation, point_set_ablation
+from repro.workloads import layer_by_name
+
+ABLATION_LAYERS = ["AlexNet_b", "ResNet-50_b", "GoogLeNet_b", "YOLOv3_b"]
+
+
+@pytest.mark.parametrize("name", ABLATION_LAYERS)
+def test_bench_numeric_error(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: numeric_error_ablation(layer_by_name(name)),
+        rounds=1, iterations=1,
+    )
+    errs = {r.scheme: r.rel_rms_error for r in rows}
+    print()
+    print(f"  {name}: " + ", ".join(f"{k}={v:.4f}" for k, v in errs.items()))
+    # The Section 2.3 ordering, per layer.
+    assert errs["downscale_f4"] > 5 * errs["lowino_f4"]
+    assert errs["downscale_f2"] > errs["lowino_f2"]
+    assert errs["lowino_f2"] < 0.05
+
+
+def test_bench_point_set_extension(benchmark):
+    """Extension: Barabasz-style mixed-magnitude points reduce the
+    F(4,3) Winograd-domain quantization error vs Lavin's canonical set
+    at identical cost."""
+    out = benchmark.pedantic(point_set_ablation, rounds=1, iterations=1)
+    print()
+    for name, err in out.items():
+        print(f"  {name:28s} rel rms err = {err:.4f}")
+    assert out["mixed [0,1,-1,2,-1/2]"] < out["lavin [0,1,-1,2,-2]"]

@@ -1,0 +1,43 @@
+"""Figure 4 / Eq. 2 companion benches: codelet generation quality and
+transform range amplification.
+
+Prints the op-count reduction table (naive vs optimized vector ops per
+transform, the quantity Figure 4's CSE/unrolling pipeline exists to
+reduce) and verifies the Section 2.2 amplification factors that motivate
+the whole paper (4x for F(2,3), 100x for F(4,3), 10000x-scale for
+F(6,3) down-scaling factors).
+"""
+
+import pytest
+
+from repro.codelets import transform_codelets
+from repro.winograd import winograd_algorithm
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_bench_codelet_generation(benchmark, m):
+    alg = winograd_algorithm(m, 3)
+    codelets = benchmark(transform_codelets, alg)
+    print()
+    for name, c in codelets.items():
+        print(
+            f"F({m},3) {name:6s}: naive={c.naive.total:3d} ops, "
+            f"optimized={c.optimized.total:3d} ops, saving={c.saving:5.1%}"
+        )
+        assert c.optimized.total <= c.naive.total
+
+
+def test_transform_range_amplification():
+    """Section 2.2 / 2.3: the range growth that breaks naive INT8
+    Winograd -- and the down-scaling factors it forces."""
+    rows = []
+    for m in (2, 4, 6):
+        alg = winograd_algorithm(m, 3)
+        rows.append((m, alg.input_amplification(), 1 / alg.input_amplification()))
+    print()
+    for m, amp, alpha in rows:
+        print(f"F({m},3): input range amplification {amp:8.1f}x, "
+              f"down-scaling factor {alpha:.6f}")
+    assert rows[0][1] == 4.0      # paper: 1/4 for m=2
+    assert rows[1][1] == 100.0    # paper: 1/100 for m=4
+    assert rows[2][1] > 1000.0    # paper: ~1/10000 for m=6

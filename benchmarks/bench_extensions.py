@@ -1,0 +1,59 @@
+"""Extension benches: tile-size frontier, N-d Winograd, DWM coverage.
+
+These go beyond the paper's evaluation section, covering the design
+choices DESIGN.md calls out as extensions: the F(6,3) question raised
+by Section 2.3, dimensionality generalization, and the DWM coverage the
+related-work section points to.
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv import direct_conv2d_fp32, winograd_conv2d_strided
+from repro.core import LoWinoConvNd
+from repro.experiments import tile_size_study
+from repro.winograd import direct_convnd_fp32, winograd_algorithm, winograd_convnd_fp32
+from repro.workloads import layer_by_name
+
+
+@pytest.mark.parametrize("name", ["VGG16_c", "U-Net_c"])
+def test_bench_tile_size_frontier(benchmark, name):
+    rows = benchmark.pedantic(
+        lambda: tile_size_study(layer_by_name(name)), rounds=1, iterations=1
+    )
+    print()
+    for r in rows:
+        print(f"  {r.layer} F({r.m},3): predicted {r.predicted_time * 1e3:7.3f} ms, "
+              f"rel err {r.rel_rms_error:.4f}, "
+              f"complexity reduction {r.complexity_reduction:.2f}x")
+    errs = [r.rel_rms_error for r in rows]
+    assert errs == sorted(errs)  # error monotone in m
+
+
+def test_bench_conv3d_winograd(benchmark, rng):
+    """FP32 3D Winograd wall clock + exactness."""
+    x = rng.standard_normal((1, 16, 12, 12, 12))
+    w = rng.standard_normal((16, 16, 3, 3, 3)) * 0.1
+    alg = winograd_algorithm(2, 3)
+    y = benchmark(winograd_convnd_fp32, x, w, alg)
+    assert np.allclose(y, direct_convnd_fp32(x, w), atol=1e-9)
+
+
+def test_bench_lowino_3d(benchmark, rng):
+    """INT8 3D LoWino wall clock + error envelope."""
+    x = np.maximum(rng.standard_normal((1, 8, 10, 10, 10)), 0)
+    w = rng.standard_normal((8, 8, 3, 3, 3)) * 0.15
+    layer = LoWinoConvNd(w, m=2, padding=1)
+    layer(x)  # warm up
+    y = benchmark(layer, x)
+    xp = np.pad(x, [(0, 0), (0, 0), (1, 1), (1, 1), (1, 1)])
+    ref = direct_convnd_fp32(xp, w)
+    assert np.sqrt(np.mean((y - ref) ** 2)) / ref.std() < 0.1
+
+
+def test_bench_strided_dwm(benchmark, rng):
+    """Stride-2 DWM decomposition wall clock + exactness."""
+    x = rng.standard_normal((1, 32, 33, 33))
+    w = rng.standard_normal((32, 32, 3, 3)) * 0.1
+    y = benchmark(winograd_conv2d_strided, x, w, 2, 2, 1)
+    assert np.allclose(y, direct_conv2d_fp32(x, w, stride=2, padding=1), atol=1e-9)

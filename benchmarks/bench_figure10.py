@@ -1,0 +1,15 @@
+"""Figure 10: transformation/multiplication breakdown on the paper's
+four selected layers."""
+
+from repro.experiments import format_figure10, run_figure10
+
+
+def test_bench_figure10(benchmark):
+    rows = benchmark(run_figure10)
+    print()
+    print(format_figure10(rows))
+    for row in rows:
+        # The paper's analysis: LoWino pays more transformation time
+        # (FP32 input traffic), wins the multiplication stage.
+        assert row.lowino_transform > row.onednn_transform
+        assert row.lowino_mult < row.onednn_mult

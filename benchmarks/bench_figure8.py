@@ -1,0 +1,31 @@
+"""Figure 8: per-layer normalized execution time + LoWino speedups.
+
+Regenerates the paper's headline figure over all 20 Table 2 layers and
+checks the acceptance bands from DESIGN.md.  The timed quantity is the
+full model evaluation (plans for 7 implementations x 20 layers).
+"""
+
+import pytest
+
+from repro.experiments import format_figure8, run_figure8
+
+
+@pytest.fixture(scope="module")
+def figure8_result():
+    return run_figure8()
+
+
+def test_bench_figure8(benchmark, figure8_result):
+    result = benchmark(run_figure8)
+    print()
+    print(format_figure8(result))
+    # Paper: avg 1.26x / max 2.04x over the best oneDNN implementation.
+    assert 1.1 <= result.average_speedup <= 1.7
+    assert 1.8 <= result.max_speedup <= 2.6
+
+
+def test_bench_figure8_fp32_baselines(benchmark, figure8_result):
+    fp32 = benchmark(figure8_result.fp32_speedups)
+    # Paper: 1.9x (F(2,3)) and 2.6x (F(4,3)) over the best FP32.
+    assert 1.3 <= fp32["lowino_f2"] <= 2.3
+    assert 1.9 <= fp32["lowino_f4"] <= 3.2

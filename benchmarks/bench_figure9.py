@@ -1,0 +1,26 @@
+"""Figure 9: distribution of the quantized transformed input, F(4,3).
+
+Regenerates both histograms (down-scaling vs LoWino) on VGG16_a-shaped
+activations and prints the summary the paper's figure conveys.
+"""
+
+from repro.experiments import format_figure9, run_figure9
+
+
+def test_bench_figure9(benchmark):
+    result = benchmark.pedantic(run_figure9, rounds=3, iterations=1)
+    print()
+    print(format_figure9(result))
+    # Paper's visual claim: down-scaling occupies a narrow band; LoWino
+    # spans the full INT8 range.
+    assert result.downscale_range < 0.5
+    assert result.lowino_range > 0.95
+    assert result.lowino_levels > 3 * result.downscale_levels
+
+
+def test_bench_figure9_other_layer(benchmark):
+    """Same shape on a different layer family (robustness check)."""
+    result = benchmark.pedantic(
+        lambda: run_figure9(layer="ResNet-50_b"), rounds=3, iterations=1
+    )
+    assert result.lowino_range > result.downscale_range

@@ -1,0 +1,58 @@
+"""Batched tall-skinny INT8 GEMM: blocked executor wall clock + the
+Section 4.3 accounting invariants."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import (
+    BlockingParams,
+    GemmWorkload,
+    batched_gemm_blocked,
+    compensation_term,
+    default_blocking,
+)
+from repro.layout import pack_transformed_filters, pack_transformed_inputs
+
+
+def _problem(t, n, c, k, rng, params):
+    v = rng.integers(-128, 128, (t, n, c)).astype(np.int8)
+    u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
+    vbar = (v.astype(np.int16) + 128).astype(np.uint8)
+    vp = pack_transformed_inputs(vbar, params.n_blk, params.c_blk)
+    up = pack_transformed_filters(u, params.c_blk, params.k_blk)
+    return vp, up, compensation_term(u)
+
+
+@pytest.mark.parametrize("t,n,c,k", [(16, 384, 64, 64), (16, 256, 128, 128),
+                                     (36, 144, 128, 128)])
+def test_bench_batched_gemm(benchmark, rng, t, n, c, k):
+    params = default_blocking(n, c, k)
+    vp, up, zbar = _problem(t, n, c, k, rng, params)
+    out = benchmark(batched_gemm_blocked, vp, up, zbar, params, n, c, k)
+    assert out.shape == (t, n, k)
+
+
+def test_bench_fused_contraction(benchmark, rng):
+    """The fast (unblocked) contraction the LoWino layer uses."""
+    t, n, c, k = 16, 1024, 128, 128
+    v = rng.integers(0, 256, (t, n, c)).astype(np.uint8)
+    u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
+
+    def contraction():
+        return np.einsum("tnc,tck->tnk", v.astype(np.int32), u.astype(np.int32))
+
+    out = benchmark(contraction)
+    assert out.dtype == np.int32
+
+
+def test_gemm_workload_instruction_budget():
+    """Accounting sanity printed for the record: one VGG16_b-scale GEMM."""
+    params = default_blocking(14400, 512, 512)
+    w = GemmWorkload(t=16, n=14400, c=512, k=512, params=params)
+    print()
+    print(f"VGG16_b F(2,3) GEMM: {w.macs/1e9:.1f} G MACs, "
+          f"{w.vpdpbusd_count/1e6:.0f} M vpdpbusd, "
+          f"{w.broadcast_count/1e6:.0f} M broadcasts, "
+          f"{w.bytes_read/1e6:.0f} MB read, {w.bytes_written/1e6:.0f} MB written")
+    assert w.vpdpbusd_count * 64 == w.macs
+    assert w.broadcast_count < w.vpdpbusd_count  # broadcasts amortized

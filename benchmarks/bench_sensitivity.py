@@ -1,0 +1,41 @@
+"""Extension benches: machine sensitivity + whole-model planning."""
+
+import pytest
+
+from repro.experiments import core_scaling_study, machine_sensitivity_study
+from repro.nn import build_vgg_small
+from repro.tuning import plan_model
+from repro.workloads import layer_by_name
+
+
+def test_bench_machine_sensitivity(benchmark):
+    rows = benchmark.pedantic(machine_sensitivity_study, rounds=1, iterations=1)
+    print()
+    for row in rows:
+        print(f"  {row.machine:28s} avg {row.avg_speedup:.2f}x, "
+              f"max {row.max_speedup:.2f}x")
+    by = {r.machine: r for r in rows}
+    assert (by["no VNNI"].avg_speedup
+            < by["baseline (VNNI, 100 GB/s)"].avg_speedup
+            < by["double DRAM bandwidth"].avg_speedup)
+
+
+def test_bench_core_scaling(benchmark):
+    times = benchmark.pedantic(
+        lambda: core_scaling_study(layer_by_name("VGG16_b")),
+        rounds=1, iterations=1,
+    )
+    print()
+    base = times[1]
+    for w, t in sorted(times.items()):
+        print(f"  {w:2d} cores: {t * 1e3:8.3f} ms ({base / t:5.2f}x)")
+    assert base / times[8] > 3
+
+
+def test_bench_model_planner(benchmark):
+    """Planning a whole VGG-style model is an ahead-of-time cost."""
+    model = build_vgg_small(width=64)
+    plan = benchmark(plan_model, model, (64, 3, 32, 32))
+    print()
+    print(plan.summary())
+    assert plan.speedup_vs_direct >= 1.0

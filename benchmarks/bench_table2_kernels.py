@@ -1,0 +1,55 @@
+"""Wall-clock kernel benchmarks over Table 2 layer shapes.
+
+Times this repository's executable NumPy kernels (not the cost model)
+on a representative subset of Table 2 layers, batch reduced to keep the
+suite under a minute.  Useful for tracking regressions in the actual
+implementation; absolute numbers are NumPy-substrate numbers and are
+not comparable to the paper's hand-tuned kernels (see DESIGN.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro.conv import Int8DirectConv2d, direct_conv2d_fp32
+from repro.core import LoWinoConv2d
+from repro.workloads import layer_by_name
+
+#: Layers small enough to time for real at batch 1.
+KERNEL_LAYERS = ["AlexNet_b", "ResNet-50_c", "GoogLeNet_c", "YOLOv3_c"]
+
+
+def _tensors(name, rng):
+    layer = layer_by_name(name)
+    x = np.abs(rng.standard_normal((1, layer.c, layer.hw, layer.hw)))
+    w = rng.standard_normal((layer.k, layer.c, 3, 3)) * np.sqrt(2 / (9 * layer.c))
+    return layer, x, w
+
+
+@pytest.mark.parametrize("name", KERNEL_LAYERS)
+def test_bench_lowino_f2(benchmark, name, rng):
+    layer, x, w = _tensors(name, rng)
+    impl = LoWinoConv2d(w, m=2, padding=layer.padding)
+    impl(x)  # warm up / build plans
+    benchmark(impl, x)
+
+
+@pytest.mark.parametrize("name", KERNEL_LAYERS)
+def test_bench_lowino_f4(benchmark, name, rng):
+    layer, x, w = _tensors(name, rng)
+    impl = LoWinoConv2d(w, m=4, padding=layer.padding)
+    impl(x)
+    benchmark(impl, x)
+
+
+@pytest.mark.parametrize("name", KERNEL_LAYERS)
+def test_bench_int8_direct(benchmark, name, rng):
+    layer, x, w = _tensors(name, rng)
+    impl = Int8DirectConv2d(w, padding=layer.padding)
+    impl(x)
+    benchmark(impl, x)
+
+
+@pytest.mark.parametrize("name", ["ResNet-50_c", "YOLOv3_c"])
+def test_bench_fp32_direct(benchmark, name, rng):
+    layer, x, w = _tensors(name, rng)
+    benchmark(direct_conv2d_fp32, x, w, 1, layer.padding)

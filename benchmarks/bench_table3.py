@@ -1,0 +1,63 @@
+"""Table 3: end-to-end top-1 accuracy of quantized synthetic networks.
+
+The full table (2 models x 6 methods, 256 eval images) takes minutes,
+so the timed benchmark runs a reduced configuration and the full table
+runs once per session with its rows printed and shape-checked.
+
+Expected shape (paper Table 3): LoWino and INT8-direct stay near FP32;
+down-scaling F(2,3) visibly worse; down-scaling F(4,3) collapses to
+chance (the paper's 00.00 row).
+"""
+
+import pytest
+
+from repro.experiments import format_table3, run_table3
+from repro.nn import build_alexnet_small, build_resnet_small, build_vgg_small
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return run_table3(
+        models={
+            "VGG16 (synthetic)": lambda: build_vgg_small(width=16),
+            "ResNet-50 (synthetic)": lambda: build_resnet_small(width=16),
+        },
+        eval_images=128,
+        calibration_batches=3,
+        calibration_batch_size=32,
+    )
+
+
+def test_bench_table3_full(benchmark, table3_rows):
+    print()
+    print(format_table3(table3_rows))
+    by = {(r.model.split(" ")[0], r.method): r for r in table3_rows}
+    for model in ("VGG16", "ResNet-50"):
+        fp32 = by[(model, "LoWino F(2,3)")].fp32_accuracy
+        chance = 1.0 / 10  # 10-class task
+        # LoWino F(2,3) close to FP32 and better than down-scaling F(2,3).
+        assert by[(model, "LoWino F(2,3)")].int8_accuracy >= fp32 - 0.15
+        assert (by[(model, "LoWino F(2,3)")].int8_accuracy
+                > by[(model, "down-scaling F(2,3) [oneDNN]")].int8_accuracy)
+        # Down-scaling F(4,3) collapses toward chance; LoWino F(4,3)
+        # retains most accuracy (the paper's 00.00 vs 69.20/75.53 row).
+        # The band is chance + 0.2 because the ResNet stand-in's identity
+        # shortcuts route some clean signal around the broken convs, a
+        # mitigation the paper's 1000-class VGG16/ResNet-50 don't show at
+        # their much lower chance level (0.1%).
+        assert by[(model, "down-scaling F(4,3)")].int8_accuracy < chance + 0.2
+        assert (by[(model, "LoWino F(4,3)")].int8_accuracy
+                > by[(model, "down-scaling F(4,3)")].int8_accuracy + 0.1)
+    # Time a cheap single-method run so the table appears in the
+    # benchmark report without re-running the full evaluation.
+    benchmark.pedantic(
+        lambda: run_table3(
+            models={"tiny": lambda: build_alexnet_small(width=8)},
+            eval_images=16,
+            calibration_batches=1,
+            calibration_batch_size=8,
+            methods=[("LoWino F(2,3)", "lowino", 2)],
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,51 @@
+"""Winograd transform stages: wall clock of the vectorized NumPy path
+and codelet-vs-matrix cross validation at benchmark scale."""
+
+import numpy as np
+import pytest
+
+from repro.codelets import generate_codelet
+from repro.winograd import (
+    extract_tiles,
+    filter_transform,
+    input_transform,
+    tile_grid,
+    winograd_algorithm,
+)
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_bench_input_transform(benchmark, rng, m):
+    alg = winograd_algorithm(m, 3)
+    x = rng.standard_normal((4, 64, 34, 34))
+    grid = tile_grid(alg, 34, 34)
+    tiles = extract_tiles(grid, x)
+    out = benchmark(input_transform, alg, tiles)
+    assert out.shape[-1] == alg.alpha
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_bench_filter_transform(benchmark, rng, m):
+    alg = winograd_algorithm(m, 3)
+    w = rng.standard_normal((256, 256, 3, 3))
+    out = benchmark(filter_transform, alg, w)
+    assert out.shape == (256, 256, alg.alpha, alg.alpha)
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_bench_tile_extraction(benchmark, rng, m):
+    alg = winograd_algorithm(m, 3)
+    x = rng.standard_normal((4, 64, 34, 34))
+    grid = tile_grid(alg, 34, 34)
+    tiles = benchmark(extract_tiles, grid, x)
+    assert tiles.shape[-1] == alg.alpha
+
+
+def test_bench_codelet_execution_vs_matrix(benchmark, rng):
+    """The codelet path over a wide lane batch equals the matrix path."""
+    alg = winograd_algorithm(4, 3)
+    codelet = generate_codelet(alg.bt_exact)
+    lanes = rng.standard_normal((6, 4096))
+
+    out = benchmark(codelet, lanes)
+    assert np.allclose(out, alg.bt @ lanes, atol=1e-10)

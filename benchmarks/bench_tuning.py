@@ -1,0 +1,43 @@
+"""Section 4.3.4 ablation: auto-tuned vs default vs pessimal blocking,
+and tuner wall clock."""
+
+import pytest
+
+from repro.experiments import blocking_ablation
+from repro.tuning import tune_gemm
+from repro.workloads import TABLE2_LAYERS, layer_by_name
+
+
+@pytest.mark.parametrize("name", ["VGG16_c", "ResNet-50_c", "U-Net_c"])
+def test_bench_blocking_ablation(benchmark, name):
+    out = benchmark.pedantic(
+        lambda: blocking_ablation(layer_by_name(name)), rounds=1, iterations=1
+    )
+    print()
+    print(f"{name}: tuned={out['tuned']*1e3:.3f} ms, "
+          f"default={out['default']*1e3:.3f} ms, "
+          f"pessimal={out['pessimal']*1e3:.3f} ms "
+          f"(pessimal/tuned = {out['pessimal']/out['tuned']:.2f}x)")
+    assert out["tuned"] <= out["default"] * 1.0001
+    assert out["pessimal"] > out["tuned"]
+
+
+def test_bench_tuner_wall_clock(benchmark):
+    """Tuning one layer's GEMM is an ahead-of-time cost; keep it sane."""
+    layer = layer_by_name("VGG16_b")
+    t, n, c, k = layer.gemm_dims(4)
+    result = benchmark.pedantic(lambda: tune_gemm(t, n, c, k), rounds=1,
+                                iterations=1)
+    assert result.candidates_evaluated > 50
+
+
+def test_tuned_speedup_summary():
+    """Print the tuned-vs-default summary across all Table 2 layers."""
+    print()
+    gains = []
+    for layer in TABLE2_LAYERS:
+        out = blocking_ablation(layer, m=4)
+        gain = out["default"] / out["tuned"]
+        gains.append(gain)
+        print(f"  {layer.name:14s} tuned/default gain: {gain:5.2f}x")
+    assert all(g >= 0.999 for g in gains)

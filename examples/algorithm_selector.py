@@ -1,0 +1,38 @@
+"""Automatic algorithm selection (the paper's future-work item 1).
+
+    python examples/algorithm_selector.py
+
+For every Table 2 layer, asks the cost model which INT8 convolution
+algorithm to run -- direct, LoWino F(2,3) or LoWino F(4,3) -- and shows
+the speedup of the selected algorithm over always-direct and
+always-F(4,3) policies.
+"""
+
+from repro.conv import select_algorithm
+from repro.perf import predict_layer_times
+from repro.workloads import TABLE2_LAYERS
+
+
+def main() -> None:
+    header = f"{'layer':14s} {'choice':14s} {'vs direct':>10s} {'vs always-F4':>13s}"
+    print(header)
+    print("-" * len(header))
+    total_selected = total_direct = total_f4 = 0.0
+    for layer in TABLE2_LAYERS:
+        algo, m = select_algorithm(layer.batch, layer.c, layer.k, layer.hw)
+        times = predict_layer_times(layer)
+        selected = times["onednn_direct"] if algo == "int8_direct" else times[f"lowino_f{m}"]
+        label = "direct" if algo == "int8_direct" else f"lowino F({m},3)"
+        print(f"{layer.name:14s} {label:14s} "
+              f"{times['onednn_direct'] / selected:10.2f}x "
+              f"{times['lowino_f4'] / selected:12.2f}x")
+        total_selected += selected
+        total_direct += times["onednn_direct"]
+        total_f4 += times["lowino_f4"]
+    print("-" * len(header))
+    print(f"whole suite: selector is {total_direct / total_selected:.2f}x faster "
+          f"than always-direct, {total_f4 / total_selected:.2f}x vs always-F(4,3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Figure-8-style per-layer speedup sweep.
+
+    python examples/layer_speedups.py
+
+Prints the predicted execution time of every modeled implementation on
+all 20 Table 2 layers and the aggregate speedup statistics the paper's
+abstract quotes.  Times come from the cost model (see DESIGN.md for why
+the performance layer is modeled rather than wall-clocked).
+"""
+
+from repro.experiments import format_figure8, format_figure10, run_figure8, run_figure10
+
+
+def main() -> None:
+    print(format_figure8(run_figure8()))
+    print()
+    print(format_figure10(run_figure10()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The primary metadata lives in pyproject.toml; this file exists so the
+package installs in fully offline environments where the ``wheel``
+package (required by PEP 660 editable installs) is unavailable:
+
+    python setup.py develop        # offline editable install
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""LoWino reproduction: efficient low-precision Winograd convolutions.
+
+Reproduction of *LoWino: Towards Efficient Low-Precision Winograd
+Convolutions on Modern CPUs* (Li, Jia, Feng, Wang -- ICPP 2021).
+
+Quick start::
+
+    import numpy as np
+    from repro import LoWinoConv2d, direct_conv2d_fp32
+
+    x = np.random.rand(1, 64, 32, 32)           # NCHW activations
+    w = np.random.randn(64, 64, 3, 3) * 0.05    # filters
+    layer = LoWinoConv2d(w, m=4, padding=1)     # F(4x4, 3x3)
+    layer.calibrate([x])                        # KL calibration (Eq. 7)
+    y = layer(x)                                # INT8 Winograd convolution
+    ref = direct_conv2d_fp32(x, w, padding=1)   # FP32 ground truth
+
+Subpackages: ``winograd`` (Cook-Toom transforms), ``quant``
+(calibration), ``isa`` (VNNI semantics), ``layout`` (Table 1 blocked
+layouts), ``gemm`` (batched INT8 GEMM), ``conv`` (baselines), ``core``
+(LoWino), ``codelets``, ``perf`` (cost model), ``parallel``, ``tuning``,
+``nn``, ``workloads``, ``experiments``.
+"""
+
+from .conv import (
+    DownscaleWinogradConv2d,
+    Int8DirectConv2d,
+    UpcastWinogradConv2d,
+    conv2d,
+    direct_conv2d_fp32,
+    make_layer,
+    select_algorithm,
+)
+from .core import LoWinoConv2d, LoWinoConvNd
+from .gemm import BlockingParams, default_blocking
+from .quant import EntropyCalibrator, QuantParams, dequantize, quantize
+from .winograd import WinogradAlgorithm, cook_toom, winograd_algorithm, winograd_conv2d_fp32
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DownscaleWinogradConv2d",
+    "Int8DirectConv2d",
+    "UpcastWinogradConv2d",
+    "conv2d",
+    "direct_conv2d_fp32",
+    "make_layer",
+    "select_algorithm",
+    "LoWinoConv2d",
+    "LoWinoConvNd",
+    "BlockingParams",
+    "default_blocking",
+    "EntropyCalibrator",
+    "QuantParams",
+    "dequantize",
+    "quantize",
+    "WinogradAlgorithm",
+    "cook_toom",
+    "winograd_algorithm",
+    "winograd_conv2d_fp32",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate any paper experiment.
+
+    python -m repro figure8
+    python -m repro figure9 [--layer VGG16_a] [--m 4]
+    python -m repro figure10
+    python -m repro table3 [--eval-images 128] [--width 16]
+    python -m repro ablation [--layer ResNet-50_b]
+    python -m repro selftest
+
+Each subcommand prints the same rows the corresponding benchmark
+emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
+and ordering properties the test suite checks in depth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    from .experiments import format_figure8, run_figure8
+
+    print(format_figure8(run_figure8(cores=args.cores)))
+    return 0
+
+
+def _cmd_figure9(args: argparse.Namespace) -> int:
+    from .experiments import format_figure9, run_figure9
+
+    print(format_figure9(run_figure9(layer=args.layer, m=args.m)))
+    return 0
+
+
+def _cmd_figure10(args: argparse.Namespace) -> int:
+    from .experiments import format_figure10, run_figure10
+
+    print(format_figure10(run_figure10(cores=args.cores)))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .experiments import format_table3, run_table3
+    from .nn import build_resnet_small, build_vgg_small
+
+    width = args.width
+    rows = run_table3(
+        models={
+            "VGG16 (synthetic)": lambda: build_vgg_small(width=width),
+            "ResNet-50 (synthetic)": lambda: build_resnet_small(width=width),
+        },
+        eval_images=args.eval_images,
+    )
+    print(format_table3(rows))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from .experiments import numeric_error_ablation, point_set_ablation
+    from .workloads import layer_by_name
+
+    print(f"Numeric-error ablation on {args.layer} shapes (rel RMS vs FP32):")
+    for row in numeric_error_ablation(layer_by_name(args.layer)):
+        print(f"  {row.scheme:14s} {row.rel_rms_error:.4f}")
+    print("\nF(4,3) interpolation-point extension:")
+    for name, err in point_set_ablation().items():
+        print(f"  {name:28s} {err:.4f}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.report import reproduction_report
+
+    text = reproduction_report(with_table3=args.with_table3)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .perf import layer_report
+    from .workloads import layer_by_name
+
+    print(layer_report(layer_by_name(args.layer), cores=args.cores))
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from .conv import direct_conv2d_fp32
+    from .core import LoWinoConv2d, signed_via_unsigned
+    from .gemm import gemm_s8s8_reference
+    from .winograd import winograd_algorithm, winograd_conv2d_fp32
+
+    rng = np.random.default_rng(0)
+    failures = 0
+
+    x = rng.standard_normal((1, 4, 10, 10))
+    w = rng.standard_normal((4, 4, 3, 3)) * 0.2
+    ref = direct_conv2d_fp32(x, w)
+    ok = np.allclose(winograd_conv2d_fp32(x, w, winograd_algorithm(4, 3)), ref, atol=1e-9)
+    print(f"[{'ok' if ok else 'FAIL'}] FP32 Winograd F(4,3) == direct")
+    failures += not ok
+
+    v = rng.integers(-128, 128, (6, 8)).astype(np.int8)
+    u = rng.integers(-128, 128, (8, 4)).astype(np.int8)
+    ok = np.array_equal(signed_via_unsigned(v, u), gemm_s8s8_reference(v, u))
+    print(f"[{'ok' if ok else 'FAIL'}] Eq. 9 compensation identity")
+    failures += not ok
+
+    xr = np.maximum(x, 0)
+    layer = LoWinoConv2d(w, m=4, padding=0)
+    refv = direct_conv2d_fp32(xr, w)
+    rel = float(np.sqrt(np.mean((layer(xr) - refv) ** 2)) / refv.std())
+    ok = rel < 0.25
+    print(f"[{'ok' if ok else 'FAIL'}] LoWino F(4,3) error envelope ({rel:.3f})")
+    failures += not ok
+
+    print("selftest:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LoWino reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p8 = sub.add_parser("figure8", help="per-layer speedups (cost model)")
+    p8.add_argument("--cores", type=int, default=None)
+    p8.set_defaults(fn=_cmd_figure8)
+
+    p9 = sub.add_parser("figure9", help="quantized transformed-input histograms")
+    p9.add_argument("--layer", default="VGG16_a")
+    p9.add_argument("--m", type=int, default=4)
+    p9.set_defaults(fn=_cmd_figure9)
+
+    p10 = sub.add_parser("figure10", help="stage breakdown (cost model)")
+    p10.add_argument("--cores", type=int, default=None)
+    p10.set_defaults(fn=_cmd_figure10)
+
+    pt3 = sub.add_parser("table3", help="end-to-end accuracy (slow)")
+    pt3.add_argument("--eval-images", type=int, default=128)
+    pt3.add_argument("--width", type=int, default=16)
+    pt3.set_defaults(fn=_cmd_table3)
+
+    pab = sub.add_parser("ablation", help="numeric-error + point-set ablations")
+    pab.add_argument("--layer", default="ResNet-50_b")
+    pab.set_defaults(fn=_cmd_ablation)
+
+    prr = sub.add_parser("reproduce", help="run the evaluation suite, write a report")
+    prr.add_argument("--out", default=None, help="write markdown here (default stdout)")
+    prr.add_argument("--with-table3", action="store_true",
+                     help="include the (slow) accuracy table")
+    prr.set_defaults(fn=_cmd_reproduce)
+
+    ppl = sub.add_parser("plan", help="execution-plan report for one layer")
+    ppl.add_argument("layer", help="Table 2 layer name, e.g. VGG16_b")
+    ppl.add_argument("--cores", type=int, default=None)
+    ppl.set_defaults(fn=_cmd_plan)
+
+    pst = sub.add_parser("selftest", help="fast numerics sanity sweep")
+    pst.set_defaults(fn=_cmd_selftest)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Codelet generation for Winograd transforms (Figure 4)."""
+
+from .compile import codelet_source, compile_codelet
+from .expr import Add, Expr, Load, Mul, count_ops, expr_for_row
+from .generator import Codelet, CodeletStep, OpCount, generate_codelet, transform_codelets
+
+__all__ = [
+    "codelet_source",
+    "compile_codelet",
+    "Add",
+    "Expr",
+    "Load",
+    "Mul",
+    "count_ops",
+    "expr_for_row",
+    "Codelet",
+    "CodeletStep",
+    "OpCount",
+    "generate_codelet",
+    "transform_codelets",
+]

@@ -1,0 +1,88 @@
+"""Symbolic expression IR for transform codelets.
+
+A transform codelet computes ``out[i] = sum_j M[i, j] * in[j]`` for one
+row/column pass of a Winograd transform.  The generator builds a tiny
+expression DAG over input slots, then optimization passes (zero
+elimination is implicit in construction, constant folding, common-
+subexpression elimination) rewrite it before emission.  Every node is
+hashable by structure so CSE is a dictionary lookup.
+
+The IR is deliberately minimal: loads, constant multiplies, and adds.
+That is exactly the instruction mix of the real vectorized codelets
+(Figure 4), so counting IR ops after optimization gives the numbers the
+performance model charges for the transform stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple, Union
+
+__all__ = ["Load", "Mul", "Add", "Expr", "expr_for_row", "count_ops"]
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read input slot ``index``."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Mul:
+    """Multiply a subexpression by a nonzero rational constant."""
+
+    coeff: Fraction
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Add:
+    """Sum of two subexpressions."""
+
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+Expr = Union[Load, Mul, Add]
+
+
+def expr_for_row(coeffs: Tuple[Fraction, ...]) -> Expr | None:
+    """Build the expression for one transform-matrix row.
+
+    Zero coefficients are skipped (zero elimination) and unit
+    coefficients emit no multiply (constant folding); returns ``None``
+    for an all-zero row.  Terms associate left-to-right in slot order,
+    which keeps structurally equal prefixes shared across rows and gives
+    CSE something to find.
+    """
+    expr: Expr | None = None
+    for j, c in enumerate(coeffs):
+        if c == 0:
+            continue
+        term: Expr = Load(j)
+        if c != 1:
+            term = Mul(Fraction(c), term)
+        expr = term if expr is None else Add(expr, term)
+    return expr
+
+
+def count_ops(expr: Expr, seen: Dict[Expr, bool] | None = None) -> Tuple[int, int]:
+    """(multiplies, adds) in the DAG, counting shared nodes once."""
+    seen = {} if seen is None else seen
+
+    def walk(e: Expr) -> None:
+        if e in seen:
+            return
+        seen[e] = True
+        if isinstance(e, Mul):
+            walk(e.operand)
+        elif isinstance(e, Add):
+            walk(e.lhs)
+            walk(e.rhs)
+
+    walk(expr)
+    muls = sum(1 for e in seen if isinstance(e, Mul))
+    adds = sum(1 for e in seen if isinstance(e, Add))
+    return muls, adds

@@ -1,0 +1,176 @@
+"""Transform codelet generator (paper Figure 4).
+
+Given a transform matrix, emits a *codelet*: a straight-line program of
+linear-combination steps equivalent to ``out = M @ in`` with
+
+* zero elimination (terms with zero coefficient never appear),
+* constant folding (coefficients of +/-1 emit no multiply),
+* greedy pairwise common-subexpression elimination -- shared two-term
+  sub-sums (up to a common scale, e.g. ``-in[2] + in[4]`` reused by two
+  rows as in the paper's example) are hoisted into temporaries,
+* implicit full unrolling: the program *is* the unrolled loop body; the
+  executor applies each step across the ``phi x sigma`` vector lanes.
+
+The codelet is executable (used to cross-validate against the matrix
+product) and reports its operation counts before/after optimization,
+which feed the performance model's transform-stage costs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Codelet", "CodeletStep", "OpCount", "generate_codelet", "transform_codelets"]
+
+# A symbol is either an input slot ("in", j) or a temporary ("tmp", t).
+Symbol = Tuple[str, int]
+Terms = Dict[Symbol, Fraction]
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Vector-op counts of a codelet."""
+
+    muls: int
+    adds: int
+
+    @property
+    def total(self) -> int:
+        return self.muls + self.adds
+
+
+@dataclass(frozen=True)
+class CodeletStep:
+    """One emitted statement: ``target = sum(coeff * symbol)``."""
+
+    kind: str  # "tmp" or "out"
+    index: int
+    terms: Tuple[Tuple[Symbol, Fraction], ...]
+
+
+@dataclass
+class Codelet:
+    """Executable straight-line transform program."""
+
+    rows: int
+    cols: int
+    steps: List[CodeletStep]
+    naive: OpCount
+    optimized: OpCount
+
+    def __call__(self, vec: np.ndarray) -> np.ndarray:
+        """Apply to ``vec`` with shape (cols, ...); returns (rows, ...)."""
+        vec = np.asarray(vec)
+        if vec.shape[0] != self.cols:
+            raise ValueError(f"input has {vec.shape[0]} slots, codelet expects {self.cols}")
+        env: Dict[Symbol, np.ndarray] = {("in", j): vec[j] for j in range(self.cols)}
+        out = np.zeros((self.rows,) + vec.shape[1:], dtype=np.result_type(vec, np.float64))
+        for step in self.steps:
+            acc = None
+            for sym, coeff in step.terms:
+                term = env[sym] * float(coeff) if coeff != 1 else env[sym]
+                acc = term if acc is None else acc + term
+            value = acc if acc is not None else np.zeros(vec.shape[1:])
+            if step.kind == "tmp":
+                env[("tmp", step.index)] = value
+            else:
+                out[step.index] = value
+        return out
+
+    @property
+    def saving(self) -> float:
+        """Fraction of vector ops removed by optimization."""
+        if self.naive.total == 0:
+            return 0.0
+        return 1.0 - self.optimized.total / self.naive.total
+
+
+def _terms_ops(terms: Terms) -> OpCount:
+    nnz = len(terms)
+    muls = sum(1 for c in terms.values() if abs(c) != 1)
+    adds = max(0, nnz - 1)
+    return OpCount(muls=muls, adds=adds)
+
+
+def _pair_key(s1: Symbol, c1: Fraction, s2: Symbol, c2: Fraction):
+    """Canonical form of a two-term sub-sum, modulo a common scale."""
+    if (s2, ) < (s1, ):
+        s1, c1, s2, c2 = s2, c2, s1, c1
+    return (s1, s2, c2 / c1)
+
+
+def _find_best_pair(rows: List[Terms]):
+    """Most frequent shareable two-term combination (appearing >= 2x)."""
+    counts: Counter = Counter()
+    for terms in rows:
+        syms = sorted(terms.keys())
+        for i in range(len(syms)):
+            for j in range(i + 1, len(syms)):
+                counts[_pair_key(syms[i], terms[syms[i]], syms[j], terms[syms[j]])] += 1
+    if not counts:
+        return None
+    key, freq = counts.most_common(1)[0]
+    return (key, freq) if freq >= 2 else None
+
+
+def generate_codelet(matrix_exact: Sequence[Sequence]) -> Codelet:
+    """Generate an optimized codelet for ``out = M @ in``."""
+    mat = [[Fraction(v) for v in row] for row in matrix_exact]
+    n_rows, n_cols = len(mat), len(mat[0])
+    rows: List[Terms] = [
+        {("in", j): c for j, c in enumerate(row) if c != 0} for row in mat
+    ]
+    naive = OpCount(
+        muls=sum(_terms_ops(t).muls for t in rows),
+        adds=sum(_terms_ops(t).adds for t in rows),
+    )
+
+    tmp_defs: List[Tuple[int, Terms]] = []
+    next_tmp = 0
+    while True:
+        best = _find_best_pair(rows)
+        if best is None:
+            break
+        (s1, s2, ratio), _ = best
+        tmp_sym: Symbol = ("tmp", next_tmp)
+        # temp = in[s1] + ratio * in[s2]
+        tmp_defs.append((next_tmp, {s1: Fraction(1), s2: ratio}))
+        for terms in rows:
+            if s1 in terms and s2 in terms and terms[s2] / terms[s1] == ratio:
+                scale = terms[s1]
+                del terms[s1]
+                del terms[s2]
+                terms[tmp_sym] = scale
+        next_tmp += 1
+
+    steps: List[CodeletStep] = [
+        CodeletStep(kind="tmp", index=t, terms=tuple(sorted(d.items())))
+        for t, d in tmp_defs
+    ]
+    steps += [
+        CodeletStep(kind="out", index=i, terms=tuple(sorted(terms.items())))
+        for i, terms in enumerate(rows)
+    ]
+    opt_muls = sum(_terms_ops(dict(s.terms)).muls for s in steps)
+    opt_adds = sum(_terms_ops(dict(s.terms)).adds for s in steps)
+    return Codelet(
+        rows=n_rows,
+        cols=n_cols,
+        steps=steps,
+        naive=naive,
+        optimized=OpCount(muls=opt_muls, adds=opt_adds),
+    )
+
+
+def transform_codelets(alg) -> Dict[str, Codelet]:
+    """Codelets for all three transforms of a WinogradAlgorithm."""
+    return {
+        "input": generate_codelet(alg.bt_exact),
+        "filter": generate_codelet(alg.g_exact),
+        "output": generate_codelet(alg.at_exact),
+    }

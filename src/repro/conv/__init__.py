@@ -1,0 +1,33 @@
+"""Convolution implementations: FP32 references and INT8 baselines."""
+
+from .api import Algorithm, conv2d, make_layer, select_algorithm
+from .decompose import (
+    kernel_chunks,
+    polyphase_split,
+    winograd_conv2d_large_kernel,
+    winograd_conv2d_strided,
+)
+from .direct import Int8DirectConv2d, direct_conv2d_fp32, per_out_channel_weight_params
+from .downscale import DownscaleWinogradConv2d
+from .im2col import conv_output_shape, im2col, pad_images
+from .upcast import UpcastWinogradConv2d, integer_transform_matrices
+
+__all__ = [
+    "Algorithm",
+    "kernel_chunks",
+    "polyphase_split",
+    "winograd_conv2d_large_kernel",
+    "winograd_conv2d_strided",
+    "conv2d",
+    "make_layer",
+    "select_algorithm",
+    "Int8DirectConv2d",
+    "direct_conv2d_fp32",
+    "per_out_channel_weight_params",
+    "DownscaleWinogradConv2d",
+    "conv_output_shape",
+    "im2col",
+    "pad_images",
+    "UpcastWinogradConv2d",
+    "integer_transform_matrices",
+]

@@ -1,0 +1,112 @@
+"""Unified convolution front-end and automatic algorithm selection.
+
+``conv2d`` dispatches one call to any implementation in the repository;
+``make_layer`` builds a persistent (offline-prepared) layer object.
+``select_algorithm`` implements the paper's future-work item 1 -- picking
+the fastest algorithm among direct / Winograd variants for a layer
+configuration -- by querying the performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from .direct import Int8DirectConv2d, direct_conv2d_fp32
+from .downscale import DownscaleWinogradConv2d
+from .upcast import UpcastWinogradConv2d
+
+__all__ = ["Algorithm", "conv2d", "make_layer", "select_algorithm"]
+
+Algorithm = Literal[
+    "fp32_direct",
+    "fp32_winograd",
+    "int8_direct",
+    "int8_upcast",
+    "int8_downscale",
+    "lowino",
+]
+
+
+def make_layer(
+    filters_fp32: np.ndarray,
+    algorithm: Algorithm,
+    m: int = 2,
+    padding: int = 0,
+    **kwargs,
+):
+    """Build a reusable layer object for the given algorithm.
+
+    ``m`` selects the Winograd tile size for the Winograd-family
+    algorithms and is ignored by the direct ones.  Extra ``kwargs`` pass
+    through to the implementation (e.g. ``input_threshold``,
+    ``use_blocked_gemm``).
+    """
+    if algorithm == "int8_direct":
+        return Int8DirectConv2d(filters_fp32, padding=padding, **kwargs)
+    if algorithm == "int8_upcast":
+        return UpcastWinogradConv2d(filters_fp32, m=m, padding=padding, **kwargs)
+    if algorithm == "int8_downscale":
+        return DownscaleWinogradConv2d(filters_fp32, m=m, padding=padding, **kwargs)
+    if algorithm == "lowino":
+        from ..core import LoWinoConv2d
+
+        return LoWinoConv2d(filters_fp32, m=m, padding=padding, **kwargs)
+    if algorithm == "fp32_winograd":
+        from ..winograd import winograd_algorithm, winograd_conv2d_fp32
+
+        alg = winograd_algorithm(m, filters_fp32.shape[2])
+
+        class _Fp32Wino:
+            def __call__(self, images: np.ndarray) -> np.ndarray:
+                from .im2col import pad_images
+
+                return winograd_conv2d_fp32(pad_images(images, padding), filters_fp32, alg)
+
+        return _Fp32Wino()
+    if algorithm == "fp32_direct":
+
+        class _Fp32Direct:
+            def __call__(self, images: np.ndarray) -> np.ndarray:
+                return direct_conv2d_fp32(images, filters_fp32, padding=padding)
+
+        return _Fp32Direct()
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def conv2d(
+    images: np.ndarray,
+    filters_fp32: np.ndarray,
+    algorithm: Algorithm = "lowino",
+    m: int = 2,
+    padding: int = 0,
+    **kwargs,
+) -> np.ndarray:
+    """One-shot convolution through any implementation."""
+    return make_layer(filters_fp32, algorithm, m=m, padding=padding, **kwargs)(images)
+
+
+def select_algorithm(
+    batch: int, c: int, k: int, hw: int, r: int = 3, cores: int = 8
+) -> tuple[str, int]:
+    """Pick the predicted-fastest INT8 algorithm for a layer shape.
+
+    Returns ``(algorithm, m)`` where ``algorithm`` is one of
+    ``'int8_direct'`` / ``'lowino'`` and ``m`` the chosen tile size
+    (0 for direct).  Uses the roofline cost model -- the paper's
+    future-work "automatic mechanism to select the optimal algorithm".
+    """
+    from ..perf import predict_layer_times
+    from ..workloads import LayerConfig
+
+    layer = LayerConfig(name="query", batch=batch, c=c, k=k, hw=hw, r=r)
+    times = predict_layer_times(layer, cores=cores)
+    candidates = {
+        "int8_direct": (times["onednn_direct"], 0),
+        "lowino_f2": (times["lowino_f2"], 2),
+        "lowino_f4": (times["lowino_f4"], 4),
+    }
+    best = min(candidates, key=lambda name: candidates[name][0])
+    algo = "int8_direct" if best == "int8_direct" else "lowino"
+    return algo, candidates[best][1]

@@ -1,0 +1,92 @@
+"""Direct convolution: FP32 reference and INT8 (oneDNN-style) baseline.
+
+The FP32 path is the numerical ground truth for the whole repository.
+The INT8 path is the "INT8 Direct Convolution - oneDNN" baseline of
+Figure 8: spatial-domain per-tensor quantization of activations,
+per-output-channel quantization of weights, integer GEMM over the
+im2col lowering, then dequantization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quant import QuantParams, dequantize, quantize, spatial_params_from_tensor
+from .im2col import conv_output_shape, im2col, pad_images
+
+__all__ = ["direct_conv2d_fp32", "Int8DirectConv2d", "per_out_channel_weight_params"]
+
+
+def direct_conv2d_fp32(
+    images: np.ndarray,
+    filters: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """FP32 direct convolution, NCHW x (K, C, r, r) -> NCHW.
+
+    Implemented as im2col + GEMM; exact up to float64 accumulation.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    filters = np.asarray(filters, dtype=np.float64)
+    b, c, h, w = images.shape
+    k, c2, r, r2 = filters.shape
+    if c != c2 or r != r2:
+        raise ValueError(f"shape mismatch: images {images.shape}, filters {filters.shape}")
+    x = pad_images(images, padding)
+    oh, ow = conv_output_shape(h, w, r, stride=stride, padding=padding)
+    cols = im2col(x, r, stride=stride)  # (B*OH*OW, C*r*r)
+    out = cols @ filters.reshape(k, -1).T  # (B*OH*OW, K)
+    return out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
+
+
+def per_out_channel_weight_params(filters: np.ndarray, bits: int = 8) -> QuantParams:
+    """Symmetric per-output-channel weight scales (standard PTQ practice)."""
+    k = filters.shape[0]
+    tau = np.abs(filters.reshape(k, -1)).max(axis=1)
+    tau = np.where(tau > 0, tau, 1.0)
+    from ..quant import scale_for_threshold
+
+    return QuantParams(scale=scale_for_threshold(tau, bits=bits).reshape(k, 1, 1, 1), bits=bits)
+
+
+@dataclass
+class Int8DirectConv2d:
+    """Spatially-quantized INT8 direct convolution.
+
+    The layer is constructed offline from FP32 filters (weights quantized
+    per output channel); the activation threshold comes either from a
+    calibration pass (pass ``input_threshold``) or per-batch min/max.
+    """
+
+    filters_fp32: np.ndarray
+    stride: int = 1
+    padding: int = 0
+    input_threshold: float | None = None
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        self.weight_params = per_out_channel_weight_params(self.filters_fp32, bits=self.bits)
+        self.filters_q = quantize(self.filters_fp32, self.weight_params)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        b, c, h, w = images.shape
+        k, _, r, _ = self.filters_fp32.shape
+        if self.input_threshold is not None:
+            in_params = QuantParams.from_threshold(self.input_threshold, bits=self.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=self.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, self.padding)
+        oh, ow = conv_output_shape(h, w, r, stride=self.stride, padding=self.padding)
+        cols = im2col(x, r, stride=self.stride)  # int8 (B*OH*OW, C*r*r)
+        wq = self.filters_q.reshape(k, -1)  # int8 (K, C*r*r)
+        acc = cols.astype(np.int32) @ wq.astype(np.int32).T  # (B*OH*OW, K) int32
+        # Dequantize: per output channel scale * input scale.
+        w_scale = self.weight_params.scale.reshape(1, k)
+        out = acc.astype(np.float64) / (in_params.scale * w_scale)
+        return out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)

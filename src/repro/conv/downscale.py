@@ -1,0 +1,96 @@
+"""Down-scaling low-precision Winograd convolution (oneDNN-style, Fig. 2b).
+
+Like the up-casting approach, quantization happens in the spatial domain
+and the transforms run on integer data.  But instead of widening the
+multiply to INT16, the transformed operands are scaled *back down* into
+INT8 by the reciprocal of the transform's range amplification
+(``alpha = 1/4`` for F(2,3), ``1/100`` for F(4,3)) and rounded.  The
+multiply then enjoys full ``vpdpbusd`` throughput, at the price of the
+round-off error the paper's Section 2.3 and Figure 9 dissect: for
+F(4,3) the useful signal collapses into a handful of integer levels and
+end-to-end accuracy drops to chance (Table 3's ``00.00`` row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..isa import saturate_cast
+from ..quant import QuantParams, quantize, spatial_params_from_tensor
+from ..winograd import assemble_output, filter_transform, output_transform, winograd_algorithm
+from ._tileops import gemm_result_to_tiles, prepare_input_tiles, tiles_to_gemm_operand
+from .direct import per_out_channel_weight_params
+from .im2col import pad_images
+from .upcast import _transform_int, integer_transform_matrices
+
+__all__ = ["DownscaleWinogradConv2d"]
+
+
+@dataclass
+class DownscaleWinogradConv2d:
+    """INT8 Winograd with transformed operands down-scaled back to INT8.
+
+    ``input_downscale`` defaults to the transform's worst-case 2D
+    amplification (4 / 100 / 10000 for m = 2 / 4 / 6 with r = 3), exactly
+    the factors quoted in Section 2.3.
+    """
+
+    filters_fp32: np.ndarray
+    m: int = 2
+    padding: int = 0
+    input_threshold: float | None = None
+    input_downscale: float | None = None
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        k, c, r, r2 = self.filters_fp32.shape
+        if r != r2:
+            raise ValueError("only square filters supported")
+        self.alg = winograd_algorithm(self.m, r)
+        self.bt_int, _, self.bt_lcm, _ = integer_transform_matrices(self.alg)
+        if self.input_downscale is None:
+            self.input_downscale = 1.0 / self.alg.input_amplification()
+        # Offline filter path: spatial per-channel quantization, FP filter
+        # transform of the quantized weights, then per-tensor down-scale of
+        # the transformed filter into INT8 (the beta*U of Figure 2b).
+        self.weight_params = per_out_channel_weight_params(self.filters_fp32, bits=self.bits)
+        gq = quantize(self.filters_fp32, self.weight_params).astype(np.float64)
+        u = filter_transform(self.alg, gq)  # (K, C, a, a) float (integer-valued * fractions of G)
+        max_u = float(np.abs(u).max()) if u.size else 1.0
+        self.filter_downscale = (127.0 / max_u) if max_u > 0 else 1.0
+        u8 = saturate_cast(u * self.filter_downscale, np.int8)
+        self.u_int8 = np.ascontiguousarray(
+            u8.reshape(k, c, self.alg.tile_elements).transpose(2, 1, 0)
+        )  # (T, C, K)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        k = self.filters_fp32.shape[0]
+        if self.input_threshold is not None:
+            in_params = QuantParams.from_threshold(self.input_threshold, bits=self.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=self.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, self.padding)
+        tiles, grid = prepare_input_tiles(self.alg, x)
+        v = _transform_int(self.bt_int, tiles)  # exact int64, scale bt_lcm^2
+        # Down-scale + round: the lossy step (marked 2 in Figure 2b).
+        scale = self.input_downscale / (self.bt_lcm**2)
+        v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
+        v_op = tiles_to_gemm_operand(v8)  # (T, N, C) int8
+        z = np.einsum(
+            "tnc,tck->tnk", v_op.astype(np.int32), self.u_int8.astype(np.int32)
+        ).astype(np.int32)
+        denom = (
+            in_params.scale
+            * self.input_downscale
+            * self.weight_params.scale.reshape(1, 1, k)
+            * self.filter_downscale
+        )
+        z_fp = z.astype(np.float64) / denom
+        acc_tiles = gemm_result_to_tiles(z_fp, images.shape[0], grid, k)
+        y = output_transform(self.alg, acc_tiles)
+        return assemble_output(grid, y)

@@ -1,0 +1,61 @@
+"""im2col lowering for convolution.
+
+Converts a sliding-window convolution into one dense matrix product --
+the classic lowering the GEMM-based baselines (direct INT8 convolution,
+the im2col FP32 reference) are built on.  Uses stride tricks for the
+window view and a single contiguous copy, per the vectorized-NumPy idiom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["im2col", "pad_images", "conv_output_shape"]
+
+
+def conv_output_shape(h: int, w: int, r: int, stride: int = 1, padding: int = 0) -> tuple[int, int]:
+    """Output spatial size of an ``r x r`` convolution."""
+    oh = (h + 2 * padding - r) // stride + 1
+    ow = (w + 2 * padding - r) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(f"convolution output would be empty: input {h}x{w}, r={r}, "
+                         f"stride={stride}, padding={padding}")
+    return oh, ow
+
+
+def pad_images(images: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad NCHW images symmetrically in the spatial dimensions."""
+    if padding == 0:
+        return images
+    if padding < 0:
+        raise ValueError(f"padding must be >= 0, got {padding}")
+    return np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def im2col(images: np.ndarray, r: int, stride: int = 1) -> np.ndarray:
+    """Lower NCHW images to the im2col matrix.
+
+    Parameters
+    ----------
+    images:
+        ``(B, C, H, W)``, already padded.
+    r:
+        Square filter size.
+    stride:
+        Convolution stride.
+
+    Returns
+    -------
+    ``(B * OH * OW, C * r * r)`` array: one row per output pixel, columns
+    ordered ``(C, r, r)`` to match ``filters.reshape(K, C*r*r)``.
+    """
+    b, c, h, w = images.shape
+    oh, ow = conv_output_shape(h, w, r, stride=stride, padding=0)
+    sb, sc, sh, sw = images.strides
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(b, oh, ow, c, r, r),
+        strides=(sb, sh * stride, sw * stride, sc, sh, sw),
+        writeable=False,
+    )
+    return np.ascontiguousarray(view).reshape(b * oh * ow, c * r * r)

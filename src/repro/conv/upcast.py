@@ -1,0 +1,138 @@
+"""Up-casting low-precision Winograd convolution (ncnn-style, Fig. 2a).
+
+Quantization happens in the *spatial* domain; the Winograd transforms run
+in integer arithmetic on the quantized data.  Because the transforms
+amplify the value range (4x for F(2,3), 100x for F(4,3) in 2D), the
+transformed operands no longer fit INT8 and are *up-cast* to INT16; the
+elementwise multiplication then runs on the INT16 ``vpmaddwd`` path,
+which has half the peak throughput of ``vpdpbusd`` and twice the operand
+traffic -- the performance penalty the paper attributes to this approach.
+
+Numerically the approach is *exact* given the spatial quantization: the
+integer transforms introduce no additional error, so its accuracy matches
+INT8 direct convolution.  To keep the transforms exact for fractional
+``G`` matrices we scale ``G`` by the LCM of its denominators and fold the
+constant back into the dequantization scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import lcm
+
+import numpy as np
+
+from ..isa import saturate_cast, vpmaddwd_array
+from ..quant import QuantParams, quantize, spatial_params_from_tensor
+from ..winograd import WinogradAlgorithm, assemble_output, output_transform, winograd_algorithm
+from ._tileops import gemm_result_to_tiles, prepare_input_tiles, tiles_to_gemm_operand
+from .direct import per_out_channel_weight_params
+from .im2col import pad_images
+
+__all__ = ["UpcastWinogradConv2d", "integer_transform_matrices"]
+
+
+def integer_transform_matrices(alg: WinogradAlgorithm) -> tuple[np.ndarray, np.ndarray, int, int]:
+    """Integerized ``B^T`` and ``G`` with their LCM scale factors.
+
+    Returns ``(bt_int, g_int, bt_lcm, g_lcm)`` such that
+    ``bt_int = bt * bt_lcm`` and ``g_int = g * g_lcm`` are exact integer
+    matrices.  For the canonical point sets ``bt_lcm == 1``.
+    """
+    def lcm_of(mat) -> int:
+        return lcm(*(Fraction(v).denominator for row in mat for v in row)) or 1
+
+    bt_l = lcm_of(alg.bt_exact)
+    g_l = lcm_of(alg.g_exact)
+    bt_int = np.array(
+        [[int(v * bt_l) for v in row] for row in alg.bt_exact], dtype=np.int64
+    )
+    g_int = np.array(
+        [[int(v * g_l) for v in row] for row in alg.g_exact], dtype=np.int64
+    )
+    return bt_int, g_int, bt_l, g_l
+
+
+def _transform_int(mat_int: np.ndarray, tiles: np.ndarray) -> np.ndarray:
+    """Exact integer 2D transform ``M t M^T`` over trailing axes (int64)."""
+    half = np.einsum("...ij,oj->...io", tiles.astype(np.int64), mat_int)
+    return np.einsum("pi,...io->...po", mat_int, half)
+
+
+@dataclass
+class UpcastWinogradConv2d:
+    """INT8-in, INT16-multiply Winograd convolution."""
+
+    filters_fp32: np.ndarray
+    m: int = 2
+    padding: int = 0
+    input_threshold: float | None = None
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        k, c, r, r2 = self.filters_fp32.shape
+        if r != r2:
+            raise ValueError("only square filters supported")
+        self.alg = winograd_algorithm(self.m, r)
+        self.bt_int, self.g_int, self.bt_lcm, self.g_lcm = integer_transform_matrices(self.alg)
+        # Offline: spatial weight quantization + exact integer filter transform.
+        self.weight_params = per_out_channel_weight_params(self.filters_fp32, bits=self.bits)
+        gq = quantize(self.filters_fp32, self.weight_params)  # (K, C, r, r) int8
+        u = _transform_int(self.g_int, gq)  # (K, C, a, a) int64, scaled by g_lcm^2
+        max_u = int(np.abs(u).max()) if u.size else 0
+        if max_u <= np.iinfo(np.int16).max:
+            # Exact route: the LCM-scaled integer transform fits INT16.
+            u16 = u.astype(np.int16)
+            self.filter_scale = float(self.g_lcm**2)
+        else:
+            # F(4,3)-and-larger: the exact integerized transform exceeds
+            # INT16, so store the transformed filter as a *rounded* INT16
+            # with the largest scale that fits -- still "up-cast to a
+            # wider type", with rounding error <= 0.5/32767 of full scale.
+            u_fp = u.astype(np.float64) / (self.g_lcm**2)
+            s = np.iinfo(np.int16).max / float(np.abs(u_fp).max() or 1.0)
+            u16 = saturate_cast(u_fp * s, np.int16)
+            self.filter_scale = s
+        self.u_int16 = np.ascontiguousarray(
+            u16.reshape(k, c, self.alg.tile_elements).transpose(2, 1, 0)
+        )  # (T, C, K)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        k = self.filters_fp32.shape[0]
+        if self.input_threshold is not None:
+            in_params = QuantParams.from_threshold(self.input_threshold, bits=self.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=self.bits)
+        xq = quantize(images, in_params)  # int8 NCHW
+        x = pad_images(xq, self.padding)
+        tiles, grid = prepare_input_tiles(self.alg, x)  # int8 tiles
+        v = _transform_int(self.bt_int, tiles)  # int64, scaled by bt_lcm^2
+        max_v = int(np.abs(v).max()) if v.size else 0
+        if max_v > np.iinfo(np.int16).max:
+            raise OverflowError(
+                f"transformed inputs overflow INT16 (max {max_v})"
+            )
+        v16 = tiles_to_gemm_operand(saturate_cast(v, np.int16))  # (T, N, C) int16
+        # INT16 multiply path (vpmaddwd): contract channels to int32.
+        z = np.einsum(
+            "tnc,tck->tnk", v16.astype(np.int64), self.u_int16.astype(np.int64)
+        ).astype(np.int32)
+        # Dequantize: undo input scale, per-channel weight scale, LCM /
+        # filter-upcast factors.
+        denom = (
+            in_params.scale
+            * self.weight_params.scale.reshape(1, 1, k)
+            * (self.bt_lcm**2)
+            * self.filter_scale
+        )
+        z_fp = z.astype(np.float64) / denom
+        acc_tiles = gemm_result_to_tiles(z_fp, images.shape[0], grid, k)
+        y = output_transform(self.alg, acc_tiles)
+        return assemble_output(grid, y)
+
+    def multiply_semantics_check(self, v16: np.ndarray, u16: np.ndarray) -> np.ndarray:
+        """Expose the vpmaddwd contraction for the ISA-equivalence tests."""
+        return vpmaddwd_array(v16, u16)

@@ -1,0 +1,13 @@
+"""LoWino core: the Winograd-domain-quantized INT8 convolution."""
+
+from .compensation import bias_to_unsigned, compensation_term, signed_via_unsigned
+from .lowino import LoWinoConv2d
+from .lowino_nd import LoWinoConvNd
+
+__all__ = [
+    "bias_to_unsigned",
+    "compensation_term",
+    "signed_via_unsigned",
+    "LoWinoConv2d",
+    "LoWinoConvNd",
+]

@@ -1,0 +1,39 @@
+"""The +/-128 compensation identity (Eq. 9).
+
+``vpdpbusd`` requires its first operand to be UINT8, but quantized
+transformed inputs are signed.  LoWino adds 128 during the input
+transform (``Vbar = V + 128``) and subtracts the precomputed correction
+``Zbar = -128 * colsum_C(U)`` during the GEMM:
+
+    V @ U  ==  (V + 128) @ U  +  (-128 * 1 1^T) @ U  ==  Vbar @ U + Zbar
+
+The identity is exact in integer arithmetic; :func:`signed_via_unsigned`
+is the executable statement of it and is property-tested against the
+plain signed product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gemm import compensation_term, gemm_u8s8_reference
+
+__all__ = ["bias_to_unsigned", "signed_via_unsigned", "compensation_term"]
+
+
+def bias_to_unsigned(v_s8: np.ndarray) -> np.ndarray:
+    """``V + 128`` as UINT8 (the input-transform-stage compensation)."""
+    if v_s8.dtype != np.int8:
+        raise ValueError(f"expected int8, got {v_s8.dtype}")
+    return (v_s8.astype(np.int16) + 128).astype(np.uint8)
+
+
+def signed_via_unsigned(v_s8: np.ndarray, u_s8: np.ndarray) -> np.ndarray:
+    """Compute the signed product ``V @ U`` using only u8 x s8 arithmetic.
+
+    ``v_s8``: ``(N, C)`` int8; ``u_s8``: ``(C, K)`` int8.  Returns
+    ``(N, K)`` int32 equal to ``V.astype(i32) @ U.astype(i32)``.
+    """
+    vbar = bias_to_unsigned(v_s8)
+    zbar = compensation_term(u_s8[None, :, :])[0]  # (K,)
+    return gemm_u8s8_reference(vbar, u_s8) + zbar[None, :]

@@ -1,0 +1,138 @@
+"""LoWino for 1D and 3D convolutions.
+
+The Winograd-domain quantization recipe is dimension-agnostic: transform
+in FP32, quantize per tile position (now ``T = alpha^d`` positions), run
+the batched u8 x s8 GEMM with the Eq. 9 compensation, de-quantize and
+output-transform.  This module generalizes :class:`LoWinoConv2d` to any
+spatial dimensionality -- 1D for sequence models, 3D for video --
+exercising exactly the same quantization, compensation and GEMM
+machinery (a genuine extension beyond the paper, which evaluates 2D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..gemm import compensation_term
+from ..quant import (
+    QuantParams,
+    WinogradDomainCalibrator,
+    per_position_minmax_params,
+    quantize,
+    scale_for_threshold,
+)
+from ..winograd import winograd_algorithm
+from ..winograd.ndim import (
+    NdTileGrid,
+    assemble_output_nd,
+    extract_tiles_nd,
+    tile_grid_nd,
+    transform_nd,
+)
+
+__all__ = ["LoWinoConvNd"]
+
+
+@dataclass
+class LoWinoConvNd:
+    """INT8 Winograd convolution in ``d`` spatial dimensions.
+
+    ``filters_fp32`` has shape ``(K, C, *(r,)*d)``; inputs are
+    ``(B, C, *spatial)``.  ``padding`` pads every spatial axis
+    symmetrically.  Calibration mirrors the 2D layer.
+    """
+
+    filters_fp32: np.ndarray
+    m: int = 2
+    padding: int = 0
+    bits: int = 8
+    calibration_method: str = "kl"
+    input_params: Optional[QuantParams] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        if self.filters_fp32.ndim < 3:
+            raise ValueError("filters must be (K, C, *spatial)")
+        self.ndim = self.filters_fp32.ndim - 2
+        r_shape = self.filters_fp32.shape[2:]
+        if len(set(r_shape)) != 1:
+            raise ValueError(f"anisotropic filters unsupported: {r_shape}")
+        self.alg = winograd_algorithm(self.m, r_shape[0])
+        k, c = self.filters_fp32.shape[:2]
+        t = self.alg.alpha**self.ndim
+        u = transform_nd(self.alg.g, self.filters_fp32, self.ndim)
+        u = np.ascontiguousarray(u.reshape(k, c, t).transpose(2, 1, 0))  # (T, C, K)
+        tau = np.abs(u).max(axis=1, keepdims=True)
+        tau = np.where(tau > 0, tau, 1.0)
+        self.filter_params = QuantParams(
+            scale=scale_for_threshold(tau, bits=self.bits), bits=self.bits
+        )
+        self.u_q = quantize(u, self.filter_params)
+        self.zbar = compensation_term(self.u_q)
+
+    # ------------------------------------------------------------------
+    def _pad(self, images: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        widths = [(0, 0), (0, 0)] + [(self.padding, self.padding)] * self.ndim
+        return np.pad(images, widths)
+
+    def _operand(self, images: np.ndarray) -> tuple[np.ndarray, NdTileGrid]:
+        x = self._pad(np.asarray(images, dtype=np.float64))
+        grid = tile_grid_nd(self.alg, x.shape[2:])
+        tiles = extract_tiles_nd(grid, x)
+        v = transform_nd(self.alg.bt, tiles, self.ndim)
+        b, c = x.shape[:2]
+        t = self.alg.alpha**self.ndim
+        v = v.reshape(b, c, grid.tiles_per_image, t)
+        v = v.transpose(3, 0, 2, 1).reshape(t, b * grid.tiles_per_image, c)
+        return np.ascontiguousarray(v), grid
+
+    def calibrate(self, batches: Iterable[np.ndarray]) -> "LoWinoConvNd":
+        calib = WinogradDomainCalibrator(
+            positions=self.alg.alpha**self.ndim, bits=self.bits
+        )
+        for batch in batches:
+            v, _ = self._operand(batch)
+            calib.collect(v)
+        self.input_params = calib.params(method=self.calibration_method)
+        return self
+
+    @property
+    def is_calibrated(self) -> bool:
+        return self.input_params is not None
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != self.ndim + 2:
+            raise ValueError(
+                f"expected {self.ndim + 2}-d input, got {images.ndim}-d"
+            )
+        b = images.shape[0]
+        k = self.filters_fp32.shape[0]
+        v, grid = self._operand(images)
+        in_params = (
+            self.input_params
+            if self.input_params is not None
+            else per_position_minmax_params(v, position_axis=0, bits=self.bits)
+        )
+        v_q = quantize(v, in_params)
+        vbar = (v_q.astype(np.int16) + 128).astype(np.uint8)
+        z = np.einsum(
+            "tnc,tck->tnk", vbar.astype(np.int32), self.u_q.astype(np.int32)
+        ).astype(np.int32)
+        z = z + self.zbar[:, None, :]
+        z_fp = z.astype(np.float64) / (in_params.scale * self.filter_params.scale)
+        # (T, N, K) -> (B, K, *tiles, *(alpha,)*d)
+        t = self.alg.alpha**self.ndim
+        z_fp = z_fp.transpose(1, 2, 0).reshape(
+            (b, grid.tiles_per_image, k) + (self.alg.alpha,) * self.ndim
+        )
+        z_fp = np.moveaxis(z_fp, 2, 1).reshape(
+            (b, k) + grid.tiles_shape + (self.alg.alpha,) * self.ndim
+        )
+        y = transform_nd(self.alg.at, z_fp, self.ndim)
+        return assemble_output_nd(grid, y)

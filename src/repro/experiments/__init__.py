@@ -1,0 +1,41 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md)."""
+
+from .ablation import (
+    ErrorAblationRow,
+    TileSizeRow,
+    blocking_ablation,
+    numeric_error_ablation,
+    point_set_ablation,
+    tile_size_study,
+)
+from .figure8 import Figure8Result, Figure8Row, format_figure8, run_figure8
+from .sensitivity import SensitivityRow, core_scaling_study, machine_sensitivity_study
+from .figure9 import Figure9Result, format_figure9, run_figure9
+from .figure10 import Figure10Row, format_figure10, run_figure10
+from .table3 import TABLE3_METHODS, Table3Row, format_table3, run_table3
+
+__all__ = [
+    "ErrorAblationRow",
+    "TileSizeRow",
+    "blocking_ablation",
+    "numeric_error_ablation",
+    "point_set_ablation",
+    "tile_size_study",
+    "Figure8Result",
+    "Figure8Row",
+    "format_figure8",
+    "run_figure8",
+    "SensitivityRow",
+    "core_scaling_study",
+    "machine_sensitivity_study",
+    "Figure9Result",
+    "format_figure9",
+    "run_figure9",
+    "Figure10Row",
+    "format_figure10",
+    "run_figure10",
+    "TABLE3_METHODS",
+    "Table3Row",
+    "format_table3",
+    "run_table3",
+]

@@ -1,0 +1,169 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* :func:`numeric_error_ablation` -- per-layer convolution error of every
+  low-precision scheme against the FP32 reference (the single-layer view
+  behind Table 3 / Section 2.3's analysis).
+* :func:`point_set_ablation` -- F(4,3) accuracy as a function of the
+  Cook-Toom interpolation points (Lavin's canonical [0,1,-1,2,-2] vs
+  mixed-magnitude sets per Barabasz et al.'s error analysis, which the
+  paper cites as [1]).
+* :func:`blocking_ablation` -- predicted GEMM time of the tuned blocking
+  vs the static default vs a deliberately cache-hostile choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..conv import (
+    DownscaleWinogradConv2d,
+    Int8DirectConv2d,
+    UpcastWinogradConv2d,
+    direct_conv2d_fp32,
+)
+from ..core import LoWinoConv2d
+from ..gemm import BlockingParams, default_blocking
+from ..tuning import gemm_stage_cost, tune_gemm
+from ..winograd import cook_toom
+from ..workloads import LayerConfig
+
+__all__ = [
+    "ErrorAblationRow",
+    "TileSizeRow",
+    "numeric_error_ablation",
+    "point_set_ablation",
+    "blocking_ablation",
+    "tile_size_study",
+]
+
+
+@dataclass(frozen=True)
+class ErrorAblationRow:
+    layer: str
+    scheme: str
+    rel_rms_error: float
+
+
+def _rel_rms(y: np.ndarray, ref: np.ndarray) -> float:
+    denom = float(ref.std()) or 1.0
+    return float(np.sqrt(np.mean((y - ref) ** 2)) / denom)
+
+
+def numeric_error_ablation(
+    layer: LayerConfig, seed: int = 23, batch: int = 1
+) -> List[ErrorAblationRow]:
+    """Convolution output error of each INT8 scheme on one layer config."""
+    rng = np.random.default_rng(seed)
+    cfg = LayerConfig(name=layer.name, batch=batch, c=layer.c, k=layer.k,
+                      hw=min(layer.hw, 32), r=layer.r, padding=layer.padding)
+    x = cfg.input_tensor(rng).astype(np.float64)
+    w = cfg.filter_tensor(rng).astype(np.float64)
+    ref = direct_conv2d_fp32(x, w, padding=cfg.padding)
+    schemes = {
+        "int8_direct": Int8DirectConv2d(w, padding=cfg.padding),
+        "upcast_f2": UpcastWinogradConv2d(w, m=2, padding=cfg.padding),
+        "downscale_f2": DownscaleWinogradConv2d(w, m=2, padding=cfg.padding),
+        "downscale_f4": DownscaleWinogradConv2d(w, m=4, padding=cfg.padding),
+        "lowino_f2": LoWinoConv2d(w, m=2, padding=cfg.padding),
+        "lowino_f4": LoWinoConv2d(w, m=4, padding=cfg.padding),
+    }
+    return [
+        ErrorAblationRow(layer=cfg.name, scheme=name, rel_rms_error=_rel_rms(impl(x), ref))
+        for name, impl in schemes.items()
+    ]
+
+
+#: Candidate F(4,3) point sets (all 5 finite points + infinity).
+F43_POINT_SETS: Dict[str, Sequence] = {
+    "lavin [0,1,-1,2,-2]": (0, 1, -1, 2, -2),
+    "half [0,1,-1,1/2,-1/2]": (0, 1, -1, Fraction(1, 2), Fraction(-1, 2)),
+    "mixed [0,1,-1,2,-1/2]": (0, 1, -1, 2, Fraction(-1, 2)),
+}
+
+
+def point_set_ablation(
+    c: int = 64, k: int = 32, hw: int = 16, seed: int = 29
+) -> Dict[str, float]:
+    """LoWino F(4,3) output error per interpolation-point set."""
+    import repro.core.lowino as lowino_module
+
+    rng = np.random.default_rng(seed)
+    from scipy.ndimage import uniform_filter
+
+    x = np.maximum(uniform_filter(rng.standard_normal((2, c, hw, hw)),
+                                  size=(1, 1, 3, 3)), 0)
+    w = rng.standard_normal((k, c, 3, 3)) * np.sqrt(2 / (9 * c))
+    ref = direct_conv2d_fp32(x, w, padding=1)
+    out: Dict[str, float] = {}
+    original = lowino_module.winograd_algorithm
+    try:
+        for name, points in F43_POINT_SETS.items():
+            alg = cook_toom(4, 3, points)
+            lowino_module.winograd_algorithm = lambda m, r, _alg=alg: _alg
+            layer = LoWinoConv2d(w, m=4, padding=1)
+            out[name] = _rel_rms(layer(x), ref)
+    finally:
+        lowino_module.winograd_algorithm = original
+    return out
+
+
+@dataclass(frozen=True)
+class TileSizeRow:
+    """One (layer, m) point of the accuracy/performance frontier."""
+
+    layer: str
+    m: int
+    predicted_time: float
+    rel_rms_error: float
+    complexity_reduction: float
+
+
+def tile_size_study(
+    layer: LayerConfig, tile_sizes: Sequence[int] = (2, 4, 6), seed: int = 31
+) -> List[TileSizeRow]:
+    """Accuracy/performance frontier across Winograd tile sizes.
+
+    The paper argues larger tiles save more arithmetic but cost more
+    numerically; with Winograd-domain quantization F(4,3) becomes
+    usable, and this study extends the question to F(6,3) (the m value
+    Section 2.3 cites as needing a 1/10000 down-scaling factor).
+    Predicted times come from the cost model; errors are measured on
+    reduced-size synthetic tensors of the layer's channel configuration.
+    """
+    from ..perf import plan_lowino
+    from ..winograd import winograd_algorithm
+
+    rng = np.random.default_rng(seed)
+    cfg = LayerConfig(name=layer.name, batch=1, c=layer.c, k=layer.k,
+                      hw=min(layer.hw, 24), r=layer.r, padding=layer.padding)
+    x = cfg.input_tensor(rng).astype(np.float64)
+    w = cfg.filter_tensor(rng).astype(np.float64)
+    ref = direct_conv2d_fp32(x, w, padding=cfg.padding)
+    rows = []
+    for m in tile_sizes:
+        impl = LoWinoConv2d(w, m=m, padding=cfg.padding)
+        err = _rel_rms(impl(x), ref)
+        time = plan_lowino(layer, m).total_time()
+        rows.append(TileSizeRow(
+            layer=layer.name, m=m, predicted_time=time, rel_rms_error=err,
+            complexity_reduction=winograd_algorithm(m, layer.r).complexity_reduction,
+        ))
+    return rows
+
+
+def blocking_ablation(layer: LayerConfig, m: int = 4) -> Dict[str, float]:
+    """Predicted GEMM time: tuned vs default vs pessimal blocking."""
+    t, n, c, k = layer.gemm_dims(m)
+    tuned = tune_gemm(t, n, c, k)
+    default = default_blocking(n, c, k)
+    pessimal = BlockingParams(n_blk=8, c_blk=16, k_blk=16, row_blk=2, col_blk=1)
+    pessimal.validate()
+    return {
+        "tuned": tuned.predicted_time,
+        "default": gemm_stage_cost(t, n, c, k, default),
+        "pessimal": gemm_stage_cost(t, n, c, k, pessimal),
+    }

@@ -1,0 +1,88 @@
+"""Figure 10: transformation vs multiplication breakdown, oneDNN vs LoWino.
+
+For the four layers the paper selects (VGG16_b, ResNet-50_c, YOLOv3_c,
+U-Net_b), compute the per-stage times of oneDNN's fused F(2,3) and
+LoWino's streamed F(2,3), normalized to oneDNN's total -- the exact
+presentation of the paper's stacked bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..perf import CASCADE_LAKE_8C, MachineModel, figure10_breakdowns
+from ..workloads import BREAKDOWN_LAYERS, layer_by_name
+
+__all__ = ["Figure10Row", "run_figure10", "format_figure10"]
+
+
+@dataclass(frozen=True)
+class Figure10Row:
+    layer: str
+    onednn_transform: float
+    onednn_mult: float
+    lowino_transform: float
+    lowino_mult: float
+
+    @property
+    def onednn_total(self) -> float:
+        return self.onednn_transform + self.onednn_mult
+
+    @property
+    def lowino_total(self) -> float:
+        return self.lowino_transform + self.lowino_mult
+
+    def normalized(self) -> Dict[str, float]:
+        base = self.onednn_total
+        return {
+            "onednn_transform": self.onednn_transform / base,
+            "onednn_mult": self.onednn_mult / base,
+            "lowino_transform": self.lowino_transform / base,
+            "lowino_mult": self.lowino_mult / base,
+        }
+
+
+def run_figure10(
+    layers: List[str] | None = None,
+    machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> List[Figure10Row]:
+    layers = BREAKDOWN_LAYERS if layers is None else layers
+    rows = []
+    for name in layers:
+        bd = figure10_breakdowns(layer_by_name(name), 2, machine, cores)
+        rows.append(
+            Figure10Row(
+                layer=name,
+                onednn_transform=bd["onednn_wino"].transformation,
+                onednn_mult=bd["onednn_wino"].multiplication,
+                lowino_transform=bd["lowino"].transformation,
+                lowino_mult=bd["lowino"].multiplication,
+            )
+        )
+    return rows
+
+
+def format_figure10(rows: List[Figure10Row]) -> str:
+    header = (
+        f"{'layer':12s} {'oneDNN tf':>10s} {'oneDNN mm':>10s} "
+        f"{'LoWino tf':>10s} {'LoWino mm':>10s} {'LoWino total':>13s}"
+    )
+    lines = [
+        "Figure 10: F(2,3) stage breakdown, normalized to oneDNN total",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        n = row.normalized()
+        lines.append(
+            f"{row.layer:12s} {n['onednn_transform']:10.3f} {n['onednn_mult']:10.3f} "
+            f"{n['lowino_transform']:10.3f} {n['lowino_mult']:10.3f} "
+            f"{n['lowino_transform'] + n['lowino_mult']:13.3f}"
+        )
+    lines.append(
+        "expected shape: LoWino transformation > oneDNN's (FP32 reads 4x data);"
+        " LoWino multiplication <= oneDNN's (VNNI + larger blocks)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Figure 8: normalized per-layer execution time and LoWino speedups.
+
+Reproduces the two series of the paper's headline figure over the 20
+Table 2 layers: normalized execution time (normalized to oneDNN INT8
+direct convolution, as the paper's bars are) for the four INT8
+implementations, and the speedup of LoWino F(4,3) over oneDNN's
+Winograd, plus the aggregate statistics quoted in the abstract
+(average / max speedup over the *best* oneDNN implementation and the
+average speedup over the best FP32 implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..perf import CASCADE_LAKE_8C, MachineModel, predict_layer_times
+from ..workloads import TABLE2_LAYERS, LayerConfig
+
+__all__ = ["Figure8Row", "Figure8Result", "run_figure8", "format_figure8"]
+
+#: The four bars of Figure 8, in the paper's legend order.
+FIGURE8_IMPLS = ["onednn_direct", "onednn_wino", "lowino_f2", "lowino_f4"]
+
+
+@dataclass(frozen=True)
+class Figure8Row:
+    layer: str
+    times: Dict[str, float]  # seconds per implementation
+
+    @property
+    def normalized(self) -> Dict[str, float]:
+        base = self.times["onednn_direct"]
+        return {impl: t / base for impl, t in self.times.items()}
+
+    @property
+    def speedup_vs_onednn_wino(self) -> float:
+        return self.times["onednn_wino"] / self.times["lowino_f4"]
+
+    @property
+    def speedup_vs_best_onednn(self) -> float:
+        best = min(self.times["onednn_direct"], self.times["onednn_wino"])
+        return best / self.times["lowino_f4"]
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    rows: List[Figure8Row]
+
+    def _speedups(self) -> np.ndarray:
+        return np.array([r.speedup_vs_best_onednn for r in self.rows])
+
+    @property
+    def average_speedup(self) -> float:
+        """Paper: 1.26x average over the best oneDNN implementation."""
+        return float(self._speedups().mean())
+
+    @property
+    def max_speedup(self) -> float:
+        """Paper: up to 2.04x."""
+        return float(self._speedups().max())
+
+    def fp32_speedups(self) -> Dict[str, float]:
+        """Average speedups of LoWino F(2,3)/F(4,3) over the best FP32
+        implementation (paper: 1.9x and 2.6x)."""
+        f2, f4 = [], []
+        for row in self.rows:
+            base = min(row.times["fp32_direct"], row.times["fp32_wino"])
+            f2.append(base / row.times["lowino_f2"])
+            f4.append(base / row.times["lowino_f4"])
+        return {"lowino_f2": float(np.mean(f2)), "lowino_f4": float(np.mean(f4))}
+
+
+def run_figure8(
+    layers: List[LayerConfig] | None = None,
+    machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> Figure8Result:
+    layers = TABLE2_LAYERS if layers is None else layers
+    rows = []
+    for layer in layers:
+        times = predict_layer_times(layer, machine, cores)
+        rows.append(Figure8Row(layer=layer.name, times=times))
+    return Figure8Result(rows=rows)
+
+
+def format_figure8(result: Figure8Result) -> str:
+    """The figure's data as an aligned text table."""
+    header = (
+        f"{'layer':14s} " + " ".join(f"{impl:>14s}" for impl in FIGURE8_IMPLS)
+        + f" {'speedup_f4':>11s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        norm = row.normalized
+        lines.append(
+            f"{row.layer:14s} "
+            + " ".join(f"{norm[impl]:14.3f}" for impl in FIGURE8_IMPLS)
+            + f" {row.speedup_vs_onednn_wino:11.2f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"average speedup over best oneDNN: {result.average_speedup:.2f}x "
+        f"(paper: 1.26x); max: {result.max_speedup:.2f}x (paper: 2.04x)"
+    )
+    fp32 = result.fp32_speedups()
+    lines.append(
+        f"average speedup over best FP32: F(2,3) {fp32['lowino_f2']:.2f}x "
+        f"(paper: 1.9x), F(4,3) {fp32['lowino_f4']:.2f}x (paper: 2.6x)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""One-shot reproduction report.
+
+``python -m repro reproduce [--out report.md] [--with-table3]`` runs
+every fast experiment and writes a self-contained markdown record --
+the programmatic counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ablation import numeric_error_ablation, point_set_ablation, tile_size_study
+from .figure8 import format_figure8, run_figure8
+from .figure9 import format_figure9, run_figure9
+from .figure10 import format_figure10, run_figure10
+from .sensitivity import machine_sensitivity_study
+
+__all__ = ["reproduction_report"]
+
+
+def reproduction_report(with_table3: bool = False,
+                        table3_kwargs: Optional[dict] = None) -> str:
+    """Run the evaluation suite and return a markdown report."""
+    sections = ["# LoWino reproduction report", ""]
+
+    fig8 = run_figure8()
+    sections += ["## Figure 8 -- per-layer speedups (cost model)", "",
+                 "```", format_figure8(fig8), "```", ""]
+
+    sections += ["## Figure 9 -- quantized transformed-input range", "",
+                 "```", format_figure9(run_figure9()), "```", ""]
+
+    sections += ["## Figure 10 -- stage breakdown", "",
+                 "```", format_figure10(run_figure10()), "```", ""]
+
+    from ..workloads import layer_by_name
+
+    sections += ["## Section 2.3 ablation -- per-layer numeric error", "", "```"]
+    for row in numeric_error_ablation(layer_by_name("ResNet-50_b")):
+        sections.append(f"{row.scheme:14s} rel RMS error {row.rel_rms_error:.4f}")
+    sections += ["```", ""]
+
+    sections += ["## Extension -- F(4,3) interpolation points", "", "```"]
+    for name, err in point_set_ablation().items():
+        sections.append(f"{name:28s} {err:.4f}")
+    sections += ["```", ""]
+
+    sections += ["## Extension -- tile-size frontier (VGG16_c)", "", "```"]
+    for row in tile_size_study(layer_by_name("VGG16_c")):
+        sections.append(
+            f"F({row.m},3): predicted {row.predicted_time * 1e3:7.3f} ms, "
+            f"rel err {row.rel_rms_error:.4f}"
+        )
+    sections += ["```", ""]
+
+    sections += ["## Extension -- machine sensitivity", "", "```"]
+    for row in machine_sensitivity_study():
+        sections.append(f"{row.machine:28s} avg {row.avg_speedup:.2f}x, "
+                        f"max {row.max_speedup:.2f}x")
+    sections += ["```", ""]
+
+    if with_table3:
+        from .table3 import format_table3, run_table3
+
+        sections += ["## Table 3 -- end-to-end accuracy", "", "```",
+                     format_table3(run_table3(**(table3_kwargs or {}))),
+                     "```", ""]
+
+    return "\n".join(sections)

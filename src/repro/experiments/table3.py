@@ -1,0 +1,110 @@
+"""Table 3: end-to-end top-1 accuracy of quantized networks.
+
+Evaluates the synthetic VGG-style and ResNet-style stand-ins (see
+DESIGN.md for the ImageNet substitution) under every quantization
+scheme the paper tabulates:
+
+* non-Winograd INT8 direct convolution (the KLD/Jacob/... comparison
+  rows collapse to this single implementation here),
+* oneDNN-style F(2,3) (down-scaling),
+* LoWino F(2,3),
+* down-scaling F(4,3) (the row the paper reports as 00.00),
+* LoWino F(4,3),
+* the ncnn-style up-casting implementation as an extra reference.
+
+Every row reports the shared FP32 baseline accuracy next to the INT8
+accuracy, as the paper's table does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..nn import (
+    Sequential,
+    build_resnet_small,
+    build_vgg_small,
+    dequantize_model,
+    evaluate_model,
+    make_eval_set,
+    quantize_model,
+)
+
+__all__ = ["Table3Row", "run_table3", "format_table3", "TABLE3_METHODS"]
+
+#: (method label, algorithm, m) in the table's row order.
+TABLE3_METHODS = [
+    ("int8 direct (non-Winograd)", "int8_direct", 2),
+    ("upcast F(2,3) [ncnn]", "int8_upcast", 2),
+    ("down-scaling F(2,3) [oneDNN]", "int8_downscale", 2),
+    ("LoWino F(2,3)", "lowino", 2),
+    ("down-scaling F(4,3)", "int8_downscale", 4),
+    ("LoWino F(4,3)", "lowino", 4),
+]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    model: str
+    method: str
+    fp32_accuracy: float
+    int8_accuracy: float
+
+    @property
+    def drop(self) -> float:
+        return self.fp32_accuracy - self.int8_accuracy
+
+
+def run_table3(
+    models: Dict[str, Callable[[], Sequential]] | None = None,
+    eval_images: int = 256,
+    calibration_batches: int = 4,
+    calibration_batch_size: int = 32,
+    noise_sigma: float = 0.2,
+    margin_quantile: float = 0.5,
+    methods: List[tuple] | None = None,
+) -> List[Table3Row]:
+    """Run the full accuracy table.  Heavier than the other experiments
+    (minutes); shrink ``eval_images`` for smoke runs."""
+    if models is None:
+        models = {
+            "VGG16 (synthetic)": lambda: build_vgg_small(width=32),
+            "ResNet-50 (synthetic)": lambda: build_resnet_small(width=32),
+        }
+    methods = TABLE3_METHODS if methods is None else methods
+    rows: List[Table3Row] = []
+    for model_name, builder in models.items():
+        model = builder()
+        ds = make_eval_set(model, n=eval_images, noise_sigma=noise_sigma,
+                           margin_quantile=margin_quantile)
+        noisy = ds.noisy()
+        fp32 = evaluate_model(model, noisy, ds.labels, logit_center=ds.logit_center)
+        for label, algorithm, m in methods:
+            quantize_model(
+                model, algorithm, m=m,
+                calibration_batches=ds.calibration_batches(
+                    calibration_batches, calibration_batch_size
+                ),
+            )
+            acc = evaluate_model(model, noisy, ds.labels, logit_center=ds.logit_center)
+            dequantize_model(model)
+            rows.append(Table3Row(model=model_name, method=label,
+                                  fp32_accuracy=fp32, int8_accuracy=acc))
+    return rows
+
+
+def format_table3(rows: List[Table3Row]) -> str:
+    header = f"{'model':22s} {'method':30s} {'FP32 acc':>9s} {'INT8 acc':>9s} {'drop':>7s}"
+    lines = ["Table 3: end-to-end top-1 accuracy (synthetic ImageNet stand-in)",
+             header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.model:22s} {row.method:30s} {row.fp32_accuracy:9.3f} "
+            f"{row.int8_accuracy:9.3f} {row.drop:+7.3f}"
+        )
+    lines.append(
+        "expected shape: LoWino/direct/upcast near FP32; down-scaling F(2,3) "
+        "visibly worse; down-scaling F(4,3) at chance level"
+    )
+    return "\n".join(lines)

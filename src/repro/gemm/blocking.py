@@ -1,0 +1,105 @@
+"""Cache- and register-blocking parameters (Sections 4.3.1-4.3.4).
+
+The batched GEMM divides ``V (N x C)`` and ``U (C x K)`` into
+``N_blk x C_blk`` and ``C_blk x K_blk`` sub-matrices; each sub-matrix
+product runs a register-blocked microkernel over ``row_blk x col_blk``
+accumulator tiles (``col_blk`` counted in 16-lane ZMM registers).
+
+Tuning constraints from the paper (Section 4.3.4):
+
+* ``row_blk * col_blk + col_blk < 31`` -- 32 ZMM registers, one reserved
+  for the broadcast operand;
+* ``C_blk * K_blk < 512**2`` -- the ``u`` sub-matrix (plus the ``z``
+  accumulator buffer) must fit in L2.
+
+Structural divisibility constraints from the data layout:
+
+* ``C_blk`` is a multiple of ``phi`` (=4, vpdpbusd quad-channel words);
+* ``K_blk`` is a multiple of ``col_blk * sigma`` (each microkernel column
+  covers ``col_blk`` ZMM vectors of 16 int32 lanes);
+* ``N_blk`` is a multiple of ``row_blk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..layout import PHI, SIGMA, ceil_div
+
+__all__ = ["BlockingParams", "default_blocking", "MAX_ACCUM_REGISTERS", "L2_ELEM_LIMIT"]
+
+#: row_blk * col_blk + col_blk must be strictly below this (Section 4.3.4).
+MAX_ACCUM_REGISTERS = 31
+#: C_blk * K_blk upper bound (Section 4.3.4).
+L2_ELEM_LIMIT = 512 * 512
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """One point in the GEMM tuning space."""
+
+    n_blk: int
+    c_blk: int
+    k_blk: int
+    row_blk: int
+    col_blk: int
+
+    def validate(self) -> None:
+        if min(self.n_blk, self.c_blk, self.k_blk, self.row_blk, self.col_blk) < 1:
+            raise ValueError(f"all blocking parameters must be positive: {self}")
+        if self.row_blk * self.col_blk + self.col_blk >= MAX_ACCUM_REGISTERS:
+            raise ValueError(
+                f"register budget violated: row_blk*col_blk + col_blk = "
+                f"{self.row_blk * self.col_blk + self.col_blk} >= {MAX_ACCUM_REGISTERS}"
+            )
+        if self.c_blk * self.k_blk >= L2_ELEM_LIMIT:
+            raise ValueError(
+                f"L2 constraint violated: C_blk*K_blk = {self.c_blk * self.k_blk} "
+                f">= {L2_ELEM_LIMIT}"
+            )
+        if self.c_blk % PHI:
+            raise ValueError(f"C_blk={self.c_blk} must be a multiple of phi={PHI}")
+        if self.k_blk % (self.col_blk * SIGMA):
+            raise ValueError(
+                f"K_blk={self.k_blk} must be a multiple of col_blk*sigma="
+                f"{self.col_blk * SIGMA}"
+            )
+        if self.n_blk % self.row_blk:
+            raise ValueError(
+                f"N_blk={self.n_blk} must be a multiple of row_blk={self.row_blk}"
+            )
+
+    @property
+    def accumulator_registers(self) -> int:
+        """ZMM registers held live by the microkernel (incl. u operands)."""
+        return self.row_blk * self.col_blk + self.col_blk
+
+    @property
+    def microkernel_macs(self) -> int:
+        """8-bit MACs per full microkernel invocation over one C_blk depth."""
+        return self.row_blk * self.col_blk * SIGMA * PHI * (self.c_blk // PHI)
+
+
+def default_blocking(n: int, c: int, k: int) -> BlockingParams:
+    """A safe, reasonable default for a given GEMM problem (pre-tuning).
+
+    Mirrors the paper's design point: ``row_blk x col_blk`` near the
+    register budget (6 x 4 -> 28 registers), ``K_blk`` one column group,
+    ``C_blk`` the whole reduction when it fits.
+    """
+    row_blk, col_blk = 6, 4
+    col_group = col_blk * SIGMA  # 64 output channels per microkernel pass
+    # K_blk: cover K in as few passes as possible, up to 256.
+    k_blk = min(256, max(col_group, ceil_div(k, col_group) * col_group))
+    k_blk = max(col_group, (k_blk // col_group) * col_group)
+    # C_blk: whole reduction when it fits the L2 constraint.
+    c_blk = min(c, 256)
+    c_blk = max(PHI, ceil_div(c_blk, PHI) * PHI)
+    while c_blk * k_blk >= L2_ELEM_LIMIT:
+        c_blk //= 2
+    # N_blk: large for reuse, but never padding far past the true N.
+    n_blk = min(96, max(row_blk, ceil_div(n, row_blk) * row_blk))
+    params = BlockingParams(n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
+                            row_blk=row_blk, col_blk=col_blk)
+    params.validate()
+    return params

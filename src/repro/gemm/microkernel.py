@@ -1,0 +1,144 @@
+"""Register-blocked GEMM microkernel (paper Figure 7).
+
+Two implementations of the same kernel:
+
+* :func:`microkernel_simulated` -- instruction-level simulation: walks the
+  exact loop nest of Figure 7, allocating accumulators through the
+  :class:`~repro.isa.registers.RegisterFile` (so register-budget
+  violations fail loudly), issuing one :func:`~repro.isa.vnni.vpdpbusd`
+  per inner step, and recording an :class:`InstructionTrace`.  Exact but
+  slow; used by tests and by the op-count accounting.
+
+* :func:`microkernel_vectorized` -- the NumPy hot path, one int32 matmul
+  per block.  Bit-identical to the simulation (the test suite proves it).
+
+Operand formats match the Table 1 layouts: ``v`` is a ``(n_blk, c_blk)``
+uint8 row-major block; ``u`` is the reordered ``(c_blk/4, k_blk*4)`` int8
+block where element ``[cq, 4*k + p]`` holds channel ``4*cq + p`` of
+output channel ``k`` -- a 64-byte row slice is exactly one ``vpdpbusd``
+second operand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.registers import InstructionTrace, RegisterFile
+from ..isa.vnni import VNNI_LANES, VNNI_PAIRS, vpdpbusd
+from ..layout import PHI, SIGMA
+from .blocking import BlockingParams
+
+__all__ = ["microkernel_simulated", "microkernel_vectorized", "pack_u_block", "unpack_u_block"]
+
+
+def pack_u_block(u: np.ndarray, phi: int = PHI) -> np.ndarray:
+    """``(C_blk, K_blk)`` -> vpdpbusd-ordered ``(C_blk/phi, K_blk*phi)``."""
+    c_blk, k_blk = u.shape
+    if c_blk % phi:
+        raise ValueError(f"C_blk={c_blk} not a multiple of phi={phi}")
+    # [cq, k*phi + p] = u[cq*phi + p, k]
+    return np.ascontiguousarray(
+        u.reshape(c_blk // phi, phi, k_blk).transpose(0, 2, 1).reshape(c_blk // phi, k_blk * phi)
+    )
+
+
+def unpack_u_block(u_packed: np.ndarray, phi: int = PHI) -> np.ndarray:
+    """Inverse of :func:`pack_u_block`."""
+    cq, kp = u_packed.shape
+    k_blk = kp // phi
+    return np.ascontiguousarray(
+        u_packed.reshape(cq, k_blk, phi).transpose(0, 2, 1).reshape(cq * phi, k_blk)
+    )
+
+
+def microkernel_vectorized(
+    v_block: np.ndarray, u_packed: np.ndarray, z_init: np.ndarray | None = None
+) -> np.ndarray:
+    """Compute ``z = v @ u (+ z_init)`` on the packed operands, int32.
+
+    ``v_block``: ``(n_blk, c_blk)`` uint8; ``u_packed``:
+    ``(c_blk/4, k_blk*4)`` int8; returns ``(n_blk, k_blk)`` int32.
+    """
+    if v_block.dtype != np.uint8 or u_packed.dtype != np.int8:
+        raise ValueError(
+            f"expected uint8 v and int8 u, got {v_block.dtype} / {u_packed.dtype}"
+        )
+    u = unpack_u_block(u_packed)
+    z = v_block.astype(np.int32) @ u.astype(np.int32)
+    if z_init is not None:
+        z = z + z_init.astype(np.int32)
+    return z
+
+
+def microkernel_simulated(
+    v_block: np.ndarray,
+    u_packed: np.ndarray,
+    params: BlockingParams,
+    z_init: np.ndarray | None = None,
+    trace: InstructionTrace | None = None,
+) -> np.ndarray:
+    """Instruction-level walk of the Figure 7 loop nest.
+
+    Requires ``v_block`` shaped ``(params.n_blk, params.c_blk)`` and
+    ``u_packed`` shaped ``(params.c_blk/4, params.k_blk*4)``.  Returns the
+    int32 ``(n_blk, k_blk)`` result and (if ``trace`` given) records the
+    instruction stream.
+    """
+    params.validate()
+    n_blk, c_blk, k_blk = params.n_blk, params.c_blk, params.k_blk
+    row_blk, col_blk = params.row_blk, params.col_blk
+    if v_block.shape != (n_blk, c_blk):
+        raise ValueError(f"v block shape {v_block.shape} != ({n_blk}, {c_blk})")
+    if u_packed.shape != (c_blk // PHI, k_blk * PHI):
+        raise ValueError(
+            f"u block shape {u_packed.shape} != ({c_blk // PHI}, {k_blk * PHI})"
+        )
+    if k_blk % (col_blk * SIGMA):
+        raise ValueError(f"K_blk={k_blk} not a multiple of col_blk*sigma")
+    trace = trace if trace is not None else InstructionTrace()
+    out = np.zeros((n_blk, k_blk), dtype=np.int32)
+
+    regs = RegisterFile()
+    v_reg = regs.alloc()  # the reserved broadcast register
+    for r0 in range(n_blk // row_blk):
+        for c0 in range(k_blk // (col_blk * SIGMA)):
+            z_regs = [[regs.alloc() for _ in range(col_blk)] for _ in range(row_blk)]
+            u_regs = [regs.alloc() for _ in range(col_blk)]
+            for r1 in range(row_blk):
+                for c1 in range(col_blk):
+                    if z_init is None:
+                        z_regs[r1][c1].write(np.zeros(VNNI_LANES, dtype=np.int32))
+                    else:
+                        row = r0 * row_blk + r1
+                        col = (c0 * col_blk + c1) * SIGMA
+                        z_regs[r1][c1].write(
+                            z_init[row, col : col + SIGMA].astype(np.int32)
+                        )
+                        trace.emit("load")
+            for t in range(c_blk // PHI):  # one 32-bit quad-channel word per step
+                for r1 in range(row_blk):
+                    row = r0 * row_blk + r1
+                    quad = v_block[row, t * PHI : (t + 1) * PHI]
+                    v_reg.write(np.broadcast_to(quad, (VNNI_LANES, VNNI_PAIRS)))
+                    trace.emit("broadcast")
+                    trace.emit("prefetch")
+                    for c1 in range(col_blk):
+                        col = (c0 * col_blk + c1) * SIGMA
+                        u_bytes = u_packed[t, col * PHI : (col + SIGMA) * PHI]
+                        u_regs[c1].write(u_bytes.reshape(VNNI_LANES, VNNI_PAIRS))
+                        trace.emit("load")
+                        z_regs[r1][c1].write(
+                            vpdpbusd(v_reg.read(), u_regs[c1].read(), z_regs[r1][c1].read())
+                        )
+                        trace.emit("vpdpbusd")
+            for r1 in range(row_blk):
+                for c1 in range(col_blk):
+                    row = r0 * row_blk + r1
+                    col = (c0 * col_blk + c1) * SIGMA
+                    out[row, col : col + SIGMA] = z_regs[r1][c1].read()
+                    trace.emit("store_nt")
+                    regs.free(z_regs[r1][c1])
+            for reg in u_regs:
+                regs.free(reg)
+    regs.free(v_reg)
+    return out

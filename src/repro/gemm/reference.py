@@ -1,0 +1,33 @@
+"""Reference integer GEMM kernels.
+
+Ground truth for the blocked/batched implementations: plain contractions
+with explicit int32 accumulation, no blocking, no compensation tricks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gemm_u8s8_reference", "gemm_s8s8_reference", "gemm_s16_reference"]
+
+
+def gemm_u8s8_reference(a_u8: np.ndarray, b_s8: np.ndarray) -> np.ndarray:
+    """``(N, C) uint8 @ (C, K) int8 -> (N, K) int32`` exact."""
+    if a_u8.dtype != np.uint8 or b_s8.dtype != np.int8:
+        raise ValueError(f"expected uint8 @ int8, got {a_u8.dtype} @ {b_s8.dtype}")
+    return a_u8.astype(np.int32) @ b_s8.astype(np.int32)
+
+
+def gemm_s8s8_reference(a_s8: np.ndarray, b_s8: np.ndarray) -> np.ndarray:
+    """``(N, C) int8 @ (C, K) int8 -> (N, K) int32`` exact (the signed
+    product the compensation scheme emulates on unsigned hardware)."""
+    if a_s8.dtype != np.int8 or b_s8.dtype != np.int8:
+        raise ValueError(f"expected int8 @ int8, got {a_s8.dtype} @ {b_s8.dtype}")
+    return a_s8.astype(np.int32) @ b_s8.astype(np.int32)
+
+
+def gemm_s16_reference(a_s16: np.ndarray, b_s16: np.ndarray) -> np.ndarray:
+    """``(N, C) int16 @ (C, K) int16 -> (N, K) int32`` exact (up-cast path)."""
+    if a_s16.dtype != np.int16 or b_s16.dtype != np.int16:
+        raise ValueError(f"expected int16 @ int16, got {a_s16.dtype} @ {b_s16.dtype}")
+    return a_s16.astype(np.int32) @ b_s16.astype(np.int32)

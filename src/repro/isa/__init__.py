@@ -1,0 +1,39 @@
+"""Instruction-set substrate: bit-exact VNNI semantics + register model."""
+
+from .registers import (
+    ZMM_BYTES,
+    ZMM_COUNT,
+    InstructionTrace,
+    RegisterFile,
+    RegisterPressureError,
+    ZmmRegister,
+)
+from .vnni import (
+    VNNI_LANES,
+    VNNI_PAIRS,
+    saturate_cast,
+    vpdpbusd,
+    vpdpbusd_array,
+    vpmaddubsw,
+    vpmaddubsw_array,
+    vpmaddwd,
+    vpmaddwd_array,
+)
+
+__all__ = [
+    "ZMM_BYTES",
+    "ZMM_COUNT",
+    "InstructionTrace",
+    "RegisterFile",
+    "RegisterPressureError",
+    "ZmmRegister",
+    "VNNI_LANES",
+    "VNNI_PAIRS",
+    "saturate_cast",
+    "vpdpbusd",
+    "vpdpbusd_array",
+    "vpmaddubsw",
+    "vpmaddubsw_array",
+    "vpmaddwd",
+    "vpmaddwd_array",
+]

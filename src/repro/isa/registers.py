@@ -1,0 +1,120 @@
+"""512-bit register-file model and instruction trace recorder.
+
+The register model exists to make the paper's register-budget constraint
+checkable in code: Section 4.3.4 limits the microkernel to
+``row_blk * col_blk + col_blk < 31`` because x86 has 32 ZMM registers and
+one is reserved for the broadcast operand.  The microkernel in
+:mod:`repro.gemm.microkernel` allocates through :class:`RegisterFile`, so
+a blocking choice that would spill raises instead of silently producing a
+kernel real hardware could not hold.
+
+:class:`InstructionTrace` counts instruction events by category; the
+performance model uses these counts, which keeps the "modeled" numbers
+anchored to the actual kernels rather than to analytic guesses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ZMM_COUNT", "ZMM_BYTES", "RegisterFile", "InstructionTrace"]
+
+#: AVX-512: 32 architectural 512-bit vector registers, 64 bytes each.
+ZMM_COUNT = 32
+ZMM_BYTES = 64
+
+
+@dataclass
+class ZmmRegister:
+    """One 512-bit register holding a typed NumPy view of <= 64 bytes."""
+
+    index: int
+    value: np.ndarray | None = None
+
+    def write(self, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if value.nbytes > ZMM_BYTES:
+            raise ValueError(
+                f"zmm{self.index}: payload of {value.nbytes} bytes exceeds {ZMM_BYTES}"
+            )
+        self.value = value
+
+    def read(self) -> np.ndarray:
+        if self.value is None:
+            raise RuntimeError(f"zmm{self.index} read before write")
+        return self.value
+
+
+class RegisterFile:
+    """Explicit allocator over the 32 ZMM registers.
+
+    ``alloc`` hands out registers until the architectural limit; ``free``
+    returns them.  Exceeding the limit raises ``RegisterPressureError`` --
+    the failure mode the auto-tuner's constraint exists to prevent.
+    """
+
+    def __init__(self, count: int = ZMM_COUNT) -> None:
+        if not 1 <= count <= ZMM_COUNT:
+            raise ValueError(f"register count must be in [1, {ZMM_COUNT}], got {count}")
+        self._free = list(range(count - 1, -1, -1))
+        self._live: dict[int, ZmmRegister] = {}
+        self.capacity = count
+        self.high_water = 0
+
+    def alloc(self) -> ZmmRegister:
+        if not self._free:
+            raise RegisterPressureError(
+                f"out of ZMM registers (capacity {self.capacity}); "
+                "blocking parameters violate the register budget"
+            )
+        idx = self._free.pop()
+        reg = ZmmRegister(index=idx)
+        self._live[idx] = reg
+        self.high_water = max(self.high_water, len(self._live))
+        return reg
+
+    def alloc_many(self, n: int) -> list[ZmmRegister]:
+        return [self.alloc() for _ in range(n)]
+
+    def free(self, reg: ZmmRegister) -> None:
+        if reg.index not in self._live:
+            raise RuntimeError(f"double free of zmm{reg.index}")
+        del self._live[reg.index]
+        self._free.append(reg.index)
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+
+class RegisterPressureError(RuntimeError):
+    """Raised when a kernel would need more ZMM registers than exist."""
+
+
+@dataclass
+class InstructionTrace:
+    """Counts instruction events by category.
+
+    Categories used by the kernels: ``vpdpbusd``, ``vpmaddwd``, ``fma``,
+    ``broadcast``, ``load``, ``store``, ``store_nt`` (non-temporal),
+    ``prefetch``, ``convert``.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+
+    def emit(self, category: str, n: int = 1) -> None:
+        self.counts[category] += n
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merged_with(self, other: "InstructionTrace") -> "InstructionTrace":
+        merged = Counter(self.counts)
+        merged.update(other.counts)
+        return InstructionTrace(counts=merged)
+
+    def __getitem__(self, category: str) -> int:
+        return self.counts.get(category, 0)

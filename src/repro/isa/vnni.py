@@ -1,0 +1,170 @@
+"""Bit-exact semantics of the AVX-512 VNNI instructions (paper Fig. 1).
+
+These functions define the integer arithmetic contract every kernel in
+the reproduction is held to.  The scalar-ish reference implementations
+mirror the instruction definitions lane by lane; the ``*_array`` helpers
+are the vectorized forms the hot paths use, and the test suite proves
+them equivalent to the lane-wise reference and to a plain int32 dot
+product.
+
+Instructions modeled
+--------------------
+``vpdpbusd``   u8 x s8 -> s32, 4-element dot product per 32-bit lane,
+               accumulated into the destination (the 512-bit form has 16
+               lanes of 4 byte-pairs).
+``vpmaddwd``   s16 x s16 -> s32, 2-element dot product per lane -- the
+               multiply the *up-casting* baseline is forced onto.
+``saturate_*`` saturating down-conversions (``vpmovs*``-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "VNNI_LANES",
+    "VNNI_PAIRS",
+    "vpdpbusd",
+    "vpdpbusd_array",
+    "vpmaddwd",
+    "vpmaddwd_array",
+    "vpmaddubsw",
+    "vpmaddubsw_array",
+    "saturate_cast",
+]
+
+#: 512-bit register = 16 x 32-bit lanes.
+VNNI_LANES = 16
+#: Each 32-bit lane of the byte operands holds 4 x 8-bit values.
+VNNI_PAIRS = 4
+
+_INT_BOUNDS = {
+    np.dtype(np.int8): (-128, 127),
+    np.dtype(np.uint8): (0, 255),
+    np.dtype(np.int16): (-32768, 32767),
+    np.dtype(np.int32): (-(2**31), 2**31 - 1),
+}
+
+
+def saturate_cast(x: np.ndarray, dtype) -> np.ndarray:
+    """Saturating conversion to an integer dtype (``vpmovs*`` semantics).
+
+    Accepts integer or float input; floats are rounded half-to-even first
+    (matching ``cvtps2dq``).
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in _INT_BOUNDS:
+        raise ValueError(f"unsupported saturation target {dtype}")
+    lo, hi = _INT_BOUNDS[dtype]
+    x = np.asarray(x)
+    if x.dtype.kind == "f":
+        x = np.rint(x)
+    return np.clip(x, lo, hi).astype(dtype)
+
+
+def vpdpbusd(src1_u8: np.ndarray, src2_s8: np.ndarray, acc_i32: np.ndarray) -> np.ndarray:
+    """One 512-bit ``vpdpbusd``: 16 lanes of (4 x u8) . (4 x s8) + i32.
+
+    Parameters
+    ----------
+    src1_u8:
+        ``(16, 4)`` uint8 -- the activation operand (unsigned by ISA
+        requirement; hence LoWino's +128 compensation).
+    src2_s8:
+        ``(16, 4)`` int8 -- the weight operand.
+    acc_i32:
+        ``(16,)`` int32 accumulator.
+
+    Returns
+    -------
+    ``(16,)`` int32: ``acc + sum_j src1[:, j] * src2[:, j]``.  The real
+    instruction's intermediate dot product is at most
+    ``4 * 255 * 128 = 130560`` in magnitude, well inside int32, and the
+    final add wraps modulo 2^32 exactly like the hardware.
+    """
+    s1 = np.asarray(src1_u8)
+    s2 = np.asarray(src2_s8)
+    acc = np.asarray(acc_i32)
+    if s1.shape != (VNNI_LANES, VNNI_PAIRS) or s1.dtype != np.uint8:
+        raise ValueError(f"src1 must be uint8 (16, 4), got {s1.dtype} {s1.shape}")
+    if s2.shape != (VNNI_LANES, VNNI_PAIRS) or s2.dtype != np.int8:
+        raise ValueError(f"src2 must be int8 (16, 4), got {s2.dtype} {s2.shape}")
+    if acc.shape != (VNNI_LANES,) or acc.dtype != np.int32:
+        raise ValueError(f"acc must be int32 (16,), got {acc.dtype} {acc.shape}")
+    dot = (s1.astype(np.int32) * s2.astype(np.int32)).sum(axis=1, dtype=np.int64)
+    with np.errstate(over="ignore"):
+        return (acc.astype(np.int64) + dot).astype(np.int32)  # wraparound add
+
+
+def vpdpbusd_array(a_u8: np.ndarray, b_s8: np.ndarray) -> np.ndarray:
+    """Vectorized u8 x s8 contraction over the trailing axis.
+
+    ``a_u8`` ``(..., 4k)`` uint8 and ``b_s8`` ``(..., 4k)`` int8 are
+    contracted to int32 over the last axis -- the array-level equivalent
+    of a chain of ``vpdpbusd`` accumulations (exact as long as the true
+    sum fits int32, which holds for every shape in this reproduction:
+    ``C_max * 255 * 128 < 2^31`` up to C ~ 65k).
+    """
+    if a_u8.dtype != np.uint8 or b_s8.dtype != np.int8:
+        raise ValueError(f"expected uint8 x int8, got {a_u8.dtype} x {b_s8.dtype}")
+    return np.sum(a_u8.astype(np.int32) * b_s8.astype(np.int32), axis=-1, dtype=np.int32)
+
+
+def vpmaddwd(src1_s16: np.ndarray, src2_s16: np.ndarray) -> np.ndarray:
+    """One 512-bit ``vpmaddwd``: 16 lanes of (2 x s16) . (2 x s16) -> s32."""
+    s1 = np.asarray(src1_s16)
+    s2 = np.asarray(src2_s16)
+    if s1.shape != (VNNI_LANES, 2) or s1.dtype != np.int16:
+        raise ValueError(f"src1 must be int16 (16, 2), got {s1.dtype} {s1.shape}")
+    if s2.shape != (VNNI_LANES, 2) or s2.dtype != np.int16:
+        raise ValueError(f"src2 must be int16 (16, 2), got {s2.dtype} {s2.shape}")
+    prod = s1.astype(np.int64) * s2.astype(np.int64)
+    with np.errstate(over="ignore"):
+        return prod.sum(axis=1).astype(np.int32)
+
+
+def vpmaddwd_array(a_s16: np.ndarray, b_s16: np.ndarray) -> np.ndarray:
+    """Vectorized s16 x s16 contraction over the trailing axis -> int32."""
+    if a_s16.dtype != np.int16 or b_s16.dtype != np.int16:
+        raise ValueError(f"expected int16 x int16, got {a_s16.dtype} x {b_s16.dtype}")
+    return np.sum(a_s16.astype(np.int64) * b_s16.astype(np.int64), axis=-1).astype(np.int32)
+
+
+def vpmaddubsw(src1_u8: np.ndarray, src2_s8: np.ndarray) -> np.ndarray:
+    """One 512-bit ``vpmaddubsw``: 32 lanes of (2 x u8) . (2 x s8) -> s16,
+    with *saturation*.
+
+    This is the multiply the pre-VNNI INT8 kernels (oneDNN's INT8
+    Winograd among them) are built on.  Its trap: the pairwise sum can
+    reach ``2 * 255 * 128 = 65280``, which does not fit INT16, so the
+    instruction saturates -- pre-VNNI kernels must constrain operand
+    ranges (e.g. keep activations in [0, 127]) or accept wrong results.
+    The reproduction exposes the semantics so tests can demonstrate
+    exactly that hazard.
+    """
+    s1 = np.asarray(src1_u8)
+    s2 = np.asarray(src2_s8)
+    if s1.shape != (32, 2) or s1.dtype != np.uint8:
+        raise ValueError(f"src1 must be uint8 (32, 2), got {s1.dtype} {s1.shape}")
+    if s2.shape != (32, 2) or s2.dtype != np.int8:
+        raise ValueError(f"src2 must be int8 (32, 2), got {s2.dtype} {s2.shape}")
+    wide = (s1.astype(np.int32) * s2.astype(np.int32)).sum(axis=1)
+    return np.clip(wide, -32768, 32767).astype(np.int16)
+
+
+def vpmaddubsw_array(a_u8: np.ndarray, b_s8: np.ndarray) -> np.ndarray:
+    """Vectorized ``vpmaddubsw``: pairwise u8 x s8 -> saturating s16.
+
+    The trailing axis (even length) is reduced in adjacent pairs; output
+    trailing axis is half the input's.
+    """
+    if a_u8.dtype != np.uint8 or b_s8.dtype != np.int8:
+        raise ValueError(f"expected uint8 x int8, got {a_u8.dtype} x {b_s8.dtype}")
+    if a_u8.shape != b_s8.shape or a_u8.shape[-1] % 2:
+        raise ValueError("operands must share a shape with an even trailing axis")
+    pairs = a_u8.shape[-1] // 2
+    wide = (
+        a_u8.astype(np.int32).reshape(a_u8.shape[:-1] + (pairs, 2))
+        * b_s8.astype(np.int32).reshape(b_s8.shape[:-1] + (pairs, 2))
+    ).sum(axis=-1)
+    return np.clip(wide, -32768, 32767).astype(np.int16)

@@ -1,0 +1,37 @@
+"""Blocked data layouts (Table 1)."""
+
+from .layouts import (
+    CACHE_LINE_BYTES,
+    PHI,
+    SIGMA,
+    ceil_div,
+    pack_blocked_filters,
+    pack_blocked_images,
+    pack_transformed_filters,
+    pack_transformed_inputs,
+    pack_transformed_outputs,
+    pad_axis,
+    unpack_blocked_filters,
+    unpack_blocked_images,
+    unpack_transformed_filters,
+    unpack_transformed_inputs,
+    unpack_transformed_outputs,
+)
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "PHI",
+    "SIGMA",
+    "ceil_div",
+    "pad_axis",
+    "pack_blocked_filters",
+    "pack_blocked_images",
+    "pack_transformed_filters",
+    "pack_transformed_inputs",
+    "pack_transformed_outputs",
+    "unpack_blocked_filters",
+    "unpack_blocked_images",
+    "unpack_transformed_filters",
+    "unpack_transformed_inputs",
+    "unpack_transformed_outputs",
+]

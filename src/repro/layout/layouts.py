@@ -1,0 +1,203 @@
+"""The customized blocked data layouts of Table 1.
+
+Symbols follow the paper: ``phi`` is the number of 8-bit elements in a
+32-bit word (4), ``sigma`` the number of 32-bit lanes in a 512-bit vector
+(16).  Channels are grouped into blocks of ``phi * sigma = 64`` so that a
+whole cache line of one pixel's channel block can be moved with a single
+aligned 512-bit access, and the transformed-operand layouts arrange the
+batched GEMM so ``vpdpbusd`` reads both operands contiguously.
+
+Every layout here is a pure pack/unpack pair with zero-padding to block
+multiples; round-tripping is exact, which the property tests verify.
+
+Table 1 layouts:
+
+=====================  =====================================================
+Variable               Layout
+=====================  =====================================================
+Input images           ``B x ceil(C/phi/sigma) x H x W x phi x sigma``
+Transformed inputs     ``ceil(N/N_blk) x ceil(C/C_blk) x T x N_blk x C_blk``
+Filters                ``C x ceil(K/phi/sigma) x r x r x phi x sigma``
+Transformed filters    ``ceil(C/C_blk) x ceil(K/K_blk) x T x (C_blk/phi) x (K_blk*phi)``
+Transformed outputs    ``B x ceil(K/phi/sigma) x N x T x phi x sigma``
+Output images          ``B x ceil(K/phi/sigma) x H' x W' x phi x sigma``
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PHI",
+    "SIGMA",
+    "CACHE_LINE_BYTES",
+    "ceil_div",
+    "pad_axis",
+    "pack_blocked_images",
+    "unpack_blocked_images",
+    "pack_transformed_inputs",
+    "unpack_transformed_inputs",
+    "pack_blocked_filters",
+    "unpack_blocked_filters",
+    "pack_transformed_filters",
+    "unpack_transformed_filters",
+    "pack_transformed_outputs",
+    "unpack_transformed_outputs",
+]
+
+#: 8-bit elements per 32-bit word.
+PHI = 4
+#: 32-bit lanes per 512-bit vector register.
+SIGMA = 16
+#: One x86 cache line; all blocked layouts are multiples of this.
+CACHE_LINE_BYTES = 64
+
+
+def ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def pad_axis(x: np.ndarray, axis: int, multiple: int) -> np.ndarray:
+    """Zero-pad ``axis`` of ``x`` up to the next multiple of ``multiple``."""
+    size = x.shape[axis]
+    target = ceil_div(size, multiple) * multiple
+    if target == size:
+        return x
+    widths = [(0, 0)] * x.ndim
+    widths[axis] = (0, target - size)
+    return np.pad(x, widths)
+
+
+# ---------------------------------------------------------------------------
+# Image layouts (input and output images share the same shape rule).
+# ---------------------------------------------------------------------------
+
+def pack_blocked_images(
+    images: np.ndarray, phi: int = PHI, sigma: int = SIGMA
+) -> np.ndarray:
+    """NCHW -> ``B x ceil(C/phi/sigma) x H x W x phi x sigma``."""
+    b, c, h, w = images.shape
+    blk = phi * sigma
+    x = pad_axis(images, 1, blk)
+    cb = x.shape[1] // blk
+    x = x.reshape(b, cb, phi, sigma, h, w)
+    return np.ascontiguousarray(x.transpose(0, 1, 4, 5, 2, 3))
+
+
+def unpack_blocked_images(
+    packed: np.ndarray, channels: int, phi: int = PHI, sigma: int = SIGMA
+) -> np.ndarray:
+    """Inverse of :func:`pack_blocked_images`, cropping channel padding."""
+    b, cb, h, w, p, s = packed.shape
+    if (p, s) != (phi, sigma):
+        raise ValueError(f"packed trailing dims {(p, s)} != (phi, sigma)=({phi}, {sigma})")
+    x = packed.transpose(0, 1, 4, 5, 2, 3).reshape(b, cb * phi * sigma, h, w)
+    return np.ascontiguousarray(x[:, :channels])
+
+
+# ---------------------------------------------------------------------------
+# Transformed input layout: the V operand of the batched GEMM.
+# ---------------------------------------------------------------------------
+
+def pack_transformed_inputs(v: np.ndarray, n_blk: int, c_blk: int) -> np.ndarray:
+    """``(T, N, C)`` -> ``ceil(N/N_blk) x ceil(C/C_blk) x T x N_blk x C_blk``."""
+    t, n, c = v.shape
+    x = pad_axis(pad_axis(v, 1, n_blk), 2, c_blk)
+    nb, cb = x.shape[1] // n_blk, x.shape[2] // c_blk
+    x = x.reshape(t, nb, n_blk, cb, c_blk)
+    return np.ascontiguousarray(x.transpose(1, 3, 0, 2, 4))
+
+
+def unpack_transformed_inputs(packed: np.ndarray, n: int, c: int) -> np.ndarray:
+    """Inverse of :func:`pack_transformed_inputs` -> ``(T, N, C)``."""
+    nb, cb, t, n_blk, c_blk = packed.shape
+    x = packed.transpose(2, 0, 3, 1, 4).reshape(t, nb * n_blk, cb * c_blk)
+    return np.ascontiguousarray(x[:, :n, :c])
+
+
+# ---------------------------------------------------------------------------
+# Filter layouts.
+# ---------------------------------------------------------------------------
+
+def pack_blocked_filters(
+    filters: np.ndarray, phi: int = PHI, sigma: int = SIGMA
+) -> np.ndarray:
+    """``(K, C, r, r)`` -> ``C x ceil(K/phi/sigma) x r x r x phi x sigma``."""
+    k, c, r1, r2 = filters.shape
+    blk = phi * sigma
+    x = pad_axis(filters, 0, blk)
+    kb = x.shape[0] // blk
+    x = x.reshape(kb, phi, sigma, c, r1, r2)
+    return np.ascontiguousarray(x.transpose(3, 0, 4, 5, 1, 2))
+
+
+def unpack_blocked_filters(
+    packed: np.ndarray, out_channels: int, phi: int = PHI, sigma: int = SIGMA
+) -> np.ndarray:
+    """Inverse of :func:`pack_blocked_filters` -> ``(K, C, r, r)``."""
+    c, kb, r1, r2, p, s = packed.shape
+    x = packed.transpose(1, 4, 5, 0, 2, 3).reshape(kb * p * s, c, r1, r2)
+    return np.ascontiguousarray(x[:out_channels])
+
+
+def pack_transformed_filters(
+    u: np.ndarray, c_blk: int, k_blk: int, phi: int = PHI
+) -> np.ndarray:
+    """``(T, C, K)`` -> ``ceil(C/C_blk) x ceil(K/K_blk) x T x (C_blk/phi) x (K_blk*phi)``.
+
+    The two trailing dimensions interleave ``phi`` consecutive channels
+    with each output channel -- the exact operand order ``vpdpbusd``
+    consumes (Section 4.3.2: the sub-matrix ``u`` is reordered to
+    ``(C_blk/4) x (K_blk*4)``).
+    """
+    if c_blk % phi:
+        raise ValueError(f"C_blk={c_blk} must be a multiple of phi={phi}")
+    t, c, k = u.shape
+    x = pad_axis(pad_axis(u, 1, c_blk), 2, k_blk)
+    cb, kb = x.shape[1] // c_blk, x.shape[2] // k_blk
+    # Split C into (cb, C_blk/phi, phi) and K into (kb, K_blk).
+    x = x.reshape(t, cb, c_blk // phi, phi, kb, k_blk)
+    # -> (cb, kb, T, C_blk/phi, K_blk, phi); trailing pair flattens to K_blk*phi.
+    x = x.transpose(1, 4, 0, 2, 5, 3)
+    return np.ascontiguousarray(x.reshape(cb, kb, t, c_blk // phi, k_blk * phi))
+
+
+def unpack_transformed_filters(
+    packed: np.ndarray, c: int, k: int, phi: int = PHI
+) -> np.ndarray:
+    """Inverse of :func:`pack_transformed_filters` -> ``(T, C, K)``."""
+    cb, kb, t, c_sub, k_phi = packed.shape
+    k_blk = k_phi // phi
+    x = packed.reshape(cb, kb, t, c_sub, k_blk, phi)
+    x = x.transpose(2, 0, 3, 5, 1, 4).reshape(t, cb * c_sub * phi, kb * k_blk)
+    return np.ascontiguousarray(x[:, :c, :k])
+
+
+# ---------------------------------------------------------------------------
+# Transformed output layout.
+# ---------------------------------------------------------------------------
+
+def pack_transformed_outputs(
+    z: np.ndarray, batch: int, phi: int = PHI, sigma: int = SIGMA
+) -> np.ndarray:
+    """``(T, N, K)`` -> ``B x ceil(K/phi/sigma) x N_img x T x phi x sigma``.
+
+    ``N`` must be ``batch * tiles_per_image``; ``N_img`` is tiles per image.
+    """
+    t, n, k = z.shape
+    if n % batch:
+        raise ValueError(f"tile count {n} not divisible by batch {batch}")
+    n_img = n // batch
+    blk = phi * sigma
+    x = pad_axis(z, 2, blk)
+    kb = x.shape[2] // blk
+    x = x.reshape(t, batch, n_img, kb, phi, sigma)
+    return np.ascontiguousarray(x.transpose(1, 3, 2, 0, 4, 5))
+
+
+def unpack_transformed_outputs(packed: np.ndarray, k: int) -> np.ndarray:
+    """Inverse of :func:`pack_transformed_outputs` -> ``(T, N, K)``."""
+    b, kb, n_img, t, phi, sigma = packed.shape
+    x = packed.transpose(3, 0, 2, 1, 4, 5).reshape(t, b * n_img, kb * phi * sigma)
+    return np.ascontiguousarray(x[:, :, :k])

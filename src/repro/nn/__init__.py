@@ -1,0 +1,51 @@
+"""NN substrate: layers, models, synthetic data, PTQ driver, metrics."""
+
+from .bias_correction import bias_correct_model, channel_error_means
+from .data import SyntheticImageDataset, make_eval_set
+from .layers import (
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    fold_batchnorm,
+)
+from .metrics import evaluate_model, top1_accuracy
+from .model import Residual, Sequential, named_convs
+from .models import build_alexnet_small, build_resnet_small, build_vgg_small
+from .quantize import capture_calibration_inputs, dequantize_model, quantize_model
+from .serialize import load_quantized_model, save_quantized_model
+from .unet import UNetSmall, Upsample2d, build_unet_small
+
+__all__ = [
+    "bias_correct_model",
+    "channel_error_means",
+    "SyntheticImageDataset",
+    "make_eval_set",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "fold_batchnorm",
+    "evaluate_model",
+    "top1_accuracy",
+    "Residual",
+    "Sequential",
+    "named_convs",
+    "build_alexnet_small",
+    "build_resnet_small",
+    "build_vgg_small",
+    "capture_calibration_inputs",
+    "dequantize_model",
+    "quantize_model",
+    "load_quantized_model",
+    "save_quantized_model",
+    "UNetSmall",
+    "Upsample2d",
+    "build_unet_small",
+]

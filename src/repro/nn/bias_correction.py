@@ -1,0 +1,79 @@
+"""Post-training bias correction.
+
+Quantization noise is not exactly zero-mean at a layer's output: the
+clipping and rounding of the Winograd-domain operands leave a small
+per-channel systematic offset, which deeper layers then amplify.  Bias
+correction (Banner et al. / Nagel et al.-style, standard PTQ practice
+from the literature the paper cites) measures that offset on the
+calibration set and folds its negation into the convolution bias:
+
+    bias_k += mean over calibration data of (y_fp32 - y_quant)[k]
+
+It is training-free, costs one extra calibration pass, and measurably
+recovers accuracy for the numerically hard F(4,3) configuration --
+quantified in ``benchmarks/bench_bias_correction.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .layers import Conv2d
+from .model import Sequential, named_convs
+
+__all__ = ["bias_correct_model", "channel_error_means"]
+
+
+def channel_error_means(
+    conv: Conv2d, inputs: List[np.ndarray]
+) -> np.ndarray:
+    """Per-output-channel mean of (FP32 output - quantized output).
+
+    ``inputs`` are this layer's calibration input batches.  The layer
+    must already carry a quantized engine.
+    """
+    if conv.engine is None:
+        raise ValueError("layer is not quantized; nothing to correct")
+    from ..conv import direct_conv2d_fp32
+
+    k = conv.filters.shape[0]
+    total = np.zeros(k)
+    count = 0
+    for x in inputs:
+        ref = direct_conv2d_fp32(x, conv.filters,
+                                 stride=conv.stride, padding=conv.padding)
+        got = conv.engine(x)
+        err = ref - got  # bias terms cancel; engines exclude bias anyway
+        total += err.mean(axis=(0, 2, 3)) * (err.shape[0] * err.shape[2] * err.shape[3])
+        count += err.shape[0] * err.shape[2] * err.shape[3]
+    return total / max(count, 1)
+
+
+def bias_correct_model(
+    model: Sequential, calibration_batches: Iterable[np.ndarray]
+) -> Sequential:
+    """Apply bias correction to every quantized convolution in place.
+
+    The calibration data is propagated through the *quantized* network
+    (sequential correction: earlier layers are corrected before later
+    layers' inputs are captured, so each correction accounts for the
+    upstream fixes -- the standard ordering).
+    """
+    batches = [np.asarray(b, dtype=np.float64) for b in calibration_batches]
+    if not batches:
+        raise ValueError("bias correction needs calibration batches")
+    for name, conv in named_convs(model):
+        if conv.engine is None:
+            continue
+        # Capture this conv's inputs under the *current* (partially
+        # corrected, quantized) model.
+        captures: dict = {}
+        for batch in batches:
+            model.forward_capture(batch, captures)
+        inputs = captures.get(id(conv))
+        if not inputs:
+            continue
+        conv.bias = conv.bias + channel_error_means(conv, inputs)
+    return model

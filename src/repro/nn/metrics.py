@@ -1,0 +1,40 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top1_accuracy", "evaluate_model"]
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError(f"{logits.shape[0]} logits vs {labels.shape[0]} labels")
+    if logits.shape[0] == 0:
+        return 0.0
+    return float(np.mean(np.argmax(logits, axis=1) == labels))
+
+
+def evaluate_model(
+    model,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch: int = 64,
+    logit_center: np.ndarray | None = None,
+) -> float:
+    """Batched top-1 accuracy of ``model`` on an image set.
+
+    ``logit_center`` (from the synthetic dataset) is subtracted from the
+    logits before the argmax; see
+    :class:`repro.nn.data.SyntheticImageDataset`.
+    """
+    correct = 0
+    n = images.shape[0]
+    for lo in range(0, n, batch):
+        hi = min(n, lo + batch)
+        logits = model(images[lo:hi])
+        if logit_center is not None:
+            logits = logits - logit_center
+        correct += int(np.sum(np.argmax(logits, axis=1) == labels[lo:hi]))
+    return correct / n if n else 0.0

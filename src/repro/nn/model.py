@@ -1,0 +1,92 @@
+"""Model composition: sequential chains and residual blocks.
+
+Models are shallow trees of layers.  Two traversal services support
+post-training quantization: :func:`named_convs` enumerates every
+convolution with a stable path name, and ``Sequential.forward_capture``
+records each convolution's *input* tensor (what a calibration pass
+needs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .layers import Conv2d, Layer, ReLU
+
+__all__ = ["Sequential", "Residual", "named_convs"]
+
+
+class Sequential(Layer):
+    """A chain of layers applied in order."""
+
+    def __init__(self, layers: List[Layer], name: str = "seq") -> None:
+        self.layers = list(layers)
+        self.name = name
+
+    def children(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def forward_capture(
+        self, x: np.ndarray, captures: Dict[int, List[np.ndarray]]
+    ) -> np.ndarray:
+        """Forward pass that appends every Conv2d's input to ``captures``
+        (keyed by ``id(conv)``)."""
+        for layer in self.layers:
+            if isinstance(layer, Conv2d):
+                captures.setdefault(id(layer), []).append(x)
+                x = layer(x)
+            elif isinstance(layer, (Sequential, Residual)):
+                x = layer.forward_capture(x, captures)
+            else:
+                x = layer(x)
+        return x
+
+
+class Residual(Layer):
+    """``relu(body(x) + shortcut(x))`` -- the ResNet basic-block skeleton.
+
+    ``shortcut`` defaults to identity; pass a layer (e.g. a 1x1-style
+    projection) when shapes change.
+    """
+
+    def __init__(self, body: Sequential, shortcut: Optional[Layer] = None,
+                 name: str = "res") -> None:
+        self.body = body
+        self.shortcut = shortcut
+        self.relu = ReLU()
+        self.name = name
+
+    def children(self) -> Iterator[Layer]:
+        yield self.body
+        if self.shortcut is not None:
+            yield self.shortcut
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        skip = x if self.shortcut is None else self.shortcut(x)
+        return self.relu(self.body(x) + skip)
+
+    def forward_capture(
+        self, x: np.ndarray, captures: Dict[int, List[np.ndarray]]
+    ) -> np.ndarray:
+        if isinstance(self.shortcut, Conv2d):
+            captures.setdefault(id(self.shortcut), []).append(x)
+        skip = x if self.shortcut is None else self.shortcut(x)
+        out = self.body.forward_capture(x, captures)
+        return self.relu(out + skip)
+
+
+def named_convs(layer: Layer, prefix: str = "") -> Iterator[Tuple[str, Conv2d]]:
+    """Depth-first enumeration of every Conv2d under ``layer``."""
+    if isinstance(layer, Conv2d):
+        yield prefix or layer.name, layer
+        return
+    for i, child in enumerate(layer.children()):
+        child_name = getattr(child, "name", type(child).__name__.lower())
+        yield from named_convs(child, f"{prefix}/{child_name}{i}" if prefix else f"{child_name}{i}")

@@ -1,0 +1,116 @@
+"""Synthetic network builders standing in for VGG16 / ResNet-50 / AlexNet.
+
+The paper evaluates end-to-end accuracy on pretrained ImageNet models.
+Neither ImageNet nor pretrained weights are available offline, so these
+builders create *structurally faithful, laptop-scale* stand-ins:
+VGG-style 3x3 stacks with pooling, ResNet-style residual blocks with
+folded batch norm, AlexNet-style wide shallow stacks -- all with
+structured random weights (He-scaled, per-channel gain variation so
+per-channel quantization matters).
+
+The accuracy experiment (see :mod:`repro.nn.data`) labels inputs with
+the FP32 model itself and evaluates on noisy copies, so "accuracy" is a
+genuine measurement of how much the quantized pipeline perturbs the
+decision function -- the quantity Table 3's FP32-vs-INT8 comparison is
+about.  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, ReLU, fold_batchnorm
+from .model import Residual, Sequential
+
+__all__ = ["build_vgg_small", "build_resnet_small", "build_alexnet_small"]
+
+
+def _he_filters(rng: np.random.Generator, k: int, c: int, r: int = 3) -> np.ndarray:
+    std = np.sqrt(2.0 / (c * r * r))
+    w = rng.standard_normal((k, c, r, r)) * std
+    # Per-channel gain spread: makes per-output-channel weight scales
+    # meaningfully different, as in trained networks.
+    gains = rng.uniform(0.5, 1.8, size=k)
+    return w * gains[:, None, None, None]
+
+
+def _conv_bn_relu(rng: np.random.Generator, c_in: int, c_out: int, name: str) -> list:
+    """Conv + folded BN + ReLU (BN folded at build time, as deployed)."""
+    filters = _he_filters(rng, c_out, c_in)
+    bias = rng.standard_normal(c_out) * 0.05
+    gamma = rng.uniform(0.8, 1.2, c_out)
+    beta = rng.standard_normal(c_out) * 0.1
+    mean = rng.standard_normal(c_out) * 0.05
+    var = rng.uniform(0.5, 1.5, c_out)
+    folded_w, folded_b = fold_batchnorm(filters, bias, gamma, beta, mean, var)
+    return [Conv2d(folded_w, folded_b, padding=1, name=name), ReLU()]
+
+
+def build_vgg_small(
+    classes: int = 10, width: int = 32, seed: int = 7
+) -> Sequential:
+    """VGG16-style: stacked 3x3 convs with 2x2 pooling, widths doubling.
+
+    Input: ``(B, 3, 32, 32)``.
+    """
+    rng = np.random.default_rng(seed)
+    layers = []
+    c_in = 3
+    for stage, (c_out, convs) in enumerate([(width, 2), (width * 2, 2), (width * 4, 3)]):
+        for i in range(convs):
+            layers += _conv_bn_relu(rng, c_in, c_out, f"conv{stage}_{i}")
+            c_in = c_out
+        layers.append(MaxPool2d(2))
+    layers += [GlobalAvgPool(), Flatten(),
+               Linear(rng.standard_normal((classes, c_in)) / np.sqrt(c_in))]
+    return Sequential(layers, name="vgg_small")
+
+
+def build_resnet_small(
+    classes: int = 10, width: int = 32, seed: int = 11
+) -> Sequential:
+    """ResNet-style: a stem conv then residual basic blocks.
+
+    Input: ``(B, 3, 32, 32)``.
+    """
+    rng = np.random.default_rng(seed)
+    layers = _conv_bn_relu(rng, 3, width, "stem")
+
+    def block(c_in: int, c_out: int, idx: int) -> Residual:
+        body = Sequential(
+            _conv_bn_relu(rng, c_in, c_out, f"block{idx}_a")
+            + [Conv2d(_he_filters(rng, c_out, c_out), padding=1, name=f"block{idx}_b")],
+            name=f"body{idx}",
+        )
+        shortcut = None
+        if c_in != c_out:
+            # Projection shortcut as a 3x3 conv (keeps every conv
+            # Winograd-eligible; ResNet uses 1x1 here).
+            shortcut = Conv2d(_he_filters(rng, c_out, c_in) * 0.5, padding=1,
+                              name=f"proj{idx}")
+        return Residual(body, shortcut, name=f"res{idx}")
+
+    layers.append(block(width, width, 0))
+    layers.append(block(width, 2 * width, 1))
+    layers.append(MaxPool2d(2))
+    layers.append(block(2 * width, 2 * width, 2))
+    layers += [GlobalAvgPool(), Flatten(),
+               Linear(rng.standard_normal((classes, 2 * width)) / np.sqrt(2 * width))]
+    return Sequential(layers, name="resnet_small")
+
+
+def build_alexnet_small(classes: int = 10, width: int = 48, seed: int = 13) -> Sequential:
+    """AlexNet-style: shallow and wide, big pooling steps.
+
+    Input: ``(B, 3, 32, 32)``.
+    """
+    rng = np.random.default_rng(seed)
+    layers = []
+    layers += _conv_bn_relu(rng, 3, width, "conv0")
+    layers.append(MaxPool2d(2))
+    layers += _conv_bn_relu(rng, width, width * 2, "conv1")
+    layers += _conv_bn_relu(rng, width * 2, width * 2, "conv2")
+    layers.append(MaxPool2d(2))
+    layers += [GlobalAvgPool(), Flatten(),
+               Linear(rng.standard_normal((classes, width * 2)) / np.sqrt(width * 2))]
+    return Sequential(layers, name="alexnet_small")

@@ -1,0 +1,113 @@
+"""Post-training quantization of a whole model.
+
+Walks the model, captures every convolution's input distribution on the
+calibration set (propagated through the FP32 network, the standard PTQ
+procedure), then swaps each ``Conv2d``'s engine for the selected INT8
+implementation:
+
+* ``'lowino'``       -- Winograd-domain KL calibration (Eq. 7) per layer;
+* ``'int8_direct'``  -- spatial per-tensor activation threshold;
+* ``'int8_upcast'``  -- ncnn-style (spatial quantization, INT16 multiply);
+* ``'int8_downscale'`` -- oneDNN-style (spatial quantization + down-scale).
+
+The original FP32 filters stay on the layer, so :func:`dequantize_model`
+restores full precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..conv import DownscaleWinogradConv2d, Int8DirectConv2d, UpcastWinogradConv2d
+from ..core import LoWinoConv2d
+from .layers import Conv2d
+from .model import Sequential, named_convs
+
+__all__ = ["capture_calibration_inputs", "quantize_model", "dequantize_model"]
+
+
+def capture_calibration_inputs(
+    model: Sequential, batches: Iterable[np.ndarray]
+) -> Dict[int, List[np.ndarray]]:
+    """Run FP32 forward passes recording each conv's input batches."""
+    captures: Dict[int, List[np.ndarray]] = {}
+    for batch in batches:
+        model.forward_capture(np.asarray(batch, dtype=np.float64), captures)
+    return captures
+
+
+def quantize_model(
+    model: Sequential,
+    algorithm: str,
+    m: int = 2,
+    calibration_batches: Iterable[np.ndarray] = (),
+    calibration_method: str = "kl",
+) -> Sequential:
+    """Quantize every convolution of ``model`` in place; returns model.
+
+    ``algorithm='auto'`` runs the cost-model planner
+    (:func:`repro.tuning.model_planner.plan_model`) and picks, per layer,
+    between INT8 direct convolution and LoWino at the predicted-best
+    tile size -- the paper's future-work algorithm selector applied to a
+    whole network.  Requires at least one calibration batch (it defines
+    the input shape used for planning).
+    """
+    batches = list(calibration_batches)
+    captures = capture_calibration_inputs(model, batches) if batches else {}
+
+    plan = None
+    if algorithm == "auto":
+        if not batches:
+            raise ValueError("algorithm='auto' needs calibration batches "
+                             "(the planner traces the input shape)")
+        from ..tuning.model_planner import plan_model
+
+        plan = plan_model(model, batches[0].shape)
+
+    for name, conv in named_convs(model):
+        layer_algorithm = algorithm
+        if plan is not None:
+            choice = plan.choices[name]
+            layer_algorithm = choice.algorithm
+            m = choice.m or m
+        inputs = captures.get(id(conv), [])
+        threshold = None
+        if inputs:
+            threshold = max(float(np.max(np.abs(x))) for x in inputs)
+        if not conv.winograd_eligible and layer_algorithm != "int8_direct":
+            # Strided layers cannot run the Winograd engines; fall back
+            # to INT8 direct convolution (standard deployment behaviour).
+            conv.engine = Int8DirectConv2d(conv.filters, stride=conv.stride,
+                                           padding=conv.padding,
+                                           input_threshold=threshold)
+            continue
+        if layer_algorithm == "lowino":
+            engine = LoWinoConv2d(
+                conv.filters, m=m, padding=conv.padding,
+                calibration_method=calibration_method,
+            )
+            if inputs:
+                engine.calibrate(inputs)
+        elif layer_algorithm == "int8_direct":
+            engine = Int8DirectConv2d(conv.filters, stride=conv.stride,
+                                      padding=conv.padding,
+                                      input_threshold=threshold)
+        elif layer_algorithm == "int8_upcast":
+            engine = UpcastWinogradConv2d(conv.filters, m=m, padding=conv.padding,
+                                          input_threshold=threshold)
+        elif layer_algorithm == "int8_downscale":
+            engine = DownscaleWinogradConv2d(conv.filters, m=m, padding=conv.padding,
+                                             input_threshold=threshold)
+        else:
+            raise ValueError(f"unknown quantization algorithm {layer_algorithm!r}")
+        conv.engine = engine
+    return model
+
+
+def dequantize_model(model: Sequential) -> Sequential:
+    """Restore FP32 execution on every convolution."""
+    for _, conv in named_convs(model):
+        conv.engine = None
+    return model

@@ -1,0 +1,118 @@
+"""Serialization of calibrated, quantized models.
+
+Calibration is an offline step (the paper runs it once over ~500 sample
+images); deployments persist its outputs.  This module saves everything
+needed to reconstruct a quantized model -- per-layer algorithm choice,
+tile size, activation thresholds/scales, corrected biases -- into a
+single ``.npz`` archive, and restores it onto a structurally identical
+FP32 model.  Round-tripping is exact: the restored model produces
+bit-identical outputs (tested).
+
+Filters are not stored (they live in the FP32 model definition); only
+quantization state and biases are.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from ..conv import DownscaleWinogradConv2d, Int8DirectConv2d, UpcastWinogradConv2d
+from ..core import LoWinoConv2d
+from ..quant import QuantParams
+from .layers import Conv2d
+from .model import Sequential, named_convs
+
+__all__ = ["save_quantized_model", "load_quantized_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _engine_record(conv: Conv2d) -> Dict:
+    engine = conv.engine
+    if engine is None:
+        return {"algorithm": None}
+    if isinstance(engine, LoWinoConv2d):
+        return {
+            "algorithm": "lowino",
+            "m": engine.m,
+            "calibration_method": engine.calibration_method,
+            "calibrated": engine.is_calibrated,
+        }
+    if isinstance(engine, Int8DirectConv2d):
+        return {"algorithm": "int8_direct", "threshold": engine.input_threshold,
+                "stride": engine.stride}
+    if isinstance(engine, UpcastWinogradConv2d):
+        return {"algorithm": "int8_upcast", "m": engine.m,
+                "threshold": engine.input_threshold}
+    if isinstance(engine, DownscaleWinogradConv2d):
+        return {"algorithm": "int8_downscale", "m": engine.m,
+                "threshold": engine.input_threshold}
+    raise TypeError(f"cannot serialize engine type {type(engine).__name__}")
+
+
+def save_quantized_model(model: Sequential, path: str | Path) -> None:
+    """Persist quantization state + biases of ``model`` to ``path``."""
+    manifest: Dict[str, Dict] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    for name, conv in named_convs(model):
+        record = _engine_record(conv)
+        manifest[name] = record
+        arrays[f"{name}::bias"] = conv.bias
+        if record.get("algorithm") == "lowino" and record["calibrated"]:
+            arrays[f"{name}::input_scale"] = conv.engine.input_params.scale
+    arrays["__manifest__"] = np.frombuffer(
+        json.dumps({"version": _FORMAT_VERSION, "layers": manifest}).encode(),
+        dtype=np.uint8,
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_quantized_model(model: Sequential, path: str | Path) -> Sequential:
+    """Restore quantization state onto a structurally matching model."""
+    with np.load(Path(path)) as data:
+        manifest = json.loads(bytes(data["__manifest__"]).decode())
+        if manifest.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported format version {manifest.get('version')}")
+        layers = manifest["layers"]
+        convs = dict(named_convs(model))
+        missing = set(layers) ^ set(convs)
+        if missing:
+            raise ValueError(f"model structure mismatch on layers: {sorted(missing)}")
+        for name, conv in convs.items():
+            record = layers[name]
+            conv.bias = np.array(data[f"{name}::bias"])
+            algo = record["algorithm"]
+            if algo is None:
+                conv.engine = None
+            elif algo == "lowino":
+                engine = LoWinoConv2d(
+                    conv.filters, m=record["m"], padding=conv.padding,
+                    calibration_method=record["calibration_method"],
+                )
+                if record["calibrated"]:
+                    engine.input_params = QuantParams(
+                        scale=np.array(data[f"{name}::input_scale"])
+                    )
+                conv.engine = engine
+            elif algo == "int8_direct":
+                conv.engine = Int8DirectConv2d(
+                    conv.filters, stride=record.get("stride", 1),
+                    padding=conv.padding, input_threshold=record["threshold"],
+                )
+            elif algo == "int8_upcast":
+                conv.engine = UpcastWinogradConv2d(
+                    conv.filters, m=record["m"], padding=conv.padding,
+                    input_threshold=record["threshold"],
+                )
+            elif algo == "int8_downscale":
+                conv.engine = DownscaleWinogradConv2d(
+                    conv.filters, m=record["m"], padding=conv.padding,
+                    input_threshold=record["threshold"],
+                )
+            else:
+                raise ValueError(f"unknown algorithm {algo!r} in archive")
+    return model

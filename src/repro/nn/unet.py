@@ -1,0 +1,107 @@
+"""U-Net-style encoder/decoder network (the segmentation workload).
+
+The paper's Table 2 draws layers from U-Net and FusionNet; this module
+provides a runnable miniature of that model family -- encoder 3x3 conv
+stacks with pooling, a bottleneck, nearest-neighbour upsampling, skip
+concatenations, and a per-pixel classification head -- so the
+quantization pipeline can be evaluated on a dense-prediction task, not
+only on classification.
+
+All convolutions are 3x3 / stride 1 / pad 1 (Winograd-eligible), so
+:func:`repro.nn.quantize_model` applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from .layers import Conv2d, Layer, MaxPool2d, ReLU
+
+__all__ = ["Upsample2d", "UNetSmall", "build_unet_small"]
+
+
+class Upsample2d(Layer):
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+
+    def __init__(self, factor: int = 2) -> None:
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.factor = factor
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.repeat(self.factor, axis=2).repeat(self.factor, axis=3)
+
+
+class UNetSmall(Layer):
+    """Two-level U-Net: enc1 -> pool -> bottleneck -> up -> cat -> dec1.
+
+    ``forward`` returns per-pixel class logits ``(B, classes, H, W)``.
+    """
+
+    def __init__(self, enc1: List[Layer], bottleneck: List[Layer],
+                 dec1: List[Layer], head: Conv2d, name: str = "unet") -> None:
+        self.enc1 = enc1
+        self.pool = MaxPool2d(2)
+        self.bottleneck = bottleneck
+        self.up = Upsample2d(2)
+        self.dec1 = dec1
+        self.head = head
+        self.name = name
+
+    def children(self) -> Iterator[Layer]:
+        yield from self.enc1
+        yield from self.bottleneck
+        yield from self.dec1
+        yield self.head
+
+    def _run(self, x: np.ndarray, captures: Dict[int, List[np.ndarray]] | None) -> np.ndarray:
+        def conv_step(layer: Layer, t: np.ndarray) -> np.ndarray:
+            if captures is not None and isinstance(layer, Conv2d):
+                captures.setdefault(id(layer), []).append(t)
+            return layer(t)
+
+        skip = x
+        for layer in self.enc1:
+            skip = conv_step(layer, skip)
+        t = self.pool(skip)
+        for layer in self.bottleneck:
+            t = conv_step(layer, t)
+        t = self.up(t)
+        # Skip concatenation along channels (crop if odd sizes).
+        h = min(t.shape[2], skip.shape[2])
+        w = min(t.shape[3], skip.shape[3])
+        t = np.concatenate([t[:, :, :h, :w], skip[:, :, :h, :w]], axis=1)
+        for layer in self.dec1:
+            t = conv_step(layer, t)
+        return conv_step(self.head, t)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run(x, None)
+
+    def forward_capture(self, x, captures):
+        return self._run(x, captures)
+
+
+def build_unet_small(classes: int = 4, width: int = 16, seed: int = 17) -> UNetSmall:
+    """Synthetic-weight miniature U-Net; input ``(B, 3, H, W)`` with
+    even ``H, W`` (e.g. 32x32)."""
+    rng = np.random.default_rng(seed)
+
+    def conv(c_in: int, c_out: int, name: str, relu: bool = True) -> List[Layer]:
+        std = np.sqrt(2.0 / (c_in * 9))
+        w = rng.standard_normal((c_out, c_in, 3, 3)) * std
+        w *= rng.uniform(0.6, 1.6, size=c_out)[:, None, None, None]
+        b = rng.standard_normal(c_out) * 0.05
+        layers: List[Layer] = [Conv2d(w, b, padding=1, name=name)]
+        if relu:
+            layers.append(ReLU())
+        return layers
+
+    enc1 = conv(3, width, "enc1_a") + conv(width, width, "enc1_b")
+    bottleneck = conv(width, 2 * width, "bot_a") + conv(2 * width, 2 * width, "bot_b")
+    dec1 = conv(3 * width, width, "dec1_a") + conv(width, width, "dec1_b")
+    head_w = rng.standard_normal((classes, width, 3, 3)) * np.sqrt(2.0 / (width * 9))
+    head = Conv2d(head_w, padding=1, name="head")
+    return UNetSmall(enc1, bottleneck, dec1, head)

@@ -1,0 +1,120 @@
+"""Static scheduling for multi-core execution (Section 4.4).
+
+Tasks are pre-assigned to threads at plan-construction time ("compile
+time" in the paper): each thread receives a contiguous range of at most
+``ceil(tasks / omega)`` tasks, which keeps per-thread memory access
+patterns identical and makes the partition trivially reproducible.
+
+Task grids: input/output transforms partition over the ``N`` tiles;
+filter transforms over ``C * K / phi / sigma`` filter blocks; the GEMM
+over the ``(N / N_blk) x (K / K_blk) x T`` sub-matrix grid.  The grid
+is flattened in row-major order and split recursively so each thread's
+tasks are contiguous (cache-friendly, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..layout import ceil_div
+
+__all__ = ["Partition", "partition_range", "partition_grid", "StaticSchedule"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A contiguous half-open task range assigned to one thread."""
+
+    thread: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+def partition_range(tasks: int, omega: int) -> List[Partition]:
+    """Split ``tasks`` into ``omega`` contiguous chunks of size
+    ``ceil(tasks/omega)`` (the last chunks may be smaller or empty).
+
+    Matches the paper's assignment rule: each thread operates up to
+    ``ceil(N / omega)`` tasks.
+    """
+    if tasks < 0:
+        raise ValueError(f"task count must be >= 0, got {tasks}")
+    if omega < 1:
+        raise ValueError(f"thread count must be >= 1, got {omega}")
+    chunk = ceil_div(tasks, omega) if tasks else 0
+    parts = []
+    for w in range(omega):
+        start = min(tasks, w * chunk)
+        stop = min(tasks, (w + 1) * chunk)
+        parts.append(Partition(thread=w, start=start, stop=stop))
+    return parts
+
+
+def partition_grid(dims: Sequence[int], omega: int) -> List[Partition]:
+    """Partition a row-major flattened task grid (e.g. the GEMM's
+    ``(N/N_blk, K/K_blk, T)`` grid) into contiguous per-thread ranges."""
+    total = int(np.prod(dims)) if dims else 0
+    return partition_range(total, omega)
+
+
+@dataclass
+class StaticSchedule:
+    """A complete static schedule for one stage.
+
+    Provides the load-balance metrics the evaluation uses: ``makespan``
+    relative to the ideal equal split, and per-thread task counts.
+    """
+
+    partitions: List[Partition]
+
+    @classmethod
+    def for_tasks(cls, tasks: int, omega: int) -> "StaticSchedule":
+        return cls(partitions=partition_range(tasks, omega))
+
+    @property
+    def omega(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(p.size for p in self.partitions)
+
+    @property
+    def max_tasks(self) -> int:
+        return max((p.size for p in self.partitions), default=0)
+
+    def imbalance(self) -> float:
+        """makespan / ideal; 1.0 = perfectly balanced."""
+        if self.total_tasks == 0:
+            return 1.0
+        ideal = self.total_tasks / self.omega
+        return self.max_tasks / ideal
+
+    def makespan(self, task_costs: np.ndarray | None = None) -> float:
+        """Simulated stage time given per-task costs (uniform if None)."""
+        if task_costs is None:
+            return float(self.max_tasks)
+        task_costs = np.asarray(task_costs, dtype=np.float64)
+        if task_costs.size != self.total_tasks:
+            raise ValueError(
+                f"{task_costs.size} task costs for {self.total_tasks} tasks"
+            )
+        return max(
+            (float(task_costs[p.start : p.stop].sum()) for p in self.partitions),
+            default=0.0,
+        )
+
+    def validate(self) -> None:
+        """Partitions must tile [0, total) disjointly and in order."""
+        cursor = 0
+        for p in self.partitions:
+            if p.start != cursor or p.stop < p.start:
+                raise AssertionError(f"partition {p} breaks contiguity at {cursor}")
+            cursor = p.stop

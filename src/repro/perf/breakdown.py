@@ -1,0 +1,51 @@
+"""Execution-time breakdown: transformation vs multiplication (Figure 10).
+
+The paper groups the three transforms (input/output; filter is offline)
+into a memory-bound "Transformation" share and the batched GEMM into a
+compute-bound "Multiplication" share, normalized to oneDNN's total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..workloads import LayerConfig
+from .machine import CASCADE_LAKE_8C, MachineModel
+from .plans import ImplPlan, plan_lowino, plan_onednn_wino
+
+__all__ = ["StageBreakdown", "breakdown", "figure10_breakdowns"]
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Transformation/multiplication split of one implementation."""
+
+    impl: str
+    layer: str
+    transformation: float
+    multiplication: float
+
+    @property
+    def total(self) -> float:
+        return self.transformation + self.multiplication
+
+
+def breakdown(plan: ImplPlan, machine: MachineModel = CASCADE_LAKE_8C,
+              cores: int | None = None) -> StageBreakdown:
+    times = plan.stage_times(machine, cores)
+    mult = times.get("gemm", 0.0)
+    tf = sum(v for k, v in times.items() if k != "gemm")
+    return StageBreakdown(impl=plan.impl, layer=plan.layer,
+                          transformation=tf, multiplication=mult)
+
+
+def figure10_breakdowns(
+    layer: LayerConfig, m: int = 2, machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> Dict[str, StageBreakdown]:
+    """oneDNN F(2,3) vs LoWino F(2,3) breakdown for one layer."""
+    return {
+        "onednn_wino": breakdown(plan_onednn_wino(layer, m, machine, cores), machine, cores),
+        "lowino": breakdown(plan_lowino(layer, m, machine, cores), machine, cores),
+    }

@@ -1,0 +1,110 @@
+"""Machine model of the evaluation platform.
+
+An 8-core Intel Xeon Scalable (Cascade Lake) at 3.0 GHz -- the paper's
+testbed (Section 5).  The constants below are the microarchitectural
+facts the performance argument rests on:
+
+* two 512-bit vector pipes per core; ``vpdpbusd`` retires 64 INT8 MACs
+  per instruction, giving the 4x INT8-over-FP32 peak ratio of Figure 1;
+* ``vpmaddwd`` (the up-cast path) retires 32 INT16 MACs -> 2x FP32;
+* a shared DRAM interface; per-core L1/L2 and a shared LLC whose
+  capacities gate the blocking decisions.
+
+This module knows nothing about convolutions; execution plans in
+:mod:`repro.perf.plans` translate workloads into (cycles, bytes) and ask
+the machine for time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "CASCADE_LAKE_8C", "StageCost"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Roofline-style CPU description."""
+
+    name: str = "Cascade Lake Xeon 8-core"
+    cores: int = 8
+    freq_ghz: float = 3.0
+    #: 512-bit vector instructions issued per cycle per core (ports 0+5).
+    vector_issue: float = 2.0
+    #: 64-byte loads per cycle per core (ports 2+3).
+    load_issue: float = 2.0
+    #: 64-byte stores per cycle per core (port 4).
+    store_issue: float = 1.0
+    #: Shared DRAM bandwidth, bytes/second.
+    dram_bw: float = 100e9
+    #: Sustained per-core L2 bandwidth, bytes/cycle.
+    l2_bytes_per_cycle: float = 32.0
+    #: Fork-join barrier + dispatch cost per parallel stage, seconds.
+    stage_overhead_s: float = 10e-6
+    l1_kib: int = 32
+    l2_kib: int = 1024
+    llc_kib_per_core: int = 1408
+
+    # Derived peaks (per core, per cycle).
+    @property
+    def int8_macs_per_cycle(self) -> float:
+        """vpdpbusd: 16 lanes x 4 pairs x issue width."""
+        return 16 * 4 * self.vector_issue
+
+    @property
+    def int16_macs_per_cycle(self) -> float:
+        """vpmaddwd: 16 lanes x 2 pairs x issue width."""
+        return 16 * 2 * self.vector_issue
+
+    @property
+    def fp32_macs_per_cycle(self) -> float:
+        """FMA: 16 lanes x issue width (1 MAC per lane)."""
+        return 16 * self.vector_issue
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2_kib * 1024
+
+    def seconds(self, cycles: float, cores: int | None = None) -> float:
+        """Wall time of ``cycles`` total work spread over ``cores``."""
+        cores = self.cores if cores is None else cores
+        return cycles / (self.freq_ghz * 1e9 * cores)
+
+    def dram_seconds(self, dram_bytes: float) -> float:
+        """Wall time of a DRAM transfer (bandwidth is shared, not
+        per-core)."""
+        return dram_bytes / self.dram_bw
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One pipeline stage as (compute cycles, DRAM bytes, L2 bytes).
+
+    ``cycles`` is the total single-thread compute work; the stage runs on
+    ``cores`` threads with a load-balance factor.  Stage time is the
+    roofline max of compute, DRAM and aggregate-L2 components, plus the
+    fixed fork-join dispatch overhead.
+    """
+
+    name: str
+    cycles: float
+    dram_bytes: float
+    l2_bytes: float = 0.0
+    balance: float = 1.0  # >= 1; makespan/ideal from the static scheduler
+
+    def _components(self, machine: MachineModel, cores: int | None) -> tuple[float, float, float]:
+        cores = machine.cores if cores is None else cores
+        compute = machine.seconds(self.cycles, cores) * self.balance
+        dram = machine.dram_seconds(self.dram_bytes)
+        l2 = self.l2_bytes / (cores * machine.l2_bytes_per_cycle * machine.freq_ghz * 1e9)
+        return compute, dram, l2
+
+    def time(self, machine: MachineModel, cores: int | None = None) -> float:
+        return max(self._components(machine, cores)) + machine.stage_overhead_s
+
+    def bound(self, machine: MachineModel, cores: int | None = None) -> str:
+        compute, dram, l2 = self._components(machine, cores)
+        return {compute: "compute", dram: "memory", l2: "l2"}[max(compute, dram, l2)]
+
+
+CASCADE_LAKE_8C = MachineModel()

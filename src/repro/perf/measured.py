@@ -1,0 +1,92 @@
+"""Wall-clock measurement harness (the paper's timing methodology).
+
+Section 5: "To reduce the interference of initialization, we warm up
+the experiments and run tests 100 times, and report the average running
+time."  This module reproduces that protocol for timing *this
+repository's* NumPy kernels -- useful for regression tracking and for
+the kernel benchmarks; NOT comparable to the paper's absolute numbers
+(the substrate is NumPy, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+__all__ = ["Measurement", "measure", "compare"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Timing statistics of one measured callable."""
+
+    name: str
+    mean_s: float
+    std_s: float
+    min_s: float
+    runs: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.name}: mean {self.mean_s * 1e3:.3f} ms "
+                f"(+/- {self.std_s * 1e3:.3f}), min {self.min_s * 1e3:.3f}, "
+                f"n={self.runs}")
+
+
+def measure(
+    fn: Callable[[], object],
+    name: str = "kernel",
+    warmup: int = 2,
+    runs: int = 100,
+    max_seconds: float = 10.0,
+) -> Measurement:
+    """Warm up, then time ``fn`` up to ``runs`` times (paper protocol).
+
+    ``max_seconds`` caps total measurement time so slow configurations
+    degrade to fewer repetitions rather than hanging the suite; at least
+    3 timed runs always execute.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    for _ in range(warmup):
+        fn()
+    times = []
+    budget_start = time.perf_counter()
+    for i in range(runs):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+        if i >= 2 and time.perf_counter() - budget_start > max_seconds:
+            break
+    arr = np.array(times)
+    return Measurement(
+        name=name,
+        mean_s=float(arr.mean()),
+        std_s=float(arr.std()),
+        min_s=float(arr.min()),
+        runs=arr.size,
+    )
+
+
+def compare(
+    candidates: Dict[str, Callable[[], object]],
+    baseline: str,
+    warmup: int = 2,
+    runs: int = 20,
+    max_seconds: float = 10.0,
+) -> Dict[str, float]:
+    """Measure several callables; return speedups relative to ``baseline``.
+
+    Speedup > 1 means faster than the baseline.
+    """
+    if baseline not in candidates:
+        raise KeyError(f"baseline {baseline!r} not among candidates {sorted(candidates)}")
+    results = {
+        name: measure(fn, name=name, warmup=warmup, runs=runs,
+                      max_seconds=max_seconds)
+        for name, fn in candidates.items()
+    }
+    base = results[baseline].mean_s
+    return {name: base / m.mean_s for name, m in results.items()}

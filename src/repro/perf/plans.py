@@ -1,0 +1,422 @@
+"""Execution plans: translate a layer + implementation into stage costs.
+
+Each plan mirrors the dataflow of the corresponding real implementation
+and charges it for the instructions, DRAM traffic and L2 traffic that
+implementation actually performs.  The counts come from the repository's
+own artifacts: GEMM instruction counts from
+:class:`~repro.gemm.batched.GemmWorkload` (the Figure 7 loop nest),
+transform vector-op counts from the generated codelets, blocking
+parameters from the same defaults/tuner the executable path uses.
+
+Modeled implementations
+-----------------------
+``onednn_direct``   INT8 direct convolution (implicit GEMM, VNNI).
+``onednn_wino``     INT8 Winograd F(2,3), down-scaling, *fused*: the
+                    transformed operands stay cache-resident (no DRAM
+                    traffic for intermediates) but the design is limited
+                    to small cache partitions and a narrow register tile
+                    (Section 5.3's analysis).
+``lowino_f2/f4/f6`` LoWino: FP32 transforms (4x input traffic), streamed
+                    intermediates (DRAM, non-temporal), large-block GEMM.
+``fp32_direct``     FP32 direct convolution.
+``fp32_wino``       FP32 Winograd F(4,3) (numerical stability is not an
+                    issue in FP32, so the vendor library uses the larger
+                    tile).
+``int8_upcast``     ncnn-style INT16-multiply Winograd F(2,3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..codelets import transform_codelets
+from ..gemm import BlockingParams, GemmWorkload, default_blocking
+from ..layout import SIGMA, ceil_div
+from ..winograd import winograd_algorithm
+from ..workloads import LayerConfig
+from .machine import CASCADE_LAKE_8C, MachineModel, StageCost
+
+__all__ = [
+    "ImplPlan",
+    "plan_lowino",
+    "plan_onednn_wino",
+    "plan_int8_direct",
+    "plan_fp32_direct",
+    "plan_fp32_wino",
+    "plan_int8_upcast",
+    "predict_layer_times",
+    "ALL_PLANS",
+]
+
+#: Fixed per-microkernel-call overhead (loop setup, pointer math), cycles.
+MICROKERNEL_CALL_OVERHEAD = 40.0
+#: Scattered (tile-strided) access achieves a fraction of streaming DRAM
+#: bandwidth; applied to the transform stages' tile traffic.
+SCATTER_DRAM_EFFICIENCY = 0.65
+
+
+@dataclass
+class ImplPlan:
+    """A named sequence of stage costs for one implementation x layer."""
+
+    impl: str
+    layer: str
+    stages: List[StageCost]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def total_time(self, machine: MachineModel = CASCADE_LAKE_8C, cores: int | None = None) -> float:
+        return sum(stage.time(machine, cores) for stage in self.stages)
+
+    def stage_times(
+        self, machine: MachineModel = CASCADE_LAKE_8C, cores: int | None = None
+    ) -> Dict[str, float]:
+        return {stage.name: stage.time(machine, cores) for stage in self.stages}
+
+
+def _balance(tasks: int, cores: int) -> float:
+    """Static-scheduling makespan factor: ceil(tasks/w) * w / tasks."""
+    if tasks <= 0:
+        return 1.0
+    return ceil_div(tasks, cores) * cores / tasks
+
+
+def _gemm_cycles(work: GemmWorkload, machine: MachineModel, macs_per_instr: int = 64) -> float:
+    """Compute cycles of the blocked GEMM from Figure 7 instruction counts.
+
+    ``macs_per_instr`` rescales for the FP32 (16) and INT16 (32) pipes:
+    the same loop structure needs proportionally more multiply
+    instructions to cover the same MAC count.
+    """
+    mult_instrs = work.vpdpbusd_count * (64 / macs_per_instr)
+    alu = (mult_instrs + work.broadcast_count) / machine.vector_issue
+    stores = work.nt_store_count / machine.store_issue
+    p = work.params
+    calls = (
+        work.t
+        * ceil_div(work.n_pad, p.n_blk)
+        * ceil_div(work.k_pad, p.k_blk)
+        * ceil_div(work.c_pad, p.c_blk)
+    )
+    return alu + stores + calls * MICROKERNEL_CALL_OVERHEAD
+
+
+def _gemm_l2_bytes(work: GemmWorkload, v_bytes: int, u_bytes: int) -> float:
+    """L2-level traffic of the blocked GEMM.
+
+    The V panel is re-read once per K block pass, the U panel once per N
+    block pass, and the z accumulator buffer spills to L2 between C block
+    passes.  Large blocks amortize all three -- the compute-to-memory
+    ratio argument of Section 5.3.
+    """
+    p = work.params
+    k_passes = ceil_div(work.k_pad, p.k_blk)
+    n_passes = ceil_div(work.n_pad, p.n_blk)
+    c_passes = ceil_div(work.c_pad, p.c_blk)
+    v_l2 = work.t * work.n_pad * work.c_pad * v_bytes * k_passes
+    u_l2 = work.t * work.c_pad * work.k_pad * u_bytes * n_passes
+    z_l2 = 2 * work.t * work.n_pad * work.k_pad * 4 * max(0, c_passes - 1)
+    return v_l2 + u_l2 + z_l2
+
+
+def _transform_cycles(
+    n_tiles: int,
+    channels: int,
+    alpha_in: int,
+    codelet_ops: int,
+    elems_out: int,
+    extra_ops_per_elem: float,
+    machine: MachineModel,
+) -> float:
+    """Vector cycles of one transform stage.
+
+    A 2D transform of one tile costs two 1D passes (column-wise then
+    row-wise, Section 4.2.4): ``2 * alpha_in * codelet_ops`` vector ops
+    per 16-channel group, plus ``extra_ops_per_elem`` per output element
+    for fused quantize/de-quantize/compensation/packing work.
+    """
+    groups = n_tiles * ceil_div(channels, SIGMA)
+    ops = groups * (2 * alpha_in * codelet_ops + extra_ops_per_elem * elems_out)
+    return ops / machine.vector_issue
+
+
+def _wino_geometry(layer: LayerConfig, m: int):
+    alg = winograd_algorithm(m, layer.r)
+    t, n, c, k = layer.gemm_dims(m)
+    cls = transform_codelets(alg)
+    return alg, t, n, c, k, cls
+
+
+def _onednn_wino_blocking(t: int, n: int, c: int, k: int, machine: MachineModel) -> BlockingParams:
+    """Blocking available to the *fused* design.
+
+    oneDNN keeps the transformed inputs and accumulators of a tile
+    partition cache-resident: per tile that is ``T * (C + 4K)`` bytes, so
+    the partition -- and with it the GEMM's N blocking -- is capped by
+    the L2 budget; the register tile is narrower (4x2) because the small
+    K blocking leaves fewer columns to amortize broadcasts over.
+    """
+    per_tile_bytes = t * (c + 4 * k)
+    n_part = max(8, machine.l2_bytes // per_tile_bytes)
+    row_blk, col_blk = 4, 2
+    n_blk = max(row_blk, min(int(n_part), 48, ceil_div(n, row_blk) * row_blk)
+                // row_blk * row_blk)
+    k_blk = col_blk * SIGMA  # 32
+    c_blk = min(c, 128)
+    c_blk = max(4, c_blk // 4 * 4)
+    params = BlockingParams(n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
+                            row_blk=row_blk, col_blk=col_blk)
+    params.validate()
+    return params
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+def plan_lowino(
+    layer: LayerConfig, m: int, machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None, blocking: BlockingParams | None = None,
+) -> ImplPlan:
+    cores = machine.cores if cores is None else cores
+    alg, t, n, c, k, cls = _wino_geometry(layer, m)
+    params = blocking or default_blocking(n, c, k)
+    work = GemmWorkload(t=t, n=n, c=c, k=k, params=params)
+    out_hw = layer.out_hw
+
+    # Input transform: FP32 reads (the 4x of Figure 10), fused quantize +
+    # bias + pack, scattered non-temporal INT8 writes of V.
+    in_tf = StageCost(
+        name="input_transform",
+        cycles=_transform_cycles(n, c, alg.alpha, cls["input"].optimized.total,
+                                 t, 4.0, machine),
+        dram_bytes=(layer.batch * c * layer.hw**2 * 4 + n * t * c * 1)
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    gemm = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine, macs_per_instr=64),
+        dram_bytes=work.t * work.n_pad * work.c_pad * 1  # V streamed in
+        + t * c * k * 1                                   # U first touch
+        + work.bytes_written,                             # Z NT-stored
+        l2_bytes=_gemm_l2_bytes(work, 1, 1),
+        balance=_balance(t * ceil_div(n, params.n_blk) * ceil_div(k, params.k_blk), cores),
+    )
+    out_tf = StageCost(
+        name="output_transform",
+        cycles=_transform_cycles(n, k, alg.alpha, cls["output"].optimized.total,
+                                 t, 3.0, machine),
+        dram_bytes=(n * t * k * 4 + layer.batch * k * out_hw**2 * 4)
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    return ImplPlan(
+        impl=f"lowino_f{m}", layer=layer.name, stages=[in_tf, gemm, out_tf],
+        meta={"blocking": params, "gemm_dims": (t, n, c, k)},
+    )
+
+
+def plan_onednn_wino(
+    layer: LayerConfig, m: int = 2, machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> ImplPlan:
+    cores = machine.cores if cores is None else cores
+    alg, t, n, c, k, cls = _wino_geometry(layer, m)
+    params = _onednn_wino_blocking(t, n, c, k, machine)
+    work = GemmWorkload(t=t, n=n, c=c, k=k, params=params)
+    out_hw = layer.out_hw
+
+    # Fused design: INT8 input reads, intermediates cache-resident (L2
+    # traffic, no DRAM), INT8 output writes.  Extra per-element work for
+    # the integer widen / down-scale / round / narrow chain.
+    in_tf = StageCost(
+        name="input_transform",
+        cycles=_transform_cycles(n, c, alg.alpha, cls["input"].optimized.total,
+                                 t, 6.0, machine),
+        dram_bytes=layer.batch * c * layer.hw**2 * 1,
+        l2_bytes=n * t * c * 1,  # V written into cache
+        balance=_balance(n, cores),
+    )
+    # oneDNN's INT8 Winograd kernel predates VNNI: it multiplies with the
+    # AVX512-BW vpmaddubsw + vpmaddwd sequence (32 effective MACs per
+    # instruction slot, half of vpdpbusd), while oneDNN's INT8 *direct*
+    # convolution does use VNNI.  This asymmetry is why a VNNI F(2,3)
+    # implementation can beat the vendor Winograd at the same algorithmic
+    # complexity.
+    gemm = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine, macs_per_instr=32),
+        dram_bytes=t * c * k * 1,  # U first touch; V/Z cached
+        l2_bytes=_gemm_l2_bytes(work, 1, 1),
+        balance=_balance(t * ceil_div(n, params.n_blk) * ceil_div(k, params.k_blk), cores),
+    )
+    out_tf = StageCost(
+        name="output_transform",
+        cycles=_transform_cycles(n, k, alg.alpha, cls["output"].optimized.total,
+                                 t, 5.0, machine),
+        dram_bytes=layer.batch * k * out_hw**2 * 1,
+        l2_bytes=n * t * k * 4,  # Z consumed from cache
+        balance=_balance(n, cores),
+    )
+    return ImplPlan(
+        impl="onednn_wino", layer=layer.name, stages=[in_tf, gemm, out_tf],
+        meta={"blocking": params, "gemm_dims": (t, n, c, k)},
+    )
+
+
+def plan_int8_upcast(
+    layer: LayerConfig, m: int = 2, machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> ImplPlan:
+    """ncnn-style: INT16 operands double traffic, vpmaddwd halves peak."""
+    cores = machine.cores if cores is None else cores
+    alg, t, n, c, k, cls = _wino_geometry(layer, m)
+    params = default_blocking(n, c, k)
+    work = GemmWorkload(t=t, n=n, c=c, k=k, params=params)
+    out_hw = layer.out_hw
+    in_tf = StageCost(
+        name="input_transform",
+        cycles=_transform_cycles(n, c, alg.alpha, cls["input"].optimized.total,
+                                 t, 4.0, machine),
+        dram_bytes=(layer.batch * c * layer.hw**2 * 1 + n * t * c * 2)
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    gemm = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine, macs_per_instr=32),
+        dram_bytes=work.t * work.n_pad * work.c_pad * 2
+        + t * c * k * 2
+        + work.bytes_written,
+        l2_bytes=_gemm_l2_bytes(work, 2, 2),
+        balance=_balance(t * ceil_div(n, params.n_blk) * ceil_div(k, params.k_blk), cores),
+    )
+    out_tf = StageCost(
+        name="output_transform",
+        cycles=_transform_cycles(n, k, alg.alpha, cls["output"].optimized.total,
+                                 t, 3.0, machine),
+        dram_bytes=(n * t * k * 4 + layer.batch * k * out_hw**2 * 1)
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    return ImplPlan(impl="int8_upcast", layer=layer.name, stages=[in_tf, gemm, out_tf],
+                    meta={"blocking": params})
+
+
+def _direct_blocking(n: int, c_red: int, k: int) -> BlockingParams:
+    """Blocking for direct convolution's implicit GEMM.
+
+    Unlike the Winograd tile GEMM, direct convolution's reduction axis is
+    ``C * r^2`` and the spatial axis is freely divisible, so the kernel
+    suffers essentially no padding waste: pick block sizes that divide
+    the problem.
+    """
+    row_blk, col_blk = 6, 4
+    k_blk = 128 if k % 128 == 0 else 64
+    c_blk = 288 if c_red % 288 == 0 else max(4, min(c_red, 256) // 4 * 4)
+    n_blk = min(96, max(row_blk, ceil_div(n, row_blk) * row_blk))
+    params = BlockingParams(n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
+                            row_blk=row_blk, col_blk=col_blk)
+    params.validate()
+    return params
+
+
+def _direct_plan(
+    layer: LayerConfig, machine: MachineModel, cores: int | None,
+    macs_per_instr: int, dtype_bytes: int, impl: str,
+) -> ImplPlan:
+    cores = machine.cores if cores is None else cores
+    n = layer.batch * layer.out_hw**2
+    c_red = layer.c * layer.r**2
+    params = _direct_blocking(n, c_red, layer.k)
+    work = GemmWorkload(t=1, n=n, c=c_red, k=layer.k, params=params)
+    gemm = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine, macs_per_instr=macs_per_instr),
+        # Direct conv streams the input once (the r^2 window reuse is
+        # cache-level), reads the weights, writes the output.
+        dram_bytes=(layer.batch * layer.c * layer.hw**2
+                    + layer.c * layer.k * layer.r**2
+                    + layer.batch * layer.k * layer.out_hw**2) * dtype_bytes,
+        l2_bytes=_gemm_l2_bytes(work, dtype_bytes, dtype_bytes),
+        balance=_balance(ceil_div(n, params.n_blk) * ceil_div(layer.k, params.k_blk), cores),
+    )
+    return ImplPlan(impl=impl, layer=layer.name, stages=[gemm],
+                    meta={"blocking": params})
+
+
+def plan_int8_direct(
+    layer: LayerConfig, machine: MachineModel = CASCADE_LAKE_8C, cores: int | None = None,
+) -> ImplPlan:
+    """INT8 direct convolution as a blocked implicit GEMM (VNNI)."""
+    return _direct_plan(layer, machine, cores, 64, 1, "onednn_direct")
+
+
+def plan_fp32_direct(
+    layer: LayerConfig, machine: MachineModel = CASCADE_LAKE_8C, cores: int | None = None,
+) -> ImplPlan:
+    return _direct_plan(layer, machine, cores, 16, 4, "fp32_direct")
+
+
+def plan_fp32_wino(
+    layer: LayerConfig, m: int = 4, machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> ImplPlan:
+    cores = machine.cores if cores is None else cores
+    alg, t, n, c, k, cls = _wino_geometry(layer, m)
+    params = default_blocking(n, c, k)
+    work = GemmWorkload(t=t, n=n, c=c, k=k, params=params)
+    out_hw = layer.out_hw
+    in_tf = StageCost(
+        name="input_transform",
+        cycles=_transform_cycles(n, c, alg.alpha, cls["input"].optimized.total,
+                                 t, 1.0, machine),
+        dram_bytes=(layer.batch * c * layer.hw**2 + n * t * c) * 4
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    gemm = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine, macs_per_instr=16),
+        dram_bytes=(work.t * work.n_pad * work.c_pad + t * c * k) * 4
+        + work.bytes_written,
+        l2_bytes=_gemm_l2_bytes(work, 4, 4),
+        balance=_balance(t * ceil_div(n, params.n_blk) * ceil_div(k, params.k_blk), cores),
+    )
+    out_tf = StageCost(
+        name="output_transform",
+        cycles=_transform_cycles(n, k, alg.alpha, cls["output"].optimized.total,
+                                 t, 1.0, machine),
+        dram_bytes=(n * t * k + layer.batch * k * out_hw**2) * 4
+        / SCATTER_DRAM_EFFICIENCY,
+        balance=_balance(n, cores),
+    )
+    return ImplPlan(impl="fp32_wino", layer=layer.name, stages=[in_tf, gemm, out_tf],
+                    meta={"blocking": params})
+
+
+ALL_PLANS = {
+    "onednn_direct": lambda layer, machine, cores: plan_int8_direct(layer, machine, cores),
+    "onednn_wino": lambda layer, machine, cores: plan_onednn_wino(layer, 2, machine, cores),
+    "lowino_f2": lambda layer, machine, cores: plan_lowino(layer, 2, machine, cores),
+    "lowino_f4": lambda layer, machine, cores: plan_lowino(layer, 4, machine, cores),
+    "int8_upcast": lambda layer, machine, cores: plan_int8_upcast(layer, 2, machine, cores),
+    "fp32_direct": lambda layer, machine, cores: plan_fp32_direct(layer, machine, cores),
+    "fp32_wino": lambda layer, machine, cores: plan_fp32_wino(layer, 4, machine, cores),
+}
+
+
+def predict_layer_times(
+    layer: LayerConfig,
+    machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+    impls: List[str] | None = None,
+) -> Dict[str, float]:
+    """Predicted execution time (seconds) per implementation."""
+    impls = list(ALL_PLANS) if impls is None else impls
+    out = {}
+    for name in impls:
+        plan = ALL_PLANS[name](layer, machine, cores)
+        out[name] = plan.total_time(machine, cores)
+    return out

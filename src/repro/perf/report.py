@@ -1,0 +1,69 @@
+"""Human-readable execution-plan reports.
+
+Renders everything the planner decided for one layer -- algorithm
+geometry, blocking, per-stage roofline components, the static schedule
+-- as a text report.  Exposed on the CLI as ``python -m repro plan
+<layer>``; useful both for debugging the model and as documentation of
+how a layer actually executes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..parallel import StaticSchedule
+from ..workloads import LayerConfig
+from .machine import CASCADE_LAKE_8C, MachineModel
+from .plans import ALL_PLANS, ImplPlan
+
+__all__ = ["format_plan", "layer_report"]
+
+
+def format_plan(plan: ImplPlan, machine: MachineModel = CASCADE_LAKE_8C,
+                cores: int | None = None) -> str:
+    cores = machine.cores if cores is None else cores
+    lines = [f"{plan.impl} on {plan.layer}:"]
+    if "gemm_dims" in plan.meta:
+        t, n, c, k = plan.meta["gemm_dims"]
+        lines.append(f"  batched GEMM: T={t} x ({n} x {c}) @ ({c} x {k})")
+    if "blocking" in plan.meta:
+        b = plan.meta["blocking"]
+        lines.append(
+            f"  blocking: N_blk={b.n_blk} C_blk={b.c_blk} K_blk={b.k_blk} "
+            f"register tile {b.row_blk}x{b.col_blk} "
+            f"({b.accumulator_registers} ZMM live)"
+        )
+    total = plan.total_time(machine, cores)
+    for stage in plan.stages:
+        time = stage.time(machine, cores)
+        lines.append(
+            f"  {stage.name:18s} {time * 1e3:9.3f} ms  "
+            f"[{stage.bound(machine, cores)}-bound, "
+            f"{time / total:5.1%} of total, balance {stage.balance:.2f}]"
+        )
+    lines.append(f"  {'total':18s} {total * 1e3:9.3f} ms on {cores} cores")
+    return "\n".join(lines)
+
+
+def layer_report(layer: LayerConfig, machine: MachineModel = CASCADE_LAKE_8C,
+                 cores: int | None = None, impls: List[str] | None = None) -> str:
+    """Full report: every implementation's plan plus the schedule stats."""
+    cores = machine.cores if cores is None else cores
+    impls = list(ALL_PLANS) if impls is None else impls
+    parts = [
+        f"Layer {layer.name}: B={layer.batch} C={layer.c} K={layer.k} "
+        f"HxW={layer.hw} r={layer.r} pad={layer.padding} "
+        f"({layer.direct_macs / 1e9:.2f} G direct MACs)",
+        "",
+    ]
+    for name in impls:
+        plan = ALL_PLANS[name](layer, machine, cores)
+        parts.append(format_plan(plan, machine, cores))
+        parts.append("")
+    tiles = layer.batch * layer.tiles(2)
+    schedule = StaticSchedule.for_tasks(tiles, cores)
+    parts.append(
+        f"static schedule (F(2,3) tiles): {tiles} tasks over {cores} threads, "
+        f"imbalance {schedule.imbalance():.3f}"
+    )
+    return "\n".join(parts)

@@ -1,0 +1,46 @@
+"""Post-training quantization substrate.
+
+Linear symmetric quantization (Eqs. 4-6), histogram observers, TensorRT-
+style KL-divergence calibration (Eq. 7), and the spatial- vs Winograd-
+domain schemes that distinguish the baselines from LoWino.
+"""
+
+from .affine import AffineQuantParams, affine_dequantize, affine_quantize
+from .calibration import CalibrationResult, EntropyCalibrator, kl_divergence_threshold
+from .linear import (
+    QuantParams,
+    dequantize,
+    quantize,
+    quantize_uint8_biased,
+    scale_for_threshold,
+)
+from .observer import HistogramObserver, MinMaxObserver
+from .requant import RequantizedConv, requantize
+from .schemes import (
+    WinogradDomainCalibrator,
+    per_position_minmax_params,
+    per_tensor_minmax_params,
+    spatial_params_from_tensor,
+)
+
+__all__ = [
+    "AffineQuantParams",
+    "affine_dequantize",
+    "affine_quantize",
+    "CalibrationResult",
+    "EntropyCalibrator",
+    "kl_divergence_threshold",
+    "QuantParams",
+    "dequantize",
+    "quantize",
+    "quantize_uint8_biased",
+    "scale_for_threshold",
+    "HistogramObserver",
+    "MinMaxObserver",
+    "RequantizedConv",
+    "requantize",
+    "WinogradDomainCalibrator",
+    "per_position_minmax_params",
+    "per_tensor_minmax_params",
+    "spatial_params_from_tensor",
+]

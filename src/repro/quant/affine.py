@@ -1,0 +1,88 @@
+"""Affine (asymmetric) quantization.
+
+The paper uses symmetric quantization plus the +128 compensation trick;
+an equivalent formulation is *affine* UINT8 quantization with a zero
+point of 128.  This module provides general affine quantization --
+arbitrary zero point, signed or unsigned storage -- both as a library
+capability (post-ReLU tensors waste half the symmetric range; affine
+recovers it) and to make the equivalence explicit:
+
+    symmetric INT8 value q  + 128  ==  affine UINT8 with z = 128
+
+which `tests/quant/test_affine.py` proves against
+:func:`repro.quant.linear.quantize_uint8_biased`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AffineQuantParams", "affine_quantize", "affine_dequantize"]
+
+
+@dataclass(frozen=True)
+class AffineQuantParams:
+    """``q = clip(round(x * scale) + zero_point)`` on ``bits``-wide ints.
+
+    ``unsigned=True`` stores in ``[0, 2^b - 1]`` (UINT8-style),
+    otherwise in ``[-2^(b-1), 2^(b-1) - 1]``.
+    """
+
+    scale: np.ndarray
+    zero_point: int
+    bits: int = 8
+    unsigned: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "scale", np.asarray(self.scale, dtype=np.float64))
+        if self.bits < 2 or self.bits > 16:
+            raise ValueError(f"unsupported bit width {self.bits}")
+        if np.any(self.scale <= 0) or not np.all(np.isfinite(self.scale)):
+            raise ValueError("scale must be finite and positive")
+        if not self.qmin <= self.zero_point <= self.qmax:
+            raise ValueError(
+                f"zero point {self.zero_point} outside [{self.qmin}, {self.qmax}]"
+            )
+
+    @property
+    def qmin(self) -> int:
+        return 0 if self.unsigned else -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return (1 << self.bits) - 1 if self.unsigned else (1 << (self.bits - 1)) - 1
+
+    @property
+    def dtype(self):
+        if self.bits <= 8:
+            return np.uint8 if self.unsigned else np.int8
+        return np.uint16 if self.unsigned else np.int16
+
+    @classmethod
+    def from_min_max(cls, lo: float, hi: float, bits: int = 8,
+                     unsigned: bool = True) -> "AffineQuantParams":
+        """Standard asymmetric calibration: map ``[lo, hi]`` onto the
+        full integer range, nudging so that FP zero is exactly
+        representable (required so zero padding stays exact)."""
+        lo = min(float(lo), 0.0)
+        hi = max(float(hi), 0.0)
+        if hi == lo:
+            hi = lo + 1.0
+        qmin = 0 if unsigned else -(1 << (bits - 1))
+        qmax = (1 << bits) - 1 if unsigned else (1 << (bits - 1)) - 1
+        scale = (qmax - qmin) / (hi - lo)
+        zero_point = int(round(qmin - lo * scale))
+        zero_point = int(np.clip(zero_point, qmin, qmax))
+        return cls(scale=scale, zero_point=zero_point, bits=bits, unsigned=unsigned)
+
+
+def affine_quantize(x: np.ndarray, params: AffineQuantParams) -> np.ndarray:
+    q = np.rint(np.asarray(x, dtype=np.float64) * params.scale) + params.zero_point
+    np.clip(q, params.qmin, params.qmax, out=q)
+    return q.astype(params.dtype)
+
+
+def affine_dequantize(q: np.ndarray, params: AffineQuantParams) -> np.ndarray:
+    return (np.asarray(q, dtype=np.float64) - params.zero_point) / params.scale

@@ -1,0 +1,175 @@
+"""KL-divergence threshold calibration (paper Eq. 7).
+
+Implements the TensorRT-style entropy calibration [Migacz 2017] LoWino
+uses to pick the quantization threshold ``tau``:
+
+    tau = argmin_tau' KL( P(X) || P(Q_tau'(X)) )
+
+The search scans truncation points ``i`` over the magnitude histogram.
+For each candidate, the reference distribution ``P`` is the histogram
+clipped at ``i`` with the clipped-off mass folded into the last bin
+(saturation), and ``Q`` is what an INT8 quantizer would reconstruct:
+the ``i`` bins are merged into ``qlevels = 2^(b-1)`` quantization levels
+and re-expanded uniformly over the nonzero source bins.  The ``i``
+minimizing ``KL(P || Q)`` defines ``tau = (i + 0.5) * bin_width``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import entropy
+
+from .observer import HistogramObserver
+
+__all__ = ["kl_divergence_threshold", "EntropyCalibrator", "CalibrationResult"]
+
+
+def _quantized_reconstruction(hist: np.ndarray, qlevels: int) -> np.ndarray:
+    """Merge ``hist`` into ``qlevels`` buckets and expand back uniformly.
+
+    The expansion distributes each bucket's mass evenly over the source
+    bins that were *nonzero*, mirroring how dequantized values land only
+    where data existed.  Fully vectorized (this runs hundreds of times
+    per threshold search).
+    """
+    nbins = hist.size
+    edges = np.linspace(0, nbins, qlevels + 1).astype(np.int64)
+    # Bucket index of every bin, then per-bucket mass / live-bin counts.
+    bucket = np.searchsorted(edges[1:], np.arange(nbins), side="right")
+    starts = np.unique(edges[:-1])
+    mass = np.add.reduceat(hist, starts)
+    nonzero = hist > 0
+    live = np.add.reduceat(nonzero.astype(np.int64), starts)
+    # Map reduceat segments back to the full qlevels indexing.
+    seg_of_bucket = np.searchsorted(starts, edges[:-1], side="right") - 1
+    per_bucket = np.zeros(qlevels, dtype=np.float64)
+    valid = live[seg_of_bucket] > 0
+    per_bucket[valid] = mass[seg_of_bucket][valid] / live[seg_of_bucket][valid]
+    out = np.where(nonzero, per_bucket[bucket], 0.0)
+    return out
+
+
+def kl_divergence_threshold(
+    observer: HistogramObserver,
+    bits: int = 8,
+    min_bins: int | None = None,
+    stride: int = 1,
+) -> "CalibrationResult":
+    """Scan truncation points and return the KL-optimal threshold.
+
+    Parameters
+    ----------
+    observer:
+        A populated :class:`HistogramObserver`.
+    bits:
+        Target signed bit width; the quantizer has ``2^(b-1)`` magnitude
+        levels (128 for INT8).
+    min_bins:
+        Smallest truncation point to consider (defaults to the number of
+        quantization levels, as in TensorRT).
+    stride:
+        Evaluate every ``stride``-th truncation point (speed knob; 1 =
+        exhaustive).
+    """
+    if observer.count == 0:
+        raise RuntimeError("cannot calibrate an empty observer")
+    qlevels = 1 << (bits - 1)
+    counts = observer.counts.astype(np.float64)
+    nbins = counts.size
+    # Zero-bin smoothing (TensorRT's `bins[0] = bins[1]`): post-ReLU
+    # tensors concentrate enormous mass at zero; left as-is that spike
+    # dominates the KL objective and drives the search toward absurdly
+    # small truncation points that clip real signal.
+    if nbins >= 2:
+        counts[0] = counts[1]
+    start = qlevels if min_bins is None else max(min_bins, 2)
+    top = int(np.flatnonzero(counts)[-1]) + 1 if counts.any() else 0
+    if top <= start:
+        # Degenerate histogram: everything fits below the minimum scan
+        # point; fall back to the max-abs threshold.
+        tau = observer.threshold_minmax()
+        return CalibrationResult(threshold=tau, kl=0.0, bin_index=top, scanned=0)
+
+    tail = counts[::-1].cumsum()[::-1]  # tail[i] = counts[i:].sum()
+
+    def kl_at(i: int) -> float:
+        ref = counts[:i].copy()
+        ref[-1] += tail[i] if i < nbins else 0.0  # saturated mass
+        ref_sum = ref.sum()
+        if ref_sum == 0:
+            return np.inf
+        cand = _quantized_reconstruction(counts[:i], qlevels)
+        cand_sum = cand.sum()
+        if cand_sum == 0:
+            return np.inf
+        # entropy() treats qk==0 where pk>0 as infinite KL, which
+        # correctly penalizes reconstructions that drop populated bins.
+        return float(entropy(ref / ref_sum, cand / cand_sum))
+
+    # Coarse-to-fine search: scan at a coarse stride, then refine around
+    # the best coarse point at the requested stride.  KL(i) is smooth
+    # enough in practice that this matches the exhaustive scan.
+    coarse = max(stride, 16)
+    best_kl = np.inf
+    best_i = top
+    scanned = 0
+    candidates = list(range(start, top + 1, coarse))
+    if candidates[-1] != top:
+        candidates.append(top)
+    for i in candidates:
+        kl = kl_at(i)
+        scanned += 1
+        if np.isfinite(kl) and kl < best_kl:
+            best_kl, best_i = kl, i
+    lo = max(start, best_i - coarse)
+    hi = min(top, best_i + coarse)
+    for i in range(lo, hi + 1, stride):
+        kl = kl_at(i)
+        scanned += 1
+        if np.isfinite(kl) and kl < best_kl:
+            best_kl, best_i = kl, i
+    tau = (best_i + 0.5) * observer.bin_width
+    return CalibrationResult(
+        threshold=tau,
+        kl=best_kl if np.isfinite(best_kl) else 0.0,
+        bin_index=best_i,
+        scanned=scanned,
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a threshold search."""
+
+    threshold: float
+    kl: float
+    bin_index: int
+    scanned: int
+
+
+class EntropyCalibrator:
+    """Batch-wise calibration driver for one tensor (or tensor slice).
+
+    Feed calibration batches with :meth:`collect`; call :meth:`threshold`
+    to run the KL search.  ``method='minmax'`` bypasses the search and
+    returns ``||x||_inf`` (the non-optimal baseline the paper mentions).
+    """
+
+    def __init__(self, bins: int = 2048, bits: int = 8, stride: int = 1) -> None:
+        self.observer = HistogramObserver(bins=bins)
+        self.bits = bits
+        self.stride = stride
+
+    def collect(self, x: np.ndarray) -> None:
+        self.observer.observe(x)
+
+    def threshold(self, method: str = "kl") -> float:
+        if method == "kl":
+            return kl_divergence_threshold(
+                self.observer, bits=self.bits, stride=self.stride
+            ).threshold
+        if method == "minmax":
+            return self.observer.threshold_minmax()
+        raise ValueError(f"unknown calibration method {method!r}")

@@ -1,0 +1,112 @@
+"""Linear symmetric quantization with saturation (paper Eqs. 4-6).
+
+The quantizer maps FP32 values into signed ``b``-bit integers::
+
+    Q(x)  = saturate_int8(round(alpha * x))        alpha = (2^(b-1) - 1) / tau
+    Q'(q) = q / alpha
+
+``tau`` is the calibration threshold: values in ``[-tau, +tau]`` map onto
+the full integer range, values outside saturate.  LoWino applies this in
+the *Winograd domain*; the baselines apply it in the spatial domain.  The
+functions are domain-agnostic -- the schemes in
+:mod:`repro.quant.schemes` decide what tensor they are applied to.
+
+Rounding is round-half-to-even (``np.rint``), matching x86 SIMD
+``cvtps2dq`` default rounding, which is what a VNNI kernel would use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantParams",
+    "scale_for_threshold",
+    "quantize",
+    "dequantize",
+    "quantize_uint8_biased",
+]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor (or per-slice) symmetric quantization parameters.
+
+    Attributes
+    ----------
+    scale:
+        ``alpha`` of Eq. 5 -- multiply FP32 by this to reach integer space.
+        May be a scalar or an ndarray broadcastable against the tensor
+        (e.g. one scale per Winograd tile position).
+    bits:
+        Bit width of the signed integer target (8 for INT8).
+    """
+
+    scale: np.ndarray
+    bits: int = 8
+
+    def __post_init__(self):
+        object.__setattr__(self, "scale", np.asarray(self.scale, dtype=np.float64))
+        if self.bits < 2 or self.bits > 16:
+            raise ValueError(f"unsupported bit width {self.bits}")
+        if np.any(self.scale <= 0) or not np.all(np.isfinite(self.scale)):
+            raise ValueError("quantization scale must be finite and positive")
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -self.qmax - 1
+
+    @property
+    def threshold(self) -> np.ndarray:
+        """tau implied by the scale (Eq. 5 inverted)."""
+        return self.qmax / self.scale
+
+    @classmethod
+    def from_threshold(cls, tau, bits: int = 8) -> "QuantParams":
+        return cls(scale=scale_for_threshold(tau, bits=bits), bits=bits)
+
+
+def scale_for_threshold(tau, bits: int = 8) -> np.ndarray:
+    """Eq. 5: alpha = (2^(b-1) - 1) / tau.
+
+    ``tau`` may be scalar or array; zero/negative thresholds are clamped
+    to a tiny positive value so all-zero calibration slices stay usable.
+    """
+    tau = np.asarray(tau, dtype=np.float64)
+    tau = np.maximum(tau, np.finfo(np.float64).tiny * 1e20)
+    return ((1 << (bits - 1)) - 1) / tau
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Eq. 4: saturating linear quantization to signed integers.
+
+    Returns ``int8`` for ``bits <= 8``, ``int16`` otherwise.
+    """
+    q = np.rint(np.asarray(x, dtype=np.float64) * params.scale)
+    np.clip(q, params.qmin, params.qmax, out=q)
+    return q.astype(np.int8 if params.bits <= 8 else np.int16)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Eq. 6: recover FP values, ``q / alpha``."""
+    return np.asarray(q, dtype=np.float64) / params.scale
+
+
+def quantize_uint8_biased(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize and add the +128 compensation bias (Section 4.2.1).
+
+    ``vpdpbusd`` requires its first operand to be *unsigned*; LoWino
+    quantizes to signed INT8 and adds 128 during the input transform so
+    the stored operand is UINT8.  The filter-side correction term
+    ``-128 * sum_C(U)`` removes the bias again (Eq. 9).
+    """
+    if params.bits != 8:
+        raise ValueError("the +128 compensation trick is specific to 8-bit data")
+    q = quantize(x, params).astype(np.int16)
+    return (q + 128).astype(np.uint8)

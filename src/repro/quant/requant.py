@@ -1,0 +1,106 @@
+"""Output requantization: keeping activations INT8 between layers.
+
+The paper's pipeline de-quantizes the GEMM accumulators to FP32 in the
+output-transform stage (Fig. 3).  Deployed INT8 networks additionally
+*re-quantize* the FP32 output (fused with ReLU) so the next layer reads
+INT8 -- oneDNN's quantize/de-quantize steps that the paper's baselines
+"include" in their timings.  This module provides that deployment glue:
+
+* :func:`requantize` -- fused ReLU + saturating INT8 quantization;
+* :class:`RequantizedConv` -- wraps any convolution engine of this
+  repository so its outputs stay INT8, with calibration of the output
+  threshold over sample batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .linear import QuantParams, dequantize, quantize
+from .observer import HistogramObserver
+from .calibration import kl_divergence_threshold
+
+__all__ = ["requantize", "RequantizedConv"]
+
+
+def requantize(
+    y_fp: np.ndarray, params: QuantParams, relu: bool = False
+) -> np.ndarray:
+    """Quantize an FP32 layer output to INT8, optionally fusing ReLU.
+
+    The fusion order matters and matches deployment practice: clamp at
+    zero first, then quantize -- so the negative half of the INT8 range
+    is never wasted encoding values ReLU would discard... except that a
+    *symmetric* quantizer keeps the zero point at 0 either way; the
+    saving is purely the avoided extra pass over the data.
+    """
+    if relu:
+        y_fp = np.maximum(y_fp, 0.0)
+    return quantize(y_fp, params)
+
+
+class RequantizedConv:
+    """INT8-in / INT8-out convolution wrapper.
+
+    ``engine`` is any callable NCHW-FP32 -> NCHW-FP32 convolution from
+    this repository (LoWinoConv2d, Int8DirectConv2d, ...).  The wrapper
+    owns the *input* de-quantization and *output* re-quantization, so a
+    chain of RequantizedConv layers passes INT8 tensors end to end::
+
+        q1 = layer1(q0)        # int8 -> int8
+        q2 = layer2(q1)
+
+    Calibrate the output threshold with :meth:`calibrate_output` (KL by
+    default, like the input thresholds).
+    """
+
+    def __init__(
+        self,
+        engine: Callable[[np.ndarray], np.ndarray],
+        input_params: QuantParams,
+        output_params: Optional[QuantParams] = None,
+        relu: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.input_params = input_params
+        self.output_params = output_params
+        self.relu = relu
+
+    def calibrate_output(
+        self, sample_batches: Iterable[np.ndarray], method: str = "kl",
+        bits: int = 8,
+    ) -> "RequantizedConv":
+        """Fix the output threshold from FP32 sample batches."""
+        obs = HistogramObserver()
+        for batch in sample_batches:
+            y = self.engine(np.asarray(batch, dtype=np.float64))
+            if self.relu:
+                y = np.maximum(y, 0.0)
+            obs.observe(y)
+        if method == "kl":
+            tau = kl_divergence_threshold(obs, bits=bits).threshold
+        elif method == "minmax":
+            tau = obs.threshold_minmax()
+        else:
+            raise ValueError(f"unknown calibration method {method!r}")
+        self.output_params = QuantParams.from_threshold(tau, bits=bits)
+        return self
+
+    def __call__(self, q_in: np.ndarray) -> np.ndarray:
+        """INT8 NCHW in, INT8 NCHW out."""
+        if self.output_params is None:
+            raise RuntimeError(
+                "output threshold not calibrated; call calibrate_output()"
+            )
+        if q_in.dtype != np.int8:
+            raise ValueError(f"expected int8 input, got {q_in.dtype}")
+        x = dequantize(q_in, self.input_params)
+        y = self.engine(x)
+        return requantize(y, self.output_params, relu=self.relu)
+
+    def dequantize_output(self, q_out: np.ndarray) -> np.ndarray:
+        if self.output_params is None:
+            raise RuntimeError("output threshold not calibrated")
+        return dequantize(q_out, self.output_params)

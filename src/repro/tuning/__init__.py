@@ -1,0 +1,17 @@
+"""Auto-tuning of blocking parameters + wisdom-file persistence."""
+
+from .model_planner import LayerChoice, ModelPlan, plan_model
+from .search import TuneResult, candidate_space, gemm_stage_cost, tune_gemm
+from .wisdom import WisdomFile, problem_key
+
+__all__ = [
+    "LayerChoice",
+    "ModelPlan",
+    "plan_model",
+    "TuneResult",
+    "candidate_space",
+    "gemm_stage_cost",
+    "tune_gemm",
+    "WisdomFile",
+    "problem_key",
+]

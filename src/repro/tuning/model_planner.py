@@ -1,0 +1,126 @@
+"""Whole-model algorithm planning.
+
+The paper's future work item 1: "explore an automatic mechanism to
+select the optimal algorithm for a convolutional layer among direct,
+Winograd, and others".  :func:`plan_model` applies that mechanism to an
+entire network: it traces one forward pass to learn every convolution's
+input geometry, prices direct / LoWino F(2,3) / LoWino F(4,3) with the
+cost model, and returns a per-layer choice.  ``quantize_model(...,
+algorithm='auto')`` consumes the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..nn.layers import Conv2d
+from ..nn.model import Sequential, named_convs
+from ..perf import CASCADE_LAKE_8C, MachineModel, predict_layer_times
+from ..workloads import LayerConfig
+
+__all__ = ["LayerChoice", "ModelPlan", "plan_model"]
+
+#: Candidate implementations priced per layer.
+_CANDIDATES = ("onednn_direct", "lowino_f2", "lowino_f4")
+
+
+@dataclass(frozen=True)
+class LayerChoice:
+    """Selected implementation for one convolution."""
+
+    layer_name: str
+    algorithm: str  # 'int8_direct' or 'lowino'
+    m: int  # 0 for direct
+    predicted_time: float
+    alternatives: Dict[str, float]
+
+    @property
+    def speedup_vs_direct(self) -> float:
+        return self.alternatives["onednn_direct"] / self.predicted_time
+
+
+@dataclass
+class ModelPlan:
+    """Per-layer choices plus whole-model aggregates."""
+
+    choices: Dict[str, LayerChoice]
+
+    @property
+    def total_time(self) -> float:
+        return sum(c.predicted_time for c in self.choices.values())
+
+    @property
+    def total_direct_time(self) -> float:
+        return sum(c.alternatives["onednn_direct"] for c in self.choices.values())
+
+    @property
+    def speedup_vs_direct(self) -> float:
+        return self.total_direct_time / self.total_time
+
+    def summary(self) -> str:
+        lines = [f"{'layer':20s} {'choice':14s} {'time':>10s} {'vs direct':>10s}"]
+        for name, c in self.choices.items():
+            label = "direct" if c.algorithm == "int8_direct" else f"lowino F({c.m},3)"
+            lines.append(
+                f"{name:20s} {label:14s} {c.predicted_time * 1e3:9.3f}m "
+                f"{c.speedup_vs_direct:9.2f}x"
+            )
+        lines.append(
+            f"model total: {self.total_time * 1e3:.3f} ms, "
+            f"{self.speedup_vs_direct:.2f}x vs always-direct"
+        )
+        return "\n".join(lines)
+
+
+def _trace_conv_inputs(
+    model: Sequential, input_shape: Tuple[int, ...]
+) -> Dict[int, Tuple[int, ...]]:
+    """One dummy forward pass recording each conv's input shape."""
+    captures: Dict[int, List[np.ndarray]] = {}
+    dummy = np.zeros(input_shape)
+    model.forward_capture(dummy, captures)
+    return {conv_id: batches[0].shape for conv_id, batches in captures.items()}
+
+
+def plan_model(
+    model: Sequential,
+    input_shape: Tuple[int, ...],
+    machine: MachineModel = CASCADE_LAKE_8C,
+    cores: int | None = None,
+) -> ModelPlan:
+    """Choose the predicted-fastest INT8 implementation per convolution.
+
+    ``input_shape`` is the NCHW shape the model will be run with (the
+    batch dimension matters: batch-1 inference favours direct on small
+    layers, exactly the Table 2 YOLO/U-Net pattern).
+    """
+    shapes = _trace_conv_inputs(model, input_shape)
+    choices: Dict[str, LayerChoice] = {}
+    for name, conv in named_convs(model):
+        if id(conv) not in shapes:
+            raise RuntimeError(f"conv {name} not reached by the trace")
+        b, c, h, w = shapes[id(conv)]
+        k = conv.filters.shape[0]
+        r = conv.filters.shape[2]
+        layer = LayerConfig(name=name, batch=b, c=c, k=k, hw=h, r=r,
+                            padding=conv.padding)
+        times = predict_layer_times(layer, machine, cores, impls=list(_CANDIDATES))
+        if not conv.winograd_eligible:
+            # Strided layers run direct regardless of pricing (Winograd
+            # requires unit stride; the DWM decomposition is FP32-only
+            # here).  The stride-1 price is kept as an upper bound.
+            best = "onednn_direct"
+        else:
+            best = min(times, key=times.get)
+        if best == "onednn_direct":
+            algorithm, m = "int8_direct", 0
+        else:
+            algorithm, m = "lowino", int(best[-1])
+        choices[name] = LayerChoice(
+            layer_name=name, algorithm=algorithm, m=m,
+            predicted_time=times[best], alternatives=times,
+        )
+    return ModelPlan(choices=choices)

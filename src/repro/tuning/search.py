@@ -1,0 +1,100 @@
+"""Auto-tuning of GEMM blocking parameters (Section 4.3.4).
+
+The tuner enumerates the blocking space under the paper's constraints
+(``row_blk * col_blk + col_blk < 31`` for the ZMM budget,
+``C_blk * K_blk < 512^2`` for L2 residency, plus the layout
+divisibility rules) and scores each candidate with the same cost model
+the performance experiments use -- the stand-in for the paper's
+measure-on-hardware tuning loop, run "ahead of time since the
+convolutional layer's configuration is already known".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..gemm import BlockingParams, GemmWorkload, L2_ELEM_LIMIT, MAX_ACCUM_REGISTERS
+from ..layout import SIGMA, ceil_div
+from ..perf.machine import CASCADE_LAKE_8C, MachineModel, StageCost
+
+__all__ = ["TuneResult", "candidate_space", "tune_gemm", "gemm_stage_cost"]
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of one tuning run."""
+
+    params: BlockingParams
+    predicted_time: float
+    candidates_evaluated: int
+
+
+def candidate_space(n: int, c: int, k: int) -> Iterator[BlockingParams]:
+    """Enumerate valid blocking candidates for a (N, C, K) GEMM."""
+    for row_blk in (2, 4, 6, 8, 10, 14):
+        for col_blk in (1, 2, 4):
+            if row_blk * col_blk + col_blk >= MAX_ACCUM_REGISTERS:
+                continue
+            col_group = col_blk * SIGMA
+            for k_mult in (1, 2, 4, 8):
+                k_blk = col_group * k_mult
+                if k_blk > max(col_group, 2 * k):
+                    continue
+                for c_blk in (4, 16, 32, 64, 128, 256, 512):
+                    if c_blk > max(4, 2 * c) or c_blk % 4:
+                        continue
+                    if c_blk * k_blk >= L2_ELEM_LIMIT:
+                        continue
+                    for n_mult in (1, 2, 4, 8, 16):
+                        n_blk = row_blk * n_mult
+                        if n_blk > max(row_blk, 2 * n) or n_blk > 224:
+                            continue
+                        params = BlockingParams(
+                            n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
+                            row_blk=row_blk, col_blk=col_blk,
+                        )
+                        try:
+                            params.validate()
+                        except ValueError:
+                            continue
+                        yield params
+
+
+def gemm_stage_cost(
+    t: int, n: int, c: int, k: int, params: BlockingParams,
+    machine: MachineModel = CASCADE_LAKE_8C, cores: Optional[int] = None,
+) -> float:
+    """Predicted GEMM stage time for one blocking candidate."""
+    from ..perf.plans import _balance, _gemm_cycles, _gemm_l2_bytes
+
+    cores = machine.cores if cores is None else cores
+    work = GemmWorkload(t=t, n=n, c=c, k=k, params=params)
+    stage = StageCost(
+        name="gemm",
+        cycles=_gemm_cycles(work, machine),
+        dram_bytes=work.t * work.n_pad * work.c_pad + t * c * k + work.bytes_written,
+        l2_bytes=_gemm_l2_bytes(work, 1, 1),
+        balance=_balance(
+            t * ceil_div(n, params.n_blk) * ceil_div(k, params.k_blk), cores
+        ),
+    )
+    return stage.time(machine, cores)
+
+
+def tune_gemm(
+    t: int, n: int, c: int, k: int,
+    machine: MachineModel = CASCADE_LAKE_8C, cores: Optional[int] = None,
+) -> TuneResult:
+    """Exhaustive search of the candidate space; returns the best point."""
+    best: Optional[BlockingParams] = None
+    best_time = float("inf")
+    evaluated = 0
+    for params in candidate_space(n, c, k):
+        time = gemm_stage_cost(t, n, c, k, params, machine, cores)
+        evaluated += 1
+        if time < best_time:
+            best, best_time = params, time
+    if best is None:
+        raise RuntimeError(f"no valid blocking candidate for GEMM ({n}, {c}, {k})")
+    return TuneResult(params=best, predicted_time=best_time, candidates_evaluated=evaluated)

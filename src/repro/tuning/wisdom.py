@@ -1,0 +1,64 @@
+"""Wisdom-file persistence for tuned blocking parameters.
+
+The paper saves auto-tuning results "into a wisdom file and used in
+inference".  The wisdom file here is JSON keyed by the GEMM problem
+signature ``T x N x C x K``; entries round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..gemm import BlockingParams
+from .search import TuneResult, tune_gemm
+
+__all__ = ["WisdomFile", "problem_key"]
+
+
+def problem_key(t: int, n: int, c: int, k: int) -> str:
+    return f"{t}x{n}x{c}x{k}"
+
+
+class WisdomFile:
+    """Load/store tuned blocking parameters.
+
+    >>> wf = WisdomFile(path)
+    >>> params = wf.lookup_or_tune(16, 14400, 512, 512)   # tunes once
+    >>> params = wf.lookup_or_tune(16, 14400, 512, 512)   # cached
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: Dict[str, dict] = {}
+        if self.path.exists():
+            self._entries = json.loads(self.path.read_text())
+
+    def lookup(self, t: int, n: int, c: int, k: int) -> Optional[BlockingParams]:
+        entry = self._entries.get(problem_key(t, n, c, k))
+        if entry is None:
+            return None
+        params = BlockingParams(**entry["params"])
+        params.validate()
+        return params
+
+    def store(self, t: int, n: int, c: int, k: int, result: TuneResult) -> None:
+        self._entries[problem_key(t, n, c, k)] = {
+            "params": asdict(result.params),
+            "predicted_time": result.predicted_time,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(self._entries, indent=2, sort_keys=True))
+
+    def lookup_or_tune(self, t: int, n: int, c: int, k: int, **tune_kwargs) -> BlockingParams:
+        cached = self.lookup(t, n, c, k)
+        if cached is not None:
+            return cached
+        result = tune_gemm(t, n, c, k, **tune_kwargs)
+        self.store(t, n, c, k, result)
+        return result.params
+
+    def __len__(self) -> int:
+        return len(self._entries)

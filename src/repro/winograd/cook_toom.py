@@ -1,0 +1,221 @@
+"""Cook-Toom construction of Winograd transformation matrices.
+
+This is the wincnn-equivalent generator the LoWino paper relies on
+(Section 4.2.4 cites wincnn for the transformation matrices).  Given an
+output tile size ``m`` and filter size ``r`` it produces exact rational
+matrices ``A^T`` (output transform), ``G`` (filter transform) and ``B^T``
+(input transform) such that for a 1D input tile ``d`` of length
+``m + r - 1`` and filter ``g`` of length ``r``::
+
+    y = A^T @ ((G @ g) * (B^T @ d))        # elementwise product
+
+equals the *valid correlation* of ``d`` with ``g`` (``m`` outputs).  The
+2D algorithm F(m x m, r x r) is obtained by nesting (Eq. 1 of the paper).
+
+Derivation
+----------
+Linear convolution of polynomials of degrees ``r-1`` and ``m-1`` is
+recovered from evaluations at ``n = m + r - 1`` points (``n - 1`` finite
+points plus the point at infinity):
+
+    g * v = V^{-1} [(E_r g) . (E_m v)]
+
+with ``E_k`` the n-by-k evaluation matrix and ``V`` the n-by-n evaluation
+matrix of degree-(n-1) polynomials (the infinity row selects the leading
+coefficient).  Valid correlation is the transpose of the convolution-by-g
+linear map, which yields
+
+    y = E_m^T [(E_r g) . (V^{-T} d)]
+
+so ``A^T = E_m^T``, ``G = E_r`` and ``B^T = V^{-T}``.  Following wincnn we
+rebalance a diagonal scale ``f = diag(N_0, ..., N_{n-2}, 1)`` (``N_i`` the
+Lagrange denominators) between ``G`` and ``B^T`` -- ``G <- f^{-1} G``,
+``B^T <- f B^T`` -- which leaves the elementwise product invariant and
+makes ``B^T`` integer for the canonical point sets.  This reproduces the
+matrices quoted in Eq. 2 of the paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import rational
+from .points import canonical_points
+from .rational import FracMatrix
+
+__all__ = ["WinogradAlgorithm", "cook_toom", "winograd_algorithm", "amplification_factor"]
+
+
+def _eval_matrix(points: Sequence[Fraction], width: int) -> FracMatrix:
+    """Evaluation matrix E: rows are [a^0, a^1, ..., a^{width-1}] per finite
+    point, plus a final infinity row selecting the leading coefficient."""
+    rows: FracMatrix = [[p ** j for j in range(width)] for p in points]
+    rows.append([Fraction(int(j == width - 1)) for j in range(width)])
+    return rows
+
+
+def _lagrange_denominators(points: Sequence[Fraction]) -> List[Fraction]:
+    """N_i = prod_{j != i} (a_i - a_j)."""
+    out = []
+    for i, ai in enumerate(points):
+        prod = Fraction(1)
+        for j, aj in enumerate(points):
+            if i != j:
+                prod *= ai - aj
+        out.append(prod)
+    return out
+
+
+@dataclass(frozen=True)
+class WinogradAlgorithm:
+    """A concrete Winograd algorithm F(m x m, r x r).
+
+    Attributes
+    ----------
+    m, r:
+        Output tile size and filter size (per dimension).
+    alpha:
+        Input tile size per dimension, ``m + r - 1``.
+    at_exact, g_exact, bt_exact:
+        Exact rational transformation matrices (``A^T``: m x alpha,
+        ``G``: alpha x r, ``B^T``: alpha x alpha).
+    points:
+        The finite interpolation points used (the point at infinity is
+        implicit).
+    """
+
+    m: int
+    r: int
+    at_exact: Tuple[Tuple[Fraction, ...], ...]
+    g_exact: Tuple[Tuple[Fraction, ...], ...]
+    bt_exact: Tuple[Tuple[Fraction, ...], ...]
+    points: Tuple[Fraction, ...]
+    _float_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def alpha(self) -> int:
+        return self.m + self.r - 1
+
+    @property
+    def tile_elements(self) -> int:
+        """T = alpha^2, the number of independent GEMMs in the 2D algorithm."""
+        return self.alpha * self.alpha
+
+    def _float(self, name: str, exact) -> np.ndarray:
+        arr = self._float_cache.get(name)
+        if arr is None:
+            arr = rational.to_float([list(row) for row in exact])
+            arr.setflags(write=False)
+            self._float_cache[name] = arr
+        return arr
+
+    @property
+    def at(self) -> np.ndarray:
+        """A^T as float64, shape (m, alpha)."""
+        return self._float("at", self.at_exact)
+
+    @property
+    def g(self) -> np.ndarray:
+        """G as float64, shape (alpha, r)."""
+        return self._float("g", self.g_exact)
+
+    @property
+    def bt(self) -> np.ndarray:
+        """B^T as float64, shape (alpha, alpha)."""
+        return self._float("bt", self.bt_exact)
+
+    @property
+    def complexity_reduction(self) -> float:
+        """Theoretical multiplication reduction of the 2D algorithm:
+        (m*r)^2 / alpha^2 (Section 2.2)."""
+        return (self.m * self.r) ** 2 / float(self.alpha**2)
+
+    def input_amplification(self) -> float:
+        """Worst-case 2D value-range growth of ``B^T d B``.
+
+        This is the (max row L1 norm of B^T) squared: 4x for F(2,3) and
+        100x for F(4,3), the figures Section 2.2 quotes.
+        """
+        return amplification_factor(self.bt_exact) ** 2
+
+    def filter_amplification(self) -> float:
+        """Worst-case 2D value-range growth of ``G g G^T``."""
+        return amplification_factor(self.g_exact) ** 2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WinogradAlgorithm(F({self.m}x{self.m}, {self.r}x{self.r}))"
+
+
+def amplification_factor(matrix_exact) -> float:
+    """Max row L1 norm of an exact matrix (1D range-growth bound)."""
+    return float(max(sum(abs(v) for v in row) for row in matrix_exact))
+
+
+def cook_toom(m: int, r: int, points: Optional[Sequence] = None) -> WinogradAlgorithm:
+    """Construct F(m x m, r x r) transformation matrices.
+
+    Parameters
+    ----------
+    m:
+        Output tile size (>= 1).  ``m == 1`` degenerates to direct
+        convolution written as a (trivial) Winograd algorithm.
+    r:
+        Filter size (>= 1).
+    points:
+        Optional explicit finite interpolation points (``m + r - 2`` of
+        them, all distinct).  Defaults to the canonical wincnn sequence.
+    """
+    if m < 1 or r < 1:
+        raise ValueError(f"F({m},{r}) requires m >= 1 and r >= 1")
+    n = m + r - 1
+    if points is None:
+        pts = canonical_points(n - 1)
+    else:
+        pts = [Fraction(p) for p in points]
+        if len(pts) != n - 1:
+            raise ValueError(f"F({m},{r}) needs exactly {n - 1} finite points, got {len(pts)}")
+        if len(set(pts)) != len(pts):
+            raise ValueError("interpolation points must be distinct")
+
+    e_m = _eval_matrix(pts, m)  # n x m
+    e_r = _eval_matrix(pts, r)  # n x r
+    v = _eval_matrix(pts, n)  # n x n
+    at = rational.transpose(e_m)  # m x n
+    bt = rational.transpose(rational.inverse(v))  # n x n = V^{-T}
+    g = [list(row) for row in e_r]
+
+    # Rebalance the Lagrange denominators from G into B^T (wincnn's `f`).
+    denoms = _lagrange_denominators(pts) + [Fraction(1)]
+    for i, ni in enumerate(denoms):
+        g[i] = [x / ni for x in g[i]]
+        rational.scale_row(bt, i, ni)
+
+    # Sign canonicalization: make the first nonzero entry of each B^T row
+    # positive, flipping the matching G row to keep the algorithm exact.
+    # This reproduces the matrices of Lavin & Gray / LoWino Eq. 2.
+    for i in range(n):
+        lead = next((x for x in bt[i] if x != 0), Fraction(1))
+        if lead < 0:
+            rational.scale_row(bt, i, Fraction(-1))
+            g[i] = [-x for x in g[i]]
+
+    freeze = lambda mat: tuple(tuple(row) for row in mat)
+    return WinogradAlgorithm(
+        m=m,
+        r=r,
+        at_exact=freeze(at),
+        g_exact=freeze(g),
+        bt_exact=freeze(bt),
+        points=tuple(pts),
+    )
+
+
+@lru_cache(maxsize=None)
+def winograd_algorithm(m: int, r: int) -> WinogradAlgorithm:
+    """Cached :func:`cook_toom` with canonical points."""
+    return cook_toom(m, r)

@@ -1,0 +1,72 @@
+"""Quantitative error analysis of Winograd-domain quantization.
+
+Barabasz et al. (reference [1] of the paper) analyze rounding error in
+Winograd convolution through the transform matrices' norms; the same
+machinery predicts *quantization* noise.  The key observation for
+LoWino-style pipelines with per-tile-position scales:
+
+* the quantization step of position ``p`` of ``V`` tracks that
+  position's dynamic range, which for Gaussian-ish inputs scales with
+  ``||bt_p||_2`` (the L2 norm of row ``p`` of ``B^T``) -- likewise
+  ``||g_p||_2`` for the filter operand;
+* the output transform maps position-(p, q) product noise to the
+  spatial domain with weight ``at[i,p] * at[j,q]``.
+
+Summing variances gives the per-algorithm noise gain
+
+    c_i   = sum_p at[i,p]^2 ||bt_p||^2 ||g_p||^2          (1D factor)
+    gain  = sqrt( mean_{i,j} c_i c_j )                    (2D nesting)
+
+which orders algorithms and interpolation-point sets the same way the
+empirical ablations do (F(2,3) << F(4,3)-mixed < F(4,3)-Lavin <
+F(6,3)), making the point-set extension checkable against theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cook_toom import WinogradAlgorithm
+
+__all__ = ["QuantErrorModel", "quant_error_model", "relative_noise_gain"]
+
+
+@dataclass(frozen=True)
+class QuantErrorModel:
+    """Noise-propagation constants of one Winograd algorithm."""
+
+    m: int
+    r: int
+    #: Worst-case 2D value growth of ``B^T d B`` (Section 2.2's 4x/100x).
+    input_amplification: float
+    #: Position-weighted output noise gain (see module docstring).
+    noise_gain: float
+
+    def snr_db(self, bits: int = 8) -> float:
+        """Indicative SNR for unit-variance operands: the quantization
+        step is ``~4 sigma / 2^{b-1}`` per operand (per-position max
+        scaling), noise ~doubles in the product, then scales by the
+        algorithm's noise gain relative to F(1,r) (== direct)."""
+        rel_step = 4.0 / (1 << (bits - 1))
+        per_operand = rel_step / np.sqrt(12.0)
+        noise = np.sqrt(2.0) * per_operand * self.noise_gain
+        return float(-20.0 * np.log10(max(noise, 1e-300)))
+
+
+def relative_noise_gain(alg: WinogradAlgorithm) -> float:
+    """The position-weighted quantization-noise gain of the 2D algorithm."""
+    bt_sq = (alg.bt**2).sum(axis=1)  # ||bt_p||^2 per position
+    g_sq = (alg.g**2).sum(axis=1)  # ||g_p||^2 per position
+    c = (alg.at**2 * (bt_sq * g_sq)[None, :]).sum(axis=1)  # per output row
+    return float(np.sqrt(np.mean(np.outer(c, c))))
+
+
+def quant_error_model(alg: WinogradAlgorithm) -> QuantErrorModel:
+    return QuantErrorModel(
+        m=alg.m,
+        r=alg.r,
+        input_amplification=alg.input_amplification(),
+        noise_gain=relative_noise_gain(alg),
+    )

@@ -1,0 +1,196 @@
+"""N-dimensional Winograd convolution (1D / 2D / 3D).
+
+The 2D algorithm of Eq. 1 nests one 1D transform per spatial axis; the
+same nesting extends to any dimensionality (Jia et al., PPoPP'18 --
+reference [17] of the paper).  This module generalizes the transform,
+tiling and reference-convolution machinery to ``d`` spatial dimensions:
+
+    V = B^T x_1 (B^T x_2 (... d ...)) ,   elementwise product,   A^T ...
+
+1D covers temporal/sequence convolutions, 3D covers video/volumetric
+models.  The complexity reduction grows as ``((m r)^d / (m+r-1)^d)``,
+and so does the range amplification -- ``(max row L1 of B^T)^d`` --
+which is why low-precision 3D Winograd is even more hostile to
+spatial-domain quantization than 2D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .cook_toom import WinogradAlgorithm
+
+__all__ = [
+    "transform_nd",
+    "NdTileGrid",
+    "tile_grid_nd",
+    "extract_tiles_nd",
+    "assemble_output_nd",
+    "direct_convnd_fp32",
+    "winograd_convnd_fp32",
+]
+
+
+def transform_nd(mat: np.ndarray, tiles: np.ndarray, ndim: int) -> np.ndarray:
+    """Apply ``mat`` along each of the last ``ndim`` axes of ``tiles``."""
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")
+    out = tiles
+    for axis in range(ndim):
+        # Move the target axis last, contract, move it back.
+        moved = np.moveaxis(out, -1 - axis, -1)
+        moved = np.einsum("...j,oj->...o", moved, mat)
+        out = np.moveaxis(moved, -1, -1 - axis)
+    return out
+
+
+@dataclass(frozen=True)
+class NdTileGrid:
+    """Tile geometry of a d-dimensional decomposition."""
+
+    m: int
+    r: int
+    in_shape: Tuple[int, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.in_shape)
+
+    @property
+    def alpha(self) -> int:
+        return self.m + self.r - 1
+
+    @property
+    def out_shape(self) -> Tuple[int, ...]:
+        return tuple(s - self.r + 1 for s in self.in_shape)
+
+    @property
+    def tiles_shape(self) -> Tuple[int, ...]:
+        return tuple(-(-o // self.m) for o in self.out_shape)
+
+    @property
+    def tiles_per_image(self) -> int:
+        return int(np.prod(self.tiles_shape))
+
+    @property
+    def padded_in_shape(self) -> Tuple[int, ...]:
+        return tuple((t - 1) * self.m + self.alpha for t in self.tiles_shape)
+
+
+def tile_grid_nd(alg: WinogradAlgorithm, in_shape: Tuple[int, ...]) -> NdTileGrid:
+    if any(s < alg.r for s in in_shape):
+        raise ValueError(f"input {in_shape} smaller than filter r={alg.r}")
+    return NdTileGrid(m=alg.m, r=alg.r, in_shape=tuple(in_shape))
+
+
+def extract_tiles_nd(grid: NdTileGrid, images: np.ndarray) -> np.ndarray:
+    """``(B, C, *S)`` -> ``(B, C, *tiles, *(alpha,)*d)`` with overlap."""
+    b, c = images.shape[:2]
+    spatial = images.shape[2:]
+    if spatial != grid.in_shape:
+        raise ValueError(f"image spatial shape {spatial} != grid {grid.in_shape}")
+    padded_shape = (b, c) + grid.padded_in_shape
+    if padded_shape != images.shape:
+        padded = np.zeros(padded_shape, dtype=images.dtype)
+        padded[(slice(None), slice(None)) + tuple(slice(0, s) for s in spatial)] = images
+    else:
+        padded = images
+    strides = padded.strides
+    tile_strides = tuple(s * grid.m for s in strides[2:])
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(b, c) + grid.tiles_shape + (grid.alpha,) * grid.ndim,
+        strides=strides[:2] + tile_strides + strides[2:],
+        writeable=False,
+    )
+    return np.ascontiguousarray(view)
+
+
+def assemble_output_nd(grid: NdTileGrid, tiles: np.ndarray) -> np.ndarray:
+    """``(B, K, *tiles, *(m,)*d)`` -> ``(B, K, *out_shape)``."""
+    b, k = tiles.shape[:2]
+    d = grid.ndim
+    expected = (b, k) + grid.tiles_shape + (grid.m,) * d
+    if tiles.shape != expected:
+        raise ValueError(f"tile array shape {tiles.shape} != {expected}")
+    # Interleave (tile_i, m_i) axis pairs: (B, K, t1, m1, t2, m2, ...).
+    order = [0, 1]
+    for i in range(d):
+        order += [2 + i, 2 + d + i]
+    full = tiles.transpose(order).reshape(
+        (b, k) + tuple(t * grid.m for t in grid.tiles_shape)
+    )
+    crop = (slice(None), slice(None)) + tuple(slice(0, o) for o in grid.out_shape)
+    return np.ascontiguousarray(full[crop])
+
+
+def direct_convnd_fp32(images: np.ndarray, filters: np.ndarray) -> np.ndarray:
+    """Reference d-dimensional VALID correlation, NC+spatial layout.
+
+    ``images``: ``(B, C, *S)``; ``filters``: ``(K, C, *(r,)*d)``.
+    Straightforward sliding-window contraction; used as ground truth.
+    """
+    b, c = images.shape[:2]
+    k, c2 = filters.shape[:2]
+    if c != c2:
+        raise ValueError(f"channel mismatch {c} vs {c2}")
+    d = images.ndim - 2
+    r_shape = filters.shape[2:]
+    out_shape = tuple(s - r + 1 for s, r in zip(images.shape[2:], r_shape))
+    if any(o < 1 for o in out_shape):
+        raise ValueError("filter larger than image")
+    # Window view: (B, C, *out_shape, *r_shape).
+    strides = images.strides
+    view = np.lib.stride_tricks.as_strided(
+        images,
+        shape=(b, c) + out_shape + r_shape,
+        strides=strides[:2] + strides[2:] + strides[2:],
+        writeable=False,
+    )
+    # Contract channel + window axes against filters.
+    n_win = int(np.prod(r_shape))
+    n_out = int(np.prod(out_shape))
+    lhs = np.ascontiguousarray(view).reshape(b, c, n_out, n_win)
+    rhs = filters.reshape(k, c, n_win)
+    out = np.einsum("bcnw,kcw->bkn", lhs, rhs)
+    return out.reshape((b, k) + out_shape)
+
+
+def winograd_convnd_fp32(
+    images: np.ndarray, filters: np.ndarray, alg: WinogradAlgorithm
+) -> np.ndarray:
+    """FP32 d-dimensional Winograd convolution.
+
+    Dimensionality is inferred from the inputs: ``images`` is
+    ``(B, C, *S)`` with ``d = images.ndim - 2`` and ``filters`` is
+    ``(K, C, *(r,)*d)``.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    filters = np.asarray(filters, dtype=np.float64)
+    d = images.ndim - 2
+    if filters.ndim != d + 2:
+        raise ValueError(
+            f"filters ndim {filters.ndim} inconsistent with {d}-d images"
+        )
+    if filters.shape[2:] != (alg.r,) * d:
+        raise ValueError(f"filter spatial shape {filters.shape[2:]} != ({alg.r},)*{d}")
+    b, c = images.shape[:2]
+    k = filters.shape[0]
+    grid = tile_grid_nd(alg, images.shape[2:])
+    tiles = extract_tiles_nd(grid, images)  # (B, C, *tiles, *(a,)*d)
+    v = transform_nd(alg.bt, tiles, d)
+    u = transform_nd(alg.g, filters, d)  # (K, C, *(a,)*d)
+    t = alg.alpha**d
+    n = b * grid.tiles_per_image
+    # -> batched GEMM (T, N, C) @ (T, C, K), exactly like the 2D path.
+    v_op = v.reshape(b, c, grid.tiles_per_image, t)
+    v_op = v_op.transpose(3, 0, 2, 1).reshape(t, n, c)
+    u_op = u.reshape(k, c, t).transpose(2, 1, 0)
+    z = np.matmul(v_op, u_op)  # (T, N, K)
+    z = z.transpose(1, 2, 0).reshape((b, grid.tiles_per_image, k) + (alg.alpha,) * d)
+    z = np.moveaxis(z, 2, 1).reshape((b, k) + grid.tiles_shape + (alg.alpha,) * d)
+    y = transform_nd(alg.at, z, d)
+    return assemble_output_nd(grid, y)

@@ -1,0 +1,74 @@
+"""Canonical interpolation-point sets for Cook-Toom / Winograd construction.
+
+The numerical quality of a Winograd algorithm F(m, r) is governed almost
+entirely by the interpolation points chosen for the Cook-Toom construction
+(Lavin & Gray 2016; Barabasz et al. 2020).  This module provides the
+standard point sequence used by wincnn and by the transformation matrices
+quoted in the LoWino paper (Eq. 2):
+
+    0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, 1/4, -1/4, ...
+
+F(2, 3) uses the first 3 points, F(4, 3) the first 5, F(6, 3) the first 7.
+The point at infinity is always appended implicitly by the construction in
+:mod:`repro.winograd.cook_toom` and is not part of this sequence.
+
+All points are exact :class:`fractions.Fraction` values so that the
+generated matrices are exact rationals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+__all__ = ["canonical_points", "MAX_SUPPORTED_POINTS"]
+
+#: The wincnn-style point sequence.  Entries beyond the explicitly listed
+#: prefix are generated as +/- powers of two and their reciprocals, which
+#: keeps the transform coefficients exactly representable in binary
+#: floating point.
+_BASE_SEQUENCE: List[Fraction] = [
+    Fraction(0),
+    Fraction(1),
+    Fraction(-1),
+    Fraction(2),
+    Fraction(-2),
+    Fraction(1, 2),
+    Fraction(-1, 2),
+    Fraction(4),
+    Fraction(-4),
+    Fraction(1, 4),
+    Fraction(-1, 4),
+    Fraction(8),
+    Fraction(-8),
+    Fraction(1, 8),
+    Fraction(-1, 8),
+]
+
+MAX_SUPPORTED_POINTS = len(_BASE_SEQUENCE)
+
+
+def canonical_points(count: int) -> List[Fraction]:
+    """Return the first ``count`` canonical interpolation points.
+
+    Parameters
+    ----------
+    count:
+        Number of *finite* interpolation points required.  For
+        ``F(m, r)`` this is ``m + r - 2`` (one slot of the
+        ``m + r - 1`` evaluations is taken by the point at infinity).
+
+    Raises
+    ------
+    ValueError
+        If ``count`` exceeds the supported sequence length or is negative.
+    """
+    if count < 0:
+        raise ValueError(f"point count must be non-negative, got {count}")
+    if count > MAX_SUPPORTED_POINTS:
+        raise ValueError(
+            f"requested {count} interpolation points but only "
+            f"{MAX_SUPPORTED_POINTS} canonical points are defined; "
+            "pass explicit points to cook_toom instead"
+        )
+    return list(_BASE_SEQUENCE[:count])

@@ -1,0 +1,90 @@
+"""Tiny exact linear-algebra kernel over :class:`fractions.Fraction`.
+
+The Cook-Toom construction needs an exact inverse of a (generalized)
+Vandermonde matrix; doing this in floating point would contaminate the
+transformation matrices with rounding error before the algorithm even
+runs.  NumPy has no rational dtype, so we carry the handful of exact
+operations we need on plain nested lists of ``Fraction``.
+
+These routines are only used at algorithm-construction time (matrices of
+size <= ~10), never in the convolution hot path, so clarity beats speed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FracMatrix",
+    "identity",
+    "matmul",
+    "transpose",
+    "inverse",
+    "to_float",
+    "from_rows",
+    "scale_row",
+]
+
+FracMatrix = List[List[Fraction]]
+
+
+def from_rows(rows: Sequence[Sequence]) -> FracMatrix:
+    """Build a Fraction matrix from any nested sequence of numbers."""
+    return [[Fraction(v) for v in row] for row in rows]
+
+
+def identity(n: int) -> FracMatrix:
+    """The n-by-n identity matrix."""
+    return [[Fraction(int(i == j)) for j in range(n)] for i in range(n)]
+
+
+def transpose(a: FracMatrix) -> FracMatrix:
+    return [list(col) for col in zip(*a)]
+
+
+def matmul(a: FracMatrix, b: FracMatrix) -> FracMatrix:
+    """Exact matrix product ``a @ b``."""
+    if not a or not b:
+        raise ValueError("empty matrix operand")
+    inner_a = len(a[0])
+    if inner_a != len(b):
+        raise ValueError(f"shape mismatch: ({len(a)},{inner_a}) @ ({len(b)},{len(b[0])})")
+    bt = transpose(b)
+    return [[sum((x * y for x, y in zip(row, col)), Fraction(0)) for col in bt] for row in a]
+
+
+def scale_row(a: FracMatrix, i: int, s: Fraction) -> None:
+    """In-place multiply row ``i`` of ``a`` by ``s``."""
+    a[i] = [v * s for v in a[i]]
+
+
+def inverse(a: FracMatrix) -> FracMatrix:
+    """Exact inverse via Gauss-Jordan elimination with partial pivoting.
+
+    Raises :class:`ZeroDivisionError` if ``a`` is singular.
+    """
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("inverse requires a square matrix")
+    # Work on an augmented copy [a | I].
+    aug = [list(row) + [Fraction(int(i == j)) for j in range(n)] for i, row in enumerate(a)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise ZeroDivisionError("matrix is singular")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = Fraction(1) / aug[col][col]
+        aug[col] = [v * inv_p for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [v - factor * p for v, p in zip(aug[r], aug[col])]
+    return [row[n:] for row in aug]
+
+
+def to_float(a: FracMatrix, dtype=np.float64) -> np.ndarray:
+    """Convert an exact matrix to a NumPy array."""
+    return np.array([[float(v) for v in row] for row in a], dtype=dtype)

@@ -1,0 +1,123 @@
+"""Reference full-precision Winograd convolution (Eq. 1).
+
+This is the algorithmic baseline every low-precision variant is checked
+against.  It runs the pipeline all other implementations share:
+
+1. extract overlapping input tiles,
+2. input transform  V = B^T d B,
+3. filter transform U = G g G^T,
+4. reduce the channel-wise elementwise products to ``T = alpha^2``
+   batched matrix multiplications Z_t = V_t @ U_t  (Section 4.3),
+5. output transform y = A^T Z A,
+6. assemble output tiles.
+
+A slow exact-rational variant is provided for the property tests: over
+``Fraction`` arithmetic the Winograd identity is *exact*, which lets the
+test suite distinguish algorithmic bugs from floating-point noise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from .cook_toom import WinogradAlgorithm
+from .tiling import assemble_output, extract_tiles, tile_grid
+from .transforms import filter_transform, input_transform, output_transform
+
+__all__ = [
+    "winograd_conv2d_fp32",
+    "winograd_domain_matrices",
+    "winograd_conv2d_exact",
+]
+
+
+def winograd_domain_matrices(
+    alg: WinogradAlgorithm, images: np.ndarray
+) -> tuple[np.ndarray, "object"]:
+    """Transform images into the batched-GEMM operand ``V``.
+
+    Returns ``(V, grid)`` where ``V`` has shape ``(T, N, C)`` with
+    ``T = alpha^2`` and ``N = B * tiles_h * tiles_w`` (the tall, skinny
+    GEMM operand of Section 4.3) and ``grid`` is the tile geometry needed
+    to assemble the output.
+    """
+    b, c, h, w = images.shape
+    grid = tile_grid(alg, h, w)
+    tiles = extract_tiles(grid, images)  # (B, C, th, tw, a, a)
+    v = input_transform(alg, tiles)  # (B, C, th, tw, a, a)
+    n = b * grid.tiles_h * grid.tiles_w
+    t = alg.tile_elements
+    # (B, th, tw, C, a, a) -> (N, C, T) -> (T, N, C)
+    v = v.transpose(0, 2, 3, 1, 4, 5).reshape(n, c, t).transpose(2, 0, 1)
+    return np.ascontiguousarray(v), grid
+
+
+def _filter_gemm_operand(alg: WinogradAlgorithm, filters: np.ndarray) -> np.ndarray:
+    """Transform filters (K, C, r, r) into U with shape (T, C, K)."""
+    k, c, r1, r2 = filters.shape
+    if (r1, r2) != (alg.r, alg.r):
+        raise ValueError(f"filter spatial shape {(r1, r2)} != r={alg.r}")
+    u = filter_transform(alg, filters)  # (K, C, a, a)
+    return np.ascontiguousarray(u.reshape(k, c, alg.tile_elements).transpose(2, 1, 0))
+
+
+def winograd_conv2d_fp32(
+    images: np.ndarray, filters: np.ndarray, alg: WinogradAlgorithm
+) -> np.ndarray:
+    """Full-precision F(m x m, r x r) convolution, NCHW, VALID, stride 1.
+
+    Parameters
+    ----------
+    images:
+        ``(B, C, H, W)`` float array (padding, if any, applied by caller).
+    filters:
+        ``(K, C, r, r)`` float array.
+    alg:
+        The Winograd algorithm to use.
+
+    Returns
+    -------
+    ``(B, K, H - r + 1, W - r + 1)`` float64 array.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    filters = np.asarray(filters, dtype=np.float64)
+    b = images.shape[0]
+    k = filters.shape[0]
+    if images.shape[1] != filters.shape[1]:
+        raise ValueError(
+            f"channel mismatch: images C={images.shape[1]}, filters C={filters.shape[1]}"
+        )
+    v, grid = winograd_domain_matrices(alg, images)  # (T, N, C)
+    u = _filter_gemm_operand(alg, filters)  # (T, C, K)
+    z = np.matmul(v, u)  # (T, N, K)
+    n = z.shape[1]
+    t = alg.tile_elements
+    # (T, N, K) -> (N, K, a, a) -> (B, K, th, tw, a, a)
+    z = z.transpose(1, 2, 0).reshape(b, grid.tiles_h, grid.tiles_w, k, alg.alpha, alg.alpha)
+    z = z.transpose(0, 3, 1, 2, 4, 5)
+    y = output_transform(alg, z)  # (B, K, th, tw, m, m)
+    return assemble_output(grid, y)
+
+
+def winograd_conv2d_exact(images, filters, alg: WinogradAlgorithm) -> list:
+    """Exact-rational 2D Winograd convolution of a single-channel tile.
+
+    ``images`` is an ``alpha x alpha`` nested sequence and ``filters`` an
+    ``r x r`` nested sequence; entries may be ints or Fractions.  Returns
+    the ``m x m`` output as nested lists of Fractions.  Used only by the
+    property tests to certify the construction independent of float error.
+    """
+    from . import rational
+
+    d = rational.from_rows(images)
+    g = rational.from_rows(filters)
+    bt = [list(row) for row in alg.bt_exact]
+    gm = [list(row) for row in alg.g_exact]
+    at = [list(row) for row in alg.at_exact]
+    v = rational.matmul(rational.matmul(bt, d), rational.transpose(bt))
+    u = rational.matmul(rational.matmul(gm, g), rational.transpose(gm))
+    z = [[uv * vv for uv, vv in zip(urow, vrow)] for urow, vrow in zip(u, v)]
+    y = rational.matmul(rational.matmul(at, z), rational.transpose(at))
+    return y

@@ -1,0 +1,59 @@
+"""Batched 2D Winograd transforms.
+
+The nested 2D algorithm (Eq. 1 of the paper) applies each 1D transform
+matrix along both spatial axes of a tile:
+
+    V = B^T d B        (input transform,  alpha x alpha <- alpha x alpha)
+    U = G   g G^T      (filter transform, alpha x alpha <- r x r)
+    y = A^T Z A        (output transform, m x m        <- alpha x alpha)
+
+All functions here operate on *batches* of tiles: the two trailing axes
+are the spatial tile axes, any leading axes (batch, channel, tile index)
+are preserved.  This is the vectorized-NumPy idiom the hot path uses; the
+per-element codelet path in :mod:`repro.codelets` exists for op counting
+and cross-validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cook_toom import WinogradAlgorithm
+
+__all__ = [
+    "transform_2d",
+    "input_transform",
+    "filter_transform",
+    "output_transform",
+]
+
+
+def transform_2d(mat: np.ndarray, tiles: np.ndarray) -> np.ndarray:
+    """Apply ``mat @ tile @ mat.T`` over the two trailing axes of ``tiles``.
+
+    ``mat`` has shape (out, in); ``tiles`` (..., in, in); the result has
+    shape (..., out, out).
+    """
+    if tiles.shape[-1] != mat.shape[1] or tiles.shape[-2] != mat.shape[1]:
+        raise ValueError(
+            f"tile trailing shape {tiles.shape[-2:]} does not match transform "
+            f"input size {mat.shape[1]}"
+        )
+    # (..., i, j) x (o, j) -> (..., i, o); then contract the i axis.
+    half = np.einsum("...ij,oj->...io", tiles, mat)
+    return np.einsum("pi,...io->...po", mat, half)
+
+
+def input_transform(alg: WinogradAlgorithm, tiles: np.ndarray) -> np.ndarray:
+    """V = B^T d B for a batch of (..., alpha, alpha) input tiles."""
+    return transform_2d(alg.bt, tiles)
+
+
+def filter_transform(alg: WinogradAlgorithm, filters: np.ndarray) -> np.ndarray:
+    """U = G g G^T for a batch of (..., r, r) filters."""
+    return transform_2d(alg.g, filters)
+
+
+def output_transform(alg: WinogradAlgorithm, acc: np.ndarray) -> np.ndarray:
+    """y = A^T Z A for a batch of (..., alpha, alpha) accumulator tiles."""
+    return transform_2d(alg.at, acc)

@@ -1,0 +1,5 @@
+"""Benchmark workloads: the Table 2 layer zoo and tensor generators."""
+
+from .table2 import BREAKDOWN_LAYERS, TABLE2_LAYERS, LayerConfig, layer_by_name
+
+__all__ = ["BREAKDOWN_LAYERS", "TABLE2_LAYERS", "LayerConfig", "layer_by_name"]

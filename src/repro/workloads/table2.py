@@ -1,0 +1,94 @@
+"""The benchmarked convolutional layers of Table 2.
+
+Twenty 3x3 layers drawn from AlexNet, VGG16, ResNet-50, GoogLeNet
+(batch 64) and YOLOv3, FusionNet, U-Net (batch 1).  ``hw`` is the input
+height = width; all layers use r = 3, stride 1 and (following the
+Winograd benchmarking convention of Jia et al.) padding 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["LayerConfig", "TABLE2_LAYERS", "layer_by_name", "BREAKDOWN_LAYERS"]
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """One convolutional-layer benchmark configuration."""
+
+    name: str
+    batch: int
+    c: int
+    k: int
+    hw: int
+    r: int = 3
+    padding: int = 1
+
+    @property
+    def out_hw(self) -> int:
+        return self.hw + 2 * self.padding - self.r + 1
+
+    @property
+    def direct_macs(self) -> int:
+        """MACs of the direct algorithm."""
+        return self.batch * self.k * self.c * self.out_hw**2 * self.r**2
+
+    def tiles(self, m: int) -> int:
+        """Winograd tiles per image for output tile size m (padded up)."""
+        per_dim = -(-self.out_hw // m)
+        return per_dim * per_dim
+
+    def gemm_dims(self, m: int) -> tuple[int, int, int, int]:
+        """(T, N, C, K) of the batched Winograd GEMM."""
+        t = (m + self.r - 1) ** 2
+        return t, self.batch * self.tiles(m), self.c, self.k
+
+    def input_tensor(self, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+        """Synthetic post-ReLU activation tensor (half-normal)."""
+        x = np.abs(rng.standard_normal((self.batch, self.c, self.hw, self.hw))).astype(dtype)
+        return x
+
+    def filter_tensor(self, rng: np.random.Generator, dtype=np.float32) -> np.ndarray:
+        """Synthetic filters with He-style scaling."""
+        std = np.sqrt(2.0 / (self.c * self.r * self.r))
+        return (rng.standard_normal((self.k, self.c, self.r, self.r)) * std).astype(dtype)
+
+
+TABLE2_LAYERS: List[LayerConfig] = [
+    LayerConfig("AlexNet_a", 64, 384, 384, 13),
+    LayerConfig("AlexNet_b", 64, 384, 256, 13),
+    LayerConfig("VGG16_a", 64, 256, 256, 58),
+    LayerConfig("VGG16_b", 64, 512, 512, 30),
+    LayerConfig("VGG16_c", 64, 512, 512, 16),
+    LayerConfig("ResNet-50_a", 64, 128, 128, 28),
+    LayerConfig("ResNet-50_b", 64, 256, 256, 14),
+    LayerConfig("ResNet-50_c", 64, 512, 512, 7),
+    LayerConfig("GoogLeNet_a", 64, 128, 192, 28),
+    LayerConfig("GoogLeNet_b", 64, 128, 256, 14),
+    LayerConfig("GoogLeNet_c", 64, 192, 384, 7),
+    LayerConfig("YOLOv3_a", 1, 64, 128, 64),
+    LayerConfig("YOLOv3_b", 1, 128, 256, 32),
+    LayerConfig("YOLOv3_c", 1, 256, 512, 16),
+    LayerConfig("FusionNet_a", 1, 128, 128, 320),
+    LayerConfig("FusionNet_b", 1, 256, 256, 160),
+    LayerConfig("FusionNet_c", 1, 512, 512, 80),
+    LayerConfig("U-Net_a", 1, 128, 128, 282),
+    LayerConfig("U-Net_b", 1, 256, 256, 138),
+    LayerConfig("U-Net_c", 1, 512, 512, 66),
+]
+
+#: The four layers Figure 10 breaks down.
+BREAKDOWN_LAYERS = ["VGG16_b", "ResNet-50_c", "YOLOv3_c", "U-Net_b"]
+
+_BY_NAME: Dict[str, LayerConfig] = {layer.name: layer for layer in TABLE2_LAYERS}
+
+
+def layer_by_name(name: str) -> LayerConfig:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown Table 2 layer {name!r}; known: {sorted(_BY_NAME)}") from None

@@ -1,0 +1,62 @@
+"""JIT-style codelet compilation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codelets import codelet_source, compile_codelet, generate_codelet
+from repro.winograd import winograd_algorithm
+
+
+class TestCompile:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    @pytest.mark.parametrize("which", ["bt_exact", "g_exact", "at_exact"])
+    def test_compiled_equals_interpreted(self, m, which, rng):
+        alg = winograd_algorithm(m, 3)
+        codelet = generate_codelet(getattr(alg, which))
+        fn = compile_codelet(codelet)
+        x = rng.standard_normal((codelet.cols, 64))
+        assert np.allclose(fn(x), codelet(x), atol=1e-12)
+
+    def test_out_parameter(self, rng):
+        codelet = generate_codelet(winograd_algorithm(2, 3).bt_exact)
+        fn = compile_codelet(codelet)
+        x = rng.standard_normal((4, 8))
+        out = np.empty((4, 8))
+        result = fn(x, out=out)
+        assert result is out
+        assert np.allclose(out, codelet(x))
+
+    def test_input_validation_in_generated_code(self, rng):
+        fn = compile_codelet(generate_codelet(winograd_algorithm(2, 3).bt_exact))
+        with pytest.raises(ValueError):
+            fn(rng.standard_normal((5, 8)))
+
+    def test_source_is_loop_free(self):
+        codelet = generate_codelet(winograd_algorithm(4, 3).bt_exact)
+        source = codelet_source(codelet)
+        assert "for " not in source
+        assert "while " not in source
+
+    def test_source_attached(self):
+        fn = compile_codelet(generate_codelet([[1, -1]]), name="diff")
+        assert "def diff" in fn.__codelet_source__
+
+    def test_zero_row_emitted(self, rng):
+        fn = compile_codelet(generate_codelet([[0, 0], [1, 2]]))
+        out = fn(rng.standard_normal((2, 3)))
+        assert np.all(out[0] == 0)
+
+    @given(st.lists(st.sampled_from([-2, -1, 0, 1, 2, Fraction(1, 2)]),
+                    min_size=6, max_size=6))
+    def test_compiled_matches_matrix_property(self, flat):
+        mat = [[Fraction(flat[i * 3 + j]) for j in range(3)] for i in range(2)]
+        codelet = generate_codelet(mat)
+        fn = compile_codelet(codelet)
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal(3)
+        ref = np.array([[float(v) for v in row] for row in mat]) @ x
+        assert np.allclose(fn(x), ref, atol=1e-12)

@@ -1,0 +1,39 @@
+"""Expression IR used by the codelet generator."""
+
+from fractions import Fraction
+
+from repro.codelets import Add, Load, Mul, count_ops, expr_for_row
+
+
+class TestExprForRow:
+    def test_all_zero_row(self):
+        assert expr_for_row((Fraction(0), Fraction(0))) is None
+
+    def test_unit_coeff_no_mul(self):
+        e = expr_for_row((Fraction(1),))
+        assert isinstance(e, Load)
+
+    def test_structure(self):
+        e = expr_for_row((Fraction(2), Fraction(0), Fraction(1)))
+        # 2*in0 + in2
+        assert isinstance(e, Add)
+        assert isinstance(e.lhs, Mul) and e.lhs.coeff == 2
+        assert isinstance(e.rhs, Load) and e.rhs.index == 2
+
+    def test_structural_hashing(self):
+        a = expr_for_row((Fraction(2), Fraction(1)))
+        b = expr_for_row((Fraction(2), Fraction(1)))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestCountOps:
+    def test_simple(self):
+        e = expr_for_row((Fraction(2), Fraction(3), Fraction(1)))
+        muls, adds = count_ops(e)
+        assert (muls, adds) == (2, 2)
+
+    def test_shared_nodes_counted_once(self):
+        shared = expr_for_row((Fraction(1), Fraction(1)))  # in0 + in1
+        combined = Add(Mul(Fraction(2), shared), Mul(Fraction(3), shared))
+        muls, adds = count_ops(combined)
+        assert (muls, adds) == (2, 2)  # shared add counted once

@@ -1,0 +1,88 @@
+"""Codelet generation: correctness and optimization quality (Figure 4)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codelets import generate_codelet, transform_codelets
+from repro.winograd import winograd_algorithm
+
+
+class TestCorrectness:
+    def test_identity_matrix(self):
+        c = generate_codelet([[1, 0], [0, 1]])
+        x = np.array([3.0, 4.0])
+        assert np.array_equal(c(x), x)
+        assert c.optimized.total == 0  # pure moves, no arithmetic
+
+    def test_zero_row(self):
+        c = generate_codelet([[0, 0], [1, 1]])
+        out = c(np.array([2.0, 3.0]))
+        assert out[0] == 0.0
+        assert out[1] == 5.0
+
+    def test_paper_example_cse(self):
+        """Figure 4's rows: [0,-2,-1,2,1] and [0,2,-1,-2,1] share the
+        sub-sum -in[2] + in[4]."""
+        c = generate_codelet([[0, -2, -1, 2, 1], [0, 2, -1, -2, 1]])
+        x = np.array([5.0, 1.0, 2.0, 3.0, 4.0])
+        expected = np.array([-2 * 1 - 2 + 2 * 3 + 4, 2 * 1 - 2 - 2 * 3 + 4])
+        assert np.allclose(c(x), expected)
+        assert c.optimized.total < c.naive.total  # CSE found the share
+        assert any(step.kind == "tmp" for step in c.steps)
+
+    @given(
+        st.integers(2, 6), st.integers(2, 6),
+        st.lists(st.sampled_from([-2, -1, 0, 0, 1, 2, 4]), min_size=4, max_size=36),
+    )
+    def test_matches_matrix_product(self, rows, cols, flat):
+        if len(flat) < rows * cols:
+            return
+        mat = [[Fraction(flat[i * cols + j]) for j in range(cols)] for i in range(rows)]
+        c = generate_codelet(mat)
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = rng.standard_normal(cols)
+        ref = np.array([[float(v) for v in row] for row in mat]) @ x
+        assert np.allclose(c(x), ref, atol=1e-12)
+
+    def test_vector_lanes(self, rng):
+        """Codelets apply across trailing lanes (the phi x sigma axis)."""
+        alg = winograd_algorithm(2, 3)
+        c = generate_codelet(alg.bt_exact)
+        x = rng.standard_normal((4, 16))
+        assert np.allclose(c(x), alg.bt @ x)
+
+    def test_input_size_check(self, rng):
+        c = generate_codelet([[1, 0], [0, 1]])
+        with pytest.raises(ValueError):
+            c(rng.standard_normal(3))
+
+
+class TestOptimization:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_all_transforms_correct_and_no_worse(self, m, rng):
+        alg = winograd_algorithm(m, 3)
+        cls = transform_codelets(alg)
+        mats = {"input": alg.bt, "filter": alg.g, "output": alg.at}
+        for name, codelet in cls.items():
+            x = rng.standard_normal(codelet.cols)
+            assert np.allclose(codelet(x), mats[name] @ x, atol=1e-10)
+            assert codelet.optimized.total <= codelet.naive.total
+
+    def test_f6_output_transform_saves_substantially(self):
+        """The bigger the transform, the more shared sub-sums exist."""
+        cls = transform_codelets(winograd_algorithm(6, 3))
+        assert cls["output"].saving > 0.3
+
+    def test_zero_elimination(self):
+        """Zeros contribute no operations at all."""
+        c = generate_codelet([[1, 0, 0, 0, 0, 0, 0, -1]])
+        assert c.naive.muls == 0
+        assert c.naive.adds == 1
+
+    def test_saving_metric(self):
+        c = generate_codelet([[1, 0], [0, 1]])
+        assert c.saving == 0.0

@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Numeric property tests spawn moderately expensive NumPy work per
+# example; keep example counts bounded and silence the too-slow check.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def relu_images(rng):
+    """Small post-ReLU-like NCHW activation tensor."""
+    return np.maximum(rng.standard_normal((2, 8, 12, 12)), 0.0)
+
+
+@pytest.fixture
+def filters_3x3(rng):
+    """Small He-scaled 3x3 filter bank (K=12, C=8)."""
+    return rng.standard_normal((12, 8, 3, 3)) * np.sqrt(2.0 / (8 * 9))

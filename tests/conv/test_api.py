@@ -1,0 +1,57 @@
+"""Unified conv2d front-end and algorithm selection."""
+
+import numpy as np
+import pytest
+
+from repro.conv import conv2d, direct_conv2d_fp32, make_layer, select_algorithm
+
+
+ALGOS = ["fp32_direct", "fp32_winograd", "int8_direct", "int8_upcast",
+         "int8_downscale", "lowino"]
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("algo", ALGOS)
+    def test_all_algorithms_run(self, algo, relu_images, filters_3x3):
+        y = conv2d(relu_images, filters_3x3, algorithm=algo, m=2, padding=1)
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        assert y.shape == ref.shape
+        if algo.startswith("fp32"):
+            assert np.allclose(y, ref, atol=1e-9)
+        else:
+            assert np.abs(y - ref).mean() / np.abs(ref).mean() < 0.25
+
+    def test_unknown_algorithm(self, relu_images, filters_3x3):
+        with pytest.raises(ValueError):
+            conv2d(relu_images, filters_3x3, algorithm="magic")
+
+    def test_make_layer_reusable(self, relu_images, filters_3x3):
+        layer = make_layer(filters_3x3, "lowino", m=2, padding=1)
+        y1 = layer(relu_images)
+        y2 = layer(relu_images)
+        assert np.array_equal(y1, y2)
+
+    def test_kwargs_passthrough(self, relu_images, filters_3x3):
+        layer = make_layer(filters_3x3, "int8_direct", padding=1,
+                           input_threshold=1.0)
+        assert layer.input_threshold == 1.0
+
+
+class TestSelector:
+    def test_small_layer_prefers_direct(self):
+        """YOLOv3_a-like shapes: direct convolution wins (Section 5.1)."""
+        algo, m = select_algorithm(batch=1, c=64, k=128, hw=64)
+        assert algo == "int8_direct"
+        assert m == 0
+
+    def test_large_layer_prefers_lowino_f4(self):
+        """VGG16_c-like shapes: LoWino F(4,3) wins."""
+        algo, m = select_algorithm(batch=64, c=512, k=512, hw=16)
+        assert algo == "lowino"
+        assert m == 4
+
+    def test_returns_valid_choice(self):
+        for batch, c, k, hw in [(1, 128, 256, 32), (64, 128, 128, 28)]:
+            algo, m = select_algorithm(batch=batch, c=c, k=k, hw=hw)
+            assert algo in ("int8_direct", "lowino")
+            assert m in (0, 2, 4)

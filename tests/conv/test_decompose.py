@@ -1,0 +1,97 @@
+"""DWM decompositions: strided and large-kernel Winograd."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conv import (
+    direct_conv2d_fp32,
+    kernel_chunks,
+    polyphase_split,
+    winograd_conv2d_large_kernel,
+    winograd_conv2d_strided,
+)
+
+
+class TestPolyphase:
+    def test_stride1_identity(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        parts = polyphase_split(x, w, 1)
+        assert len(parts) == 1
+        assert parts[0][0] is x
+
+    def test_stride2_r3_structure(self, rng):
+        x = rng.standard_normal((1, 2, 8, 8))
+        w = rng.standard_normal((2, 2, 3, 3))
+        parts = polyphase_split(x, w, 2)
+        assert len(parts) == 4
+        sizes = sorted(p[1].shape[2:] for p in parts)
+        assert sizes == [(1, 1), (1, 2), (2, 1), (2, 2)]
+
+    def test_invalid_stride(self, rng):
+        with pytest.raises(ValueError):
+            polyphase_split(rng.standard_normal((1, 1, 4, 4)),
+                            rng.standard_normal((1, 1, 3, 3)), 0)
+
+
+class TestKernelChunks:
+    def test_r5(self):
+        assert kernel_chunks(5) == [(0, 3), (3, 2)]
+
+    def test_r7(self):
+        assert kernel_chunks(7) == [(0, 3), (3, 3), (6, 1)]
+
+    def test_r3_single(self):
+        assert kernel_chunks(3) == [(0, 3)]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            kernel_chunks(0)
+
+
+class TestStridedConv:
+    @pytest.mark.parametrize("stride,r", [(2, 3), (3, 3), (2, 5)])
+    def test_matches_direct(self, stride, r, rng):
+        x = rng.standard_normal((2, 4, 15, 15))
+        w = rng.standard_normal((3, 4, r, r))
+        y = winograd_conv2d_strided(x, w, m=2, stride=stride, padding=1)
+        ref = direct_conv2d_fp32(x, w, stride=stride, padding=1)
+        assert y.shape == ref.shape
+        assert np.allclose(y, ref, atol=1e-9)
+
+    @given(st.sampled_from([2, 3]), st.integers(9, 16))
+    @settings(max_examples=8)
+    def test_strided_property(self, stride, hw):
+        rng = np.random.default_rng(stride * 100 + hw)
+        x = rng.standard_normal((1, 2, hw, hw))
+        w = rng.standard_normal((2, 2, 3, 3))
+        y = winograd_conv2d_strided(x, w, m=2, stride=stride, padding=1)
+        ref = direct_conv2d_fp32(x, w, stride=stride, padding=1)
+        assert np.allclose(y, ref, atol=1e-9)
+
+
+class TestLargeKernel:
+    @pytest.mark.parametrize("r", [5, 7])
+    def test_matches_direct(self, r, rng):
+        x = rng.standard_normal((1, 3, 14, 14))
+        w = rng.standard_normal((2, 3, r, r))
+        y = winograd_conv2d_large_kernel(x, w, m=2, padding=r // 2)
+        ref = direct_conv2d_fp32(x, w, padding=r // 2)
+        assert y.shape == ref.shape
+        assert np.allclose(y, ref, atol=1e-9)
+
+    def test_r3_passthrough(self, rng):
+        """r = 3 decomposes to a single ordinary Winograd conv."""
+        x = rng.standard_normal((1, 2, 10, 10))
+        w = rng.standard_normal((2, 2, 3, 3))
+        y = winograd_conv2d_large_kernel(x, w, m=2)
+        assert np.allclose(y, direct_conv2d_fp32(x, w), atol=1e-10)
+
+    def test_kernel_larger_than_input(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d_large_kernel(
+                rng.standard_normal((1, 1, 4, 4)),
+                rng.standard_normal((1, 1, 7, 7)),
+            )

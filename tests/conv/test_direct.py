@@ -1,0 +1,93 @@
+"""Direct convolution: FP32 ground truth and the INT8 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.conv import Int8DirectConv2d, direct_conv2d_fp32, per_out_channel_weight_params
+
+
+class TestFp32Direct:
+    def test_known_small_case(self):
+        x = np.zeros((1, 1, 3, 3))
+        x[0, 0] = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        w = np.zeros((1, 1, 3, 3))
+        w[0, 0, 1, 1] = 2.0  # pure center tap
+        y = direct_conv2d_fp32(x, w)
+        assert y.shape == (1, 1, 1, 1)
+        assert y[0, 0, 0, 0] == 10.0
+
+    def test_identity_kernel_with_padding(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = np.zeros((3, 3, 3, 3))
+        for k in range(3):
+            w[k, k, 1, 1] = 1.0
+        y = direct_conv2d_fp32(x, w, padding=1)
+        assert np.allclose(y, x)
+
+    def test_stride(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9))
+        w = rng.standard_normal((4, 2, 3, 3))
+        y = direct_conv2d_fp32(x, w, stride=2)
+        full = direct_conv2d_fp32(x, w)
+        assert np.allclose(y, full[:, :, ::2, ::2])
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            direct_conv2d_fp32(
+                rng.standard_normal((1, 3, 6, 6)), rng.standard_normal((2, 4, 3, 3))
+            )
+
+    def test_cross_channel_accumulation(self, rng):
+        x = rng.standard_normal((1, 4, 5, 5))
+        w = rng.standard_normal((1, 4, 3, 3))
+        y = direct_conv2d_fp32(x, w)
+        per_ch = sum(
+            direct_conv2d_fp32(x[:, c : c + 1], w[:, c : c + 1]) for c in range(4)
+        )
+        assert np.allclose(y, per_ch)
+
+
+class TestWeightParams:
+    def test_per_channel_thresholds(self, rng):
+        w = rng.standard_normal((4, 2, 3, 3))
+        w[2] *= 10
+        p = per_out_channel_weight_params(w)
+        assert p.scale.shape == (4, 1, 1, 1)
+        assert p.threshold[2, 0, 0, 0] == pytest.approx(np.abs(w[2]).max())
+
+    def test_zero_channel_safe(self):
+        w = np.zeros((2, 1, 3, 3))
+        w[0, 0, 0, 0] = 1.0
+        p = per_out_channel_weight_params(w)
+        assert np.all(np.isfinite(p.scale))
+
+
+class TestInt8Direct:
+    def test_error_bound(self, relu_images, filters_3x3):
+        layer = Int8DirectConv2d(filters_3x3, padding=1)
+        y = layer(relu_images)
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        rel = np.abs(y - ref).max() / np.abs(ref).max()
+        assert rel < 0.05
+
+    def test_static_threshold_used(self, relu_images, filters_3x3):
+        tau = float(np.abs(relu_images).max())
+        layer = Int8DirectConv2d(filters_3x3, padding=1, input_threshold=tau)
+        dynamic = Int8DirectConv2d(filters_3x3, padding=1)
+        assert np.allclose(layer(relu_images), dynamic(relu_images))
+
+    def test_saturating_threshold(self, relu_images, filters_3x3):
+        """A too-small calibrated threshold saturates instead of wrapping."""
+        layer = Int8DirectConv2d(filters_3x3, padding=1,
+                                 input_threshold=float(relu_images.max()) / 10)
+        y = layer(relu_images)
+        assert np.all(np.isfinite(y))
+
+    def test_stride_and_padding(self, rng):
+        x = np.maximum(rng.standard_normal((1, 4, 9, 9)), 0)
+        w = rng.standard_normal((2, 4, 3, 3)) * 0.1
+        layer = Int8DirectConv2d(w, stride=2, padding=1)
+        ref = direct_conv2d_fp32(x, w, stride=2, padding=1)
+        y = layer(x)
+        assert y.shape == ref.shape
+        assert np.abs(y - ref).max() / np.abs(ref).max() < 0.05

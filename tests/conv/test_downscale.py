@@ -1,0 +1,64 @@
+"""Down-scaling (oneDNN-style) Winograd: the lossy baseline."""
+
+import numpy as np
+import pytest
+
+from repro.conv import DownscaleWinogradConv2d, Int8DirectConv2d, direct_conv2d_fp32
+
+
+class TestDownscale:
+    def test_default_scale_factors_match_paper(self, filters_3x3):
+        """Section 2.3: alpha = 1/4 for m=2, 1/100 for m=4."""
+        d2 = DownscaleWinogradConv2d(filters_3x3, m=2, padding=1)
+        d4 = DownscaleWinogradConv2d(filters_3x3, m=4, padding=1)
+        assert d2.input_downscale == pytest.approx(1 / 4)
+        assert d4.input_downscale == pytest.approx(1 / 100)
+
+    def test_f2_reasonable_f4_catastrophic(self, relu_images, filters_3x3):
+        """The paper's core negative result: F(2,3) down-scaling loses a
+        little accuracy; F(4,3) down-scaling destroys the result."""
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        rel = {}
+        for m in (2, 4):
+            layer = DownscaleWinogradConv2d(filters_3x3, m=m, padding=1)
+            rel[m] = np.sqrt(np.mean((layer(relu_images) - ref) ** 2)) / ref.std()
+        assert rel[2] < 0.15
+        assert rel[4] > 0.5
+        assert rel[4] > 5 * rel[2]
+
+    def test_worse_than_direct(self, relu_images, filters_3x3):
+        """Down-scaling adds round-off on top of spatial quantization."""
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        direct = Int8DirectConv2d(filters_3x3, padding=1)
+        down = DownscaleWinogradConv2d(filters_3x3, m=2, padding=1)
+        err_direct = np.abs(direct(relu_images) - ref).mean()
+        err_down = np.abs(down(relu_images) - ref).mean()
+        assert err_down > err_direct
+
+    def test_narrow_integer_range_f4(self, relu_images, filters_3x3):
+        """Figure 9a: after down-scaling, the transformed input uses only
+        a narrow band of the INT8 range."""
+        from repro.conv.upcast import _transform_int
+        from repro.conv._tileops import prepare_input_tiles
+        from repro.conv.im2col import pad_images
+        from repro.isa import saturate_cast
+        from repro.quant import quantize, spatial_params_from_tensor
+
+        layer = DownscaleWinogradConv2d(filters_3x3, m=4, padding=1)
+        sp = spatial_params_from_tensor(relu_images)
+        xq = quantize(relu_images, sp)
+        tiles, _ = prepare_input_tiles(layer.alg, pad_images(xq, 1))
+        v = _transform_int(layer.bt_int, tiles)
+        v8 = saturate_cast(v.astype(np.float64) * layer.input_downscale, np.int8)
+        occupancy = np.abs(v8).max()
+        assert occupancy < 64  # uses less than half the int8 range
+
+    def test_explicit_downscale_override(self, relu_images, filters_3x3):
+        layer = DownscaleWinogradConv2d(filters_3x3, m=2, padding=1,
+                                        input_downscale=1 / 8)
+        y = layer(relu_images)
+        assert np.all(np.isfinite(y))
+
+    def test_rejects_rectangular_filters(self, rng):
+        with pytest.raises(ValueError):
+            DownscaleWinogradConv2d(rng.standard_normal((2, 2, 5, 3)))

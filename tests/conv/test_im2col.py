@@ -1,0 +1,71 @@
+"""im2col lowering against a naive sliding-window loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.conv import conv_output_shape, im2col, pad_images
+
+
+class TestOutputShape:
+    def test_basic(self):
+        assert conv_output_shape(8, 8, 3) == (6, 6)
+        assert conv_output_shape(8, 8, 3, padding=1) == (8, 8)
+        assert conv_output_shape(9, 9, 3, stride=2) == (4, 4)
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_shape(2, 2, 3)
+
+
+class TestPadImages:
+    def test_zero_padding(self, rng):
+        x = rng.standard_normal((1, 2, 3, 3))
+        p = pad_images(x, 2)
+        assert p.shape == (1, 2, 7, 7)
+        assert np.array_equal(p[:, :, 2:5, 2:5], x)
+        assert p[0, 0, 0, 0] == 0
+
+    def test_no_padding_is_identity(self, rng):
+        x = rng.standard_normal((1, 1, 3, 3))
+        assert pad_images(x, 0) is x
+
+    def test_negative_padding(self, rng):
+        with pytest.raises(ValueError):
+            pad_images(rng.standard_normal((1, 1, 3, 3)), -1)
+
+
+class TestIm2col:
+    def _naive(self, x, r, stride):
+        b, c, h, w = x.shape
+        oh = (h - r) // stride + 1
+        ow = (w - r) // stride + 1
+        rows = []
+        for bi in range(b):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[bi, :, i * stride : i * stride + r,
+                              j * stride : j * stride + r]
+                    rows.append(patch.ravel())
+        return np.array(rows)
+
+    def test_matches_naive(self, rng):
+        x = rng.standard_normal((2, 3, 7, 6))
+        assert np.allclose(im2col(x, 3), self._naive(x, 3, 1))
+
+    def test_strided(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9))
+        assert np.allclose(im2col(x, 3, stride=2), self._naive(x, 3, 2))
+
+    @given(st.integers(1, 2), st.integers(1, 3), st.integers(4, 9),
+           st.sampled_from([1, 2]), st.sampled_from([1, 3]))
+    def test_matches_naive_property(self, b, c, hw, stride, r):
+        rng = np.random.default_rng(b * 97 + c + hw)
+        x = rng.standard_normal((b, c, hw, hw))
+        assert np.allclose(im2col(x, r, stride=stride), self._naive(x, r, stride))
+
+    def test_preserves_integer_dtype(self, rng):
+        x = rng.integers(-128, 128, (1, 2, 5, 5)).astype(np.int8)
+        out = im2col(x, 3)
+        assert out.dtype == np.int8

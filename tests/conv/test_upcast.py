@@ -1,0 +1,64 @@
+"""Up-casting (ncnn-style) Winograd: exactness given spatial quantization."""
+
+import numpy as np
+import pytest
+
+from repro.conv import (
+    Int8DirectConv2d,
+    UpcastWinogradConv2d,
+    direct_conv2d_fp32,
+    integer_transform_matrices,
+)
+from repro.winograd import winograd_algorithm
+
+
+class TestIntegerMatrices:
+    def test_f23_bt_is_integer_with_unit_lcm(self):
+        bt_int, g_int, bt_lcm, g_lcm = integer_transform_matrices(winograd_algorithm(2, 3))
+        assert bt_lcm == 1
+        assert g_lcm == 2  # G(2,3) has halves
+        assert bt_int.dtype == np.int64
+
+    def test_f43_lcms(self):
+        bt_int, g_int, bt_lcm, g_lcm = integer_transform_matrices(winograd_algorithm(4, 3))
+        assert bt_lcm == 1  # Eq. 2's B^T is already integer
+        assert g_lcm == 24  # denominators {4, 6, 12, 24}
+
+    def test_scaled_matrices_exact(self):
+        alg = winograd_algorithm(4, 3)
+        bt_int, g_int, bt_lcm, g_lcm = integer_transform_matrices(alg)
+        assert np.allclose(bt_int, alg.bt * bt_lcm)
+        assert np.allclose(g_int, alg.g * g_lcm)
+
+
+class TestUpcast:
+    def test_f2_matches_int8_direct_exactly(self, relu_images, filters_3x3):
+        """F(2,3) up-cast transforms are exact integer arithmetic, so the
+        only error is spatial quantization -- identical to INT8 direct."""
+        tau = float(np.abs(relu_images).max())
+        up = UpcastWinogradConv2d(filters_3x3, m=2, padding=1, input_threshold=tau)
+        direct = Int8DirectConv2d(filters_3x3, padding=1, input_threshold=tau)
+        assert np.allclose(up(relu_images), direct(relu_images), atol=1e-9)
+
+    def test_f4_error_small(self, relu_images, filters_3x3):
+        """F(4,3) needs the rounded INT16 filter fallback; error stays at
+        the spatial-quantization level."""
+        up = UpcastWinogradConv2d(filters_3x3, m=4, padding=1)
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        rel = np.abs(up(relu_images) - ref).max() / np.abs(ref).max()
+        assert rel < 0.05
+
+    def test_f4_uses_rounded_filter_scale(self, filters_3x3):
+        up = UpcastWinogradConv2d(filters_3x3, m=4, padding=1)
+        assert up.filter_scale != float(up.g_lcm**2)
+        up2 = UpcastWinogradConv2d(filters_3x3, m=2, padding=1)
+        assert up2.filter_scale == float(up2.g_lcm**2)
+
+    def test_transformed_operands_fit_int16(self, filters_3x3):
+        for m in (2, 4):
+            up = UpcastWinogradConv2d(filters_3x3, m=m, padding=1)
+            assert up.u_int16.dtype == np.int16
+
+    def test_rejects_rectangular_filters(self, rng):
+        with pytest.raises(ValueError):
+            UpcastWinogradConv2d(rng.standard_normal((2, 2, 3, 5)))

@@ -1,0 +1,45 @@
+"""The Eq. 9 compensation identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bias_to_unsigned, signed_via_unsigned
+from repro.gemm import gemm_s8s8_reference
+
+
+class TestBias:
+    def test_mapping(self):
+        v = np.array([-128, -1, 0, 127], dtype=np.int8)
+        u = bias_to_unsigned(v)
+        assert u.dtype == np.uint8
+        assert list(u) == [0, 127, 128, 255]
+
+    def test_dtype_check(self):
+        with pytest.raises(ValueError):
+            bias_to_unsigned(np.zeros(4, dtype=np.int16))
+
+
+class TestIdentity:
+    def test_known_case(self):
+        v = np.array([[-128, 127]], dtype=np.int8)
+        u = np.array([[3], [-5]], dtype=np.int8)
+        out = signed_via_unsigned(v, u)
+        assert out[0, 0] == -128 * 3 + 127 * -5
+
+    @given(st.integers(1, 12), st.integers(1, 16), st.integers(1, 12),
+           st.integers(0, 2**31))
+    def test_identity_property(self, n, c, k, seed):
+        """Eq. 9: (V + 128) @ U - 128 * colsum(U) == V @ U, exactly."""
+        rng = np.random.default_rng(seed)
+        v = rng.integers(-128, 128, (n, c)).astype(np.int8)
+        u = rng.integers(-128, 128, (c, k)).astype(np.int8)
+        assert np.array_equal(signed_via_unsigned(v, u), gemm_s8s8_reference(v, u))
+
+    def test_extremes(self):
+        for vv in (-128, 127):
+            for uu in (-128, 127):
+                v = np.full((2, 3), vv, dtype=np.int8)
+                u = np.full((3, 2), uu, dtype=np.int8)
+                assert np.all(signed_via_unsigned(v, u) == 3 * vv * uu)

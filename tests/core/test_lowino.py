@@ -1,0 +1,114 @@
+"""The LoWino layer: accuracy envelope, blocked-path equivalence,
+calibration workflow."""
+
+import numpy as np
+import pytest
+
+from repro.conv import DownscaleWinogradConv2d, direct_conv2d_fp32
+from repro.core import LoWinoConv2d
+from repro.gemm import BlockingParams
+
+
+class TestForward:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_error_envelope(self, m, relu_images, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=m, padding=1)
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        y = layer(relu_images)
+        rel = np.sqrt(np.mean((y - ref) ** 2)) / ref.std()
+        # Looser envelope for larger tiles (inherent numeric cost).
+        assert rel < {2: 0.05, 4: 0.2, 6: 0.35}[m]
+
+    def test_beats_downscale_at_f4(self, relu_images, filters_3x3):
+        """The paper's central accuracy claim at the layer level."""
+        ref = direct_conv2d_fp32(relu_images, filters_3x3, padding=1)
+        lw = LoWinoConv2d(filters_3x3, m=4, padding=1)
+        ds = DownscaleWinogradConv2d(filters_3x3, m=4, padding=1)
+        err_lw = np.sqrt(np.mean((lw(relu_images) - ref) ** 2))
+        err_ds = np.sqrt(np.mean((ds(relu_images) - ref) ** 2))
+        assert err_lw < err_ds / 3
+
+    def test_blocked_gemm_bit_identical(self, relu_images, filters_3x3):
+        fast = LoWinoConv2d(filters_3x3, m=4, padding=1, use_blocked_gemm=False)
+        blocked = LoWinoConv2d(filters_3x3, m=4, padding=1, use_blocked_gemm=True)
+        assert np.array_equal(fast(relu_images), blocked(relu_images))
+
+    def test_explicit_blocking(self, relu_images, filters_3x3):
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1,
+                             use_blocked_gemm=True, blocking=params)
+        fast = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        assert np.array_equal(layer(relu_images), fast(relu_images))
+
+    def test_deterministic(self, relu_images, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        assert np.array_equal(layer(relu_images), layer(relu_images))
+
+    def test_rejects_rectangular_filters(self, rng):
+        with pytest.raises(ValueError):
+            LoWinoConv2d(rng.standard_normal((2, 3, 3, 5)))
+
+    def test_5x5_filters(self, rng):
+        """LoWino generalizes to r = 5 via F(m, 5) transforms."""
+        x = np.maximum(rng.standard_normal((1, 4, 12, 12)), 0)
+        w = rng.standard_normal((3, 4, 5, 5)) * 0.1
+        layer = LoWinoConv2d(w, m=2, padding=2)
+        ref = direct_conv2d_fp32(x, w, padding=2)
+        y = layer(x)
+        assert y.shape == ref.shape
+        rel = np.sqrt(np.mean((y - ref) ** 2)) / ref.std()
+        assert rel < 0.15  # alpha=6 transforms: F(4,3)-like numeric cost
+
+
+class TestOfflineFilterPath:
+    def test_filter_scale_shape(self, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        t = layer.alg.tile_elements
+        k = filters_3x3.shape[0]
+        assert layer.filter_params.scale.shape == (t, 1, k)
+        assert layer.u_q.shape[0] == t
+        assert layer.zbar.shape == (t, k)
+
+    def test_compensation_matches_formula(self, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        expected = -128 * layer.u_q.astype(np.int64).sum(axis=1)
+        assert np.array_equal(layer.zbar, expected.astype(np.int32))
+
+
+class TestCalibration:
+    def test_calibrate_sets_static_params(self, rng, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        assert not layer.is_calibrated
+        batches = [np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)
+                   for _ in range(3)]
+        layer.calibrate(batches)
+        assert layer.is_calibrated
+        assert layer.input_params.scale.shape == (16, 1, 1)
+
+    def test_calibrated_accuracy(self, rng, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        batches = [np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)
+                   for _ in range(4)]
+        layer.calibrate(batches)
+        x = np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)
+        ref = direct_conv2d_fp32(x, filters_3x3, padding=1)
+        rel = np.sqrt(np.mean((layer(x) - ref) ** 2)) / ref.std()
+        assert rel < 0.08
+
+    def test_minmax_method(self, rng, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1,
+                             calibration_method="minmax")
+        layer.calibrate([np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)])
+        assert layer.is_calibrated
+
+    def test_gemm_shape(self, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=2, padding=1)
+        t, n, c, k = layer.gemm_shape(in_h=12, in_w=12, batch=2)
+        assert (t, c, k) == (16, 8, 12)
+        assert n == 2 * 6 * 6  # padded 14x14 -> out 12x12 -> 6x6 tiles
+
+    def test_gemm_shape_tiles(self, filters_3x3):
+        layer = LoWinoConv2d(filters_3x3, m=4, padding=0)
+        t, n, c, k = layer.gemm_shape(in_h=10, in_w=10, batch=1)
+        assert t == 36
+        assert n == 4  # out 8x8 -> 2x2 tiles of 4

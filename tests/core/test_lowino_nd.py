@@ -1,0 +1,69 @@
+"""LoWino in 1/2/3 spatial dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoWinoConv2d, LoWinoConvNd
+from repro.winograd import direct_convnd_fp32
+
+
+def _ref(x, w, padding, d):
+    xp = np.pad(x, [(0, 0), (0, 0)] + [(padding, padding)] * d)
+    return direct_convnd_fp32(xp, w)
+
+
+class TestLoWinoNd:
+    @pytest.mark.parametrize("d,shape,tol", [(1, (20,), 0.06), (2, (12, 12), 0.2),
+                                             (3, (8, 8, 8), 0.5)])
+    def test_error_envelope(self, d, shape, tol, rng):
+        x = np.maximum(rng.standard_normal((2, 6) + shape), 0)
+        w = rng.standard_normal((4, 6) + (3,) * d) * 0.2
+        layer = LoWinoConvNd(w, m=4, padding=1)
+        ref = _ref(x, w, 1, d)
+        rel = np.sqrt(np.mean((layer(x) - ref) ** 2)) / ref.std()
+        assert rel < tol
+
+    def test_error_grows_with_dimension(self, rng):
+        """Range amplification ~ amp^d: 3D F(4,3) is noisier than 1D."""
+        errs = {}
+        for d, shape in [(1, (24,)), (3, (9, 9, 9))]:
+            x = np.maximum(rng.standard_normal((1, 8) + shape), 0)
+            w = rng.standard_normal((4, 8) + (3,) * d) * 0.2
+            ref = _ref(x, w, 1, d)
+            layer = LoWinoConvNd(w, m=4, padding=1)
+            errs[d] = float(np.sqrt(np.mean((layer(x) - ref) ** 2)) / ref.std())
+        assert errs[3] > errs[1]
+
+    def test_matches_2d_layer(self, rng):
+        """d = 2 must agree with the dedicated 2D implementation."""
+        x = np.maximum(rng.standard_normal((1, 4, 10, 10)), 0)
+        w = rng.standard_normal((4, 4, 3, 3)) * 0.2
+        calib = [x]
+        a = LoWinoConvNd(w, m=2, padding=1).calibrate(calib)
+        b = LoWinoConv2d(w, m=2, padding=1).calibrate(calib)
+        assert np.allclose(a(x), b(x))
+
+    def test_calibration_flow(self, rng):
+        w = rng.standard_normal((2, 2, 3)) * 0.2  # (K=2, C=2, r=3): 1D
+        layer = LoWinoConvNd(w, m=2, padding=1)
+        assert not layer.is_calibrated
+        layer.calibrate([np.maximum(rng.standard_normal((1, 2, 16)), 0)])
+        assert layer.is_calibrated
+        assert layer.input_params.scale.shape == (4, 1, 1)
+
+    def test_input_dim_check(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3, 3))  # 3D filters
+        layer = LoWinoConvNd(w, m=2)
+        with pytest.raises(ValueError):
+            layer(np.zeros((1, 2, 8, 8)))  # 2D input
+
+    def test_anisotropic_filters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LoWinoConvNd(rng.standard_normal((2, 2, 3, 5)))
+
+    def test_compensation_shapes(self, rng):
+        w = rng.standard_normal((3, 2, 3, 3, 3)) * 0.2
+        layer = LoWinoConvNd(w, m=2, padding=0)
+        t = 4**3
+        assert layer.u_q.shape == (t, 2, 3)
+        assert layer.zbar.shape == (t, 3)

@@ -1,0 +1,105 @@
+"""Experiment drivers: smoke runs + key shape assertions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    blocking_ablation,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table3,
+    numeric_error_ablation,
+    point_set_ablation,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_table3,
+)
+from repro.nn import build_alexnet_small
+from repro.workloads import layer_by_name
+
+
+class TestFigure8:
+    def test_rows_and_formatting(self):
+        result = run_figure8()
+        assert len(result.rows) == 20
+        text = format_figure8(result)
+        assert "average speedup" in text
+        assert "VGG16_b" in text
+
+    def test_normalization_baseline(self):
+        row = run_figure8().rows[0]
+        assert row.normalized["onednn_direct"] == pytest.approx(1.0)
+
+
+class TestFigure9:
+    def test_shape_claim(self):
+        """Down-scaling crushes the range; LoWino uses all of it."""
+        result = run_figure9()
+        assert result.lowino_levels > 3 * result.downscale_levels
+        assert result.lowino_range > 0.95
+        assert result.downscale_range < 0.5
+        assert "distinct levels" in format_figure9(result)
+
+    def test_histogram_mass_equal(self):
+        """Both paths quantize the same number of elements."""
+        result = run_figure9()
+        assert result.downscale_hist.sum() == result.lowino_hist.sum()
+
+
+class TestFigure10:
+    def test_rows(self):
+        rows = run_figure10()
+        assert [r.layer for r in rows] == [
+            "VGG16_b", "ResNet-50_c", "YOLOv3_c", "U-Net_b",
+        ]
+        for row in rows:
+            n = row.normalized()
+            assert n["onednn_transform"] + n["onednn_mult"] == pytest.approx(1.0)
+            assert row.lowino_transform > row.onednn_transform
+            assert row.lowino_mult < row.onednn_mult
+        assert "VGG16_b" in format_figure10(rows)
+
+
+class TestAblation:
+    def test_error_ordering(self):
+        """downscale_f4 >> lowino_f4 > lowino_f2 ~ direct ~ upcast."""
+        rows = {r.scheme: r.rel_rms_error
+                for r in numeric_error_ablation(layer_by_name("GoogLeNet_b"))}
+        assert rows["downscale_f4"] > 5 * rows["lowino_f4"]
+        assert rows["lowino_f4"] > rows["lowino_f2"]
+        assert rows["downscale_f2"] > rows["lowino_f2"]
+        assert abs(rows["upcast_f2"] - rows["int8_direct"]) < 0.01
+
+    def test_point_sets(self):
+        out = point_set_ablation()
+        assert set(out) == {"lavin [0,1,-1,2,-2]", "half [0,1,-1,1/2,-1/2]",
+                            "mixed [0,1,-1,2,-1/2]"}
+        # The mixed set is the best of the three (Barabasz et al.).
+        assert out["mixed [0,1,-1,2,-1/2]"] < out["lavin [0,1,-1,2,-2]"]
+
+    def test_blocking_ablation_ordering(self):
+        out = blocking_ablation(layer_by_name("VGG16_c"))
+        assert out["tuned"] <= out["default"] * 1.0001
+        assert out["pessimal"] > 1.5 * out["tuned"]
+
+
+class TestTable3:
+    def test_smoke_tiny(self):
+        """Full-table smoke run on the smallest model/method subset."""
+        rows = run_table3(
+            models={"tiny": lambda: build_alexnet_small(width=8)},
+            eval_images=32,
+            calibration_batches=1,
+            calibration_batch_size=16,
+            methods=[("LoWino F(2,3)", "lowino", 2),
+                     ("down-scaling F(4,3)", "int8_downscale", 4)],
+        )
+        assert len(rows) == 2
+        by = {r.method: r for r in rows}
+        assert 0 <= by["LoWino F(2,3)"].int8_accuracy <= 1
+        # LoWino F(2,3) must beat the broken down-scaling F(4,3).
+        assert (by["LoWino F(2,3)"].int8_accuracy
+                > by["down-scaling F(4,3)"].int8_accuracy)
+        assert "tiny" in format_table3(rows)

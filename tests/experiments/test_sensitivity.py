@@ -1,0 +1,38 @@
+"""Machine-sensitivity study shapes."""
+
+import pytest
+
+from repro.experiments import core_scaling_study, machine_sensitivity_study
+from repro.workloads import TABLE2_LAYERS, layer_by_name
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # Subset of layers keeps the study fast; the orderings are stable.
+    return {r.machine: r for r in machine_sensitivity_study(TABLE2_LAYERS[:10])}
+
+
+class TestSensitivity:
+    def test_vnni_is_the_enabler(self, rows):
+        """Without VNNI the LoWino advantage largely evaporates --
+        the paper's premise that the 4x INT8 peak drives the win."""
+        base = rows["baseline (VNNI, 100 GB/s)"]
+        no_vnni = rows["no VNNI"]
+        assert no_vnni.avg_speedup < base.avg_speedup - 0.2
+
+    def test_bandwidth_direction(self, rows):
+        """LoWino streams intermediates through DRAM: its advantage
+        grows with bandwidth and shrinks without it."""
+        base = rows["baseline (VNNI, 100 GB/s)"]
+        half = rows["half DRAM bandwidth"]
+        double = rows["double DRAM bandwidth"]
+        assert half.avg_speedup < base.avg_speedup < double.avg_speedup
+
+    def test_core_scaling_monotone_with_dram_cap(self):
+        times = core_scaling_study(layer_by_name("VGG16_b"))
+        cores = sorted(times)
+        for a, b in zip(cores, cores[1:]):
+            assert times[b] < times[a]
+        # Scaling from 1 to 16 cores is sub-linear (DRAM-bound share).
+        assert times[1] / times[16] < 16
+        assert times[1] / times[16] > 4

@@ -1,0 +1,34 @@
+"""Tile-size accuracy/performance frontier."""
+
+import pytest
+
+from repro.experiments import tile_size_study
+from repro.workloads import layer_by_name
+
+
+class TestTileSizeStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return tile_size_study(layer_by_name("VGG16_c"))
+
+    def test_three_points(self, rows):
+        assert [r.m for r in rows] == [2, 4, 6]
+
+    def test_error_monotone_in_m(self, rows):
+        errs = [r.rel_rms_error for r in rows]
+        assert errs[0] < errs[1] < errs[2]
+
+    def test_f4_faster_than_f2_on_big_layer(self, rows):
+        by_m = {r.m: r for r in rows}
+        assert by_m[4].predicted_time < by_m[2].predicted_time
+
+    def test_f6_diminishing_returns(self, rows):
+        """F(6,3)'s extra complexity reduction buys little wall clock:
+        transforms/memory dominate the savings -- while error doubles."""
+        by_m = {r.m: r for r in rows}
+        f4_gain = by_m[2].predicted_time / by_m[4].predicted_time
+        f6_gain = by_m[4].predicted_time / by_m[6].predicted_time
+        assert f6_gain < f4_gain
+
+    def test_complexity_reductions(self, rows):
+        assert [round(r.complexity_reduction, 4) for r in rows] == [2.25, 4.0, 5.0625]

@@ -1,0 +1,69 @@
+"""Blocking parameters and the paper's tuning constraints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gemm import (
+    BlockingParams,
+    L2_ELEM_LIMIT,
+    MAX_ACCUM_REGISTERS,
+    default_blocking,
+)
+
+
+class TestConstraints:
+    def test_valid_baseline(self):
+        BlockingParams(n_blk=96, c_blk=256, k_blk=64, row_blk=6, col_blk=4).validate()
+
+    def test_register_budget(self):
+        # row*col + col must stay under 31 (Section 4.3.4).
+        with pytest.raises(ValueError, match="register budget"):
+            BlockingParams(n_blk=96, c_blk=64, k_blk=64, row_blk=8, col_blk=4).validate()
+
+    def test_l2_constraint(self):
+        with pytest.raises(ValueError, match="L2"):
+            BlockingParams(n_blk=96, c_blk=512, k_blk=512, row_blk=6, col_blk=4).validate()
+        assert 512 * 512 == L2_ELEM_LIMIT
+
+    def test_phi_divisibility(self):
+        with pytest.raises(ValueError, match="phi"):
+            BlockingParams(n_blk=96, c_blk=30, k_blk=64, row_blk=6, col_blk=4).validate()
+
+    def test_k_blk_column_group(self):
+        with pytest.raises(ValueError, match="col_blk"):
+            BlockingParams(n_blk=96, c_blk=64, k_blk=48, row_blk=6, col_blk=4).validate()
+
+    def test_n_blk_row_multiple(self):
+        with pytest.raises(ValueError, match="row_blk"):
+            BlockingParams(n_blk=50, c_blk=64, k_blk=64, row_blk=6, col_blk=4).validate()
+
+    def test_positive(self):
+        with pytest.raises(ValueError):
+            BlockingParams(n_blk=0, c_blk=64, k_blk=64, row_blk=6, col_blk=4).validate()
+
+    def test_accumulator_registers(self):
+        p = BlockingParams(n_blk=96, c_blk=64, k_blk=64, row_blk=6, col_blk=4)
+        assert p.accumulator_registers == 28
+        assert p.accumulator_registers < MAX_ACCUM_REGISTERS
+
+    def test_microkernel_macs(self):
+        p = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        # 6 rows x 4 cols x 16 lanes x 4 pairs x (8/4) depth steps
+        assert p.microkernel_macs == 6 * 4 * 16 * 4 * 2
+
+
+class TestDefaults:
+    @given(st.integers(1, 20000), st.integers(1, 1024), st.integers(1, 1024))
+    def test_default_always_valid(self, n, c, k):
+        params = default_blocking(n, c, k)
+        params.validate()  # must never raise
+
+    def test_small_n_not_overpadded(self):
+        params = default_blocking(10, 64, 64)
+        assert params.n_blk <= 12  # ceil(10/6)*6
+
+    def test_large_problem_uses_large_blocks(self):
+        params = default_blocking(14400, 512, 512)
+        assert params.k_blk >= 128
+        assert params.c_blk >= 128

@@ -1,0 +1,107 @@
+"""Register-blocked microkernel: simulation == vectorized == reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gemm import (
+    BlockingParams,
+    GemmWorkload,
+    microkernel_simulated,
+    microkernel_vectorized,
+    pack_u_block,
+    unpack_u_block,
+)
+from repro.isa import InstructionTrace
+
+
+def _params(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4):
+    p = BlockingParams(n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
+                       row_blk=row_blk, col_blk=col_blk)
+    p.validate()
+    return p
+
+
+class TestPackUBlock:
+    def test_roundtrip(self, rng):
+        u = rng.integers(-128, 128, (16, 32)).astype(np.int8)
+        assert np.array_equal(unpack_u_block(pack_u_block(u)), u)
+
+    def test_layout_rule(self, rng):
+        u = rng.integers(-128, 128, (8, 4)).astype(np.int8)
+        p = pack_u_block(u)
+        # p[cq, 4k + j] = u[4cq + j, k]
+        for cq in range(2):
+            for k in range(4):
+                for j in range(4):
+                    assert p[cq, 4 * k + j] == u[4 * cq + j, k]
+
+    def test_requires_phi_multiple(self, rng):
+        with pytest.raises(ValueError):
+            pack_u_block(rng.integers(0, 5, (6, 4)).astype(np.int8))
+
+
+class TestMicrokernel:
+    def test_sim_equals_vectorized_equals_reference(self, rng):
+        p = _params()
+        v = rng.integers(0, 256, (p.n_blk, p.c_blk)).astype(np.uint8)
+        u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
+        up = pack_u_block(u)
+        sim = microkernel_simulated(v, up, p)
+        vec = microkernel_vectorized(v, up)
+        ref = v.astype(np.int32) @ u.astype(np.int32)
+        assert np.array_equal(sim, vec)
+        assert np.array_equal(vec, ref)
+
+    def test_with_accumulator_init(self, rng):
+        p = _params()
+        v = rng.integers(0, 256, (p.n_blk, p.c_blk)).astype(np.uint8)
+        u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
+        z0 = rng.integers(-1000, 1000, (p.n_blk, p.k_blk)).astype(np.int32)
+        up = pack_u_block(u)
+        sim = microkernel_simulated(v, up, p, z_init=z0)
+        vec = microkernel_vectorized(v, up, z_init=z0)
+        assert np.array_equal(sim, vec)
+
+    @given(st.sampled_from([(6, 4), (4, 2), (2, 1), (10, 2)]),
+           st.integers(1, 3))
+    def test_equivalence_property(self, rowcol, c_mult):
+        row_blk, col_blk = rowcol
+        p = _params(n_blk=row_blk * 2, c_blk=4 * c_mult,
+                    k_blk=col_blk * 16, row_blk=row_blk, col_blk=col_blk)
+        rng = np.random.default_rng(row_blk * 7 + col_blk + c_mult)
+        v = rng.integers(0, 256, (p.n_blk, p.c_blk)).astype(np.uint8)
+        u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
+        up = pack_u_block(u)
+        assert np.array_equal(
+            microkernel_simulated(v, up, p),
+            v.astype(np.int32) @ u.astype(np.int32),
+        )
+
+    def test_shape_validation(self, rng):
+        p = _params()
+        v = rng.integers(0, 256, (p.n_blk + 1, p.c_blk)).astype(np.uint8)
+        u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
+        with pytest.raises(ValueError):
+            microkernel_simulated(v, pack_u_block(u), p)
+
+    def test_dtype_validation(self, rng):
+        with pytest.raises(ValueError):
+            microkernel_vectorized(
+                rng.integers(0, 5, (4, 4)).astype(np.int8),
+                rng.integers(0, 5, (1, 16)).astype(np.int8),
+            )
+
+    def test_instruction_counts_match_workload_model(self, rng):
+        """The perf model's GemmWorkload counts must equal the counts the
+        simulated kernel actually emits (exact-fit block)."""
+        p = _params(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        v = rng.integers(0, 256, (p.n_blk, p.c_blk)).astype(np.uint8)
+        u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
+        trace = InstructionTrace()
+        microkernel_simulated(v, pack_u_block(u), p, trace=trace)
+        work = GemmWorkload(t=1, n=p.n_blk, c=p.c_blk, k=p.k_blk, params=p)
+        assert trace["vpdpbusd"] == work.vpdpbusd_count
+        assert trace["broadcast"] == work.broadcast_count
+        assert trace["store_nt"] == work.nt_store_count

@@ -1,0 +1,37 @@
+"""Reference integer GEMMs."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import gemm_s8s8_reference, gemm_s16_reference, gemm_u8s8_reference
+
+
+class TestReferenceGemms:
+    def test_u8s8(self, rng):
+        a = rng.integers(0, 256, (5, 7)).astype(np.uint8)
+        b = rng.integers(-128, 128, (7, 3)).astype(np.int8)
+        out = gemm_u8s8_reference(a, b)
+        assert out.dtype == np.int32
+        assert np.array_equal(out, a.astype(np.int64) @ b.astype(np.int64))
+
+    def test_s8s8(self, rng):
+        a = rng.integers(-128, 128, (4, 6)).astype(np.int8)
+        b = rng.integers(-128, 128, (6, 2)).astype(np.int8)
+        assert np.array_equal(
+            gemm_s8s8_reference(a, b), a.astype(np.int64) @ b.astype(np.int64)
+        )
+
+    def test_s16(self, rng):
+        a = rng.integers(-(2**15), 2**15, (3, 5)).astype(np.int16)
+        b = rng.integers(-(2**15), 2**15, (5, 4)).astype(np.int16)
+        assert np.array_equal(
+            gemm_s16_reference(a, b), a.astype(np.int64) @ b.astype(np.int64)
+        )
+
+    @pytest.mark.parametrize("fn", [gemm_u8s8_reference, gemm_s8s8_reference,
+                                    gemm_s16_reference])
+    def test_dtype_validation(self, fn, rng):
+        a = rng.integers(0, 5, (2, 2)).astype(np.float32)
+        b = rng.integers(0, 5, (2, 2)).astype(np.float32)
+        with pytest.raises(ValueError):
+            fn(a, b)

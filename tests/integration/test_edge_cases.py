@@ -1,0 +1,113 @@
+"""Edge cases and failure injection across the whole pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.conv import (
+    DownscaleWinogradConv2d,
+    Int8DirectConv2d,
+    UpcastWinogradConv2d,
+    direct_conv2d_fp32,
+)
+from repro.core import LoWinoConv2d
+from repro.quant import QuantParams, WinogradDomainCalibrator
+from repro.winograd import winograd_algorithm, winograd_conv2d_fp32
+
+
+ALL_LAYER_CLASSES = [
+    lambda w: Int8DirectConv2d(w, padding=1),
+    lambda w: UpcastWinogradConv2d(w, m=2, padding=1),
+    lambda w: DownscaleWinogradConv2d(w, m=2, padding=1),
+    lambda w: LoWinoConv2d(w, m=2, padding=1),
+]
+
+
+class TestDegenerateShapes:
+    @pytest.mark.parametrize("make", ALL_LAYER_CLASSES)
+    def test_single_channel_single_filter(self, make, rng):
+        w = rng.standard_normal((1, 1, 3, 3)) * 0.5
+        x = np.maximum(rng.standard_normal((1, 1, 6, 6)), 0)
+        y = make(w)(x)
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        assert y.shape == ref.shape
+        assert np.all(np.isfinite(y))
+
+    @pytest.mark.parametrize("make", ALL_LAYER_CLASSES)
+    def test_minimal_spatial_size(self, make, rng):
+        """3x3 input with padding 1: exactly one Winograd tile row."""
+        w = rng.standard_normal((2, 2, 3, 3)) * 0.5
+        x = np.maximum(rng.standard_normal((1, 2, 3, 3)), 0)
+        y = make(w)(x)
+        assert y.shape == (1, 2, 3, 3)
+
+    def test_batch_of_one_pixel_outputs(self, rng):
+        """Input exactly the filter size (VALID output is 1x1)."""
+        w = rng.standard_normal((2, 2, 3, 3))
+        x = rng.standard_normal((2, 2, 3, 3))
+        y = LoWinoConv2d(w, m=2, padding=0)(x)
+        ref = direct_conv2d_fp32(x, w)
+        assert y.shape == (2, 2, 1, 1)
+        assert np.allclose(y, ref, atol=0.25 * np.abs(ref).max() + 1e-6)
+
+
+class TestDegenerateValues:
+    @pytest.mark.parametrize("make", ALL_LAYER_CLASSES)
+    def test_all_zero_input(self, make, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        x = np.zeros((1, 2, 8, 8))
+        y = make(w)(x)
+        assert np.allclose(y, 0.0)
+
+    @pytest.mark.parametrize("make", ALL_LAYER_CLASSES)
+    def test_all_zero_filters(self, make, rng):
+        w = np.zeros((2, 2, 3, 3))
+        x = rng.standard_normal((1, 2, 8, 8))
+        y = make(w)(x)
+        assert np.allclose(y, 0.0)
+
+    def test_constant_input(self, rng):
+        """Constant activations: one quantization level suffices."""
+        w = rng.standard_normal((2, 2, 3, 3)) * 0.5
+        x = np.full((1, 2, 8, 8), 1.5)
+        y = LoWinoConv2d(w, m=4, padding=0)(x)
+        ref = direct_conv2d_fp32(x, w)
+        # Interior outputs (away from tile padding) are constant.
+        assert np.allclose(y, ref, rtol=0.05, atol=0.05 * np.abs(ref).max())
+
+    def test_huge_dynamic_range(self, rng):
+        """A 1e6 outlier saturates but does not corrupt the rest."""
+        w = rng.standard_normal((2, 2, 3, 3)) * 0.1
+        x = np.maximum(rng.standard_normal((1, 2, 12, 12)), 0)
+        x[0, 0, 6, 6] = 1e6
+        y = LoWinoConv2d(w, m=2, padding=1)(x)
+        assert np.all(np.isfinite(y))
+        # Far-away outputs unaffected by the outlier's quantization.
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        far = np.s_[0, :, :2, :2]
+        scale = np.abs(ref[far]).max() + 1e-9
+        assert np.abs(y[far] - ref[far]).max() / scale < 10.0
+
+    def test_calibration_with_constant_batches(self):
+        cal = WinogradDomainCalibrator(positions=16)
+        cal.collect(np.full((16, 10, 4), 2.0))
+        params = cal.params("kl")
+        assert np.all(np.isfinite(params.scale))
+
+
+class TestApiMisuse:
+    def test_wrong_channel_count_at_inference(self, rng):
+        layer = LoWinoConv2d(rng.standard_normal((2, 4, 3, 3)), m=2, padding=1)
+        with pytest.raises(Exception):
+            layer(rng.standard_normal((1, 3, 8, 8)))
+
+    def test_image_smaller_than_filter(self, rng):
+        layer = LoWinoConv2d(rng.standard_normal((2, 2, 3, 3)), m=2, padding=0)
+        with pytest.raises(ValueError):
+            layer(rng.standard_normal((1, 2, 2, 2)))
+
+    def test_m1_degenerates_to_direct(self, rng):
+        """F(1,3) is a valid (trivial) Winograd algorithm."""
+        x = rng.standard_normal((1, 2, 6, 6))
+        w = rng.standard_normal((2, 2, 3, 3))
+        y = winograd_conv2d_fp32(x, w, winograd_algorithm(1, 3))
+        assert np.allclose(y, direct_conv2d_fp32(x, w), atol=1e-10)

@@ -1,0 +1,97 @@
+"""Cross-module integration: the full LoWino pipeline against ground
+truth, implementation orderings, and the blocked execution path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DownscaleWinogradConv2d,
+    Int8DirectConv2d,
+    LoWinoConv2d,
+    UpcastWinogradConv2d,
+    direct_conv2d_fp32,
+    winograd_algorithm,
+    winograd_conv2d_fp32,
+)
+
+
+def _rel_rms(y, ref):
+    return float(np.sqrt(np.mean((y - ref) ** 2)) / (ref.std() or 1.0))
+
+
+class TestFullPipeline:
+    @given(
+        st.sampled_from([2, 4]),
+        st.integers(1, 2),
+        st.sampled_from([4, 8, 12]),
+        st.sampled_from([8, 11, 16]),
+    )
+    @settings(max_examples=10)
+    def test_lowino_error_envelope_property(self, m, b, c, hw):
+        rng = np.random.default_rng(m * 1000 + b * 100 + c + hw)
+        x = np.maximum(rng.standard_normal((b, c, hw, hw)), 0)
+        w = rng.standard_normal((8, c, 3, 3)) * np.sqrt(2 / (9 * c))
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        layer = LoWinoConv2d(w, m=m, padding=1)
+        assert _rel_rms(layer(x), ref) < (0.06 if m == 2 else 0.25)
+
+    def test_scheme_error_ordering(self, rng):
+        """The Section 2.3 story, end to end on one layer:
+        upcast == direct-quantization floor, LoWino close behind,
+        down-scaling F(4,3) catastrophic."""
+        x = np.maximum(rng.standard_normal((2, 16, 16, 16)), 0)
+        w = rng.standard_normal((16, 16, 3, 3)) * 0.08
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        errs = {
+            "direct": _rel_rms(Int8DirectConv2d(w, padding=1)(x), ref),
+            "upcast2": _rel_rms(UpcastWinogradConv2d(w, m=2, padding=1)(x), ref),
+            "lowino2": _rel_rms(LoWinoConv2d(w, m=2, padding=1)(x), ref),
+            "lowino4": _rel_rms(LoWinoConv2d(w, m=4, padding=1)(x), ref),
+            "down2": _rel_rms(DownscaleWinogradConv2d(w, m=2, padding=1)(x), ref),
+            "down4": _rel_rms(DownscaleWinogradConv2d(w, m=4, padding=1)(x), ref),
+        }
+        assert errs["upcast2"] == pytest.approx(errs["direct"], abs=1e-6)
+        assert errs["lowino2"] < errs["down2"]
+        assert errs["lowino4"] < errs["down4"] / 3
+        assert errs["down4"] > 0.5
+
+    def test_calibrated_lowino_full_flow(self, rng):
+        """Calibrate on one distribution, infer on a fresh draw."""
+        w = rng.standard_normal((8, 8, 3, 3)) * 0.1
+        layer = LoWinoConv2d(w, m=4, padding=1)
+        calib = [np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)
+                 for _ in range(4)]
+        layer.calibrate(calib)
+        x = np.maximum(rng.standard_normal((2, 8, 12, 12)), 0)
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        assert _rel_rms(layer(x), ref) < 0.25
+
+    def test_blocked_and_fast_paths_identical_after_calibration(self, rng):
+        w = rng.standard_normal((8, 8, 3, 3)) * 0.1
+        calib = [np.maximum(rng.standard_normal((1, 8, 10, 10)), 0)]
+        a = LoWinoConv2d(w, m=2, padding=1, use_blocked_gemm=False).calibrate(calib)
+        b = LoWinoConv2d(w, m=2, padding=1, use_blocked_gemm=True).calibrate(calib)
+        x = np.maximum(rng.standard_normal((1, 8, 10, 10)), 0)
+        assert np.array_equal(a(x), b(x))
+
+    def test_fp32_winograd_is_exact_baseline(self, rng):
+        """Sanity anchor: every INT8 comparison uses a correct FP32
+        reference (Winograd and direct agree)."""
+        x = rng.standard_normal((1, 4, 10, 10))
+        w = rng.standard_normal((4, 4, 3, 3))
+        assert np.allclose(
+            winograd_conv2d_fp32(x, w, winograd_algorithm(4, 3)),
+            direct_conv2d_fp32(x, w),
+            atol=1e-9,
+        )
+
+    def test_int32_accumulator_never_overflows_realistic_channels(self, rng):
+        """Worst case |vbar|=255, |u|=128: C up to 512 stays within int32
+        (the claim made in repro.isa.vnni's docstring)."""
+        c = 512
+        v = np.full((1, c), 255, dtype=np.uint8)
+        u = np.full((c, 1), -128, dtype=np.int8)
+        acc = v.astype(np.int64) @ u.astype(np.int64)
+        assert np.abs(acc).max() < 2**31

@@ -1,0 +1,82 @@
+"""ZMM register file and instruction trace."""
+
+import numpy as np
+import pytest
+
+from repro.isa import InstructionTrace, RegisterFile, ZMM_BYTES, ZMM_COUNT
+from repro.isa.registers import RegisterPressureError
+
+
+class TestRegisterFile:
+    def test_capacity_limits(self):
+        rf = RegisterFile()
+        regs = rf.alloc_many(ZMM_COUNT)
+        assert rf.live_count == ZMM_COUNT
+        with pytest.raises(RegisterPressureError):
+            rf.alloc()
+        rf.free(regs[0])
+        rf.alloc()  # space again
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RegisterFile(count=0)
+        with pytest.raises(ValueError):
+            RegisterFile(count=33)
+
+    def test_double_free(self):
+        rf = RegisterFile()
+        r = rf.alloc()
+        rf.free(r)
+        with pytest.raises(RuntimeError):
+            rf.free(r)
+
+    def test_high_water_mark(self):
+        rf = RegisterFile()
+        regs = rf.alloc_many(5)
+        for r in regs:
+            rf.free(r)
+        rf.alloc()
+        assert rf.high_water == 5
+
+    def test_register_payload_size_limit(self):
+        rf = RegisterFile()
+        r = rf.alloc()
+        r.write(np.zeros(16, dtype=np.int32))  # 64 bytes: fits
+        with pytest.raises(ValueError):
+            r.write(np.zeros(17, dtype=np.int32))
+
+    def test_read_before_write(self):
+        rf = RegisterFile()
+        with pytest.raises(RuntimeError):
+            rf.alloc().read()
+
+    def test_paper_register_budget_fits(self):
+        """row_blk=6, col_blk=4: 24 accumulators + 4 operands + 1
+        broadcast = 29 < 32 (Section 4.3.4's constraint in action)."""
+        rf = RegisterFile()
+        rf.alloc()  # broadcast
+        rf.alloc_many(6 * 4 + 4)
+        assert rf.live_count == 29
+
+
+class TestInstructionTrace:
+    def test_counts(self):
+        tr = InstructionTrace()
+        tr.emit("vpdpbusd", 10)
+        tr.emit("load", 3)
+        tr.emit("vpdpbusd")
+        assert tr["vpdpbusd"] == 11
+        assert tr["load"] == 3
+        assert tr["missing"] == 0
+        assert tr.total() == 14
+
+    def test_merge(self):
+        a = InstructionTrace()
+        a.emit("load", 2)
+        b = InstructionTrace()
+        b.emit("load", 3)
+        b.emit("store_nt", 1)
+        merged = a.merged_with(b)
+        assert merged["load"] == 5
+        assert merged["store_nt"] == 1
+        assert a["load"] == 2  # originals untouched

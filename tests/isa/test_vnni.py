@@ -1,0 +1,150 @@
+"""vpdpbusd / vpmaddwd semantics (paper Figure 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.isa import (
+    VNNI_LANES,
+    VNNI_PAIRS,
+    saturate_cast,
+    vpdpbusd,
+    vpdpbusd_array,
+    vpmaddwd,
+    vpmaddwd_array,
+)
+
+u8_lane = hnp.arrays(np.uint8, (VNNI_LANES, VNNI_PAIRS),
+                     elements=st.integers(0, 255))
+s8_lane = hnp.arrays(np.int8, (VNNI_LANES, VNNI_PAIRS),
+                     elements=st.integers(-128, 127))
+i32_acc = hnp.arrays(np.int32, (VNNI_LANES,),
+                     elements=st.integers(-(2**30), 2**30))
+
+
+class TestVpdpbusd:
+    def test_figure1_semantics(self):
+        """D_i = A[4i:4i+4] . B[4i:4i+4] + C_i."""
+        a = np.zeros((16, 4), dtype=np.uint8)
+        b = np.zeros((16, 4), dtype=np.int8)
+        c = np.arange(16, dtype=np.int32)
+        a[3] = [1, 2, 3, 4]
+        b[3] = [-1, 2, -3, 4]
+        out = vpdpbusd(a, b, c)
+        expected = c.copy()
+        expected[3] += -1 + 4 - 9 + 16
+        assert np.array_equal(out, expected)
+
+    def test_unsigned_times_signed(self):
+        """First operand is unsigned: 255 means 255, not -1."""
+        a = np.full((16, 4), 255, dtype=np.uint8)
+        b = np.ones((16, 4), dtype=np.int8)
+        out = vpdpbusd(a, b, np.zeros(16, dtype=np.int32))
+        assert np.all(out == 4 * 255)
+
+    @given(u8_lane, s8_lane, i32_acc)
+    def test_matches_int_reference(self, a, b, c):
+        out = vpdpbusd(a, b, c)
+        ref = (a.astype(np.int64) * b.astype(np.int64)).sum(axis=1) + c
+        # No overflow possible in this accumulator range.
+        assert np.array_equal(out.astype(np.int64), ref)
+
+    def test_wraparound_add(self):
+        """Accumulator addition wraps modulo 2^32 like hardware."""
+        a = np.zeros((16, 4), dtype=np.uint8)
+        a[0] = [255, 255, 255, 255]
+        b = np.zeros((16, 4), dtype=np.int8)
+        b[0] = [127, 127, 127, 127]
+        c = np.full(16, 2**31 - 1, dtype=np.int32)
+        out = vpdpbusd(a, b, c)
+        expected = (int(c[0]) + 4 * 255 * 127) % 2**32 - 2**32
+        assert out[0] == expected
+
+    def test_shape_dtype_validation(self):
+        good_a = np.zeros((16, 4), dtype=np.uint8)
+        good_b = np.zeros((16, 4), dtype=np.int8)
+        good_c = np.zeros(16, dtype=np.int32)
+        with pytest.raises(ValueError):
+            vpdpbusd(good_a.astype(np.int8), good_b, good_c)
+        with pytest.raises(ValueError):
+            vpdpbusd(good_a, good_b.astype(np.uint8), good_c)
+        with pytest.raises(ValueError):
+            vpdpbusd(good_a, good_b, good_c.astype(np.int64))
+        with pytest.raises(ValueError):
+            vpdpbusd(good_a[:8], good_b, good_c)
+
+    @given(st.integers(1, 8), st.integers(1, 64))
+    def test_array_form_equals_lanewise(self, rows, quads):
+        """vpdpbusd_array == chaining the instruction over 4-element
+        groups."""
+        rng = np.random.default_rng(rows * 100 + quads)
+        a = rng.integers(0, 256, (rows, 4 * quads)).astype(np.uint8)
+        b = rng.integers(-128, 128, (rows, 4 * quads)).astype(np.int8)
+        out = vpdpbusd_array(a, b)
+        ref = (a.astype(np.int64) * b.astype(np.int64)).sum(axis=-1)
+        assert np.array_equal(out.astype(np.int64), ref)
+
+    def test_array_dtype_validation(self):
+        with pytest.raises(ValueError):
+            vpdpbusd_array(np.zeros(4, np.int8), np.zeros(4, np.int8))
+
+
+class TestVpmaddwd:
+    def test_semantics(self):
+        a = np.zeros((16, 2), dtype=np.int16)
+        b = np.zeros((16, 2), dtype=np.int16)
+        a[5] = [1000, -2000]
+        b[5] = [30, 40]
+        out = vpmaddwd(a, b)
+        assert out[5] == 1000 * 30 - 2000 * 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vpmaddwd(np.zeros((16, 2), np.int32), np.zeros((16, 2), np.int16))
+        with pytest.raises(ValueError):
+            vpmaddwd(np.zeros((16, 4), np.int16), np.zeros((16, 4), np.int16))
+
+    @given(st.integers(1, 6))
+    def test_array_form(self, rows):
+        rng = np.random.default_rng(rows)
+        a = rng.integers(-1000, 1000, (rows, 8)).astype(np.int16)
+        b = rng.integers(-1000, 1000, (rows, 8)).astype(np.int16)
+        ref = (a.astype(np.int64) * b.astype(np.int64)).sum(axis=-1)
+        assert np.array_equal(vpmaddwd_array(a, b).astype(np.int64), ref)
+
+
+class TestSaturateCast:
+    @pytest.mark.parametrize(
+        "dtype,lo,hi",
+        [(np.int8, -128, 127), (np.uint8, 0, 255),
+         (np.int16, -32768, 32767), (np.int32, -(2**31), 2**31 - 1)],
+    )
+    def test_bounds(self, dtype, lo, hi):
+        x = np.array([-1e12, -1.0, 0.0, 1.0, 1e12])
+        out = saturate_cast(x, dtype)
+        assert out.dtype == np.dtype(dtype)
+        assert int(out[0]) == lo  # underflow saturates to the minimum
+        assert int(out[-1]) == hi  # overflow saturates to the maximum
+        assert int(out[1]) == max(lo, -1)  # in-range values pass through
+        assert int(out[2]) == 0
+        assert int(out[3]) == 1
+
+    def test_float_rounding_half_even(self):
+        out = saturate_cast(np.array([0.5, 1.5, -0.5, 2.5]), np.int8)
+        assert list(out) == [0, 2, 0, 2]
+
+    def test_integer_input_passthrough(self):
+        out = saturate_cast(np.array([300, -300], dtype=np.int64), np.int8)
+        assert list(out) == [127, -128]
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            saturate_cast(np.zeros(3), np.float32)
+
+    @given(hnp.arrays(np.float64, (20,), elements=st.floats(-1e6, 1e6)))
+    def test_idempotent(self, x):
+        once = saturate_cast(x, np.int8)
+        twice = saturate_cast(once, np.int8)
+        assert np.array_equal(once, twice)

@@ -1,0 +1,77 @@
+"""vpmaddubsw semantics: the pre-VNNI multiply and its saturation hazard."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.isa import vpmaddubsw, vpmaddubsw_array
+
+
+class TestVpmaddubsw:
+    def test_basic_semantics(self):
+        a = np.zeros((32, 2), dtype=np.uint8)
+        b = np.zeros((32, 2), dtype=np.int8)
+        a[7] = [10, 20]
+        b[7] = [3, -4]
+        out = vpmaddubsw(a, b)
+        assert out.dtype == np.int16
+        assert out[7] == 10 * 3 - 20 * 4
+
+    def test_saturation_hazard(self):
+        """2 * 255 * 127 = 64770 > INT16 max: the instruction saturates.
+
+        This is the correctness cliff that forces pre-VNNI INT8 kernels
+        (oneDNN's INT8 Winograd among them) to constrain operand ranges.
+        """
+        a = np.full((32, 2), 255, dtype=np.uint8)
+        b = np.full((32, 2), 127, dtype=np.int8)
+        out = vpmaddubsw(a, b)
+        assert np.all(out == 32767)  # saturated, NOT 64770
+
+    def test_negative_saturation(self):
+        a = np.full((32, 2), 255, dtype=np.uint8)
+        b = np.full((32, 2), -128, dtype=np.int8)
+        assert np.all(vpmaddubsw(a, b) == -32768)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vpmaddubsw(np.zeros((32, 2), np.int8), np.zeros((32, 2), np.int8))
+        with pytest.raises(ValueError):
+            vpmaddubsw(np.zeros((16, 2), np.uint8), np.zeros((16, 2), np.int8))
+
+    @given(
+        hnp.arrays(np.uint8, (32, 2), elements=st.integers(0, 255)),
+        hnp.arrays(np.int8, (32, 2), elements=st.integers(-128, 127)),
+    )
+    def test_matches_saturating_reference(self, a, b):
+        out = vpmaddubsw(a, b)
+        ref = np.clip(
+            (a.astype(np.int64) * b.astype(np.int64)).sum(axis=1), -32768, 32767
+        )
+        assert np.array_equal(out.astype(np.int64), ref)
+
+
+class TestVpmaddubswArray:
+    def test_pairwise_reduction_shape(self, rng):
+        a = rng.integers(0, 256, (3, 8)).astype(np.uint8)
+        b = rng.integers(-128, 128, (3, 8)).astype(np.int8)
+        out = vpmaddubsw_array(a, b)
+        assert out.shape == (3, 4)
+        assert out.dtype == np.int16
+
+    def test_odd_trailing_axis_rejected(self, rng):
+        a = rng.integers(0, 256, (2, 3)).astype(np.uint8)
+        b = rng.integers(-128, 128, (2, 3)).astype(np.int8)
+        with pytest.raises(ValueError):
+            vpmaddubsw_array(a, b)
+
+    def test_safe_range_exact(self, rng):
+        """With activations held in [0, 127] (the pre-VNNI mitigation)
+        no saturation occurs and the result is exact."""
+        a = rng.integers(0, 128, (4, 16)).astype(np.uint8)
+        b = rng.integers(-128, 128, (4, 16)).astype(np.int8)
+        out = vpmaddubsw_array(a, b)
+        ref = (a.astype(np.int64) * b.astype(np.int64)).reshape(4, 8, 2).sum(axis=2)
+        assert np.array_equal(out.astype(np.int64), ref)

@@ -1,0 +1,129 @@
+"""Table 1 blocked layouts: round trips, shapes, vpdpbusd ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout import (
+    PHI,
+    SIGMA,
+    ceil_div,
+    pack_blocked_filters,
+    pack_blocked_images,
+    pack_transformed_filters,
+    pack_transformed_inputs,
+    pack_transformed_outputs,
+    pad_axis,
+    unpack_blocked_filters,
+    unpack_blocked_images,
+    unpack_transformed_filters,
+    unpack_transformed_inputs,
+    unpack_transformed_outputs,
+)
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+
+    def test_pad_axis(self, rng):
+        x = rng.standard_normal((3, 5))
+        p = pad_axis(x, 1, 4)
+        assert p.shape == (3, 8)
+        assert np.array_equal(p[:, :5], x)
+        assert np.all(p[:, 5:] == 0)
+        assert pad_axis(x, 0, 3) is x  # already a multiple
+
+
+class TestImageLayout:
+    def test_shape(self, rng):
+        x = rng.standard_normal((2, 130, 5, 6))
+        p = pack_blocked_images(x)
+        assert p.shape == (2, ceil_div(130, 64), 5, 6, PHI, SIGMA)
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((2, 130, 5, 6))
+        assert np.array_equal(unpack_blocked_images(pack_blocked_images(x), 130), x)
+
+    def test_channel_order(self, rng):
+        x = rng.standard_normal((1, 64, 2, 2))
+        p = pack_blocked_images(x)
+        # channel c -> (block, phi_idx, sigma_idx) = (c//64, (c%64)//16, c%16)
+        assert p[0, 0, 1, 1, 2, 5] == x[0, 2 * 16 + 5, 1, 1]
+
+    def test_unpack_validates_phi_sigma(self, rng):
+        bad = rng.standard_normal((1, 1, 2, 2, 2, 16))
+        with pytest.raises(ValueError):
+            unpack_blocked_images(bad, 32)
+
+    @given(st.integers(1, 3), st.integers(1, 80), st.integers(1, 4))
+    def test_roundtrip_property(self, b, c, hw):
+        rng = np.random.default_rng(b * 1000 + c)
+        x = rng.integers(-128, 128, (b, c, hw, hw)).astype(np.int8)
+        out = unpack_blocked_images(pack_blocked_images(x), c)
+        assert out.dtype == x.dtype
+        assert np.array_equal(out, x)
+
+
+class TestTransformedInputs:
+    @given(st.integers(1, 40), st.integers(1, 20), st.integers(1, 3))
+    def test_roundtrip_property(self, n, c, t):
+        rng = np.random.default_rng(n * 7 + c)
+        v = rng.integers(0, 256, (t, n, c)).astype(np.uint8)
+        packed = pack_transformed_inputs(v, n_blk=12, c_blk=8)
+        assert packed.shape[2] == t
+        assert np.array_equal(unpack_transformed_inputs(packed, n, c), v)
+
+    def test_padding_is_zero(self, rng):
+        v = rng.integers(1, 256, (2, 5, 5)).astype(np.uint8)
+        packed = pack_transformed_inputs(v, n_blk=8, c_blk=8)
+        # Padded rows/cols must be zero (the GEMM relies on it).
+        assert packed[0, 0, 0, 5:, :].sum() == 0
+        assert packed[0, 0, 0, :, 5:].sum() == 0
+
+
+class TestFilterLayouts:
+    def test_blocked_filters_roundtrip(self, rng):
+        w = rng.standard_normal((70, 3, 3, 3))
+        packed = pack_blocked_filters(w)
+        assert packed.shape == (3, 2, 3, 3, PHI, SIGMA)
+        assert np.array_equal(unpack_blocked_filters(packed, 70), w)
+
+    def test_transformed_filters_vpdpbusd_order(self, rng):
+        """Trailing axis interleaves 4 channels per output channel."""
+        u = rng.integers(-128, 128, (1, 8, 4)).astype(np.int8)
+        packed = pack_transformed_filters(u, c_blk=8, k_blk=4)
+        # packed[cb, kb, t, cq, k*4 + p] == u[t, cq*4 + p, k]
+        for cq in range(2):
+            for k in range(4):
+                for p in range(4):
+                    assert packed[0, 0, 0, cq, k * 4 + p] == u[0, cq * 4 + p, k]
+
+    def test_transformed_filters_requires_phi_multiple(self, rng):
+        u = rng.integers(-128, 128, (1, 8, 4)).astype(np.int8)
+        with pytest.raises(ValueError):
+            pack_transformed_filters(u, c_blk=6, k_blk=4)
+
+    @given(st.integers(1, 20), st.integers(1, 40), st.integers(1, 3))
+    def test_transformed_filters_roundtrip(self, c, k, t):
+        rng = np.random.default_rng(c * 31 + k)
+        u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
+        packed = pack_transformed_filters(u, c_blk=8, k_blk=16)
+        assert np.array_equal(unpack_transformed_filters(packed, c, k), u)
+
+
+class TestTransformedOutputs:
+    @given(st.integers(1, 3), st.integers(1, 6), st.integers(1, 70))
+    def test_roundtrip(self, b, tiles, k):
+        rng = np.random.default_rng(b * 11 + tiles + k)
+        z = rng.integers(-(2**20), 2**20, (4, b * tiles, k)).astype(np.int32)
+        packed = pack_transformed_outputs(z, batch=b)
+        assert packed.shape[:2] == (b, ceil_div(k, 64))
+        assert np.array_equal(unpack_transformed_outputs(packed, k), z)
+
+    def test_batch_divisibility(self, rng):
+        z = rng.integers(0, 10, (4, 7, 8)).astype(np.int32)
+        with pytest.raises(ValueError):
+            pack_transformed_outputs(z, batch=2)

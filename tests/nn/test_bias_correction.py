@@ -1,0 +1,102 @@
+"""Post-training bias correction."""
+
+import numpy as np
+import pytest
+
+from repro.conv import direct_conv2d_fp32
+from repro.nn import (
+    Conv2d,
+    ReLU,
+    Sequential,
+    bias_correct_model,
+    channel_error_means,
+    named_convs,
+    quantize_model,
+)
+
+
+class TestChannelErrorMeans:
+    def test_recovers_injected_offset_exactly(self, rng):
+        """An engine with a known constant per-channel offset yields
+        exactly that offset as the measured error mean."""
+        w = rng.standard_normal((4, 3, 3, 3)) * 0.2
+        conv = Conv2d(w, padding=1)
+        offset = np.array([0.5, -1.0, 0.25, 2.0])
+
+        def biased_engine(x):
+            return direct_conv2d_fp32(x, w, padding=1) - offset[None, :, None, None]
+
+        conv.engine = biased_engine
+        inputs = [rng.standard_normal((2, 3, 8, 8)) for _ in range(3)]
+        means = channel_error_means(conv, inputs)
+        assert np.allclose(means, offset, atol=1e-10)
+
+    def test_requires_quantized_layer(self, rng):
+        conv = Conv2d(rng.standard_normal((2, 2, 3, 3)))
+        with pytest.raises(ValueError):
+            channel_error_means(conv, [rng.standard_normal((1, 2, 6, 6))])
+
+
+class TestBiasCorrectModel:
+    def _quantized_model(self, rng):
+        w1 = rng.standard_normal((8, 3, 3, 3)) * 0.3
+        w2 = rng.standard_normal((4, 8, 3, 3)) * 0.3
+        model = Sequential([Conv2d(w1, padding=1, name="a"), ReLU(),
+                            Conv2d(w2, padding=1, name="b")])
+        calib = [np.maximum(rng.standard_normal((2, 3, 12, 12)), 0)
+                 for _ in range(4)]
+        quantize_model(model, "lowino", m=4, calibration_batches=calib)
+        return model, calib
+
+    def test_correction_equals_measured_error_mean(self, rng):
+        """The bias delta applied to each layer equals the engine's
+        per-channel error mean on that layer's (post-correction-of-
+        upstream-layers) calibration inputs -- the defining property."""
+        model, calib = self._quantized_model(rng)
+        originals = {id(conv): conv.bias.copy() for _, conv in named_convs(model)}
+        bias_correct_model(model, calib)
+        captures = {}
+        for batch in calib:
+            model.forward_capture(batch, captures)
+        for name, conv in named_convs(model):
+            delta = conv.bias - originals[id(conv)]
+            expected = channel_error_means(conv, captures[id(conv)])
+            assert np.allclose(delta, expected, atol=1e-10)
+            assert np.abs(delta).max() > 0  # something was corrected
+
+    def test_layer_output_mean_matches_fp32_on_calib(self, rng):
+        """Guaranteed property: after correction, a layer's mean output
+        over the calibration inputs equals what the FP32 convolution
+        (with the original bias) would produce on the same inputs."""
+        model, calib = self._quantized_model(rng)
+        originals = {id(conv): conv.bias.copy() for _, conv in named_convs(model)}
+        bias_correct_model(model, calib)
+        captures = {}
+        for batch in calib:
+            model.forward_capture(batch, captures)
+        for name, conv in named_convs(model):
+            xs = captures[id(conv)]
+            quant_mean = np.zeros(conv.filters.shape[0])
+            fp32_mean = np.zeros(conv.filters.shape[0])
+            count = 0
+            for x in xs:
+                q = conv.engine(x) + conv.bias[None, :, None, None]
+                f = (direct_conv2d_fp32(x, conv.filters, padding=conv.padding)
+                     + originals[id(conv)][None, :, None, None])
+                w = x.shape[0] * q.shape[2] * q.shape[3]
+                quant_mean += q.mean(axis=(0, 2, 3)) * w
+                fp32_mean += f.mean(axis=(0, 2, 3)) * w
+                count += w
+            assert np.allclose(quant_mean / count, fp32_mean / count, atol=1e-9)
+
+    def test_requires_batches(self, rng):
+        model, _ = self._quantized_model(rng)
+        with pytest.raises(ValueError):
+            bias_correct_model(model, [])
+
+    def test_skips_fp32_layers(self, rng):
+        w = rng.standard_normal((2, 3, 3, 3))
+        model = Sequential([Conv2d(w, padding=1)])
+        before = model.layers[0].bias.copy()
+        bias_correct_model(model, [rng.standard_normal((1, 3, 8, 8))])
+        assert np.array_equal(model.layers[0].bias, before)

@@ -1,0 +1,67 @@
+"""Synthetic dataset: labeling, margins, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.nn import build_vgg_small, evaluate_model, make_eval_set
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_vgg_small(width=8)
+
+
+@pytest.fixture(scope="module")
+def dataset(model):
+    return make_eval_set(model, n=64, noise_sigma=0.2, margin_quantile=0.5)
+
+
+class TestDataset:
+    def test_sizes(self, dataset):
+        assert dataset.clean.shape[0] == 64
+        assert dataset.labels.shape == (64,)
+        assert dataset.logit_center.shape == (10,)
+
+    def test_labels_are_teacher_predictions(self, model, dataset):
+        logits = model(dataset.clean[:16]) - dataset.logit_center
+        assert np.array_equal(np.argmax(logits, axis=1), dataset.labels[:16])
+
+    def test_clean_accuracy_is_one(self, model, dataset):
+        acc = evaluate_model(model, dataset.clean, dataset.labels,
+                             logit_center=dataset.logit_center)
+        assert acc == 1.0
+
+    def test_noisy_accuracy_below_one_above_chance(self, model, dataset):
+        acc = evaluate_model(model, dataset.noisy(), dataset.labels,
+                             logit_center=dataset.logit_center)
+        assert 0.3 < acc < 1.0
+
+    def test_labels_not_degenerate(self, dataset):
+        """Centering must prevent a single dominant class."""
+        _, counts = np.unique(dataset.labels, return_counts=True)
+        assert counts.max() < 0.8 * dataset.labels.size
+
+    def test_noise_deterministic(self, dataset):
+        assert np.array_equal(dataset.noisy(), dataset.noisy())
+
+    def test_calibration_batches(self, dataset):
+        batches = list(dataset.calibration_batches(3, 16))
+        assert len(batches) == 3
+        assert batches[0].shape == (16, 3, 32, 32)
+        # Calibration data is the noisy distribution.
+        assert np.array_equal(batches[0], dataset.noisy()[:16])
+
+    def test_margin_quantile_validation(self, model):
+        with pytest.raises(ValueError):
+            make_eval_set(model, n=8, margin_quantile=1.0)
+
+    def test_margin_filter_raises_margins(self, model):
+        easy = make_eval_set(model, n=32, margin_quantile=0.7, seed=9)
+        hard = make_eval_set(model, n=32, margin_quantile=0.0, seed=9)
+
+        def median_margin(ds):
+            logits = model(ds.clean) - ds.logit_center
+            part = np.partition(logits, -2, axis=1)
+            return np.median(part[:, -1] - part[:, -2])
+
+        assert median_margin(easy) > median_margin(hard)

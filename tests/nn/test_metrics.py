@@ -1,0 +1,23 @@
+"""Metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import top1_accuracy
+
+
+class TestTop1:
+    def test_perfect(self):
+        logits = np.eye(4) * 10
+        assert top1_accuracy(logits, np.arange(4)) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert top1_accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_empty(self):
+        assert top1_accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))

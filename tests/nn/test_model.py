@@ -1,0 +1,70 @@
+"""Model composition, traversal, and capture."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, ReLU, Residual, Sequential, named_convs
+
+
+def _conv(rng, c_in, c_out, name):
+    return Conv2d(rng.standard_normal((c_out, c_in, 3, 3)) * 0.1, padding=1, name=name)
+
+
+class TestSequential:
+    def test_forward_order(self, rng):
+        c1 = _conv(rng, 3, 4, "a")
+        c2 = _conv(rng, 4, 5, "b")
+        model = Sequential([c1, ReLU(), c2])
+        x = rng.standard_normal((1, 3, 6, 6))
+        manual = c2(np.maximum(c1(x), 0))
+        assert np.allclose(model(x), manual)
+
+    def test_forward_capture_records_conv_inputs(self, rng):
+        c1 = _conv(rng, 3, 4, "a")
+        c2 = _conv(rng, 4, 5, "b")
+        model = Sequential([c1, ReLU(), c2])
+        x = rng.standard_normal((1, 3, 6, 6))
+        caps = {}
+        out = model.forward_capture(x, caps)
+        assert np.allclose(out, model(x))
+        assert np.array_equal(caps[id(c1)][0], x)
+        assert np.allclose(caps[id(c2)][0], np.maximum(c1(x), 0))
+
+
+class TestResidual:
+    def test_identity_shortcut(self, rng):
+        body = Sequential([_conv(rng, 4, 4, "a")])
+        res = Residual(body)
+        x = rng.standard_normal((1, 4, 6, 6))
+        assert np.allclose(res(x), np.maximum(body(x) + x, 0))
+
+    def test_projection_shortcut(self, rng):
+        body = Sequential([_conv(rng, 4, 8, "a")])
+        proj = _conv(rng, 4, 8, "proj")
+        res = Residual(body, proj)
+        x = rng.standard_normal((1, 4, 6, 6))
+        assert np.allclose(res(x), np.maximum(body(x) + proj(x), 0))
+
+    def test_capture_includes_shortcut(self, rng):
+        body = Sequential([_conv(rng, 4, 8, "a")])
+        proj = _conv(rng, 4, 8, "proj")
+        res = Residual(body, proj)
+        x = rng.standard_normal((1, 4, 6, 6))
+        caps = {}
+        model = Sequential([res])
+        model.forward_capture(x, caps)
+        assert id(proj) in caps
+        assert id(body.layers[0]) in caps
+
+
+class TestNamedConvs:
+    def test_enumeration(self, rng):
+        c1 = _conv(rng, 3, 4, "a")
+        c2 = _conv(rng, 4, 4, "b")
+        body = Sequential([c2])
+        model = Sequential([c1, Residual(body)])
+        convs = list(named_convs(model))
+        assert len(convs) == 2
+        assert {conv for _, conv in convs} == {c1, c2}
+        names = [n for n, _ in convs]
+        assert len(set(names)) == 2  # names are unique

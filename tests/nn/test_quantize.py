@@ -1,0 +1,72 @@
+"""Whole-model post-training quantization driver."""
+
+import numpy as np
+import pytest
+
+from repro.conv import Int8DirectConv2d
+from repro.core import LoWinoConv2d
+from repro.nn import (
+    build_alexnet_small,
+    dequantize_model,
+    evaluate_model,
+    make_eval_set,
+    named_convs,
+    quantize_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_alexnet_small(width=8)  # smallest builder: fast
+
+
+@pytest.fixture(scope="module")
+def dataset(model):
+    return make_eval_set(model, n=48, noise_sigma=0.2, margin_quantile=0.5)
+
+
+class TestQuantizeModel:
+    def test_engines_installed_and_removed(self, model, dataset):
+        quantize_model(model, "int8_direct",
+                       calibration_batches=dataset.calibration_batches(1, 16))
+        for _, conv in named_convs(model):
+            assert isinstance(conv.engine, Int8DirectConv2d)
+            assert conv.engine.input_threshold is not None
+        dequantize_model(model)
+        assert all(conv.engine is None for _, conv in named_convs(model))
+
+    def test_lowino_layers_calibrated(self, model, dataset):
+        quantize_model(model, "lowino", m=2,
+                       calibration_batches=dataset.calibration_batches(1, 16))
+        for _, conv in named_convs(model):
+            assert isinstance(conv.engine, LoWinoConv2d)
+            assert conv.engine.is_calibrated
+        dequantize_model(model)
+
+    def test_lowino_without_calibration_is_dynamic(self, model):
+        quantize_model(model, "lowino", m=2)
+        assert all(not conv.engine.is_calibrated for _, conv in named_convs(model))
+        dequantize_model(model)
+
+    def test_unknown_algorithm(self, model):
+        with pytest.raises(ValueError):
+            quantize_model(model, "fp8_magic")
+
+    def test_quantized_accuracy_close_to_fp32(self, model, dataset):
+        noisy = dataset.noisy()
+        fp32 = evaluate_model(model, noisy, dataset.labels,
+                              logit_center=dataset.logit_center)
+        quantize_model(model, "lowino", m=2,
+                       calibration_batches=dataset.calibration_batches(2, 16))
+        int8 = evaluate_model(model, noisy, dataset.labels,
+                              logit_center=dataset.logit_center)
+        dequantize_model(model)
+        assert int8 >= fp32 - 0.25
+
+    def test_dequantize_restores_fp32_outputs(self, model, dataset, rng):
+        x = dataset.clean[:4]
+        before = model(x)
+        quantize_model(model, "int8_direct",
+                       calibration_batches=dataset.calibration_batches(1, 16))
+        dequantize_model(model)
+        assert np.array_equal(model(x), before)

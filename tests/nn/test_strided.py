@@ -1,0 +1,75 @@
+"""Strided convolutions in the layer library and quantization fallback."""
+
+import numpy as np
+import pytest
+
+from repro.conv import Int8DirectConv2d, direct_conv2d_fp32
+from repro.core import LoWinoConv2d
+from repro.nn import (
+    Conv2d,
+    ReLU,
+    Sequential,
+    dequantize_model,
+    named_convs,
+    quantize_model,
+)
+from repro.tuning import plan_model
+
+
+def _strided_model(rng):
+    w1 = rng.standard_normal((8, 3, 3, 3)) * 0.2
+    w2 = rng.standard_normal((8, 8, 3, 3)) * 0.2
+    return Sequential([
+        Conv2d(w1, padding=1, stride=2, name="down"),
+        ReLU(),
+        Conv2d(w2, padding=1, name="body"),
+    ])
+
+
+class TestStridedConv2d:
+    def test_fp32_forward(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3))
+        layer = Conv2d(w, padding=1, stride=2)
+        x = rng.standard_normal((1, 3, 16, 16))
+        assert np.allclose(layer(x),
+                           direct_conv2d_fp32(x, w, stride=2, padding=1))
+
+    def test_eligibility_flag(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        assert Conv2d(w).winograd_eligible
+        assert not Conv2d(w, stride=2).winograd_eligible
+
+    def test_invalid_stride(self, rng):
+        with pytest.raises(ValueError):
+            Conv2d(rng.standard_normal((2, 2, 3, 3)), stride=0)
+
+
+class TestQuantizationFallback:
+    def test_strided_layer_falls_back_to_direct(self, rng):
+        model = _strided_model(rng)
+        x = np.maximum(rng.standard_normal((2, 3, 16, 16)), 0)
+        quantize_model(model, "lowino", m=2, calibration_batches=[x])
+        engines = {conv.name: conv.engine for _, conv in named_convs(model)}
+        assert isinstance(engines["down"], Int8DirectConv2d)
+        assert engines["down"].stride == 2
+        assert isinstance(engines["body"], LoWinoConv2d)
+        dequantize_model(model)
+
+    def test_quantized_output_tracks_fp32(self, rng):
+        model = _strided_model(rng)
+        x = np.maximum(rng.standard_normal((1, 3, 16, 16)), 0)
+        ref = model(x)
+        quantize_model(model, "lowino", m=2, calibration_batches=[x])
+        y = model(x)
+        dequantize_model(model)
+        assert y.shape == ref.shape
+        assert np.sqrt(np.mean((y - ref) ** 2)) / ref.std() < 0.05
+
+    def test_planner_forces_direct_for_strided(self, rng):
+        model = _strided_model(rng)
+        plan = plan_model(model, (1, 3, 16, 16))
+        strided_name = next(name for name, conv in named_convs(model)
+                            if conv.stride == 2)
+        choice = plan.choices[strided_name]
+        assert choice.algorithm == "int8_direct"
+        assert choice.m == 0

@@ -1,0 +1,71 @@
+"""U-Net-style model: structure, forward, quantization compatibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import LoWinoConv2d
+from repro.nn import (
+    Upsample2d,
+    build_unet_small,
+    dequantize_model,
+    named_convs,
+    quantize_model,
+)
+
+
+class TestUpsample:
+    def test_nearest_neighbour(self):
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        y = Upsample2d(2)(x)
+        assert y.shape == (1, 1, 4, 4)
+        assert np.array_equal(y[0, 0], [[0, 0, 1, 1], [0, 0, 1, 1],
+                                        [2, 2, 3, 3], [2, 2, 3, 3]])
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Upsample2d(0)
+
+
+class TestUNet:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_unet_small(classes=4, width=8)
+
+    def test_dense_output_shape(self, model, rng):
+        x = rng.standard_normal((2, 3, 32, 32))
+        y = model(x)
+        assert y.shape == (2, 4, 32, 32)
+        assert np.all(np.isfinite(y))
+
+    def test_all_convs_winograd_eligible(self, model):
+        convs = list(named_convs(model))
+        assert len(convs) >= 7
+        for _, conv in convs:
+            assert conv.filters.shape[2:] == (3, 3)
+            assert conv.padding == 1
+
+    def test_capture_covers_all_convs(self, model, rng):
+        captures = {}
+        model.forward_capture(rng.standard_normal((1, 3, 32, 32)), captures)
+        conv_ids = {id(conv) for _, conv in named_convs(model)}
+        assert set(captures) == conv_ids
+
+    def test_quantize_roundtrip(self, model, rng):
+        x = np.maximum(rng.standard_normal((1, 3, 32, 32)), -1)
+        before = model(x)
+        quantize_model(model, "lowino", m=2, calibration_batches=[x])
+        for _, conv in named_convs(model):
+            assert isinstance(conv.engine, LoWinoConv2d)
+        during = model(x)
+        dequantize_model(model)
+        after = model(x)
+        assert np.array_equal(before, after)
+        # Quantized output tracks FP32 closely on a dense map.
+        rel = np.sqrt(np.mean((during - before) ** 2)) / before.std()
+        assert rel < 0.1
+
+    def test_skip_concat_channels(self, model, rng):
+        """Decoder conv consumes bottleneck + skip channels (3 * width)."""
+        first_dec = next(conv for name, conv in named_convs(model)
+                         if conv.name == "dec1_a")
+        assert first_dec.filters.shape[1] == 3 * 8

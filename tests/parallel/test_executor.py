@@ -1,0 +1,57 @@
+"""Fork-join execution over static partitions."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import parallel_stage, run_partitioned
+
+
+class TestRunPartitioned:
+    def test_results_in_thread_order(self):
+        results = run_partitioned(lambda lo, hi: (lo, hi), 10, 4)
+        assert results == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_thread_path(self):
+        assert run_partitioned(lambda lo, hi: hi - lo, 7, 1) == [7]
+
+    def test_parallel_equals_serial(self, rng):
+        data = rng.standard_normal(1000)
+
+        def work(lo, hi):
+            return float(np.sum(data[lo:hi] ** 2))
+
+        serial = work(0, 1000)
+        parallel = sum(run_partitioned(work, 1000, 8))
+        assert parallel == pytest.approx(serial)
+
+    def test_exception_propagates(self):
+        def boom(lo, hi):
+            if lo >= 4:
+                raise ValueError("boom")
+            return 0
+
+        with pytest.raises(ValueError, match="boom"):
+            run_partitioned(boom, 8, 2)
+
+
+class TestParallelStage:
+    def test_disjoint_in_place_writes(self, rng):
+        src = rng.standard_normal(100)
+        out = np.zeros(100)
+
+        def stage(lo, hi):
+            out[lo:hi] = src[lo:hi] * 2
+
+        result = parallel_stage(out, stage, 100, 4)
+        assert result is out
+        assert np.allclose(out, src * 2)
+
+    def test_empty_partitions_ok(self, rng):
+        out = np.zeros(2)
+        src = rng.standard_normal(2)
+
+        def stage(lo, hi):
+            out[lo:hi] = src[lo:hi]
+
+        parallel_stage(out, stage, 2, 8)
+        assert np.allclose(out, src)

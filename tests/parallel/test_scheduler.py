@@ -1,0 +1,83 @@
+"""Static scheduling (Section 4.4): partition invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import StaticSchedule, partition_grid, partition_range
+
+
+class TestPartitionRange:
+    def test_even_split(self):
+        parts = partition_range(8, 4)
+        assert [p.size for p in parts] == [2, 2, 2, 2]
+
+    def test_ceil_rule(self):
+        """Each thread gets up to ceil(N/omega) tasks (the paper's rule)."""
+        parts = partition_range(10, 4)
+        assert [p.size for p in parts] == [3, 3, 3, 1]
+
+    def test_more_threads_than_tasks(self):
+        parts = partition_range(2, 4)
+        assert [p.size for p in parts] == [1, 1, 0, 0]
+
+    def test_zero_tasks(self):
+        parts = partition_range(0, 4)
+        assert all(p.size == 0 for p in parts)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            partition_range(-1, 2)
+        with pytest.raises(ValueError):
+            partition_range(5, 0)
+
+    @given(st.integers(0, 10000), st.integers(1, 64))
+    def test_partition_invariants(self, tasks, omega):
+        """Disjoint, complete, contiguous, ceil-bounded."""
+        schedule = StaticSchedule.for_tasks(tasks, omega)
+        schedule.validate()
+        assert schedule.total_tasks == tasks
+        ceil = -(-tasks // omega) if tasks else 0
+        assert schedule.max_tasks <= ceil
+        assert len(schedule.partitions) == omega
+
+
+class TestGrid:
+    def test_grid_flattening(self):
+        parts = partition_grid((3, 4, 2), 5)
+        assert sum(p.size for p in parts) == 24
+
+    def test_empty_dims(self):
+        parts = partition_grid((), 3)
+        assert all(p.size == 0 for p in parts)
+
+
+class TestMetrics:
+    def test_imbalance_perfect(self):
+        assert StaticSchedule.for_tasks(16, 4).imbalance() == 1.0
+
+    def test_imbalance_worst_case(self):
+        # 5 tasks, 4 threads: ceil=2, ideal=1.25 -> 1.6.
+        assert StaticSchedule.for_tasks(5, 4).imbalance() == pytest.approx(1.6)
+
+    def test_power_of_two_balanced(self):
+        """The paper's note: C, K, omega are powers of two, so the
+        assignment is perfectly balanced."""
+        for tasks in (256, 1024, 4096):
+            for omega in (2, 4, 8):
+                assert StaticSchedule.for_tasks(tasks, omega).imbalance() == 1.0
+
+    def test_makespan_uniform(self):
+        s = StaticSchedule.for_tasks(10, 4)
+        assert s.makespan() == 3.0
+
+    def test_makespan_with_costs(self):
+        s = StaticSchedule.for_tasks(4, 2)
+        costs = np.array([1.0, 1.0, 5.0, 1.0])
+        assert s.makespan(costs) == 6.0
+
+    def test_makespan_cost_length_check(self):
+        s = StaticSchedule.for_tasks(4, 2)
+        with pytest.raises(ValueError):
+            s.makespan(np.ones(3))

@@ -1,0 +1,58 @@
+"""Simulated fork-join timelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import StaticSchedule, simulate_stage
+
+
+class TestSimulateStage:
+    def test_uniform_costs(self):
+        tl = simulate_stage(StaticSchedule.for_tasks(8, 4))
+        assert tl.makespan == 2.0
+        assert tl.utilization == 1.0
+        assert tl.imbalance == 1.0
+
+    def test_heterogeneous_costs(self):
+        schedule = StaticSchedule.for_tasks(4, 2)
+        costs = np.array([1.0, 1.0, 10.0, 1.0])
+        tl = simulate_stage(schedule, costs)
+        assert tl.makespan == 11.0
+        assert tl.busy.tolist() == [2.0, 11.0]
+        assert tl.utilization == pytest.approx(13.0 / 22.0)
+
+    def test_cost_length_validation(self):
+        with pytest.raises(ValueError):
+            simulate_stage(StaticSchedule.for_tasks(4, 2), np.ones(3))
+
+    def test_gantt_renders(self):
+        tl = simulate_stage(StaticSchedule.for_tasks(10, 4))
+        text = tl.gantt(width=20)
+        assert text.count("|") == 8  # two bars delimiters per thread
+        assert "utilization" in text
+
+    def test_empty_stage(self):
+        tl = simulate_stage(StaticSchedule.for_tasks(0, 4))
+        assert tl.makespan == 0.0
+        assert tl.utilization == 1.0
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_conservation(self, tasks, omega):
+        """Simulated work equals the sum of task costs; makespan at least
+        the ideal split."""
+        rng = np.random.default_rng(tasks * 31 + omega)
+        costs = rng.uniform(0.1, 2.0, tasks)
+        tl = simulate_stage(StaticSchedule.for_tasks(tasks, omega), costs)
+        assert tl.total_work == pytest.approx(costs.sum())
+        assert tl.makespan >= costs.sum() / omega - 1e-9
+        assert tl.makespan <= costs.sum() + 1e-9
+
+    def test_padding_tiles_cause_imbalance(self):
+        """Realistic heterogeneity: the last tiles of each image row are
+        padding-lighter; contiguous assignment concentrates them."""
+        costs = np.ones(64)
+        costs[48:] = 0.2  # the final quarter is cheap
+        tl = simulate_stage(StaticSchedule.for_tasks(64, 4), costs)
+        assert tl.imbalance > 1.15

@@ -1,0 +1,27 @@
+"""Figure 10 breakdown structure."""
+
+import pytest
+
+from repro.perf import breakdown, figure10_breakdowns, plan_lowino
+from repro.workloads import BREAKDOWN_LAYERS, layer_by_name
+
+
+class TestBreakdown:
+    def test_split_sums_to_total(self):
+        layer = layer_by_name("VGG16_b")
+        plan = plan_lowino(layer, 2)
+        bd = breakdown(plan)
+        assert bd.total == pytest.approx(plan.total_time())
+
+    @pytest.mark.parametrize("name", BREAKDOWN_LAYERS)
+    def test_lowino_transform_larger_gemm_smaller(self, name):
+        """The paper's Figure 10 analysis: LoWino reads FP32 inputs (4x
+        transform traffic) but wins the multiplication stage."""
+        bd = figure10_breakdowns(layer_by_name(name))
+        assert bd["lowino"].transformation > bd["onednn_wino"].transformation
+        assert bd["lowino"].multiplication < bd["onednn_wino"].multiplication
+
+    def test_transform_share_reasonable(self):
+        """Transforms are a minority share on compute-heavy layers."""
+        bd = figure10_breakdowns(layer_by_name("VGG16_b"))["lowino"]
+        assert bd.transformation < bd.multiplication

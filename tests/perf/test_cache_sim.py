@@ -1,0 +1,109 @@
+"""Cache simulation: validating the Section 4.3 blocking claims."""
+
+import numpy as np
+import pytest
+
+from repro.gemm import BlockingParams
+from repro.layout import CACHE_LINE_BYTES
+from repro.perf.cache_sim import (
+    CacheStats,
+    SetAssociativeCache,
+    gemm_access_trace,
+    simulate_gemm_cache,
+)
+
+
+class TestCacheModel:
+    def test_compulsory_miss_then_hit(self):
+        cache = SetAssociativeCache(8 * 1024, ways=8)
+        assert cache.access_line(5) is False
+        assert cache.access_line(5) is True
+
+    def test_lru_eviction(self):
+        # Direct construction: 2 sets x 2 ways, 64B lines -> 256 B.
+        cache = SetAssociativeCache(256, ways=2)
+        assert cache.sets == 2
+        # Lines 0, 2, 4 all map to set 0; capacity 2.
+        cache.access_line(0)
+        cache.access_line(2)
+        cache.access_line(0)  # refresh 0; LRU is now 2
+        cache.access_line(4)  # evicts 2
+        assert cache.access_line(0) is True
+        assert cache.access_line(2) is False  # was evicted
+
+    def test_access_range_counts_lines(self):
+        cache = SetAssociativeCache(8 * 1024, ways=8)
+        stats = CacheStats()
+        cache.access_range(0, 3 * CACHE_LINE_BYTES, stats)
+        assert stats.accesses == 3
+        cache.access_range(0, 3 * CACHE_LINE_BYTES, stats)
+        assert stats.hits == 3
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, ways=8)
+
+
+class TestTrace:
+    def test_trace_covers_all_operands(self):
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        ops = {op for op, _, _ in gemm_access_trace(params, 1, 12, 8, 64)}
+        assert ops == {"v", "u", "z"}
+
+    def test_trace_volume_scales_with_reuse(self):
+        """More K blocks -> the V panel is traversed more times."""
+        base = BlockingParams(n_blk=12, c_blk=8, k_blk=128, row_blk=6, col_blk=4)
+        split = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        v_base = sum(nb for op, _, nb in gemm_access_trace(base, 1, 24, 8, 128)
+                     if op == "v")
+        v_split = sum(nb for op, _, nb in gemm_access_trace(split, 1, 24, 8, 128)
+                      if op == "v")
+        assert v_split == 2 * v_base
+
+
+class TestPaperClaims:
+    def test_resident_u_panel_has_compulsory_misses_only(self):
+        """Section 4.3.1: 'the matrix u ... can be held in L2 cache
+        during the multiplication process'.  When C_blk * K_blk fits,
+        the only u misses are first-touch misses."""
+        params = BlockingParams(n_blk=12, c_blk=32, k_blk=64, row_blk=6, col_blk=4)
+        cache = SetAssociativeCache(64 * 1024, ways=16)  # u panel: 2 KiB
+        stats = simulate_gemm_cache(params, t=1, n=96, c=32, k=64, cache=cache)
+        unique_u_lines = 32 * 64 // CACHE_LINE_BYTES
+        assert stats["u"].misses == unique_u_lines
+
+    def test_oversized_u_panel_thrashes(self):
+        """With the L2 constraint violated, u is re-fetched per N pass."""
+        params = BlockingParams(n_blk=12, c_blk=256, k_blk=256, row_blk=6, col_blk=4)
+        cache = SetAssociativeCache(32 * 1024, ways=16)  # u panel: 64 KiB >> cache
+        stats = simulate_gemm_cache(params, t=1, n=96, c=256, k=256, cache=cache)
+        unique_u_lines = 256 * 256 // CACHE_LINE_BYTES
+        n_passes = 96 // params.n_blk
+        assert stats["u"].misses > 0.9 * unique_u_lines * n_passes
+
+    def test_z_buffer_resident_across_c_passes(self):
+        """Section 4.3.1: the accumulation buffer 'stays in L2 cache
+        until all the computations ... are completed'."""
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        cache = SetAssociativeCache(256 * 1024, ways=16)
+        stats = simulate_gemm_cache(params, t=1, n=12, c=32, k=64, cache=cache)
+        z_lines = 12 * 64 * 4 // CACHE_LINE_BYTES
+        # 4 C passes touch z; only the first misses.
+        assert stats["z"].misses == z_lines
+        assert stats["z"].hits == 3 * z_lines
+
+    def test_good_blocking_fewer_misses_than_hostile(self):
+        """Aggregate DRAM traffic (misses) of sane vs pessimal blocking
+        on a problem larger than the cache."""
+        good = BlockingParams(n_blk=48, c_blk=64, k_blk=128, row_blk=6, col_blk=4)
+        bad = BlockingParams(n_blk=6, c_blk=4, k_blk=16, row_blk=6, col_blk=1)
+        t, n, c, k = 2, 192, 128, 256
+
+        def misses(params):
+            # 32 KiB: smaller than the per-t working set, so capacity
+            # effects (not just compulsory misses) are visible.
+            cache = SetAssociativeCache(32 * 1024, ways=16)
+            stats = simulate_gemm_cache(params, t, n, c, k, cache=cache)
+            return sum(s.misses for s in stats.values())
+
+        assert misses(bad) > 1.5 * misses(good)

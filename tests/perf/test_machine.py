@@ -1,0 +1,60 @@
+"""Machine model: peak ratios and roofline stage timing."""
+
+import pytest
+
+from repro.perf import CASCADE_LAKE_8C, MachineModel, StageCost
+
+
+class TestPeaks:
+    def test_int8_is_4x_fp32(self):
+        """Figure 1: vpdpbusd delivers 4x peak over FP32."""
+        m = CASCADE_LAKE_8C
+        assert m.int8_macs_per_cycle == 4 * m.fp32_macs_per_cycle
+
+    def test_int16_is_2x_fp32(self):
+        m = CASCADE_LAKE_8C
+        assert m.int16_macs_per_cycle == 2 * m.fp32_macs_per_cycle
+
+    def test_seconds(self):
+        m = CASCADE_LAKE_8C
+        assert m.seconds(3e9, cores=1) == pytest.approx(1.0)
+        assert m.seconds(3e9, cores=8) == pytest.approx(1 / 8)
+
+    def test_dram_seconds(self):
+        assert CASCADE_LAKE_8C.dram_seconds(100e9) == pytest.approx(1.0)
+
+
+class TestStageCost:
+    def test_compute_bound(self):
+        m = CASCADE_LAKE_8C
+        stage = StageCost(name="x", cycles=24e9, dram_bytes=1.0)
+        assert stage.bound(m) == "compute"
+        assert stage.time(m) == pytest.approx(1.0 + m.stage_overhead_s)
+
+    def test_memory_bound(self):
+        m = CASCADE_LAKE_8C
+        stage = StageCost(name="x", cycles=1.0, dram_bytes=100e9)
+        assert stage.bound(m) == "memory"
+        assert stage.time(m) == pytest.approx(1.0 + m.stage_overhead_s)
+
+    def test_l2_bound(self):
+        m = CASCADE_LAKE_8C
+        l2_bw = m.cores * m.l2_bytes_per_cycle * m.freq_ghz * 1e9
+        stage = StageCost(name="x", cycles=1.0, dram_bytes=1.0, l2_bytes=l2_bw)
+        assert stage.bound(m) == "l2"
+        assert stage.time(m) == pytest.approx(1.0 + m.stage_overhead_s)
+
+    def test_balance_factor_scales_compute(self):
+        m = CASCADE_LAKE_8C
+        a = StageCost(name="x", cycles=24e9, dram_bytes=0.0, balance=1.0)
+        b = StageCost(name="x", cycles=24e9, dram_bytes=0.0, balance=1.5)
+        assert b.time(m) / a.time(m) == pytest.approx(1.5, rel=1e-3)
+
+    def test_fewer_cores_slower(self):
+        stage = StageCost(name="x", cycles=24e9, dram_bytes=0.0)
+        assert stage.time(CASCADE_LAKE_8C, cores=1) > stage.time(CASCADE_LAKE_8C, cores=8)
+
+    def test_custom_machine(self):
+        slow = MachineModel(name="slow", cores=1, freq_ghz=1.0, dram_bw=1e9)
+        stage = StageCost(name="x", cycles=1e9, dram_bytes=0.0)
+        assert stage.time(slow) == pytest.approx(1.0 + slow.stage_overhead_s)

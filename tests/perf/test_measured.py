@@ -1,0 +1,48 @@
+"""Wall-clock measurement harness."""
+
+import time
+
+import pytest
+
+from repro.perf import Measurement, compare, measure
+
+
+class TestMeasure:
+    def test_basic_statistics(self):
+        m = measure(lambda: sum(range(1000)), name="sum", warmup=1, runs=10)
+        assert isinstance(m, Measurement)
+        assert m.runs == 10
+        assert m.min_s <= m.mean_s
+        assert m.std_s >= 0
+
+    def test_warmup_runs_before_timing(self):
+        calls = []
+        measure(lambda: calls.append(1), warmup=3, runs=5)
+        assert len(calls) == 8
+
+    def test_time_budget_caps_runs(self):
+        m = measure(lambda: time.sleep(0.02), warmup=0, runs=1000,
+                    max_seconds=0.1)
+        assert 3 <= m.runs < 1000
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, runs=0)
+
+
+class TestCompare:
+    def test_speedups_relative_to_baseline(self):
+        def slow():
+            time.sleep(0.003)
+
+        def fast():
+            time.sleep(0.001)
+
+        out = compare({"slow": slow, "fast": fast}, baseline="slow",
+                      warmup=0, runs=5)
+        assert out["slow"] == pytest.approx(1.0)
+        assert out["fast"] > 1.5
+
+    def test_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            compare({"a": lambda: None}, baseline="b")

@@ -1,0 +1,104 @@
+"""Execution plans: structure and the Figure 8 shape criteria.
+
+These tests encode DESIGN.md's acceptance criteria for the performance
+reproduction: aggregate speedup bands and the specific per-layer
+crossovers Section 5.1 calls out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_figure8
+from repro.perf import ALL_PLANS, CASCADE_LAKE_8C, plan_lowino, predict_layer_times
+from repro.workloads import TABLE2_LAYERS, layer_by_name
+
+
+@pytest.fixture(scope="module")
+def figure8():
+    return run_figure8()
+
+
+class TestPlanStructure:
+    def test_all_plans_produce_positive_times(self):
+        layer = layer_by_name("ResNet-50_b")
+        times = predict_layer_times(layer)
+        assert set(times) == set(ALL_PLANS)
+        assert all(t > 0 for t in times.values())
+
+    def test_lowino_stage_names(self):
+        plan = plan_lowino(layer_by_name("VGG16_c"), 4)
+        assert [s.name for s in plan.stages] == [
+            "input_transform", "gemm", "output_transform",
+        ]
+
+    def test_more_cores_faster(self):
+        layer = layer_by_name("VGG16_b")
+        t1 = predict_layer_times(layer, cores=1)["lowino_f4"]
+        t8 = predict_layer_times(layer, cores=8)["lowino_f4"]
+        assert t8 < t1
+        assert t1 / t8 > 3  # decent scaling on a big layer
+
+    def test_blocking_recorded_in_meta(self):
+        plan = plan_lowino(layer_by_name("VGG16_b"), 4)
+        assert "blocking" in plan.meta
+
+    def test_f4_fewer_gemm_cycles_than_f2_on_big_layer(self):
+        layer = layer_by_name("VGG16_b")
+        f2 = plan_lowino(layer, 2).stage_times()["gemm"]
+        f4 = plan_lowino(layer, 4).stage_times()["gemm"]
+        assert f4 < f2
+
+
+class TestFigure8Shape:
+    def test_average_speedup_band(self, figure8):
+        """Paper: 1.26x average over the best oneDNN implementation."""
+        assert 1.1 <= figure8.average_speedup <= 1.7
+
+    def test_max_speedup_band(self, figure8):
+        """Paper: up to 2.04x."""
+        assert 1.8 <= figure8.max_speedup <= 2.6
+
+    def test_lowino_f2_competitive_with_onednn_wino(self, figure8):
+        """Section 5.1 observation 1: F(2,3) LoWino is competitive."""
+        ratios = [row.times["onednn_wino"] / row.times["lowino_f2"]
+                  for row in figure8.rows]
+        assert 0.85 <= float(np.mean(ratios)) <= 1.4
+
+    def test_lowino_f4_usually_best(self, figure8):
+        """Section 5.1 observation 2: F(4,3) is usually the best
+        performer."""
+        wins = sum(
+            row.times["lowino_f4"] <= min(row.times["onednn_direct"],
+                                          row.times["onednn_wino"],
+                                          row.times["lowino_f2"]) * 1.001
+            for row in figure8.rows
+        )
+        assert wins >= len(figure8.rows) // 2
+
+    def test_resnet50a_crossover(self):
+        """Section 5.1: on ResNet-50_a, F(2,3) Winograd (ours included)
+        is slower than direct convolution, and our F(4,3) fixes it."""
+        times = predict_layer_times(layer_by_name("ResNet-50_a"))
+        assert times["onednn_direct"] < times["lowino_f2"]
+        assert times["lowino_f4"] < times["onednn_direct"]
+
+    def test_yolov3a_direct_wins(self):
+        """Section 5.1: on YOLOv3_a direct convolution outperforms
+        F(4,3) (transform overhead exceeds the compute savings)."""
+        times = predict_layer_times(layer_by_name("YOLOv3_a"))
+        assert times["onednn_direct"] < times["lowino_f4"]
+
+    def test_winograd_not_always_better_than_direct(self, figure8):
+        """Section 5.1 observation 3."""
+        direct_wins = sum(
+            row.times["onednn_direct"] < row.times["onednn_wino"]
+            for row in figure8.rows
+        )
+        assert 1 <= direct_wins < len(figure8.rows)
+
+    def test_fp32_speedups_band(self, figure8):
+        """Paper: 1.9x / 2.6x average over the best FP32 implementation."""
+        fp32 = figure8.fp32_speedups()
+        assert 1.3 <= fp32["lowino_f2"] <= 2.3
+        assert 1.9 <= fp32["lowino_f4"] <= 3.2
+        assert fp32["lowino_f4"] > fp32["lowino_f2"]

@@ -1,0 +1,34 @@
+"""Execution-plan reports."""
+
+from repro.perf import format_plan, layer_report, plan_lowino
+from repro.workloads import layer_by_name
+
+
+class TestReport:
+    def test_format_plan_contents(self):
+        plan = plan_lowino(layer_by_name("VGG16_c"), 4)
+        text = format_plan(plan)
+        assert "lowino_f4 on VGG16_c" in text
+        assert "batched GEMM: T=36" in text
+        assert "blocking:" in text
+        assert "gemm" in text
+        assert "total" in text
+
+    def test_layer_report_all_impls(self):
+        text = layer_report(layer_by_name("YOLOv3_c"))
+        for impl in ("onednn_direct", "onednn_wino", "lowino_f2", "lowino_f4"):
+            assert impl in text
+        assert "static schedule" in text
+
+    def test_report_cores_parameter(self):
+        a = layer_report(layer_by_name("YOLOv3_c"), cores=1, impls=["lowino_f2"])
+        b = layer_report(layer_by_name("YOLOv3_c"), cores=8, impls=["lowino_f2"])
+        assert "1 cores" in a and "8 cores" in b
+
+    def test_bound_labels_match_paper_story(self):
+        """Transforms memory-bound, GEMM compute-bound on big layers
+        (Section 4's framing)."""
+        plan = plan_lowino(layer_by_name("VGG16_b"), 2)
+        text = format_plan(plan)
+        gemm_line = next(l for l in text.splitlines() if l.strip().startswith("gemm"))
+        assert "compute-bound" in gemm_line

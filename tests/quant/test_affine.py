@@ -1,0 +1,82 @@
+"""Affine (asymmetric) quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    AffineQuantParams,
+    QuantParams,
+    affine_dequantize,
+    affine_quantize,
+    quantize_uint8_biased,
+)
+
+
+class TestParams:
+    def test_unsigned_range(self):
+        p = AffineQuantParams(scale=1.0, zero_point=128)
+        assert (p.qmin, p.qmax) == (0, 255)
+        assert p.dtype == np.uint8
+
+    def test_signed_range(self):
+        p = AffineQuantParams(scale=1.0, zero_point=0, unsigned=False)
+        assert (p.qmin, p.qmax) == (-128, 127)
+        assert p.dtype == np.int8
+
+    def test_zero_point_bounds(self):
+        with pytest.raises(ValueError):
+            AffineQuantParams(scale=1.0, zero_point=300)
+        with pytest.raises(ValueError):
+            AffineQuantParams(scale=1.0, zero_point=-1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            AffineQuantParams(scale=-1.0, zero_point=0)
+
+    def test_from_min_max_zero_exact(self):
+        """FP zero must map to an integer exactly (zero padding)."""
+        p = AffineQuantParams.from_min_max(-0.73, 2.1)
+        q = affine_quantize(np.array([0.0]), p)
+        assert affine_dequantize(q, p)[0] == 0.0
+
+    def test_from_min_max_degenerate(self):
+        p = AffineQuantParams.from_min_max(0.0, 0.0)
+        assert np.isfinite(p.scale)
+
+
+class TestRoundtrip:
+    @given(
+        hnp.arrays(np.float64, (31,), elements=st.floats(-3, 9)),
+    )
+    def test_roundtrip_error_bound(self, x):
+        p = AffineQuantParams.from_min_max(-3.0, 9.0)
+        err = np.abs(affine_dequantize(affine_quantize(x, p), p) - x)
+        assert np.all(err <= (1.0 / p.scale) / 2 + 1e-12)
+
+    def test_asymmetric_beats_symmetric_on_relu_data(self, rng):
+        """Post-ReLU data: affine UINT8 uses the full range, symmetric
+        INT8 wastes the negative half."""
+        x = np.abs(rng.standard_normal(20000)) * 2.0
+        affine = AffineQuantParams.from_min_max(0.0, float(x.max()))
+        sym = QuantParams.from_threshold(float(x.max()))
+        from repro.quant import dequantize, quantize
+
+        err_affine = np.mean((affine_dequantize(affine_quantize(x, affine), affine) - x) ** 2)
+        err_sym = np.mean((dequantize(quantize(x, sym), sym) - x) ** 2)
+        assert err_affine < err_sym
+
+    def test_equivalence_with_plus_128_trick(self, rng):
+        """Symmetric INT8 + 128 == affine UINT8 with z = 128 and the
+        same scale -- the compensation trick restated."""
+        x = rng.standard_normal(1000)
+        tau = float(np.abs(x).max())
+        sym = QuantParams.from_threshold(tau)
+        affine = AffineQuantParams(scale=sym.scale, zero_point=128)
+        biased = quantize_uint8_biased(x, sym)
+        direct = affine_quantize(x, affine)
+        # Identical except at the saturation boundary (signed clips to
+        # -128 -> biased 0; affine clips to 0 as well).
+        assert np.array_equal(biased, direct)

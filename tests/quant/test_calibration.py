@@ -1,0 +1,104 @@
+"""KL-divergence calibration (Eq. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quant import (
+    EntropyCalibrator,
+    HistogramObserver,
+    kl_divergence_threshold,
+)
+from repro.quant.calibration import _quantized_reconstruction
+
+
+class TestReconstruction:
+    def test_preserves_total_mass(self, rng):
+        hist = rng.poisson(3.0, 777).astype(np.float64)
+        out = _quantized_reconstruction(hist, 128)
+        assert out.sum() == pytest.approx(hist.sum())
+
+    def test_zero_bins_stay_zero(self, rng):
+        hist = rng.poisson(3.0, 500).astype(np.float64)
+        hist[::3] = 0
+        out = _quantized_reconstruction(hist, 128)
+        assert np.all(out[hist == 0] == 0)
+
+    def test_uniform_within_bucket(self):
+        hist = np.ones(256)
+        out = _quantized_reconstruction(hist, 128)
+        # 256 bins, 128 buckets of 2 -> each bin gets mass 1.
+        assert np.allclose(out, 1.0)
+
+    def test_empty_hist(self):
+        out = _quantized_reconstruction(np.zeros(256), 128)
+        assert np.all(out == 0)
+
+    @given(st.integers(min_value=128, max_value=1024))
+    def test_mass_preservation_property(self, n):
+        rng = np.random.default_rng(n)
+        hist = rng.poisson(1.0, n).astype(np.float64)
+        out = _quantized_reconstruction(hist, 128)
+        assert out.sum() == pytest.approx(hist.sum())
+
+
+class TestThresholdSearch:
+    def test_gaussian_keeps_full_range(self):
+        """Gaussian data has no outliers worth clipping: tau ~ max."""
+        obs = HistogramObserver()
+        obs.observe(np.random.default_rng(0).standard_normal(200000))
+        r = kl_divergence_threshold(obs)
+        assert r.threshold >= 0.9 * obs.threshold_minmax()
+
+    def test_heavy_tail_clips(self):
+        """Lognormal data: KL should clip far below the max outlier."""
+        obs = HistogramObserver()
+        obs.observe(np.random.default_rng(0).lognormal(0.0, 1.0, 200000))
+        r = kl_divergence_threshold(obs)
+        assert r.threshold < 0.5 * obs.threshold_minmax()
+        # ...but keep effectively all the mass (>= 99.5%).
+        data_sorted = obs.counts.cumsum()
+        idx = min(r.bin_index, obs.counts.size - 1)
+        assert data_sorted[idx] / obs.counts.sum() > 0.995
+
+    def test_empty_observer_raises(self):
+        with pytest.raises(RuntimeError):
+            kl_divergence_threshold(HistogramObserver())
+
+    def test_degenerate_narrow_histogram(self):
+        """A histogram no wider than the quantizer's level count cannot
+        be truncated; the search falls back to the min-max threshold."""
+        obs = HistogramObserver(bins=128)
+        obs.observe(np.array([0.5] * 10))
+        r = kl_divergence_threshold(obs)
+        assert r.threshold > 0
+        assert r.scanned == 0
+        assert r.threshold == pytest.approx(obs.threshold_minmax())
+
+    def test_stride_consistency(self):
+        obs = HistogramObserver()
+        obs.observe(np.random.default_rng(1).standard_normal(50000))
+        t1 = kl_divergence_threshold(obs, stride=1).threshold
+        t4 = kl_divergence_threshold(obs, stride=4).threshold
+        assert abs(t1 - t4) / t1 < 0.1
+
+
+class TestEntropyCalibrator:
+    def test_collect_and_threshold(self, rng):
+        cal = EntropyCalibrator()
+        for _ in range(3):
+            cal.collect(rng.standard_normal(5000))
+        assert cal.threshold("kl") > 0
+        assert cal.threshold("minmax") > 0
+
+    def test_minmax_vs_kl_ordering(self, rng):
+        cal = EntropyCalibrator()
+        cal.collect(rng.lognormal(0, 1, 100000))
+        assert cal.threshold("kl") <= cal.threshold("minmax") * 1.01
+
+    def test_unknown_method(self, rng):
+        cal = EntropyCalibrator()
+        cal.collect(rng.standard_normal(100))
+        with pytest.raises(ValueError):
+            cal.threshold("magic")

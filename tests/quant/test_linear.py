@@ -1,0 +1,117 @@
+"""Linear quantizer (Eqs. 4-6): saturation, round-trip bounds, bias."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    QuantParams,
+    dequantize,
+    quantize,
+    quantize_uint8_biased,
+    scale_for_threshold,
+)
+
+
+class TestParams:
+    def test_scale_from_threshold(self):
+        # Eq. 5: alpha = 127 / tau for INT8.
+        assert scale_for_threshold(127.0) == pytest.approx(1.0)
+        assert scale_for_threshold(1.0) == pytest.approx(127.0)
+
+    def test_threshold_roundtrip(self):
+        p = QuantParams.from_threshold(3.5)
+        assert p.threshold == pytest.approx(3.5)
+
+    def test_qmin_qmax(self):
+        p = QuantParams.from_threshold(1.0)
+        assert (p.qmin, p.qmax) == (-128, 127)
+        p16 = QuantParams.from_threshold(1.0, bits=16)
+        assert (p16.qmin, p16.qmax) == (-32768, 32767)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, bits=1)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, bits=32)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0)
+        with pytest.raises(ValueError):
+            QuantParams(scale=np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            QuantParams(scale=np.inf)
+
+    def test_zero_threshold_clamped(self):
+        s = scale_for_threshold(0.0)
+        assert np.isfinite(s) and s > 0
+
+
+class TestQuantize:
+    def test_dtype(self):
+        p = QuantParams.from_threshold(1.0)
+        assert quantize(np.array([0.5]), p).dtype == np.int8
+        p16 = QuantParams.from_threshold(1.0, bits=16)
+        assert quantize(np.array([0.5]), p16).dtype == np.int16
+
+    def test_saturation(self):
+        p = QuantParams.from_threshold(1.0)
+        q = quantize(np.array([-100.0, -1.0, 1.0, 100.0]), p)
+        assert list(q) == [-128, -127, 127, 127]
+
+    def test_round_half_even(self):
+        # scale 1 -> values quantize by rint (banker's rounding).
+        p = QuantParams(scale=1.0)
+        q = quantize(np.array([0.5, 1.5, 2.5, -0.5]), p)
+        assert list(q) == [0, 2, 2, 0]
+
+    def test_per_slice_scales_broadcast(self, rng):
+        x = rng.standard_normal((4, 5, 6))
+        scales = np.array([1.0, 2.0, 4.0, 8.0]).reshape(4, 1, 1)
+        p = QuantParams(scale=scales)
+        q = quantize(x, p)
+        for i in range(4):
+            pi = QuantParams(scale=scales[i, 0, 0])
+            assert np.array_equal(q[i], quantize(x[i], pi))
+
+    @given(
+        hnp.arrays(np.float64, (37,), elements=st.floats(-50, 50)),
+        st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_roundtrip_error_bound(self, x, tau):
+        """|Q'(Q(x)) - x| <= step/2 for in-range values (Eqs. 4+6)."""
+        p = QuantParams.from_threshold(tau)
+        inside = np.abs(x) <= tau
+        err = np.abs(dequantize(quantize(x, p), p) - x)
+        step = tau / 127.0
+        assert np.all(err[inside] <= step / 2 + 1e-12)
+
+    @given(hnp.arrays(np.float64, (23,), elements=st.floats(-10, 10)))
+    def test_saturated_values_clamp_to_threshold(self, x):
+        p = QuantParams.from_threshold(1.0)
+        deq = dequantize(quantize(x, p), p)
+        assert np.all(deq <= 1.0 + 1e-12)
+        assert np.all(deq >= -128 / 127 - 1e-12)
+
+
+class TestBiasedUint8:
+    def test_offset(self):
+        p = QuantParams.from_threshold(1.0)
+        x = np.array([-1.0, 0.0, 1.0])
+        u = quantize_uint8_biased(x, p)
+        assert u.dtype == np.uint8
+        assert list(u) == [1, 128, 255]  # -127+128, 0+128, 127+128
+
+    def test_matches_signed_plus_128(self, rng):
+        p = QuantParams.from_threshold(2.0)
+        x = rng.standard_normal(100) * 3
+        u = quantize_uint8_biased(x, p)
+        s = quantize(x, p)
+        assert np.array_equal(u.astype(np.int16), s.astype(np.int16) + 128)
+
+    def test_rejects_non_8bit(self):
+        with pytest.raises(ValueError):
+            quantize_uint8_biased(np.zeros(3), QuantParams.from_threshold(1.0, bits=16))

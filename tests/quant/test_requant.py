@@ -1,0 +1,93 @@
+"""Output requantization and INT8 layer chaining."""
+
+import numpy as np
+import pytest
+
+from repro.conv import direct_conv2d_fp32
+from repro.core import LoWinoConv2d
+from repro.quant import QuantParams, RequantizedConv, dequantize, quantize, requantize
+
+
+class TestRequantize:
+    def test_basic(self, rng):
+        p = QuantParams.from_threshold(2.0)
+        y = rng.standard_normal(100)
+        assert np.array_equal(requantize(y, p), quantize(y, p))
+
+    def test_relu_fusion(self):
+        p = QuantParams.from_threshold(1.0)
+        y = np.array([-0.5, 0.5])
+        out = requantize(y, p, relu=True)
+        assert out[0] == 0
+        assert out[1] == 64  # round(0.5 * 127)
+
+
+class TestRequantizedConv:
+    def _layer(self, rng, relu=True):
+        w = rng.standard_normal((6, 4, 3, 3)) * 0.2
+        calib = [np.maximum(rng.standard_normal((2, 4, 10, 10)), 0)
+                 for _ in range(3)]
+        engine = LoWinoConv2d(w, m=2, padding=1).calibrate(calib)
+        in_tau = max(float(np.abs(b).max()) for b in calib)
+        layer = RequantizedConv(engine, QuantParams.from_threshold(in_tau),
+                                relu=relu)
+        layer.calibrate_output(calib, method="minmax")
+        return layer, w, calib
+
+    def test_int8_in_int8_out(self, rng):
+        layer, w, calib = self._layer(rng)
+        x = np.maximum(rng.standard_normal((2, 4, 10, 10)), 0)
+        q_in = quantize(x, layer.input_params)
+        q_out = layer(q_in)
+        assert q_out.dtype == np.int8
+        ref = np.maximum(direct_conv2d_fp32(
+            dequantize(q_in, layer.input_params), w, padding=1), 0)
+        y = layer.dequantize_output(q_out)
+        rel = np.sqrt(np.mean((y - ref) ** 2)) / (ref.std() or 1)
+        assert rel < 0.1
+
+    def test_requires_calibration(self, rng):
+        w = rng.standard_normal((2, 2, 3, 3))
+        layer = RequantizedConv(LoWinoConv2d(w, m=2, padding=1),
+                                QuantParams.from_threshold(1.0))
+        with pytest.raises(RuntimeError):
+            layer(np.zeros((1, 2, 6, 6), dtype=np.int8))
+
+    def test_rejects_non_int8_input(self, rng):
+        layer, _, _ = self._layer(rng)
+        with pytest.raises(ValueError):
+            layer(np.zeros((1, 4, 10, 10)))
+
+    def test_kl_output_calibration(self, rng):
+        layer, _, calib = self._layer(rng)
+        layer.calibrate_output(calib, method="kl")
+        assert layer.output_params is not None
+        with pytest.raises(ValueError):
+            layer.calibrate_output(calib, method="nope")
+
+    def test_two_layer_int8_chain(self, rng):
+        """INT8 tensors flow between layers; the chain tracks FP32."""
+        w1 = rng.standard_normal((8, 4, 3, 3)) * 0.2
+        w2 = rng.standard_normal((4, 8, 3, 3)) * 0.2
+        calib = [np.maximum(rng.standard_normal((2, 4, 12, 12)), 0)
+                 for _ in range(3)]
+
+        l1 = RequantizedConv(
+            LoWinoConv2d(w1, m=2, padding=1).calibrate(calib),
+            QuantParams.from_threshold(max(float(np.abs(b).max()) for b in calib)),
+            relu=True,
+        ).calibrate_output(calib, method="minmax")
+        mid = [np.maximum(direct_conv2d_fp32(b, w1, padding=1), 0) for b in calib]
+        l2 = RequantizedConv(
+            LoWinoConv2d(w2, m=2, padding=1).calibrate(mid),
+            l1.output_params,
+            relu=True,
+        ).calibrate_output(mid, method="minmax")
+
+        x = np.maximum(rng.standard_normal((1, 4, 12, 12)), 0)
+        q = quantize(x, l1.input_params)
+        y_int8 = l2.dequantize_output(l2(l1(q)))
+        ref = np.maximum(direct_conv2d_fp32(
+            np.maximum(direct_conv2d_fp32(x, w1, padding=1), 0), w2, padding=1), 0)
+        rel = np.sqrt(np.mean((y_int8 - ref) ** 2)) / (ref.std() or 1)
+        assert rel < 0.15

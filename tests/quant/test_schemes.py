@@ -1,0 +1,81 @@
+"""Spatial- vs Winograd-domain quantization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    WinogradDomainCalibrator,
+    per_position_minmax_params,
+    per_tensor_minmax_params,
+    quantize,
+    spatial_params_from_tensor,
+)
+
+
+class TestPerTensor:
+    def test_threshold_is_max_abs(self, rng):
+        x = rng.standard_normal((3, 4))
+        p = per_tensor_minmax_params(x)
+        assert p.threshold == pytest.approx(np.abs(x).max())
+
+    def test_empty_tensor(self):
+        p = per_tensor_minmax_params(np.zeros((0,)))
+        assert p.threshold == pytest.approx(1.0)
+
+    def test_spatial_alias(self, rng):
+        x = rng.standard_normal(10)
+        assert spatial_params_from_tensor(x).threshold == pytest.approx(
+            per_tensor_minmax_params(x).threshold
+        )
+
+
+class TestPerPosition:
+    def test_scale_shape_broadcasts(self, rng):
+        v = rng.standard_normal((16, 20, 8))
+        p = per_position_minmax_params(v, position_axis=0)
+        assert p.scale.shape == (16, 1, 1)
+        q = quantize(v, p)
+        assert q.shape == v.shape
+
+    def test_each_position_saturates_at_own_max(self, rng):
+        v = rng.standard_normal((4, 50, 3))
+        v[2] *= 100.0  # one hot position
+        p = per_position_minmax_params(v, position_axis=0)
+        q = quantize(v, p)
+        # Every position should use (nearly) the full int8 range.
+        for t in range(4):
+            assert np.abs(q[t]).max() == 127
+
+    def test_zero_position_handled(self, rng):
+        v = rng.standard_normal((3, 10, 2))
+        v[1] = 0.0
+        p = per_position_minmax_params(v, position_axis=0)
+        assert np.all(np.isfinite(p.scale))
+
+
+class TestWinogradDomainCalibrator:
+    def test_collect_and_params(self, rng):
+        cal = WinogradDomainCalibrator(positions=16)
+        for _ in range(2):
+            cal.collect(rng.standard_normal((16, 30, 4)))
+        p = cal.params("minmax")
+        assert p.scale.shape == (16, 1, 1)
+        assert cal.batches_seen == 2
+
+    def test_wrong_positions_rejected(self, rng):
+        cal = WinogradDomainCalibrator(positions=16)
+        with pytest.raises(ValueError):
+            cal.collect(rng.standard_normal((9, 30, 4)))
+
+    def test_no_batches_raises(self):
+        with pytest.raises(RuntimeError):
+            WinogradDomainCalibrator(positions=4).params()
+
+    def test_kl_thresholds_per_position(self, rng):
+        cal = WinogradDomainCalibrator(positions=4, stride=8)
+        v = rng.standard_normal((4, 200, 8))
+        v[3] *= 10.0
+        cal.collect(v)
+        taus = cal.thresholds("kl")
+        assert taus.shape == (4,)
+        assert taus[3] > 3 * taus[0]

@@ -1,0 +1,34 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_figure9(self, capsys):
+        assert main(["figure9", "--layer", "GoogLeNet_c", "--m", "4"]) == 0
+        assert "distinct levels" in capsys.readouterr().out
+
+    def test_figure10(self, capsys):
+        assert main(["figure10"]) == 0
+        assert "VGG16_b" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--layer", "GoogLeNet_c"]) == 0
+        out = capsys.readouterr().out
+        assert "lowino_f4" in out
+        assert "mixed" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])

@@ -1,0 +1,65 @@
+"""Whole-model algorithm planner."""
+
+import numpy as np
+import pytest
+
+from repro.conv import Int8DirectConv2d
+from repro.core import LoWinoConv2d
+from repro.nn import (
+    build_vgg_small,
+    dequantize_model,
+    named_convs,
+    quantize_model,
+)
+from repro.tuning import plan_model
+
+
+class TestPlanModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_vgg_small(width=16)
+
+    def test_plans_every_conv(self, model):
+        plan = plan_model(model, (1, 3, 32, 32))
+        assert set(plan.choices) == {name for name, _ in named_convs(model)}
+
+    def test_choice_is_candidate_minimum(self, model):
+        plan = plan_model(model, (1, 3, 32, 32))
+        for choice in plan.choices.values():
+            assert choice.predicted_time == min(choice.alternatives.values())
+            assert choice.algorithm in ("int8_direct", "lowino")
+
+    def test_batch_changes_choices(self):
+        """Batch-64 wide layers should flip toward Winograd."""
+        model = build_vgg_small(width=64)
+        small = plan_model(model, (1, 3, 32, 32))
+        large = plan_model(model, (64, 3, 32, 32))
+        wino_small = sum(c.algorithm == "lowino" for c in small.choices.values())
+        wino_large = sum(c.algorithm == "lowino" for c in large.choices.values())
+        assert wino_large > wino_small
+
+    def test_aggregate_speedup_at_least_direct(self, model):
+        plan = plan_model(model, (64, 3, 32, 32))
+        assert plan.speedup_vs_direct >= 1.0
+        assert "model total" in plan.summary()
+
+
+class TestAutoQuantize:
+    def test_auto_installs_planned_engines(self, rng):
+        model = build_vgg_small(width=16)
+        plan = plan_model(model, (2, 3, 32, 32))
+        x = np.maximum(rng.standard_normal((2, 3, 32, 32)), 0)
+        quantize_model(model, "auto", calibration_batches=[x])
+        for name, conv in named_convs(model):
+            expected = plan.choices[name].algorithm
+            if expected == "int8_direct":
+                assert isinstance(conv.engine, Int8DirectConv2d)
+            else:
+                assert isinstance(conv.engine, LoWinoConv2d)
+                assert conv.engine.m == plan.choices[name].m
+        dequantize_model(model)
+
+    def test_auto_requires_calibration(self):
+        model = build_vgg_small(width=16)
+        with pytest.raises(ValueError):
+            quantize_model(model, "auto")

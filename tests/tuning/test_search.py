@@ -1,0 +1,42 @@
+"""Auto-tuner: constraint compliance and cost-model optimality."""
+
+import pytest
+
+from repro.gemm import MAX_ACCUM_REGISTERS, L2_ELEM_LIMIT, default_blocking
+from repro.tuning import candidate_space, gemm_stage_cost, tune_gemm
+
+
+class TestCandidateSpace:
+    def test_all_candidates_valid(self):
+        for params in candidate_space(1000, 256, 256):
+            params.validate()  # must not raise
+            assert params.accumulator_registers < MAX_ACCUM_REGISTERS
+            assert params.c_blk * params.k_blk < L2_ELEM_LIMIT
+
+    def test_space_nonempty_for_tiny_problems(self):
+        assert any(True for _ in candidate_space(1, 1, 1))
+
+    def test_space_bounded(self):
+        count = sum(1 for _ in candidate_space(100000, 1024, 1024))
+        assert count < 5000  # tuning stays cheap
+
+
+class TestTuner:
+    def test_tuned_no_worse_than_default(self):
+        t, n, c, k = 16, 3600, 512, 512
+        result = tune_gemm(t, n, c, k)
+        default_cost = gemm_stage_cost(t, n, c, k, default_blocking(n, c, k))
+        assert result.predicted_time <= default_cost * 1.0001
+        assert result.candidates_evaluated > 10
+
+    def test_tuned_is_space_minimum(self):
+        t, n, c, k = 4, 64, 32, 64
+        result = tune_gemm(t, n, c, k)
+        best = min(
+            gemm_stage_cost(t, n, c, k, p) for p in candidate_space(n, c, k)
+        )
+        assert result.predicted_time == pytest.approx(best)
+
+    def test_small_problem_gets_small_blocks(self):
+        result = tune_gemm(16, 24, 16, 32)
+        assert result.params.n_blk <= 48

@@ -1,0 +1,52 @@
+"""Wisdom-file persistence."""
+
+import json
+
+import pytest
+
+from repro.gemm import BlockingParams
+from repro.tuning import TuneResult, WisdomFile, problem_key
+
+
+class TestWisdomFile:
+    def test_key_format(self):
+        assert problem_key(16, 100, 32, 64) == "16x100x32x64"
+
+    def test_store_and_lookup(self, tmp_path):
+        wf = WisdomFile(tmp_path / "wisdom.json")
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        wf.store(4, 50, 8, 64, TuneResult(params=params, predicted_time=1e-3,
+                                          candidates_evaluated=10))
+        assert wf.lookup(4, 50, 8, 64) == params
+        assert wf.lookup(4, 51, 8, 64) is None
+        assert len(wf) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        WisdomFile(path).store(4, 50, 8, 64, TuneResult(params, 1e-3, 10))
+        assert WisdomFile(path).lookup(4, 50, 8, 64) == params
+
+    def test_lookup_or_tune_caches(self, tmp_path, monkeypatch):
+        path = tmp_path / "wisdom.json"
+        wf = WisdomFile(path)
+        first = wf.lookup_or_tune(4, 24, 16, 32)
+        calls = []
+
+        import repro.tuning.wisdom as wisdom_module
+
+        def no_tune(*args, **kwargs):  # pragma: no cover - must not run
+            calls.append(args)
+            raise AssertionError("tuner re-ran despite cache")
+
+        monkeypatch.setattr(wisdom_module, "tune_gemm", no_tune)
+        second = wf.lookup_or_tune(4, 24, 16, 32)
+        assert first == second
+        assert not calls
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        wf = WisdomFile(path)
+        wf.lookup_or_tune(4, 24, 16, 32)
+        data = json.loads(path.read_text())
+        assert "4x24x16x32" in data

@@ -1,0 +1,144 @@
+"""Cook-Toom construction: exactness, Eq. 2 agreement, range growth."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.winograd import (
+    amplification_factor,
+    canonical_points,
+    cook_toom,
+    winograd_algorithm,
+)
+from repro.winograd.points import MAX_SUPPORTED_POINTS
+
+
+def _correlate_exact(d, g):
+    """Valid 1D correlation over Fractions."""
+    m = len(d) - len(g) + 1
+    return [sum(d[i + j] * g[j] for j in range(len(g))) for i in range(m)]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m,r", [(1, 3), (2, 3), (4, 3), (6, 3), (2, 5), (3, 2), (4, 5)])
+    def test_exact_identity(self, m, r):
+        """A^T[(Gg) . (B^T d)] == correlation, exactly over rationals."""
+        alg = cook_toom(m, r)
+        n = alg.alpha
+        d = [Fraction(i * 7 - 3, 2) for i in range(n)]
+        g = [Fraction(5 - 2 * i, 3) for i in range(r)]
+        bt = [list(row) for row in alg.bt_exact]
+        gm = [list(row) for row in alg.g_exact]
+        at = [list(row) for row in alg.at_exact]
+        btd = [sum(a * b for a, b in zip(row, d)) for row in bt]
+        gg = [sum(a * b for a, b in zip(row, g)) for row in gm]
+        prod = [a * b for a, b in zip(gg, btd)]
+        y = [sum(a * b for a, b in zip(row, prod)) for row in at]
+        assert y == _correlate_exact(d, g)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=2, max_value=5),
+        st.lists(st.integers(min_value=-50, max_value=50), min_size=12, max_size=12),
+    )
+    def test_exact_identity_property(self, m, r, values):
+        alg = cook_toom(m, r)
+        d = [Fraction(v) for v in values[: alg.alpha]]
+        g = [Fraction(v) for v in values[alg.alpha : alg.alpha + r]]
+        if len(d) < alg.alpha or len(g) < r:
+            return
+        bt = [list(row) for row in alg.bt_exact]
+        gm = [list(row) for row in alg.g_exact]
+        at = [list(row) for row in alg.at_exact]
+        btd = [sum(a * b for a, b in zip(row, d)) for row in bt]
+        gg = [sum(a * b for a, b in zip(row, g)) for row in gm]
+        prod = [a * b for a, b in zip(gg, btd)]
+        y = [sum(a * b for a, b in zip(row, prod)) for row in at]
+        assert y == _correlate_exact(d, g)
+
+    def test_matches_eq2_f23(self):
+        """B^T for F(2,3) equals the paper's Eq. 2 matrix up to row sign."""
+        alg = winograd_algorithm(2, 3)
+        paper = np.array(
+            [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]], dtype=float
+        )
+        ours = alg.bt
+        for row_p, row_o in zip(paper, ours):
+            assert np.array_equal(row_p, row_o) or np.array_equal(row_p, -row_o)
+
+    def test_matches_eq2_f43(self):
+        alg = winograd_algorithm(4, 3)
+        paper = np.array(
+            [
+                [4, 0, -5, 0, 1, 0],
+                [0, -4, -4, 1, 1, 0],
+                [0, 4, -4, -1, 1, 0],
+                [0, -2, -1, 2, 1, 0],
+                [0, 2, -1, -2, 1, 0],
+                [0, 4, 0, -5, 0, 1],
+            ],
+            dtype=float,
+        )
+        for row_p, row_o in zip(paper, alg.bt):
+            assert np.array_equal(row_p, row_o) or np.array_equal(row_p, -row_o)
+
+    def test_amplification_factors_match_paper(self):
+        """Section 2.2: 4x for F(2,3), 100x for F(4,3) in 2D."""
+        assert winograd_algorithm(2, 3).input_amplification() == 4.0
+        assert winograd_algorithm(4, 3).input_amplification() == 100.0
+
+    def test_complexity_reduction(self):
+        """Section 2.2: (m*r)^2 / (m+r-1)^2."""
+        assert winograd_algorithm(2, 3).complexity_reduction == pytest.approx(36 / 16)
+        assert winograd_algorithm(4, 3).complexity_reduction == pytest.approx(144 / 36)
+
+    def test_tile_elements(self):
+        assert winograd_algorithm(2, 3).tile_elements == 16
+        assert winograd_algorithm(4, 3).tile_elements == 36
+
+    def test_cached(self):
+        assert winograd_algorithm(2, 3) is winograd_algorithm(2, 3)
+
+    def test_float_matrices_read_only(self):
+        alg = winograd_algorithm(2, 3)
+        with pytest.raises(ValueError):
+            alg.bt[0, 0] = 99.0
+
+
+class TestValidation:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            cook_toom(0, 3)
+        with pytest.raises(ValueError):
+            cook_toom(2, 0)
+
+    def test_wrong_point_count(self):
+        with pytest.raises(ValueError):
+            cook_toom(2, 3, points=[0, 1])
+
+    def test_duplicate_points(self):
+        with pytest.raises(ValueError):
+            cook_toom(2, 3, points=[0, 1, 1])
+
+    def test_custom_points_still_exact(self):
+        alg = cook_toom(2, 3, points=[0, 2, -3])
+        d = np.array([1.0, -2.0, 3.0, 0.5])
+        g = np.array([0.25, 1.0, -1.5])
+        y = alg.at @ ((alg.g @ g) * (alg.bt @ d))
+        ref = np.array([d[i : i + 3] @ g for i in range(2)])
+        assert np.allclose(y, ref, atol=1e-12)
+
+    def test_canonical_points(self):
+        pts = canonical_points(5)
+        assert pts == [0, 1, -1, 2, -2]
+        assert len(set(canonical_points(MAX_SUPPORTED_POINTS))) == MAX_SUPPORTED_POINTS
+        with pytest.raises(ValueError):
+            canonical_points(MAX_SUPPORTED_POINTS + 1)
+        with pytest.raises(ValueError):
+            canonical_points(-1)
+
+    def test_amplification_factor_helper(self):
+        assert amplification_factor([[Fraction(1), Fraction(-3)]]) == 4.0

@@ -1,0 +1,67 @@
+"""Quantization-noise model vs the empirical ablation orderings."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.winograd import (
+    cook_toom,
+    quant_error_model,
+    relative_noise_gain,
+    winograd_algorithm,
+)
+
+
+class TestNoiseModel:
+    def test_gain_grows_with_tile_size(self):
+        gains = [relative_noise_gain(winograd_algorithm(m, 3)) for m in (2, 4, 6)]
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_mixed_points_beat_lavin_for_f43(self):
+        """The theory agrees with the empirical point-set ablation."""
+        lavin = relative_noise_gain(winograd_algorithm(4, 3))
+        mixed = relative_noise_gain(cook_toom(4, 3, [0, 1, -1, 2, Fraction(-1, 2)]))
+        assert mixed < lavin
+
+    def test_snr_ordering(self):
+        """The SNR figure is ordinal (the gain is not normalized by the
+        matching signal gain): only orderings are asserted."""
+        m2 = quant_error_model(winograd_algorithm(2, 3))
+        m4 = quant_error_model(winograd_algorithm(4, 3))
+        m6 = quant_error_model(winograd_algorithm(6, 3))
+        assert m2.snr_db() > m4.snr_db() > m6.snr_db()
+        assert m2.snr_db(bits=16) > m2.snr_db(bits=8)
+
+    def test_amplification_passthrough(self):
+        model = quant_error_model(winograd_algorithm(4, 3))
+        assert model.input_amplification == 100.0
+
+    def test_model_correlates_with_measurement(self, rng):
+        """Noise gains must rank the same as measured layer errors."""
+        from scipy.ndimage import uniform_filter
+
+        from repro.conv import direct_conv2d_fp32
+        from repro.core import LoWinoConv2d
+        import repro.core.lowino as lowino_module
+
+        x = np.maximum(uniform_filter(rng.standard_normal((2, 16, 12, 12)),
+                                      size=(1, 1, 3, 3)), 0)
+        w = rng.standard_normal((8, 16, 3, 3)) * 0.1
+        ref = direct_conv2d_fp32(x, w, padding=1)
+        algs = {
+            "f2": winograd_algorithm(2, 3),
+            "f4": winograd_algorithm(4, 3),
+        }
+        errs, gains = {}, {}
+        original = lowino_module.winograd_algorithm
+        try:
+            for name, alg in algs.items():
+                lowino_module.winograd_algorithm = lambda m, r, _a=alg: _a
+                layer = LoWinoConv2d(w, m=alg.m, padding=1)
+                y = layer(x)
+                errs[name] = float(np.sqrt(np.mean((y - ref) ** 2)))
+                gains[name] = relative_noise_gain(alg)
+        finally:
+            lowino_module.winograd_algorithm = original
+        assert (errs["f2"] < errs["f4"]) == (gains["f2"] < gains["f4"])

@@ -1,0 +1,121 @@
+"""N-dimensional Winograd convolution (1D/2D/3D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winograd import (
+    direct_convnd_fp32,
+    extract_tiles_nd,
+    tile_grid_nd,
+    transform_nd,
+    winograd_algorithm,
+    winograd_conv2d_fp32,
+    winograd_convnd_fp32,
+)
+
+
+class TestTransformNd:
+    def test_1d(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((5, 4))
+        assert np.allclose(transform_nd(alg.bt, x, 1), x @ alg.bt.T)
+
+    def test_2d_matches_nested(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((3, 4, 4))
+        out = transform_nd(alg.bt, x, 2)
+        for i in range(3):
+            assert np.allclose(out[i], alg.bt @ x[i] @ alg.bt.T)
+
+    def test_3d_matches_triple_contraction(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((4, 4, 4))
+        out = transform_nd(alg.bt, x, 3)
+        ref = np.einsum("ai,bj,ck,ijk->abc", alg.bt, alg.bt, alg.bt, x)
+        assert np.allclose(out, ref)
+
+    def test_invalid_ndim(self, rng):
+        with pytest.raises(ValueError):
+            transform_nd(winograd_algorithm(2, 3).bt, rng.standard_normal((4,)), 0)
+
+
+class TestGeometryNd:
+    def test_grid_properties(self):
+        grid = tile_grid_nd(winograd_algorithm(2, 3), (9, 11, 7))
+        assert grid.out_shape == (7, 9, 5)
+        assert grid.tiles_shape == (4, 5, 3)
+        assert grid.tiles_per_image == 60
+
+    def test_small_input_raises(self):
+        with pytest.raises(ValueError):
+            tile_grid_nd(winograd_algorithm(2, 3), (2, 8))
+
+    def test_extract_overlap_3d(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((1, 1, 6, 6, 6))
+        grid = tile_grid_nd(alg, (6, 6, 6))
+        tiles = extract_tiles_nd(grid, x)
+        assert tiles.shape == (1, 1, 2, 2, 2, 4, 4, 4)
+        assert np.array_equal(tiles[0, 0, 1, 0, 0], x[0, 0, 2:6, 0:4, 0:4])
+
+
+class TestConvNd:
+    @pytest.mark.parametrize("d,shape", [(1, (14,)), (2, (9, 12)), (3, (7, 8, 9))])
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_matches_direct(self, d, shape, m, rng):
+        x = rng.standard_normal((2, 3) + shape)
+        w = rng.standard_normal((4, 3) + (3,) * d)
+        alg = winograd_algorithm(m, 3)
+        y = winograd_convnd_fp32(x, w, alg)
+        ref = direct_convnd_fp32(x, w)
+        assert y.shape == ref.shape
+        assert np.allclose(y, ref, atol=1e-9)
+
+    def test_2d_path_agrees_with_dedicated_2d(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((2, 3, 10, 10))
+        w = rng.standard_normal((4, 3, 3, 3))
+        assert np.allclose(
+            winograd_convnd_fp32(x, w, alg),
+            winograd_conv2d_fp32(x, w, alg),
+            atol=1e-10,
+        )
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            winograd_convnd_fp32(
+                rng.standard_normal((1, 2, 8, 8, 8)),
+                rng.standard_normal((2, 2, 3, 3)),
+                winograd_algorithm(2, 3),
+            )
+
+    @given(st.integers(1, 3), st.sampled_from([2, 4]), st.integers(6, 11))
+    @settings(max_examples=8)
+    def test_nd_property(self, d, m, size):
+        rng = np.random.default_rng(d * 100 + m + size)
+        x = rng.standard_normal((1, 2) + (size,) * d)
+        w = rng.standard_normal((2, 2) + (3,) * d)
+        y = winograd_convnd_fp32(x, w, winograd_algorithm(m, 3))
+        assert np.allclose(y, direct_convnd_fp32(x, w), atol=1e-9)
+
+
+class TestDirectNd:
+    def test_rectangular_filters(self, rng):
+        """Rectangular kernels (needed by the DWM decompositions)."""
+        x = rng.standard_normal((1, 2, 8, 9))
+        w = rng.standard_normal((3, 2, 2, 1))
+        y = direct_convnd_fp32(x, w)
+        assert y.shape == (1, 3, 7, 9)
+        # spot check one output
+        ref = sum(
+            x[0, c, 3 + dh, 4] * w[1, c, dh, 0]
+            for c in range(2) for dh in range(2)
+        )
+        assert np.isclose(y[0, 1, 3, 4], ref)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            direct_convnd_fp32(rng.standard_normal((1, 2, 8)),
+                               rng.standard_normal((3, 4, 3)))

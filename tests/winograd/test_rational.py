@@ -1,0 +1,86 @@
+"""Exact rational linear algebra used by the Cook-Toom construction."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.winograd import rational
+
+
+def frac_matrix(n, m, max_num=5):
+    return st.lists(
+        st.lists(
+            st.fractions(min_value=-max_num, max_value=max_num, max_denominator=4),
+            min_size=m, max_size=m,
+        ),
+        min_size=n, max_size=n,
+    )
+
+
+class TestBasics:
+    def test_identity(self):
+        i3 = rational.identity(3)
+        assert i3 == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        assert all(isinstance(v, Fraction) for row in i3 for v in row)
+
+    def test_from_rows_converts(self):
+        m = rational.from_rows([[1, 0.5], [2, 3]])
+        assert m[0][1] == Fraction(1, 2)
+
+    def test_transpose(self):
+        m = rational.from_rows([[1, 2, 3], [4, 5, 6]])
+        assert rational.transpose(m) == rational.from_rows([[1, 4], [2, 5], [3, 6]])
+
+    def test_matmul_known(self):
+        a = rational.from_rows([[1, 2], [3, 4]])
+        b = rational.from_rows([[5, 6], [7, 8]])
+        assert rational.matmul(a, b) == rational.from_rows([[19, 22], [43, 50]])
+
+    def test_matmul_shape_mismatch(self):
+        a = rational.from_rows([[1, 2]])
+        b = rational.from_rows([[1, 2]])
+        with pytest.raises(ValueError):
+            rational.matmul(a, b)
+
+    def test_scale_row_in_place(self):
+        m = rational.from_rows([[1, 2], [3, 4]])
+        rational.scale_row(m, 1, Fraction(-2))
+        assert m[1] == [Fraction(-6), Fraction(-8)]
+
+    def test_to_float(self):
+        arr = rational.to_float(rational.from_rows([[Fraction(1, 2), 1]]))
+        assert arr.dtype == np.float64
+        assert arr[0, 0] == 0.5
+
+
+class TestInverse:
+    def test_known_inverse(self):
+        m = rational.from_rows([[2, 0], [0, 4]])
+        assert rational.inverse(m) == rational.from_rows(
+            [[Fraction(1, 2), 0], [0, Fraction(1, 4)]]
+        )
+
+    def test_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            rational.inverse(rational.from_rows([[1, 2], [2, 4]]))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            rational.inverse(rational.from_rows([[1, 2, 3], [4, 5, 6]]))
+
+    def test_pivoting_zero_leading_entry(self):
+        m = rational.from_rows([[0, 1], [1, 0]])
+        assert rational.inverse(m) == rational.from_rows([[0, 1], [1, 0]])
+
+    @given(frac_matrix(3, 3))
+    def test_inverse_property(self, rows):
+        m = [list(r) for r in rows]
+        try:
+            inv = rational.inverse([list(r) for r in m])
+        except ZeroDivisionError:
+            return  # singular inputs are out of scope
+        assert rational.matmul(m, inv) == rational.identity(3)
+        assert rational.matmul(inv, m) == rational.identity(3)

@@ -1,0 +1,83 @@
+"""FP32 Winograd convolution against direct convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.conv import direct_conv2d_fp32
+from repro.winograd import (
+    winograd_algorithm,
+    winograd_conv2d_exact,
+    winograd_conv2d_fp32,
+    winograd_domain_matrices,
+)
+
+
+class TestWinogradConv:
+    @pytest.mark.parametrize("m", [1, 2, 4, 6])
+    def test_matches_direct(self, m, rng):
+        x = rng.standard_normal((2, 5, 13, 11))
+        w = rng.standard_normal((7, 5, 3, 3))
+        alg = winograd_algorithm(m, 3)
+        y = winograd_conv2d_fp32(x, w, alg)
+        ref = direct_conv2d_fp32(x, w)
+        assert y.shape == ref.shape
+        assert np.allclose(y, ref, atol=1e-9)
+
+    def test_r5_filter(self, rng):
+        x = rng.standard_normal((1, 2, 12, 12))
+        w = rng.standard_normal((3, 2, 5, 5))
+        y = winograd_conv2d_fp32(x, w, winograd_algorithm(2, 5))
+        assert np.allclose(y, direct_conv2d_fp32(x, w), atol=1e-8)
+
+    def test_channel_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d_fp32(
+                rng.standard_normal((1, 3, 8, 8)),
+                rng.standard_normal((2, 4, 3, 3)),
+                winograd_algorithm(2, 3),
+            )
+
+    def test_filter_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d_fp32(
+                rng.standard_normal((1, 3, 8, 8)),
+                rng.standard_normal((2, 3, 5, 5)),
+                winograd_algorithm(2, 3),
+            )
+
+    @given(
+        st.sampled_from([2, 4]),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=6, max_value=14),
+    )
+    def test_matches_direct_property(self, m, b, c, hw):
+        rng = np.random.default_rng(1234)
+        x = rng.standard_normal((b, c, hw, hw))
+        w = rng.standard_normal((2, c, 3, 3))
+        y = winograd_conv2d_fp32(x, w, winograd_algorithm(m, 3))
+        assert np.allclose(y, direct_conv2d_fp32(x, w), atol=1e-9)
+
+
+class TestGemmOperand:
+    def test_operand_shape(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((3, 4, 10, 10))
+        v, grid = winograd_domain_matrices(alg, x)
+        n = 3 * grid.tiles_per_image
+        assert v.shape == (16, n, 4)
+
+    def test_exact_single_tile(self):
+        """Rational end-to-end 2D identity for a single tile."""
+        alg = winograd_algorithm(2, 3)
+        d = [[(i * 4 + j) % 5 - 2 for j in range(4)] for i in range(4)]
+        g = [[1, -2, 1], [0, 3, -1], [2, 0, 1]]
+        y = winograd_conv2d_exact(d, g, alg)
+        for i in range(2):
+            for j in range(2):
+                ref = sum(
+                    d[i + a][j + b] * g[a][b] for a in range(3) for b in range(3)
+                )
+                assert y[i][j] == ref

@@ -1,0 +1,97 @@
+"""Tile extraction / output assembly geometry and round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.winograd import (
+    assemble_output,
+    extract_tiles,
+    tile_grid,
+    winograd_algorithm,
+)
+
+
+class TestGeometry:
+    def test_exact_fit(self):
+        grid = tile_grid(winograd_algorithm(2, 3), 8, 8)
+        assert grid.out_h == grid.out_w == 6
+        assert grid.tiles_h == grid.tiles_w == 3
+        assert grid.padded_in_h == 8  # (3-1)*2 + 4
+
+    def test_padding_needed(self):
+        grid = tile_grid(winograd_algorithm(4, 3), 9, 9)
+        assert grid.out_h == 7
+        assert grid.tiles_h == 2  # ceil(7/4)
+        assert grid.padded_in_h == 10  # (2-1)*4 + 6
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ValueError):
+            tile_grid(winograd_algorithm(2, 3), 2, 8)
+
+    def test_tiles_per_image(self):
+        grid = tile_grid(winograd_algorithm(2, 3), 30, 30)
+        assert grid.tiles_per_image == 14 * 14
+
+
+class TestExtractAssemble:
+    def test_extract_values_overlap(self, rng):
+        alg = winograd_algorithm(2, 3)
+        x = rng.standard_normal((1, 1, 8, 8))
+        grid = tile_grid(alg, 8, 8)
+        tiles = extract_tiles(grid, x)
+        assert tiles.shape == (1, 1, 3, 3, 4, 4)
+        # Tile (i, j) starts at spatial (2i, 2j).
+        assert np.array_equal(tiles[0, 0, 1, 2], x[0, 0, 2:6, 4:8])
+        # Overlap: last 2 columns of tile (0,0) == first 2 of tile (0,1).
+        assert np.array_equal(tiles[0, 0, 0, 0, :, 2:], tiles[0, 0, 0, 1, :, :2])
+
+    def test_extract_zero_pads(self, rng):
+        alg = winograd_algorithm(4, 3)
+        x = rng.standard_normal((1, 2, 9, 9))
+        grid = tile_grid(alg, 9, 9)
+        tiles = extract_tiles(grid, x)
+        # Final tile extends past the image; padding region must be zero.
+        assert np.all(tiles[0, :, 1, 1, -1, :] == 0.0)
+
+    def test_extract_shape_mismatch(self, rng):
+        alg = winograd_algorithm(2, 3)
+        grid = tile_grid(alg, 8, 8)
+        with pytest.raises(ValueError):
+            extract_tiles(grid, rng.standard_normal((1, 1, 9, 8)))
+
+    def test_assemble_crops_padding(self, rng):
+        alg = winograd_algorithm(4, 3)
+        grid = tile_grid(alg, 9, 9)  # out 7x7, tiles 2x2 of 4x4
+        tiles = rng.standard_normal((1, 3, 2, 2, 4, 4))
+        out = assemble_output(grid, tiles)
+        assert out.shape == (1, 3, 7, 7)
+        assert np.array_equal(out[0, 0, :4, :4], tiles[0, 0, 0, 0])
+        assert np.array_equal(out[0, 0, 4:, 4:], tiles[0, 0, 1, 1, :3, :3])
+
+    def test_assemble_shape_check(self, rng):
+        grid = tile_grid(winograd_algorithm(2, 3), 8, 8)
+        with pytest.raises(ValueError):
+            assemble_output(grid, rng.standard_normal((1, 1, 2, 3, 2, 2)))
+
+    @given(
+        st.integers(min_value=1, max_value=3),  # batch
+        st.integers(min_value=1, max_value=4),  # channels
+        st.sampled_from([2, 4]),  # m
+        st.integers(min_value=5, max_value=20),  # H
+        st.integers(min_value=5, max_value=20),  # W
+    )
+    def test_extract_assemble_roundtrip(self, b, c, m, h, w):
+        """Extracting m x m output-aligned blocks and reassembling is exact."""
+        alg = winograd_algorithm(m, 3)
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((b, c, h, w))
+        grid = tile_grid(alg, h, w)
+        tiles = extract_tiles(grid, x)
+        # Take the top-left m x m of each tile: these are disjoint,
+        # m-strided blocks of the original image.
+        sub = np.ascontiguousarray(tiles[..., : grid.m, : grid.m])
+        out = assemble_output(grid, sub)
+        assert out.shape == (b, c, grid.out_h, grid.out_w)
+        assert np.array_equal(out, x[:, :, : grid.out_h, : grid.out_w])

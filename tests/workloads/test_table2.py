@@ -1,0 +1,66 @@
+"""Table 2 layer zoo."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BREAKDOWN_LAYERS, TABLE2_LAYERS, LayerConfig, layer_by_name
+
+
+class TestTable2:
+    def test_twenty_layers(self):
+        assert len(TABLE2_LAYERS) == 20
+
+    def test_exact_specs_spotcheck(self):
+        """A few rows checked literally against the paper's Table 2."""
+        a = layer_by_name("AlexNet_a")
+        assert (a.batch, a.c, a.k, a.hw, a.r) == (64, 384, 384, 13, 3)
+        v = layer_by_name("VGG16_a")
+        assert (v.batch, v.c, v.k, v.hw) == (64, 256, 256, 58)
+        y = layer_by_name("YOLOv3_a")
+        assert (y.batch, y.c, y.k, y.hw) == (1, 64, 128, 64)
+        u = layer_by_name("U-Net_c")
+        assert (u.batch, u.c, u.k, u.hw) == (1, 512, 512, 66)
+
+    def test_batch_convention(self):
+        """Classification nets use batch 64; detection/segmentation 1."""
+        for layer in TABLE2_LAYERS:
+            family = layer.name.split("_")[0]
+            expected = 1 if family in ("YOLOv3", "FusionNet", "U-Net") else 64
+            assert layer.batch == expected, layer.name
+
+    def test_all_3x3(self):
+        assert all(layer.r == 3 for layer in TABLE2_LAYERS)
+
+    def test_unknown_layer(self):
+        with pytest.raises(KeyError):
+            layer_by_name("VGG19_a")
+
+    def test_breakdown_layers_exist(self):
+        for name in BREAKDOWN_LAYERS:
+            layer_by_name(name)
+
+
+class TestDerivedQuantities:
+    def test_gemm_dims(self):
+        layer = layer_by_name("ResNet-50_c")  # hw=7, pad 1 -> out 7
+        t, n, c, k = layer.gemm_dims(2)
+        assert t == 16
+        assert n == 64 * 16  # ceil(7/2)=4 -> 16 tiles/image
+        assert (c, k) == (512, 512)
+
+    def test_direct_macs(self):
+        layer = LayerConfig("x", batch=1, c=2, k=3, hw=4, r=3, padding=1)
+        assert layer.direct_macs == 1 * 3 * 2 * 16 * 9
+
+    def test_tiles_rounding(self):
+        layer = LayerConfig("x", batch=1, c=1, k=1, hw=7, r=3, padding=1)
+        assert layer.tiles(2) == 16  # out 7 -> 4 per dim
+        assert layer.tiles(4) == 4
+
+    def test_tensor_generators(self, rng):
+        layer = layer_by_name("YOLOv3_c")
+        x = layer.input_tensor(rng)
+        w = layer.filter_tensor(rng)
+        assert x.shape == (1, 256, 16, 16)
+        assert np.all(x >= 0)  # post-ReLU
+        assert w.shape == (512, 256, 3, 3)
