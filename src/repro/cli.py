@@ -6,10 +6,13 @@
     python -m repro table3 [--eval-images 128] [--width 16]
     python -m repro ablation [--layer ResNet-50_b]
     python -m repro selftest
+    python -m repro conformance [--cases 50] [--update-golden]
 
 Each subcommand prints the same rows the corresponding benchmark
 emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
-and ordering properties the test suite checks in depth).
+and ordering properties the test suite checks in depth);
+``conformance`` differentially tests every algorithm against the FP32
+direct oracle and gates the error statistics against ``tests/golden``.
 """
 
 from __future__ import annotations
@@ -128,6 +131,50 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .conformance import (
+        ALL_ALGORITHMS,
+        check_report_against_golden,
+        default_golden_dir,
+        default_suite,
+        format_report,
+        run_suite,
+        write_golden,
+    )
+
+    if args.algorithms:
+        algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+        unknown = [a for a in algorithms if a not in ALL_ALGORITHMS]
+        if unknown:
+            print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    else:
+        algorithms = ALL_ALGORITHMS
+    configs = default_suite(cases=args.cases, seed=args.seed)
+    report = run_suite(configs, algorithms)
+    print(format_report(report, per_key=args.per_key))
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else default_golden_dir()
+    if args.update_golden:
+        written = write_golden(
+            report,
+            golden_dir,
+            generator_meta={"seed": args.seed, "generated_cases": args.cases},
+        )
+        print(f"\nwrote {len(written)} golden files under {golden_dir}")
+        return 0
+    violations = check_report_against_golden(report, golden_dir, shrink=not args.no_shrink)
+    if violations:
+        print(f"\nconformance gate: {len(violations)} VIOLATION(S)")
+        for v in violations:
+            print(f"  {v.describe()}")
+        return 1
+    print(f"\nconformance gate: PASS ({len(report.results)} cases, golden: {golden_dir})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LoWino reproduction experiment runner"
@@ -169,6 +216,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     pst = sub.add_parser("selftest", help="fast numerics sanity sweep")
     pst.set_defaults(fn=_cmd_selftest)
+
+    pcf = sub.add_parser(
+        "conformance",
+        help="differential conformance of every algorithm vs the FP32 oracle",
+    )
+    pcf.add_argument("--cases", type=int, default=50,
+                     help="randomly generated configs on top of the edge grid")
+    pcf.add_argument("--seed", type=int, default=2021, help="generator seed")
+    pcf.add_argument("--algorithms", default=None,
+                     help="comma-separated subset (default: all six)")
+    pcf.add_argument("--golden-dir", default=None,
+                     help="golden-file directory (default: tests/golden)")
+    pcf.add_argument("--update-golden", action="store_true",
+                     help="record this run's statistics as the new baseline")
+    pcf.add_argument("--per-key", action="store_true",
+                     help="also print per-(algorithm, shape-class) statistics")
+    pcf.add_argument("--no-shrink", action="store_true",
+                     help="skip shrinking failing configs to minimal reproducers")
+    pcf.set_defaults(fn=_cmd_conformance)
     return parser
 
 

@@ -1,0 +1,72 @@
+"""Differential conformance harness (cross-algorithm numerics oracle).
+
+Every implementation reachable through :data:`repro.conv.api.Algorithm` is
+differentially tested against the FP32 direct (im2col) oracle over an
+enumerated + randomly generated configuration space:
+
+* :mod:`~repro.conformance.space` -- the shape/distribution space: an
+  enumerator of edge geometries, a seeded random case generator, and
+  deterministic input synthesis (``ConvConfig`` is the reproducer unit:
+  seed + shape fully determine a case).
+* :mod:`~repro.conformance.tolerance` -- per-algorithm analytic error
+  budgets derived from :mod:`repro.winograd.error_analysis` (hard
+  ceilings: exact for the FP32 paths, bounded relative error for the
+  INT8 paths).
+* :mod:`~repro.conformance.runner` -- runs cases, aggregates per
+  (algorithm, shape-class) error statistics, and shrinks failures to a
+  minimal reproducing configuration.
+* :mod:`~repro.conformance.golden` -- records the statistics into
+  ``tests/golden/*.json`` and gates changes against stored budgets.
+
+Entry points: ``python -m repro conformance`` (CLI) and
+``tests/conformance/`` (pytest tier-1 gate).
+"""
+
+from .golden import (
+    GoldenViolation,
+    check_report_against_golden,
+    default_golden_dir,
+    load_golden,
+    write_golden,
+)
+from .runner import CaseResult, ConformanceReport, format_report, run_case, run_suite, shrink_failure
+from .space import (
+    ALL_ALGORITHMS,
+    DEFAULT_GENERATED_CASES,
+    DEFAULT_SEED,
+    DISTRIBUTIONS,
+    ConvConfig,
+    default_suite,
+    enumerate_edge_configs,
+    generate_configs,
+    make_inputs,
+    shape_class,
+)
+from .tolerance import ToleranceModel, hard_budget, tolerance_for
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "DEFAULT_GENERATED_CASES",
+    "DEFAULT_SEED",
+    "DISTRIBUTIONS",
+    "ConvConfig",
+    "default_suite",
+    "enumerate_edge_configs",
+    "generate_configs",
+    "make_inputs",
+    "shape_class",
+    "ToleranceModel",
+    "hard_budget",
+    "tolerance_for",
+    "CaseResult",
+    "ConformanceReport",
+    "run_case",
+    "run_suite",
+    "shrink_failure",
+    "format_report",
+    "GoldenViolation",
+    "check_report_against_golden",
+    "default_golden_dir",
+    "load_golden",
+    "write_golden",
+]

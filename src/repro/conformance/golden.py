@@ -1,0 +1,184 @@
+"""Golden error-statistics files and the regression gate.
+
+One JSON file per algorithm under ``tests/golden/`` records, for each
+(algorithm, shape-class) key, the error statistics of a known-good run
+and the *budget* a future run must stay under:
+
+    budget = max(observed max relRMS x (1 + slack), observed + floor)
+
+The slack absorbs benign run-to-run jitter (there is none for a fixed
+generator seed, but shape-class membership shifts as the space grows);
+the floor keeps near-zero FP32 budgets from becoming impossibly tight.
+``repro conformance --update-golden`` regenerates the files; the gate
+(`repro conformance`, or the tier-1 pytest wrapper) fails when any key's
+observed max relRMS exceeds its stored budget, and reports the minimal
+shrunk reproducing config.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .runner import ConformanceReport, shrink_failure
+from .space import ALL_ALGORITHMS, config_from_dict, config_to_dict, ConvConfig
+
+__all__ = [
+    "GoldenViolation",
+    "check_report_against_golden",
+    "default_golden_dir",
+    "load_golden",
+    "write_golden",
+]
+
+FORMAT_VERSION = 1
+#: Multiplicative headroom over the recorded max when gating.
+DEFAULT_SLACK = 0.25
+#: Absolute floor added to tiny (FP32-path) budgets.
+BUDGET_FLOOR = 1e-10
+
+
+def default_golden_dir() -> Path:
+    """``tests/golden`` of the source checkout (falls back to CWD)."""
+    here = Path(__file__).resolve()
+    for base in (here.parents[3], Path.cwd()):
+        candidate = base / "tests" / "golden"
+        if candidate.is_dir():
+            return candidate
+    return Path.cwd() / "tests" / "golden"
+
+
+def _golden_path(golden_dir: Path, algorithm: str) -> Path:
+    return Path(golden_dir) / f"conformance_{algorithm}.json"
+
+
+@dataclass(frozen=True)
+class GoldenViolation:
+    """One key whose observed error exceeded its stored budget."""
+
+    key: str
+    observed_max_rel_rms: float
+    budget: float
+    #: Minimal reproducing config (already shrunk), if one was found.
+    repro: Optional[ConvConfig]
+    detail: str = ""
+
+    def describe(self) -> str:
+        repro = f"  repro: {self.repro.describe()}" if self.repro else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return (
+            f"{self.key}: max relRMS {self.observed_max_rel_rms:.6g} "
+            f"> budget {self.budget:.6g}{detail}{repro}"
+        )
+
+
+def write_golden(
+    report: ConformanceReport,
+    golden_dir: Path,
+    generator_meta: Optional[dict] = None,
+    slack: float = DEFAULT_SLACK,
+) -> List[Path]:
+    """Record a known-good run's statistics as the new golden baseline."""
+    golden_dir = Path(golden_dir)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for algorithm in ALL_ALGORITHMS:
+        entries: Dict[str, dict] = {}
+        for key in sorted(report.per_key):
+            if not key.startswith(algorithm + "/"):
+                continue
+            stats = report.per_key[key]
+            budget = max(
+                stats.max_rel_rms * (1.0 + slack), stats.max_rel_rms + BUDGET_FLOOR
+            )
+            entries[key] = {
+                "cases": stats.cases,
+                "max_rel_rms": stats.max_rel_rms,
+                "mean_rel_rms": stats.mean_rel_rms,
+                "max_rel_max": stats.max_rel_max,
+                "budget": budget,
+                "worst_config": (
+                    config_to_dict(stats.worst_config) if stats.worst_config else None
+                ),
+            }
+        if not entries:
+            continue
+        path = _golden_path(golden_dir, algorithm)
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "algorithm": algorithm,
+            "generator": generator_meta or {},
+            "entries": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def load_golden(golden_dir: Path, algorithms: Sequence[str] = ALL_ALGORITHMS) -> Dict[str, dict]:
+    """Load every stored entry, keyed by the (algorithm, shape-class) key."""
+    entries: Dict[str, dict] = {}
+    for algorithm in algorithms:
+        path = _golden_path(Path(golden_dir), algorithm)
+        if not path.is_file():
+            continue
+        payload = json.loads(path.read_text())
+        if payload.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported golden format {payload.get('format_version')!r}"
+            )
+        entries.update(payload.get("entries", {}))
+    return entries
+
+
+def check_report_against_golden(
+    report: ConformanceReport,
+    golden_dir: Path,
+    shrink: bool = True,
+) -> List[GoldenViolation]:
+    """Gate a run against the stored budgets.
+
+    Returns one violation per offending key (worst config shrunk to a
+    minimal reproducer when ``shrink`` is set).  Keys absent from the
+    golden files are *not* violations -- they gate only after
+    ``--update-golden`` records them -- but analytic hard-budget
+    failures always violate.
+    """
+    golden = load_golden(golden_dir)
+    violations: List[GoldenViolation] = []
+    for key in sorted(report.per_key):
+        stats = report.per_key[key]
+        entry = golden.get(key)
+        budget = entry["budget"] if entry else None
+        analytic_failures = [
+            r for r in report.results if r.key == key and not r.passed
+        ]
+        over_golden = budget is not None and stats.max_rel_rms > budget
+        if not over_golden and not analytic_failures:
+            continue
+        algorithm = key.split("/", 1)[0]
+        if analytic_failures:
+            worst = analytic_failures[0].config
+            threshold = None
+            detail = analytic_failures[0].error or "analytic hard budget exceeded"
+        else:
+            worst = stats.worst_config
+            threshold = budget
+            detail = "golden budget exceeded"
+        repro = worst
+        if shrink and worst is not None:
+            repro = shrink_failure(
+                algorithm, worst, rel_rms_threshold=threshold
+            ).config
+        violations.append(
+            GoldenViolation(
+                key=key,
+                observed_max_rel_rms=stats.max_rel_rms,
+                budget=budget if budget is not None else analytic_failures[0].budget,
+                repro=repro,
+                detail=detail,
+            )
+        )
+    return violations

@@ -1,0 +1,230 @@
+"""Differential case execution, aggregation, and failure shrinking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .space import (
+    ALL_ALGORITHMS,
+    ConvConfig,
+    golden_key,
+    make_inputs,
+    shrink_candidates,
+)
+from .tolerance import ToleranceModel, tolerance_for
+
+__all__ = [
+    "CaseResult",
+    "KeyStats",
+    "ConformanceReport",
+    "run_case",
+    "run_suite",
+    "shrink_failure",
+    "format_report",
+]
+
+_REL_EPS = 1e-30
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Outcome of one (algorithm, config) differential run."""
+
+    algorithm: str
+    config: ConvConfig
+    rel_rms: float
+    rel_max: float
+    budget: float
+    passed: bool
+    #: Set when the implementation raised instead of mismatching.
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return golden_key(self.algorithm, self.config)
+
+
+@dataclass
+class KeyStats:
+    """Aggregated error statistics for one (algorithm, shape-class) key."""
+
+    cases: int = 0
+    max_rel_rms: float = 0.0
+    sum_rel_rms: float = 0.0
+    max_rel_max: float = 0.0
+    worst_config: Optional[ConvConfig] = None
+
+    @property
+    def mean_rel_rms(self) -> float:
+        return self.sum_rel_rms / self.cases if self.cases else 0.0
+
+    def absorb(self, result: CaseResult) -> None:
+        self.cases += 1
+        self.sum_rel_rms += result.rel_rms
+        self.max_rel_max = max(self.max_rel_max, result.rel_max)
+        if result.rel_rms >= self.max_rel_rms:
+            self.max_rel_rms = result.rel_rms
+            self.worst_config = result.config
+
+
+@dataclass
+class ConformanceReport:
+    """Everything one conformance run learned."""
+
+    results: List[CaseResult] = field(default_factory=list)
+    per_key: Dict[str, KeyStats] = field(default_factory=dict)
+
+    def absorb(self, result: CaseResult) -> None:
+        self.results.append(result)
+        self.per_key.setdefault(result.key, KeyStats()).absorb(result)
+
+    @property
+    def failures(self) -> List[CaseResult]:
+        return [r for r in self.results if not r.passed]
+
+    def algorithm_summary(self) -> Dict[str, KeyStats]:
+        """Roll the per-key stats up to one row per algorithm."""
+        out: Dict[str, KeyStats] = {}
+        for r in self.results:
+            out.setdefault(r.algorithm, KeyStats()).absorb(r)
+        return out
+
+
+def _error_stats(y: np.ndarray, ref: np.ndarray) -> tuple[float, float]:
+    """(relative RMS, relative max-abs) of ``y`` against the oracle."""
+    err = y.astype(np.float64) - ref
+    rms_ref = float(np.sqrt(np.mean(ref**2)))
+    rel_rms = float(np.sqrt(np.mean(err**2))) / (rms_ref + _REL_EPS)
+    rel_max = float(np.abs(err).max()) / (float(np.abs(ref).max()) + _REL_EPS)
+    return rel_rms, rel_max
+
+
+def run_case(algorithm: str, config: ConvConfig) -> CaseResult:
+    """Run one algorithm against the FP32 direct oracle on one config."""
+    from ..conv import conv2d, direct_conv2d_fp32
+
+    images, filters = make_inputs(config)
+    ref = direct_conv2d_fp32(images, filters, padding=config.padding)
+    tol: ToleranceModel = tolerance_for(algorithm, config)
+    try:
+        y = conv2d(images, filters, algorithm=algorithm, m=config.m, padding=config.padding)
+    except Exception as exc:  # implementation crash == conformance failure
+        return CaseResult(
+            algorithm=algorithm,
+            config=config,
+            rel_rms=float("inf"),
+            rel_max=float("inf"),
+            budget=tol.rel_rms_budget,
+            passed=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    if y.shape != ref.shape:
+        return CaseResult(
+            algorithm=algorithm,
+            config=config,
+            rel_rms=float("inf"),
+            rel_max=float("inf"),
+            budget=tol.rel_rms_budget,
+            passed=False,
+            error=f"shape mismatch: got {y.shape}, oracle {ref.shape}",
+        )
+    rel_rms, rel_max = _error_stats(y, ref)
+    finite = bool(np.all(np.isfinite(y)))
+    return CaseResult(
+        algorithm=algorithm,
+        config=config,
+        rel_rms=rel_rms,
+        rel_max=rel_max,
+        budget=tol.rel_rms_budget,
+        passed=finite and tol.admits(rel_rms),
+        error=None if finite else "non-finite output",
+    )
+
+
+def run_suite(
+    configs: Sequence[ConvConfig],
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+) -> ConformanceReport:
+    """Differentially test every algorithm over every config."""
+    report = ConformanceReport()
+    for config in configs:
+        for algorithm in algorithms:
+            report.absorb(run_case(algorithm, config))
+    return report
+
+
+def shrink_failure(
+    algorithm: str,
+    config: ConvConfig,
+    max_steps: int = 64,
+    rel_rms_threshold: Optional[float] = None,
+) -> CaseResult:
+    """Greedily shrink a failing config to a minimal reproducing case.
+
+    A config "fails" when its analytic budget check fails, or -- if
+    ``rel_rms_threshold`` is given (the golden-gate budget) -- when its
+    relative RMS error exceeds that threshold.  Repeatedly tries the
+    single-knob reductions from :func:`shrink_candidates`, keeping any
+    that still fail, until no reduction reproduces the failure (or the
+    step budget runs out).  Returns the failing :class:`CaseResult` of
+    the minimal config.
+    """
+
+    def fails(result: CaseResult) -> bool:
+        if not result.passed:
+            return True
+        return rel_rms_threshold is not None and result.rel_rms > rel_rms_threshold
+
+    current = run_case(algorithm, config)
+    if not fails(current):
+        return current
+    for _ in range(max_steps):
+        for candidate in shrink_candidates(current.config):
+            attempt = run_case(algorithm, candidate)
+            if fails(attempt):
+                current = attempt
+                break
+        else:
+            break
+    return current
+
+
+def _fmt_pct(x: float) -> str:
+    return "inf" if not np.isfinite(x) else f"{x:.4f}"
+
+
+def format_report(report: ConformanceReport, per_key: bool = False) -> str:
+    """Render the per-algorithm (and optionally per-key) error table."""
+    lines = [
+        "Differential conformance vs. direct FP32 oracle",
+        f"{'algorithm':16s} {'cases':>5s} {'mean relRMS':>11s} {'max relRMS':>10s}  worst case",
+        "-" * 96,
+    ]
+    for algorithm in ALL_ALGORITHMS:
+        stats = report.algorithm_summary().get(algorithm)
+        if stats is None:
+            continue
+        worst = stats.worst_config.describe() if stats.worst_config else "-"
+        lines.append(
+            f"{algorithm:16s} {stats.cases:5d} {_fmt_pct(stats.mean_rel_rms):>11s} "
+            f"{_fmt_pct(stats.max_rel_rms):>10s}  {worst}"
+        )
+    if per_key:
+        lines.append("")
+        lines.append(f"{'key':40s} {'cases':>5s} {'mean relRMS':>11s} {'max relRMS':>10s}")
+        for key in sorted(report.per_key):
+            s = report.per_key[key]
+            lines.append(
+                f"{key:40s} {s.cases:5d} {_fmt_pct(s.mean_rel_rms):>11s} "
+                f"{_fmt_pct(s.max_rel_rms):>10s}"
+            )
+    n_fail = len(report.failures)
+    lines.append("")
+    lines.append(
+        f"{len(report.results)} cases, "
+        + ("all within analytic budgets" if n_fail == 0 else f"{n_fail} BUDGET FAILURES")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Per-algorithm error budgets for the conformance harness.
+
+Two layers of gating:
+
+* :func:`hard_budget` -- an *analytic ceiling* on the relative RMS error
+  vs. the FP32 direct oracle, derived from the Winograd noise-gain model
+  (:mod:`repro.winograd.error_analysis`).  Exceeding it means the
+  implementation is broken, not merely noisier: the FP32 paths must match
+  the oracle to accumulation order, the INT8 paths within a bounded
+  multiple of the spatial-domain INT8 quantization noise floor.
+* the golden files (:mod:`repro.conformance.golden`) -- *empirical*
+  budgets recorded from a known-good run plus slack, which catch silent
+  regressions long before the analytic ceiling trips.
+
+The ceilings are intentionally generous (they hold across every
+distribution the generator emits, including adversarial ones); the
+golden gate is the tight check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..winograd import quant_error_model, winograd_algorithm
+from .space import ConvConfig
+
+__all__ = ["ToleranceModel", "tolerance_for", "hard_budget"]
+
+#: Accumulation-order tolerance for the float64 pipelines.  The Winograd
+#: FP32 path reassociates sums through the transforms, so it differs from
+#: im2col+GEMM by (machine eps x amplification x accumulation length).
+FP32_REL_BUDGET = 1e-9
+
+#: Relative-RMS noise floor of spatial-domain per-tensor INT8
+#: quantization with max-scaling on benign (Gaussian-ish) data, with
+#: headroom for small tensors where nothing averages out.
+INT8_BASE_REL = 0.15
+
+#: Extra stress multiplier per activation distribution: a planted
+#: outlier eats most of the INT8 range (everything else collapses to a
+#: few levels); sparse tensors shrink the error denominator.
+DISTRIBUTION_STRESS = {
+    "relu_gauss": 1.0,
+    "gauss": 1.0,
+    "uniform": 1.0,
+    "constant": 1.0,
+    "sparse": 4.0,
+    "outlier": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class ToleranceModel:
+    """The resolved budget for one (algorithm, config) pair."""
+
+    algorithm: str
+    #: Ceiling on ``rms(y - ref) / rms(ref)``.
+    rel_rms_budget: float
+    #: True for the FP32 paths whose error must be accumulation-order.
+    exact: bool
+
+    def admits(self, rel_rms: float) -> bool:
+        return rel_rms <= self.rel_rms_budget
+
+
+def _noise_gain_ratio(m: int, r: int) -> float:
+    """Winograd-domain quantization noise gain relative to direct INT8.
+
+    F(1, r) is numerically equivalent to direct convolution, so its gain
+    normalizes the scale; ratios below 1 are clamped (per-position
+    scaling can beat direct, but the ceiling need not chase that).
+    """
+    gain = quant_error_model(winograd_algorithm(m, r)).noise_gain
+    gain_direct = quant_error_model(winograd_algorithm(1, r)).noise_gain
+    return max(1.0, gain / gain_direct)
+
+
+def _downscale_collapse(m: int, r: int) -> float:
+    """Error blow-up of the down-scaling baseline.
+
+    Down-scaling divides the transformed input by its worst-case
+    amplification before rounding to INT8, leaving roughly
+    ``255 / amplification`` useful levels (Section 2.3): 64 for F(2,3),
+    2.5 for F(4,3) -- at which point the relative error saturates near 1.
+    """
+    amp = winograd_algorithm(m, r).input_amplification()
+    levels = 255.0 / amp
+    return max(1.0, 24.0 / levels)
+
+
+def tolerance_for(algorithm: str, config: ConvConfig) -> ToleranceModel:
+    """Resolve the analytic ceiling for one case."""
+    if algorithm in ("fp32_direct", "fp32_winograd"):
+        budget = 1e-12 if algorithm == "fp32_direct" else FP32_REL_BUDGET
+        return ToleranceModel(algorithm=algorithm, rel_rms_budget=budget, exact=True)
+
+    stress = DISTRIBUTION_STRESS[config.distribution]
+    if algorithm in ("int8_direct", "int8_upcast"):
+        # Up-casting is numerically identical to direct INT8 (exact
+        # integer transforms); F(4,3)+ adds a <=0.5/32767 filter-rounding
+        # term, far below the base floor.
+        factor = 1.0
+    elif algorithm == "lowino":
+        factor = _noise_gain_ratio(config.m, config.r)
+    elif algorithm == "int8_downscale":
+        factor = _downscale_collapse(config.m, config.r)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    budget = min(INT8_BASE_REL * factor * stress, 4.0)
+    return ToleranceModel(algorithm=algorithm, rel_rms_budget=budget, exact=False)
+
+
+def hard_budget(algorithm: str, config: ConvConfig) -> float:
+    """Shorthand: the relative-RMS ceiling for one case."""
+    return tolerance_for(algorithm, config).rel_rms_budget

@@ -10,6 +10,9 @@ from hypothesis import strategies as st
 from repro.codelets import generate_codelet, transform_codelets
 from repro.winograd import winograd_algorithm
 
+from tests.rngutil import derive_rng
+
+
 
 class TestCorrectness:
     def test_identity_matrix(self):
@@ -43,7 +46,7 @@ class TestCorrectness:
             return
         mat = [[Fraction(flat[i * cols + j]) for j in range(cols)] for i in range(rows)]
         c = generate_codelet(mat)
-        rng = np.random.default_rng(rows * 100 + cols)
+        rng = derive_rng(rows, cols)
         x = rng.standard_normal(cols)
         ref = np.array([[float(v) for v in row] for row in mat]) @ x
         assert np.allclose(c(x), ref, atol=1e-12)

@@ -1,0 +1,47 @@
+"""Property-based fuzzing: every algorithm holds its analytic budget on
+arbitrary valid configurations (hypothesis drives the shape space; data
+synthesis stays seed-pinned through ConvConfig, so every failure hypothesis
+reports is a complete reproducer)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.conformance import ALL_ALGORITHMS, ConvConfig, run_case
+from repro.conformance.space import DISTRIBUTIONS, TILE_SIZES
+
+
+@st.composite
+def conv_configs(draw):
+    m = draw(st.sampled_from(TILE_SIZES))
+    padding = draw(st.integers(0, 2))
+    min_hw = max(3 - 2 * padding, 1)
+    return ConvConfig(
+        batch=draw(st.integers(1, 2)),
+        c_in=draw(st.integers(1, 4)),
+        c_out=draw(st.integers(1, 4)),
+        h=draw(st.integers(min_hw, 12)),
+        w=draw(st.integers(min_hw, 12)),
+        padding=padding,
+        m=m,
+        distribution=draw(st.sampled_from(DISTRIBUTIONS)),
+        seed=draw(st.integers(0, 2**31 - 1)),
+    )
+
+
+@pytest.mark.conformance
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+@given(config=conv_configs())
+def test_algorithm_within_analytic_budget(algorithm, config):
+    result = run_case(algorithm, config)
+    assert result.passed, (
+        f"{algorithm} rel_rms={result.rel_rms:.6g} budget={result.budget:.6g} "
+        f"error={result.error} repro: {config.describe()}"
+    )
+
+
+@given(config=conv_configs())
+def test_oracle_shape_contract(config):
+    """The oracle's output geometry matches the closed-form conv shape."""
+    result = run_case("fp32_direct", config)
+    assert result.passed
+    assert config.out_h >= 1 and config.out_w >= 1

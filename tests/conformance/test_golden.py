@@ -1,0 +1,109 @@
+"""Golden-file mechanics and the tier-1 conformance gate."""
+
+import json
+
+import pytest
+
+from repro.conformance import (
+    ConvConfig,
+    check_report_against_golden,
+    default_golden_dir,
+    default_suite,
+    load_golden,
+    run_suite,
+    write_golden,
+)
+from repro.conformance.golden import FORMAT_VERSION
+
+
+def _small_report():
+    return run_suite(
+        [ConvConfig(1, 2, 2, 8, 8, m=2, padding=1, seed=21)],
+        algorithms=("fp32_direct", "lowino"),
+    )
+
+
+class TestGoldenRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        report = _small_report()
+        written = write_golden(report, tmp_path, generator_meta={"seed": 21})
+        assert len(written) == 2
+        entries = load_golden(tmp_path)
+        assert set(entries) == {"fp32_direct/m2/general", "lowino/m2/general"}
+        for key, entry in entries.items():
+            assert entry["budget"] > entry["max_rel_rms"]
+            assert entry["cases"] == 1
+
+    def test_format_version_checked(self, tmp_path):
+        report = _small_report()
+        (path,) = [
+            p for p in write_golden(report, tmp_path) if "lowino" in p.name
+        ]
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            load_golden(tmp_path)
+
+    def test_missing_files_load_empty(self, tmp_path):
+        assert load_golden(tmp_path) == {}
+
+
+class TestGateMechanics:
+    def test_fresh_golden_admits_same_run(self, tmp_path):
+        report = _small_report()
+        write_golden(report, tmp_path)
+        assert check_report_against_golden(report, tmp_path) == []
+
+    def test_unknown_keys_do_not_gate(self, tmp_path):
+        """Keys never recorded must not fail the gate (they gate only
+        after --update-golden records them)."""
+        report = _small_report()
+        assert check_report_against_golden(report, tmp_path) == []
+
+    def test_tightened_budget_violates_with_minimal_repro(self, tmp_path):
+        report = _small_report()
+        (path,) = [
+            p for p in write_golden(report, tmp_path) if "lowino" in p.name
+        ]
+        payload = json.loads(path.read_text())
+        payload["entries"]["lowino/m2/general"]["budget"] = 1e-9
+        path.write_text(json.dumps(payload))
+        violations = check_report_against_golden(report, tmp_path)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.key == "lowino/m2/general"
+        assert v.observed_max_rel_rms > v.budget
+        assert v.repro is not None
+        # The reproducer is shrunk at least down to a single image.
+        assert v.repro.batch == 1
+        assert "seed=" in v.describe()
+
+
+class TestTier1Gate:
+    """The real gate: the default population against the stored golden."""
+
+    @pytest.mark.conformance
+    def test_default_population_within_budgets(self):
+        report = run_suite(default_suite())
+        assert report.failures == [], [
+            (r.key, r.config.describe(), r.error) for r in report.failures
+        ]
+        violations = check_report_against_golden(report, default_golden_dir())
+        assert violations == [], "\n".join(v.describe() for v in violations)
+
+    @pytest.mark.conformance
+    def test_golden_files_cover_every_algorithm(self):
+        entries = load_golden(default_golden_dir())
+        algos = {key.split("/", 1)[0] for key in entries}
+        from repro.conformance import ALL_ALGORITHMS
+
+        assert algos == set(ALL_ALGORITHMS)
+
+    @pytest.mark.conformance
+    def test_gate_population_is_large_enough(self):
+        """The acceptance bar: >= 50 generated configs, all six algorithms."""
+        configs = default_suite()
+        report = run_suite(configs[:1])  # cheap: population size is static
+        assert len(configs) >= 50 + 14
+        assert len({r.algorithm for r in report.results}) == 6

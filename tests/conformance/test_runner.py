@@ -1,0 +1,89 @@
+"""Case execution, aggregation, crash capture, and failure shrinking."""
+
+import numpy as np
+import pytest
+
+from repro.conformance import ConvConfig, run_case, run_suite, shrink_failure
+from repro.conformance.runner import format_report
+
+
+class TestRunCase:
+    def test_oracle_vs_itself_is_zero(self):
+        cfg = ConvConfig(1, 2, 2, 8, 8, m=2, padding=1, seed=1)
+        result = run_case("fp32_direct", cfg)
+        assert result.passed
+        assert result.rel_rms == 0.0
+
+    def test_fp32_winograd_accumulation_order_only(self):
+        cfg = ConvConfig(1, 4, 4, 12, 12, m=4, padding=1, seed=2)
+        result = run_case("fp32_winograd", cfg)
+        assert result.passed
+        assert result.rel_rms < 1e-9
+
+    def test_int8_within_budget_with_nonzero_error(self):
+        cfg = ConvConfig(1, 4, 4, 12, 12, m=2, padding=1, seed=3)
+        result = run_case("lowino", cfg)
+        assert result.passed
+        assert 0.0 < result.rel_rms <= result.budget
+
+    def test_crash_is_captured_as_failure(self):
+        """F(6,3) up-cast overflows INT16 by design: captured, not raised."""
+        cfg = ConvConfig(1, 2, 2, 10, 10, m=6, seed=4, distribution="gauss")
+        result = run_case("int8_upcast", cfg)
+        assert not result.passed
+        assert result.error is not None and "Overflow" in result.error
+        assert not np.isfinite(result.rel_rms)
+
+
+class TestRunSuite:
+    def test_aggregates_per_key(self):
+        configs = [
+            ConvConfig(1, 2, 2, 8, 8, m=2, padding=1, seed=5),
+            ConvConfig(1, 2, 2, 8, 8, m=2, padding=1, seed=6),
+        ]
+        report = run_suite(configs, algorithms=("lowino",))
+        assert len(report.results) == 2
+        (key,) = report.per_key
+        assert key == "lowino/m2/general"
+        assert report.per_key[key].cases == 2
+        assert report.per_key[key].worst_config in configs
+
+    def test_report_formatting(self):
+        report = run_suite(
+            [ConvConfig(1, 2, 2, 8, 8, m=2, padding=1, seed=7)],
+            algorithms=("fp32_direct", "lowino"),
+        )
+        text = format_report(report, per_key=True)
+        assert "lowino" in text and "fp32_direct" in text
+        assert "all within analytic budgets" in text
+
+
+class TestShrinking:
+    def test_passing_case_not_shrunk(self):
+        cfg = ConvConfig(2, 4, 4, 12, 12, m=2, padding=1, seed=8)
+        result = shrink_failure("lowino", cfg)
+        assert result.passed
+        assert result.config == cfg
+
+    def test_shrinks_to_minimal_failing_config(self):
+        """With a zero threshold every INT8 case 'fails', so the shrinker
+        must walk all the way down to the smallest config that still
+        exhibits nonzero quantization error."""
+        cfg = ConvConfig(2, 8, 8, 14, 14, m=4, padding=2,
+                         distribution="outlier", seed=9)
+        result = shrink_failure("lowino", cfg, rel_rms_threshold=0.0)
+        small = result.config
+        assert result.rel_rms > 0.0
+        assert small.batch == 1
+        assert small.c_in <= cfg.c_in and small.c_out <= cfg.c_out
+        assert small.h <= cfg.h and small.w <= cfg.w
+
+    def test_shrunk_config_still_reproduces(self):
+        cfg = ConvConfig(2, 8, 8, 14, 14, m=4, padding=1,
+                         distribution="outlier", seed=10)
+        first = run_case("int8_downscale", cfg)
+        result = shrink_failure(
+            "int8_downscale", cfg, rel_rms_threshold=first.rel_rms * 0.5
+        )
+        again = run_case("int8_downscale", result.config)
+        assert again.rel_rms > first.rel_rms * 0.5

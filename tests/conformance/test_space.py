@@ -1,0 +1,123 @@
+"""The configuration space: determinism, classification, shrinking."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    ALL_ALGORITHMS,
+    DISTRIBUTIONS,
+    ConvConfig,
+    enumerate_edge_configs,
+    generate_configs,
+    make_inputs,
+    shape_class,
+)
+from repro.conformance.space import (
+    TILE_SIZES,
+    config_from_dict,
+    config_to_dict,
+    shrink_candidates,
+)
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_configs(self):
+        assert generate_configs(30, seed=7) == generate_configs(30, seed=7)
+
+    def test_different_seed_different_configs(self):
+        assert generate_configs(30, seed=7) != generate_configs(30, seed=8)
+
+    def test_requested_count(self):
+        assert len(generate_configs(50, seed=0)) == 50
+
+    def test_inputs_deterministic(self):
+        cfg = generate_configs(1, seed=3)[0]
+        x1, w1 = make_inputs(cfg)
+        x2, w2 = make_inputs(cfg)
+        assert np.array_equal(x1, x2) and np.array_equal(w1, w2)
+
+    def test_inputs_track_seed(self):
+        cfg = generate_configs(1, seed=3)[0]
+        x1, _ = make_inputs(cfg)
+        x2, _ = make_inputs(dataclasses.replace(cfg, seed=cfg.seed ^ 1))
+        assert not np.array_equal(x1, x2)
+
+    def test_all_configs_valid_geometry(self):
+        for cfg in generate_configs(100, seed=11):
+            assert cfg.out_h >= 1 and cfg.out_w >= 1
+            assert cfg.m in TILE_SIZES
+            assert cfg.distribution in DISTRIBUTIONS
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("dist", DISTRIBUTIONS)
+    def test_every_distribution_synthesizes(self, dist):
+        cfg = ConvConfig(1, 2, 2, 8, 8, m=2, distribution=dist, seed=5)
+        x, w = make_inputs(cfg)
+        assert x.shape == (1, 2, 8, 8)
+        assert w.shape == (2, 2, 3, 3)
+        assert np.all(np.isfinite(x)) and np.all(np.isfinite(w))
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            ConvConfig(1, 2, 2, 8, 8, distribution="bogus")
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ValueError):
+            ConvConfig(1, 2, 2, 2, 2, padding=0)
+
+
+class TestShapeClasses:
+    def test_pointwise(self):
+        assert shape_class(ConvConfig(1, 2, 2, 3, 3, m=2)) == "pointwise_out"
+
+    def test_subtile(self):
+        assert shape_class(ConvConfig(1, 2, 2, 5, 5, m=4)) == "subtile"
+
+    def test_unit_channels(self):
+        assert shape_class(ConvConfig(1, 1, 4, 8, 8, m=2)) == "unit_channels"
+
+    def test_odd_padded(self):
+        assert shape_class(ConvConfig(1, 2, 2, 7, 7, m=2, padding=1)) == "odd_padded"
+
+    def test_general(self):
+        assert shape_class(ConvConfig(1, 2, 2, 8, 8, m=2, padding=1)) == "general"
+
+
+class TestEdgeEnumeration:
+    def test_covers_every_class_per_tile_size(self):
+        configs = enumerate_edge_configs()
+        for m in TILE_SIZES:
+            classes = {shape_class(c) for c in configs if c.m == m}
+            assert {"pointwise_out", "subtile", "odd_padded",
+                    "unit_channels", "general"} <= classes
+
+    def test_algorithm_list_is_complete(self):
+        from repro.conv.api import Algorithm
+        from typing import get_args
+
+        assert set(ALL_ALGORITHMS) == set(get_args(Algorithm))
+
+
+class TestShrinkCandidates:
+    def test_candidates_are_valid_and_smaller(self):
+        cfg = ConvConfig(2, 8, 8, 14, 14, m=4, padding=2,
+                         distribution="outlier", seed=9)
+        cands = list(shrink_candidates(cfg))
+        assert cands, "a large config must have reductions"
+        for cand in cands:
+            assert cand != cfg
+            assert cand.out_h >= 1 and cand.out_w >= 1
+
+    def test_minimal_config_has_no_candidates(self):
+        cfg = ConvConfig(1, 1, 1, 3, 3, m=2, padding=0,
+                         distribution="gauss", seed=0)
+        assert list(shrink_candidates(cfg)) == []
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        for cfg in generate_configs(10, seed=13):
+            assert config_from_dict(config_to_dict(cfg)) == cfg

@@ -1,0 +1,60 @@
+"""The analytic tolerance model: exactness flags, ordering, stress."""
+
+import pytest
+
+from repro.conformance import ConvConfig, hard_budget, tolerance_for
+
+
+def _cfg(m=2, dist="relu_gauss"):
+    return ConvConfig(1, 4, 4, 12, 12, m=m, padding=1, distribution=dist)
+
+
+class TestFp32Paths:
+    @pytest.mark.parametrize("algo", ["fp32_direct", "fp32_winograd"])
+    def test_exact(self, algo):
+        tol = tolerance_for(algo, _cfg())
+        assert tol.exact
+        assert tol.rel_rms_budget <= 1e-9
+
+    def test_oracle_budget_tightest(self):
+        assert hard_budget("fp32_direct", _cfg()) < hard_budget("fp32_winograd", _cfg())
+
+
+class TestInt8Ordering:
+    def test_upcast_matches_direct(self):
+        """Up-cast transforms are exact integer arithmetic: same budget."""
+        assert hard_budget("int8_upcast", _cfg()) == hard_budget("int8_direct", _cfg())
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_downscale_worst(self, m):
+        cfg = _cfg(m=m)
+        assert hard_budget("int8_downscale", cfg) >= hard_budget("lowino", cfg)
+        assert hard_budget("int8_downscale", cfg) >= hard_budget("int8_direct", cfg)
+
+    def test_downscale_collapses_with_tile_size(self):
+        """F(4,3) down-scaling leaves ~2.5 quantization levels (Fig. 9)."""
+        assert hard_budget("int8_downscale", _cfg(m=4)) > 4 * hard_budget(
+            "int8_downscale", _cfg(m=2)
+        )
+
+    def test_lowino_budget_far_below_downscale_f43(self):
+        """The paper's core claim, as a machine-checked inequality."""
+        assert hard_budget("lowino", _cfg(m=4)) < 0.5 * hard_budget(
+            "int8_downscale", _cfg(m=4)
+        )
+
+
+class TestDistributionStress:
+    @pytest.mark.parametrize("dist", ["sparse", "outlier"])
+    def test_stressed_distributions_widen_budget(self, dist):
+        assert hard_budget("lowino", _cfg(dist=dist)) > hard_budget("lowino", _cfg())
+
+    def test_fp32_budgets_ignore_distribution(self):
+        assert hard_budget("fp32_winograd", _cfg(dist="outlier")) == hard_budget(
+            "fp32_winograd", _cfg()
+        )
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(ValueError):
+        tolerance_for("magic", _cfg())

@@ -1,0 +1,92 @@
+"""Edge geometries through every algorithm in the conv front-end.
+
+Each case pins a geometry the tiling logic can get wrong -- 1x1 outputs,
+inputs smaller than one Winograd tile, odd spatial sizes under padding,
+unit channel counts -- and checks every algorithm against the FP32
+direct oracle within its conformance budget."""
+
+import numpy as np
+import pytest
+
+from repro.conformance import ConvConfig, hard_budget
+from repro.conv import conv2d, direct_conv2d_fp32
+
+from tests.rngutil import derive_rng
+
+ALGOS = ["fp32_direct", "fp32_winograd", "int8_direct", "int8_upcast",
+         "int8_downscale", "lowino"]
+
+# (name, batch, c_in, c_out, h, w, padding, m)
+GEOMETRIES = [
+    ("pointwise_out", 1, 2, 3, 3, 3, 0, 2),
+    ("pointwise_out_padded", 1, 2, 2, 1, 1, 1, 2),
+    ("input_smaller_than_tile_f4", 1, 3, 2, 4, 4, 0, 4),
+    ("subtile_asymmetric", 1, 2, 2, 6, 5, 0, 4),
+    ("odd_sizes_pad1", 2, 3, 2, 7, 5, 1, 2),
+    ("odd_sizes_pad2", 1, 2, 2, 9, 7, 2, 4),
+    ("single_input_channel", 1, 1, 4, 8, 8, 1, 2),
+    ("single_output_channel", 1, 4, 1, 8, 8, 1, 4),
+    ("single_in_and_out", 2, 1, 1, 5, 5, 1, 2),
+]
+
+
+def _case(name, batch, c_in, c_out, h, w, padding, m):
+    rng = derive_rng(name)
+    x = np.maximum(rng.standard_normal((batch, c_in, h, w)), 0.0)
+    wts = rng.standard_normal((c_out, c_in, 3, 3)) * np.sqrt(2.0 / (c_in * 9))
+    return x, wts
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize(
+    "geom", GEOMETRIES, ids=[g[0] for g in GEOMETRIES]
+)
+def test_edge_geometry_matches_oracle(algo, geom):
+    name, batch, c_in, c_out, h, w, padding, m = geom
+    x, wts = _case(*geom)
+    y = conv2d(x, wts, algorithm=algo, m=m, padding=padding)
+    ref = direct_conv2d_fp32(x, wts, padding=padding)
+
+    out_h = h + 2 * padding - 2
+    assert y.shape == (batch, c_out, out_h, w + 2 * padding - 2)
+    assert np.all(np.isfinite(y))
+
+    if algo.startswith("fp32"):
+        assert np.allclose(y, ref, atol=1e-9 * max(1.0, np.abs(ref).max()))
+        return
+    cfg = ConvConfig(batch, c_in, c_out, h, w, padding=padding, m=m)
+    err = y - ref
+    rel_rms = float(np.sqrt(np.mean(err**2)) / (np.sqrt(np.mean(ref**2)) + 1e-30))
+    assert rel_rms <= hard_budget(algo, cfg), (
+        f"{algo} on {name}: relRMS {rel_rms:.4f}"
+    )
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_pointwise_output_value(algo):
+    """The 1x1-output case reduces to a single dot product -- check the
+    value itself, not just the error norm."""
+    x, wts = _case("pointwise_value", 1, 2, 3, 3, 3, 0, 2)
+    y = conv2d(x, wts, algorithm=algo, m=2, padding=0)
+    expected = np.einsum("bchw,kchw->bk", x, wts)[..., None, None]
+    tol = 1e-9 if algo.startswith("fp32") else 0.2 * np.abs(expected).max() + 1e-6
+    assert np.allclose(y, expected, atol=tol)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("m", [2, 4])
+def test_zero_padding_border_consistency(algo, m):
+    """With padding, border outputs mix in zero-padding; the tile grid
+    must agree with the oracle there, not just in the interior."""
+    x, wts = _case(f"border_{m}", 1, 2, 2, 7, 7, 1, m)
+    y = conv2d(x, wts, algorithm=algo, m=m, padding=1)
+    ref = direct_conv2d_fp32(x, wts, padding=1)
+    border = np.s_[..., [0, -1], :]
+    if algo.startswith("fp32"):
+        assert np.allclose(y[border], ref[border], atol=1e-9)
+    else:
+        scale = np.abs(ref).max() + 1e-30
+        cfg = ConvConfig(1, 2, 2, 7, 7, padding=1, m=m)
+        assert np.abs(y[border] - ref[border]).max() / scale <= max(
+            4 * hard_budget(algo, cfg), 0.5
+        )

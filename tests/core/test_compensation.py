@@ -8,6 +8,9 @@ from hypothesis import strategies as st
 from repro.core import bias_to_unsigned, signed_via_unsigned
 from repro.gemm import gemm_s8s8_reference
 
+from tests.rngutil import derive_rng
+
+
 
 class TestBias:
     def test_mapping(self):
@@ -32,7 +35,7 @@ class TestIdentity:
            st.integers(0, 2**31))
     def test_identity_property(self, n, c, k, seed):
         """Eq. 9: (V + 128) @ U - 128 * colsum(U) == V @ U, exactly."""
-        rng = np.random.default_rng(seed)
+        rng = derive_rng(seed)
         v = rng.integers(-128, 128, (n, c)).astype(np.int8)
         u = rng.integers(-128, 128, (c, k)).astype(np.int8)
         assert np.array_equal(signed_via_unsigned(v, u), gemm_s8s8_reference(v, u))

@@ -14,9 +14,12 @@ from repro.gemm import (
 )
 from repro.layout import pack_transformed_filters, pack_transformed_inputs
 
+from tests.rngutil import derive_rng
+
+
 
 def _run(t, n, c, k, seed=0, params=None):
-    rng = np.random.default_rng(seed)
+    rng = derive_rng(t, n, c, k, seed)
     v = rng.integers(-128, 128, (t, n, c)).astype(np.int8)
     u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
     params = params or BlockingParams(n_blk=12, c_blk=8, k_blk=64,
@@ -70,7 +73,7 @@ class TestBatchedGemm:
     @pytest.mark.parametrize("omega", [2, 4, 7])
     def test_parallel_equals_serial(self, omega):
         """Fork-join execution over the task grid is bit-identical."""
-        rng = np.random.default_rng(omega)
+        rng = derive_rng(omega)
         t, n, c, k = 4, 40, 24, 128
         v = rng.integers(-128, 128, (t, n, c)).astype(np.int8)
         u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)

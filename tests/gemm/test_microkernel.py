@@ -15,6 +15,9 @@ from repro.gemm import (
 )
 from repro.isa import InstructionTrace
 
+from tests.rngutil import derive_rng
+
+
 
 def _params(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4):
     p = BlockingParams(n_blk=n_blk, c_blk=c_blk, k_blk=k_blk,
@@ -70,7 +73,7 @@ class TestMicrokernel:
         row_blk, col_blk = rowcol
         p = _params(n_blk=row_blk * 2, c_blk=4 * c_mult,
                     k_blk=col_blk * 16, row_blk=row_blk, col_blk=col_blk)
-        rng = np.random.default_rng(row_blk * 7 + col_blk + c_mult)
+        rng = derive_rng(row_blk, col_blk, c_mult)
         v = rng.integers(0, 256, (p.n_blk, p.c_blk)).astype(np.uint8)
         u = rng.integers(-128, 128, (p.c_blk, p.k_blk)).astype(np.int8)
         up = pack_u_block(u)

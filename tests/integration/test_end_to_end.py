@@ -16,6 +16,8 @@ from repro import (
     winograd_conv2d_fp32,
 )
 
+from tests.rngutil import derive_rng
+
 
 def _rel_rms(y, ref):
     return float(np.sqrt(np.mean((y - ref) ** 2)) / (ref.std() or 1.0))
@@ -30,7 +32,7 @@ class TestFullPipeline:
     )
     @settings(max_examples=10)
     def test_lowino_error_envelope_property(self, m, b, c, hw):
-        rng = np.random.default_rng(m * 1000 + b * 100 + c + hw)
+        rng = derive_rng(m, b, c, hw)
         x = np.maximum(rng.standard_normal((b, c, hw, hw)), 0)
         w = rng.standard_normal((8, c, 3, 3)) * np.sqrt(2 / (9 * c))
         ref = direct_conv2d_fp32(x, w, padding=1)

@@ -16,6 +16,8 @@ from repro.isa import (
     vpmaddwd_array,
 )
 
+from tests.rngutil import derive_rng
+
 u8_lane = hnp.arrays(np.uint8, (VNNI_LANES, VNNI_PAIRS),
                      elements=st.integers(0, 255))
 s8_lane = hnp.arrays(np.int8, (VNNI_LANES, VNNI_PAIRS),
@@ -79,7 +81,7 @@ class TestVpdpbusd:
     def test_array_form_equals_lanewise(self, rows, quads):
         """vpdpbusd_array == chaining the instruction over 4-element
         groups."""
-        rng = np.random.default_rng(rows * 100 + quads)
+        rng = derive_rng(rows, quads)
         a = rng.integers(0, 256, (rows, 4 * quads)).astype(np.uint8)
         b = rng.integers(-128, 128, (rows, 4 * quads)).astype(np.int8)
         out = vpdpbusd_array(a, b)
@@ -108,7 +110,7 @@ class TestVpmaddwd:
 
     @given(st.integers(1, 6))
     def test_array_form(self, rows):
-        rng = np.random.default_rng(rows)
+        rng = derive_rng(rows)
         a = rng.integers(-1000, 1000, (rows, 8)).astype(np.int16)
         b = rng.integers(-1000, 1000, (rows, 8)).astype(np.int16)
         ref = (a.astype(np.int64) * b.astype(np.int64)).sum(axis=-1)

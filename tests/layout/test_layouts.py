@@ -22,6 +22,8 @@ from repro.layout import (
     unpack_transformed_outputs,
 )
 
+from tests.rngutil import derive_rng
+
 
 class TestHelpers:
     def test_ceil_div(self):
@@ -60,7 +62,7 @@ class TestImageLayout:
 
     @given(st.integers(1, 3), st.integers(1, 80), st.integers(1, 4))
     def test_roundtrip_property(self, b, c, hw):
-        rng = np.random.default_rng(b * 1000 + c)
+        rng = derive_rng(b, c, hw)
         x = rng.integers(-128, 128, (b, c, hw, hw)).astype(np.int8)
         out = unpack_blocked_images(pack_blocked_images(x), c)
         assert out.dtype == x.dtype
@@ -70,7 +72,7 @@ class TestImageLayout:
 class TestTransformedInputs:
     @given(st.integers(1, 40), st.integers(1, 20), st.integers(1, 3))
     def test_roundtrip_property(self, n, c, t):
-        rng = np.random.default_rng(n * 7 + c)
+        rng = derive_rng(n, c, t)
         v = rng.integers(0, 256, (t, n, c)).astype(np.uint8)
         packed = pack_transformed_inputs(v, n_blk=12, c_blk=8)
         assert packed.shape[2] == t
@@ -108,7 +110,7 @@ class TestFilterLayouts:
 
     @given(st.integers(1, 20), st.integers(1, 40), st.integers(1, 3))
     def test_transformed_filters_roundtrip(self, c, k, t):
-        rng = np.random.default_rng(c * 31 + k)
+        rng = derive_rng(c, k, t)
         u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
         packed = pack_transformed_filters(u, c_blk=8, k_blk=16)
         assert np.array_equal(unpack_transformed_filters(packed, c, k), u)
@@ -117,7 +119,7 @@ class TestFilterLayouts:
 class TestTransformedOutputs:
     @given(st.integers(1, 3), st.integers(1, 6), st.integers(1, 70))
     def test_roundtrip(self, b, tiles, k):
-        rng = np.random.default_rng(b * 11 + tiles + k)
+        rng = derive_rng(b, tiles, k)
         z = rng.integers(-(2**20), 2**20, (4, b * tiles, k)).astype(np.int32)
         packed = pack_transformed_outputs(z, batch=b)
         assert packed.shape[:2] == (b, ceil_div(k, 64))

@@ -7,6 +7,9 @@ from hypothesis import strategies as st
 
 from repro.parallel import StaticSchedule, simulate_stage
 
+from tests.rngutil import derive_rng
+
+
 
 class TestSimulateStage:
     def test_uniform_costs(self):
@@ -42,7 +45,7 @@ class TestSimulateStage:
     def test_conservation(self, tasks, omega):
         """Simulated work equals the sum of task costs; makespan at least
         the ideal split."""
-        rng = np.random.default_rng(tasks * 31 + omega)
+        rng = derive_rng(tasks, omega)
         costs = rng.uniform(0.1, 2.0, tasks)
         tl = simulate_stage(StaticSchedule.for_tasks(tasks, omega), costs)
         assert tl.total_work == pytest.approx(costs.sum())

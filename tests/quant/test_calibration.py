@@ -12,6 +12,9 @@ from repro.quant import (
 )
 from repro.quant.calibration import _quantized_reconstruction
 
+from tests.rngutil import derive_rng
+
+
 
 class TestReconstruction:
     def test_preserves_total_mass(self, rng):
@@ -37,7 +40,7 @@ class TestReconstruction:
 
     @given(st.integers(min_value=128, max_value=1024))
     def test_mass_preservation_property(self, n):
-        rng = np.random.default_rng(n)
+        rng = derive_rng(n)
         hist = rng.poisson(1.0, n).astype(np.float64)
         out = _quantized_reconstruction(hist, 128)
         assert out.sum() == pytest.approx(hist.sum())
@@ -47,14 +50,14 @@ class TestThresholdSearch:
     def test_gaussian_keeps_full_range(self):
         """Gaussian data has no outliers worth clipping: tau ~ max."""
         obs = HistogramObserver()
-        obs.observe(np.random.default_rng(0).standard_normal(200000))
+        obs.observe(derive_rng(0).standard_normal(200000))
         r = kl_divergence_threshold(obs)
         assert r.threshold >= 0.9 * obs.threshold_minmax()
 
     def test_heavy_tail_clips(self):
         """Lognormal data: KL should clip far below the max outlier."""
         obs = HistogramObserver()
-        obs.observe(np.random.default_rng(0).lognormal(0.0, 1.0, 200000))
+        obs.observe(derive_rng(0).lognormal(0.0, 1.0, 200000))
         r = kl_divergence_threshold(obs)
         assert r.threshold < 0.5 * obs.threshold_minmax()
         # ...but keep effectively all the mass (>= 99.5%).
@@ -78,7 +81,7 @@ class TestThresholdSearch:
 
     def test_stride_consistency(self):
         obs = HistogramObserver()
-        obs.observe(np.random.default_rng(1).standard_normal(50000))
+        obs.observe(derive_rng(1).standard_normal(50000))
         t1 = kl_divergence_threshold(obs, stride=1).threshold
         t4 = kl_divergence_threshold(obs, stride=4).threshold
         assert abs(t1 - t4) / t1 < 0.1

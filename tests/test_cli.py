@@ -1,15 +1,50 @@
-"""Command-line interface."""
+"""Command-line interface: every subcommand's --help plus a happy path."""
+
+import json
 
 import pytest
 
 from repro.cli import build_parser, main
 
+SUBCOMMANDS = [
+    "figure8",
+    "figure9",
+    "figure10",
+    "table3",
+    "ablation",
+    "reproduce",
+    "plan",
+    "selftest",
+    "conformance",
+]
 
-class TestCli:
+
+class TestHelp:
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for cmd in SUBCOMMANDS:
+            assert cmd in out
+
+    @pytest.mark.parametrize("cmd", SUBCOMMANDS)
+    def test_subcommand_help(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([cmd, "--help"])
+        assert exc.value.code == 0
+        assert f"repro {cmd}" in capsys.readouterr().out
+
+
+class TestHappyPaths:
     def test_selftest_passes(self, capsys):
         assert main(["selftest"]) == 0
         out = capsys.readouterr().out
         assert "PASS" in out
+
+    def test_figure8(self, capsys):
+        assert main(["figure8", "--cores", "4"]) == 0
+        assert "VGG16" in capsys.readouterr().out
 
     def test_figure9(self, capsys):
         assert main(["figure9", "--layer", "GoogLeNet_c", "--m", "4"]) == 0
@@ -25,6 +60,54 @@ class TestCli:
         assert "lowino_f4" in out
         assert "mixed" in out
 
+    def test_plan(self, capsys):
+        assert main(["plan", "VGG16_b", "--cores", "4"]) == 0
+        assert "VGG16_b" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_reproduce_writes_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["reproduce", "--out", str(out_file)]) == 0
+        assert out_file.is_file()
+        assert "Figure 8" in out_file.read_text()
+
+    @pytest.mark.slow
+    def test_table3_tiny(self, capsys):
+        assert main(["table3", "--eval-images", "8", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "LoWino" in out
+
+    @pytest.mark.conformance
+    def test_conformance_gate_small_population(self, capsys):
+        """A subset of the golden population must stay within budgets."""
+        assert main(["conformance", "--cases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance gate: PASS" in out
+        for algo in ("lowino", "int8_downscale", "fp32_winograd"):
+            assert algo in out
+
+    @pytest.mark.conformance
+    def test_conformance_update_golden_round_trip(self, tmp_path, capsys):
+        assert main([
+            "conformance", "--cases", "3", "--golden-dir", str(tmp_path),
+            "--update-golden",
+        ]) == 0
+        files = sorted(tmp_path.glob("conformance_*.json"))
+        assert len(files) == 6
+        payload = json.loads(files[0].read_text())
+        assert payload["format_version"] == 1
+        capsys.readouterr()
+        # Gating the identical run against the fresh golden passes.
+        assert main(["conformance", "--cases", "3",
+                     "--golden-dir", str(tmp_path)]) == 0
+        assert "conformance gate: PASS" in capsys.readouterr().out
+
+    def test_conformance_rejects_unknown_algorithm(self, capsys):
+        assert main(["conformance", "--cases", "1",
+                     "--algorithms", "magic"]) == 2
+
+
+class TestParser:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

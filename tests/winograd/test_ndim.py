@@ -15,6 +15,8 @@ from repro.winograd import (
     winograd_convnd_fp32,
 )
 
+from tests.rngutil import derive_rng
+
 
 class TestTransformNd:
     def test_1d(self, rng):
@@ -94,7 +96,7 @@ class TestConvNd:
     @given(st.integers(1, 3), st.sampled_from([2, 4]), st.integers(6, 11))
     @settings(max_examples=8)
     def test_nd_property(self, d, m, size):
-        rng = np.random.default_rng(d * 100 + m + size)
+        rng = derive_rng(d, m, size)
         x = rng.standard_normal((1, 2) + (size,) * d)
         w = rng.standard_normal((2, 2) + (3,) * d)
         y = winograd_convnd_fp32(x, w, winograd_algorithm(m, 3))

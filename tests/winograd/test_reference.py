@@ -13,6 +13,8 @@ from repro.winograd import (
     winograd_domain_matrices,
 )
 
+from tests.rngutil import derive_rng
+
 
 class TestWinogradConv:
     @pytest.mark.parametrize("m", [1, 2, 4, 6])
@@ -54,7 +56,7 @@ class TestWinogradConv:
         st.integers(min_value=6, max_value=14),
     )
     def test_matches_direct_property(self, m, b, c, hw):
-        rng = np.random.default_rng(1234)
+        rng = derive_rng(m, b, c, hw)
         x = rng.standard_normal((b, c, hw, hw))
         w = rng.standard_normal((2, c, 3, 3))
         y = winograd_conv2d_fp32(x, w, winograd_algorithm(m, 3))
