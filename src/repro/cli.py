@@ -7,12 +7,15 @@
     python -m repro ablation [--layer ResNet-50_b]
     python -m repro selftest
     python -m repro conformance [--cases 50] [--update-golden]
+    python -m repro bench [--quick] [--out BENCH_runtime.json]
 
 Each subcommand prints the same rows the corresponding benchmark
 emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
 and ordering properties the test suite checks in depth);
 ``conformance`` differentially tests every algorithm against the FP32
-direct oracle and gates the error statistics against ``tests/golden``.
+direct oracle and gates the error statistics against ``tests/golden``;
+``bench`` times the vectorized runtime on the (scaled) Table 2
+workloads and can gate speedup ratios against a checked-in baseline.
 """
 
 from __future__ import annotations
@@ -175,6 +178,70 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from .runtime import ALGORITHMS
+    from .runtime import bench as rbench
+
+    profile = rbench.PROFILES["quick" if args.quick else "full"]
+    if args.layers:
+        from .workloads import layer_by_name
+
+        names = tuple(s.strip() for s in args.layers.split(",") if s.strip())
+        try:
+            for name in names:
+                layer_by_name(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        profile = replace(profile, layers=names)
+    if args.repeats is not None:
+        profile = replace(profile, repeats=args.repeats)
+    if args.m is not None:
+        profile = replace(profile, m=args.m)
+    if args.no_reference:
+        profile = replace(profile, reference=False)
+    if args.algorithms:
+        algorithms = tuple(a.strip() for a in args.algorithms.split(",") if a.strip())
+        unknown = [a for a in algorithms if a not in ALGORITHMS]
+        if unknown:
+            print(f"unknown algorithm(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    else:
+        algorithms = ALGORITHMS
+
+    doc = rbench.run_bench(profile, algorithms=algorithms, seed=args.seed)
+    print(rbench.format_bench(doc))
+    if args.cache_stats:
+        stats = doc["cache_stats"]
+        print(
+            "plan cache: "
+            + "  ".join(f"{key}={stats[key]}" for key in sorted(stats))
+        )
+    if args.out:
+        rbench.write_json(doc, args.out)
+        print(f"wrote {args.out}")
+    if args.baseline:
+        if args.update_baseline:
+            rbench.write_json(doc, args.baseline)
+            print(f"wrote baseline {args.baseline}")
+            return 0
+        try:
+            baseline = rbench.load_json(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+        violations = rbench.check_regression(doc, baseline, gate=args.gate)
+        if violations:
+            print(f"\nbench gate: {len(violations)} VIOLATION(S)")
+            for v in violations:
+                print(f"  {v}")
+            return 1
+        print(f"\nbench gate: PASS (gate {args.gate:.0%}, baseline {args.baseline})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LoWino reproduction experiment runner"
@@ -235,6 +302,35 @@ def build_parser() -> argparse.ArgumentParser:
     pcf.add_argument("--no-shrink", action="store_true",
                      help="skip shrinking failing configs to minimal reproducers")
     pcf.set_defaults(fn=_cmd_conformance)
+
+    pbn = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark of the vectorized runtime (scaled Table 2)",
+    )
+    pbn.add_argument("--quick", action="store_true",
+                     help="small profile (breakdown layers, tighter caps) for CI")
+    pbn.add_argument("--layers", default=None,
+                     help="comma-separated Table 2 layer names (default: profile set)")
+    pbn.add_argument("--algorithms", default=None,
+                     help="comma-separated subset (default: all six)")
+    pbn.add_argument("--repeats", type=int, default=None,
+                     help="timed repeats per measurement (best-of)")
+    pbn.add_argument("--m", type=int, default=None,
+                     help="Winograd output tile size (default 4)")
+    pbn.add_argument("--seed", type=int, default=2021, help="tensor generator seed")
+    pbn.add_argument("--out", default=None,
+                     help="write the BENCH_runtime.json document here")
+    pbn.add_argument("--baseline", default=None,
+                     help="baseline JSON to gate speedup ratios against")
+    pbn.add_argument("--gate", type=float, default=0.25,
+                     help="allowed fractional regression vs baseline (default 0.25)")
+    pbn.add_argument("--update-baseline", action="store_true",
+                     help="record this run as the new baseline (with --baseline)")
+    pbn.add_argument("--no-reference", action="store_true",
+                     help="skip the (slow) loop-reference timings")
+    pbn.add_argument("--cache-stats", action="store_true",
+                     help="print plan-cache hit/miss/eviction/bytes counters")
+    pbn.set_defaults(fn=_cmd_bench)
     return parser
 
 

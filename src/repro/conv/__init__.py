@@ -9,6 +9,7 @@ from .decompose import (
 )
 from .direct import Int8DirectConv2d, direct_conv2d_fp32, per_out_channel_weight_params
 from .downscale import DownscaleWinogradConv2d
+from .fp32 import Fp32DirectConv2d, Fp32WinogradConv2d
 from .im2col import conv_output_shape, im2col, pad_images
 from .upcast import UpcastWinogradConv2d, integer_transform_matrices
 
@@ -22,6 +23,8 @@ __all__ = [
     "make_layer",
     "select_algorithm",
     "Int8DirectConv2d",
+    "Fp32DirectConv2d",
+    "Fp32WinogradConv2d",
     "direct_conv2d_fp32",
     "per_out_channel_weight_params",
     "DownscaleWinogradConv2d",

@@ -16,28 +16,33 @@ __all__ = ["tiles_to_gemm_operand", "gemm_result_to_tiles", "prepare_input_tiles
 
 
 def prepare_input_tiles(
-    alg: WinogradAlgorithm, images: np.ndarray
+    alg: WinogradAlgorithm, images: np.ndarray, out: np.ndarray | None = None
 ) -> tuple[np.ndarray, TileGrid]:
     """Extract overlapping tiles; returns ``((B, C, th, tw, a, a), grid)``."""
     b, c, h, w = images.shape
     grid = tile_grid(alg, h, w)
-    return extract_tiles(grid, images), grid
+    return extract_tiles(grid, images, out=out), grid
 
 
-def tiles_to_gemm_operand(tiles: np.ndarray) -> np.ndarray:
+def tiles_to_gemm_operand(tiles: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """``(B, C, th, tw, a, a)`` -> ``(T, N, C)`` with ``N = B*th*tw``.
 
     Preserves dtype; this is the scatter step (2. in Figure 3) that the
-    real implementation performs with non-temporal stores.
+    real implementation performs with non-temporal stores.  ``out``, if
+    given, receives the layout copy (a plan-cached scratch buffer in the
+    runtime engine); the values are identical either way.
     """
     b, c, th, tw, a1, a2 = tiles.shape
     t = a1 * a2
     x = tiles.transpose(0, 2, 3, 1, 4, 5).reshape(b * th * tw, c, t)
-    return np.ascontiguousarray(x.transpose(2, 0, 1))
+    if out is None:
+        return np.ascontiguousarray(x.transpose(2, 0, 1))
+    np.copyto(out, x.transpose(2, 0, 1))
+    return out
 
 
 def gemm_result_to_tiles(
-    z: np.ndarray, batch: int, grid: TileGrid, k: int
+    z: np.ndarray, batch: int, grid: TileGrid, k: int, out: np.ndarray | None = None
 ) -> np.ndarray:
     """``(T, N, K)`` -> ``(B, K, th, tw, a, a)`` accumulator tiles."""
     t, n, k2 = z.shape
@@ -47,4 +52,7 @@ def gemm_result_to_tiles(
     if a * a != t:
         raise ValueError(f"T={t} is not a square tile element count")
     x = z.transpose(1, 2, 0).reshape(batch, grid.tiles_h, grid.tiles_w, k, a, a)
-    return np.ascontiguousarray(x.transpose(0, 3, 1, 2, 4, 5))
+    if out is None:
+        return np.ascontiguousarray(x.transpose(0, 3, 1, 2, 4, 5))
+    np.copyto(out, x.transpose(0, 3, 1, 2, 4, 5))
+    return out

@@ -13,9 +13,10 @@ from typing import Literal
 
 import numpy as np
 
-from .direct import Int8DirectConv2d, direct_conv2d_fp32
-from .downscale import DownscaleWinogradConv2d
-from .upcast import UpcastWinogradConv2d
+from .direct import Int8DirectConv2d, direct_conv2d_fp32  # noqa: F401  (re-export)
+from .downscale import DownscaleWinogradConv2d  # noqa: F401  (re-export)
+from .fp32 import Fp32DirectConv2d, Fp32WinogradConv2d  # noqa: F401  (re-export)
+from .upcast import UpcastWinogradConv2d  # noqa: F401  (re-export)
 
 __all__ = ["Algorithm", "conv2d", "make_layer", "select_algorithm"]
 
@@ -34,6 +35,7 @@ def make_layer(
     algorithm: Algorithm,
     m: int = 2,
     padding: int = 0,
+    cache: bool = True,
     **kwargs,
 ):
     """Build a reusable layer object for the given algorithm.
@@ -42,37 +44,20 @@ def make_layer(
     algorithms and is ignored by the direct ones.  Extra ``kwargs`` pass
     through to the implementation (e.g. ``input_threshold``,
     ``use_blocked_gemm``).
+
+    Preparation (transform-matrix construction, filter transform +
+    quantization, compensation terms) is amortized through the runtime
+    plan cache: with ``cache=True`` (the default), repeated calls with
+    the same configuration and filter *contents* return the same
+    prepared layer object.  Pass ``cache=False`` for a private instance
+    -- e.g. when the layer will be calibrated with data that should not
+    leak into other users of the same filters.
     """
-    if algorithm == "int8_direct":
-        return Int8DirectConv2d(filters_fp32, padding=padding, **kwargs)
-    if algorithm == "int8_upcast":
-        return UpcastWinogradConv2d(filters_fp32, m=m, padding=padding, **kwargs)
-    if algorithm == "int8_downscale":
-        return DownscaleWinogradConv2d(filters_fp32, m=m, padding=padding, **kwargs)
-    if algorithm == "lowino":
-        from ..core import LoWinoConv2d
+    from ..runtime.plan import build_plan, get_plan
 
-        return LoWinoConv2d(filters_fp32, m=m, padding=padding, **kwargs)
-    if algorithm == "fp32_winograd":
-        from ..winograd import winograd_algorithm, winograd_conv2d_fp32
-
-        alg = winograd_algorithm(m, filters_fp32.shape[2])
-
-        class _Fp32Wino:
-            def __call__(self, images: np.ndarray) -> np.ndarray:
-                from .im2col import pad_images
-
-                return winograd_conv2d_fp32(pad_images(images, padding), filters_fp32, alg)
-
-        return _Fp32Wino()
-    if algorithm == "fp32_direct":
-
-        class _Fp32Direct:
-            def __call__(self, images: np.ndarray) -> np.ndarray:
-                return direct_conv2d_fp32(images, filters_fp32, padding=padding)
-
-        return _Fp32Direct()
-    raise ValueError(f"unknown algorithm {algorithm!r}")
+    if not cache:
+        return build_plan(algorithm, filters_fp32, m=m, padding=padding, **kwargs).layer
+    return get_plan(algorithm, filters_fp32, m=m, padding=padding, **kwargs).layer
 
 
 def conv2d(

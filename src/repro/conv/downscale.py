@@ -94,3 +94,42 @@ class DownscaleWinogradConv2d:
         acc_tiles = gemm_result_to_tiles(z_fp, images.shape[0], grid, k)
         y = output_transform(self.alg, acc_tiles)
         return assemble_output(grid, y)
+
+    def reference_forward(self, images: np.ndarray) -> np.ndarray:
+        """Loop-based reference path for differential testing.
+
+        Per-tile integer transforms in Python loops plus a per-position
+        GEMM loop; numerically identical to :meth:`__call__` (the down-
+        scale rounding sees the same exact integers either way).
+        """
+        images = np.asarray(images, dtype=np.float64)
+        k = self.filters_fp32.shape[0]
+        if self.input_threshold is not None:
+            in_params = QuantParams.from_threshold(self.input_threshold, bits=self.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=self.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, self.padding)
+        tiles, grid = prepare_input_tiles(self.alg, x)
+        v = np.empty(tiles.shape, dtype=np.int64)
+        for bi in range(tiles.shape[0]):
+            for ti in range(grid.tiles_h):
+                for tj in range(grid.tiles_w):
+                    v[bi, :, ti, tj] = _transform_int(self.bt_int, tiles[bi, :, ti, tj])
+        scale = self.input_downscale / (self.bt_lcm**2)
+        v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
+        v_op = tiles_to_gemm_operand(v8)  # (T, N, C)
+        t, n, _ = v_op.shape
+        z = np.empty((t, n, k), dtype=np.int32)
+        for ti in range(t):  # per-position GEMM loop
+            z[ti] = v_op[ti].astype(np.int32) @ self.u_int8[ti].astype(np.int32)
+        denom = (
+            in_params.scale
+            * self.input_downscale
+            * self.weight_params.scale.reshape(1, 1, k)
+            * self.filter_downscale
+        )
+        z_fp = z.astype(np.float64) / denom
+        acc_tiles = gemm_result_to_tiles(z_fp, images.shape[0], grid, k)
+        y = output_transform(self.alg, acc_tiles)
+        return assemble_output(grid, y)

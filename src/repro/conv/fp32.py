@@ -1,0 +1,93 @@
+"""Full-precision layer classes with offline-prepared state.
+
+The seed built the ``fp32_winograd`` / ``fp32_direct`` branches of
+:func:`repro.conv.make_layer` as ad-hoc closures that re-derived the
+transform matrices and re-transformed the filters on *every call* --
+exactly the per-call preparation cost the LoWino pipeline exists to
+amortize (Section 4.2).  These classes hoist that work into
+construction, mirroring the INT8 layer objects: the Winograd layer
+precomputes the transformed-filter GEMM operand ``U`` once, the direct
+layer the flattened filter matrix, and both participate in the runtime
+plan cache through :func:`repro.conv.make_layer`.
+
+Both forwards are bitwise identical to the corresponding one-shot
+functions (:func:`repro.winograd.winograd_conv2d_fp32` /
+:func:`repro.conv.direct_conv2d_fp32`): they issue the same NumPy
+operations in the same order, only on precomputed operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..winograd import assemble_output, output_transform, winograd_algorithm
+from ..winograd.reference import _filter_gemm_operand, winograd_domain_matrices
+from .im2col import conv_output_shape, im2col, pad_images
+
+__all__ = ["Fp32WinogradConv2d", "Fp32DirectConv2d"]
+
+
+@dataclass
+class Fp32WinogradConv2d:
+    """FP32 Winograd convolution with a precomputed filter transform."""
+
+    filters_fp32: np.ndarray
+    m: int = 2
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        k, c, r, r2 = self.filters_fp32.shape
+        if r != r2:
+            raise ValueError("only square filters supported")
+        self.alg = winograd_algorithm(self.m, r)
+        # Offline: U = G g G^T reshaped to the (T, C, K) GEMM operand.
+        self.u = _filter_gemm_operand(self.alg, self.filters_fp32)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        if images.shape[1] != self.filters_fp32.shape[1]:
+            raise ValueError(
+                f"channel mismatch: images C={images.shape[1]}, "
+                f"filters C={self.filters_fp32.shape[1]}"
+            )
+        b = images.shape[0]
+        k = self.filters_fp32.shape[0]
+        x = pad_images(images, self.padding)
+        v, grid = winograd_domain_matrices(self.alg, x)  # (T, N, C)
+        z = np.matmul(v, self.u)  # (T, N, K)
+        a = self.alg.alpha
+        z = z.transpose(1, 2, 0).reshape(b, grid.tiles_h, grid.tiles_w, k, a, a)
+        y = output_transform(self.alg, z.transpose(0, 3, 1, 2, 4, 5))
+        return assemble_output(grid, y)
+
+
+@dataclass
+class Fp32DirectConv2d:
+    """FP32 direct convolution with a precomputed filter matrix."""
+
+    filters_fp32: np.ndarray
+    padding: int = 0
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        self.filters_fp32 = np.asarray(self.filters_fp32, dtype=np.float64)
+        k, c, r, r2 = self.filters_fp32.shape
+        if r != r2:
+            raise ValueError("only square filters supported")
+        # Offline: the (K, C*r*r) im2col filter matrix.
+        self.w_flat = np.ascontiguousarray(self.filters_fp32.reshape(k, -1))
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        b, c, h, w = images.shape
+        k, c2, r, _ = self.filters_fp32.shape
+        if c != c2:
+            raise ValueError(f"channel mismatch: images C={c}, filters C={c2}")
+        x = pad_images(images, self.padding)
+        oh, ow = conv_output_shape(h, w, r, stride=self.stride, padding=self.padding)
+        cols = im2col(x, r, stride=self.stride)  # (B*OH*OW, C*r*r)
+        out = cols @ self.w_flat.T  # (B*OH*OW, K)
+        return out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from math import lcm
 
 import numpy as np
@@ -33,12 +34,15 @@ from .im2col import pad_images
 __all__ = ["UpcastWinogradConv2d", "integer_transform_matrices"]
 
 
+@lru_cache(maxsize=None)
 def integer_transform_matrices(alg: WinogradAlgorithm) -> tuple[np.ndarray, np.ndarray, int, int]:
     """Integerized ``B^T`` and ``G`` with their LCM scale factors.
 
     Returns ``(bt_int, g_int, bt_lcm, g_lcm)`` such that
     ``bt_int = bt * bt_lcm`` and ``g_int = g * g_lcm`` are exact integer
-    matrices.  For the canonical point sets ``bt_lcm == 1``.
+    matrices.  For the canonical point sets ``bt_lcm == 1``.  Memoized
+    per algorithm (the LCM search over exact ``Fraction`` rows is pure);
+    callers must not mutate the returned arrays.
     """
     def lcm_of(mat) -> int:
         return lcm(*(Fraction(v).denominator for row in mat for v in row)) or 1
@@ -122,6 +126,49 @@ class UpcastWinogradConv2d:
         ).astype(np.int32)
         # Dequantize: undo input scale, per-channel weight scale, LCM /
         # filter-upcast factors.
+        denom = (
+            in_params.scale
+            * self.weight_params.scale.reshape(1, 1, k)
+            * (self.bt_lcm**2)
+            * self.filter_scale
+        )
+        z_fp = z.astype(np.float64) / denom
+        acc_tiles = gemm_result_to_tiles(z_fp, images.shape[0], grid, k)
+        y = output_transform(self.alg, acc_tiles)
+        return assemble_output(grid, y)
+
+    def reference_forward(self, images: np.ndarray) -> np.ndarray:
+        """Loop-based reference path for differential testing.
+
+        Per-tile integer transforms in Python loops and a per-position
+        GEMM loop over the ``T`` tile elements; exactly the arithmetic of
+        :meth:`__call__` (all stages are integer-exact), kept as the
+        baseline the vectorized runtime engine is tested against.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        k = self.filters_fp32.shape[0]
+        if self.input_threshold is not None:
+            in_params = QuantParams.from_threshold(self.input_threshold, bits=self.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=self.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, self.padding)
+        tiles, grid = prepare_input_tiles(self.alg, x)
+        v = np.empty(tiles.shape, dtype=np.int64)
+        for bi in range(tiles.shape[0]):
+            for ti in range(grid.tiles_h):
+                for tj in range(grid.tiles_w):
+                    v[bi, :, ti, tj] = _transform_int(self.bt_int, tiles[bi, :, ti, tj])
+        max_v = int(np.abs(v).max()) if v.size else 0
+        if max_v > np.iinfo(np.int16).max:
+            raise OverflowError(f"transformed inputs overflow INT16 (max {max_v})")
+        v16 = tiles_to_gemm_operand(saturate_cast(v, np.int16))  # (T, N, C)
+        t, n, _ = v16.shape
+        z = np.empty((t, n, k), dtype=np.int32)
+        for ti in range(t):  # per-position GEMM loop
+            z[ti] = (
+                v16[ti].astype(np.int64) @ self.u_int16[ti].astype(np.int64)
+            ).astype(np.int32)
         denom = (
             in_params.scale
             * self.weight_params.scale.reshape(1, 1, k)

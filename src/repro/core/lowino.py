@@ -172,6 +172,57 @@ class LoWinoConv2d:
         y = output_transform(self.alg, acc_tiles)
         return assemble_output(grid, y)
 
+    def reference_forward(self, images: np.ndarray) -> np.ndarray:
+        """Loop-based reference path for differential testing.
+
+        Walks the Figure 3 pipeline the way a scalar implementation
+        would: the input and output transforms visit one spatial tile at
+        a time in Python loops, and the GEMM runs through the packed
+        Table 1 layouts with the serial per-task loop
+        (:func:`repro.gemm.batched_gemm_reference`).  Numerically
+        identical to :meth:`__call__` (integer arithmetic is exact and
+        the float stages perform the same operations); the vectorized
+        runtime engine is benchmarked and equivalence-tested against
+        this method.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        b = images.shape[0]
+        k = self.filters_fp32.shape[0]
+        x = pad_images(images, self.padding)
+        tiles, grid = prepare_input_tiles(self.alg, x)  # (B, C, th, tw, a, a)
+        # Per-tile input transform: one channel-stack per spatial tile.
+        v_tiles = np.empty_like(tiles)
+        for bi in range(tiles.shape[0]):
+            for ti in range(grid.tiles_h):
+                for tj in range(grid.tiles_w):
+                    v_tiles[bi, :, ti, tj] = input_transform(self.alg, tiles[bi, :, ti, tj])
+        v = tiles_to_gemm_operand(v_tiles)  # (T, N, C)
+        if self.input_params is not None:
+            in_params = self.input_params
+        else:
+            from ..quant import per_position_minmax_params
+
+            in_params = per_position_minmax_params(v, position_axis=0, bits=self.bits)
+        v_q = quantize(v, in_params)
+        vbar = (v_q.astype(np.int16) + 128).astype(np.uint8)
+        t, n, c = vbar.shape
+        params = self.blocking or default_blocking(n, c, k)
+        v_packed = pack_transformed_inputs(vbar, params.n_blk, params.c_blk)
+        u_packed = pack_transformed_filters(self.u_q, params.c_blk, params.k_blk)
+        from ..gemm import batched_gemm_reference
+
+        z = batched_gemm_reference(v_packed, u_packed, self.zbar, params, n, c, k)
+        denom = in_params.scale * self.filter_params.scale
+        z_fp = z.astype(np.float64) / denom
+        acc_tiles = gemm_result_to_tiles(z_fp, b, grid, k)
+        # Per-tile output transform.
+        y = np.empty((b, k, grid.tiles_h, grid.tiles_w, self.alg.m, self.alg.m))
+        for bi in range(b):
+            for ti in range(grid.tiles_h):
+                for tj in range(grid.tiles_w):
+                    y[bi, :, ti, tj] = output_transform(self.alg, acc_tiles[bi, :, ti, tj])
+        return assemble_output(grid, y)
+
     def _gemm(self, vbar: np.ndarray, n: int, k: int) -> np.ndarray:
         """Stage 2 of Figure 3: the batched INT8 GEMM with compensation."""
         t, _, c = vbar.shape

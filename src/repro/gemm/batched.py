@@ -27,7 +27,13 @@ from ..layout import PHI, SIGMA, ceil_div
 from .blocking import BlockingParams
 from .microkernel import unpack_u_block
 
-__all__ = ["compensation_term", "batched_gemm_blocked", "GemmWorkload", "gemm_workload"]
+__all__ = [
+    "compensation_term",
+    "batched_gemm_blocked",
+    "batched_gemm_reference",
+    "GemmWorkload",
+    "gemm_workload",
+]
 
 
 def compensation_term(u: np.ndarray) -> np.ndarray:
@@ -39,6 +45,87 @@ def compensation_term(u: np.ndarray) -> np.ndarray:
     if u.dtype != np.int8:
         raise ValueError(f"compensation expects int8 U, got {u.dtype}")
     return (-128 * u.astype(np.int64).sum(axis=1)).astype(np.int32)
+
+
+def _run_task_range(
+    v_packed: np.ndarray,
+    u_packed: np.ndarray,
+    out: np.ndarray,
+    params: BlockingParams,
+    start: int,
+    stop: int,
+) -> None:
+    """The per-task loop: tasks ``[start, stop)`` of the row-major
+    ``(T, kb, nb)`` grid, each producing one disjoint (N_blk, K_blk)
+    output block.  This is the loop-based execution the vectorized
+    runtime engine replaces; it stays as the differential reference."""
+    nb, cb, _, n_blk, _ = v_packed.shape
+    _, kb, _, _, _ = u_packed.shape
+    k_blk = params.k_blk
+    u_cache_key = None
+    u_cols = None
+    for task in range(start, stop):
+        ti, rem = divmod(task, kb * nb)
+        kbi, nbi = divmod(rem, nb)
+        if u_cache_key != (ti, kbi):
+            # Pre-unpack this (t, kb) column panel once; consecutive
+            # tasks share it (contiguous assignment = cache reuse,
+            # the property Section 4.4 calls out).
+            u_cols = [
+                unpack_u_block(u_packed[cbi, kbi, ti]).astype(np.int32)
+                for cbi in range(cb)
+            ]
+            u_cache_key = (ti, kbi)
+        acc = np.zeros((n_blk, k_blk), dtype=np.int32)  # the L2 z-buffer
+        for cbi in range(cb):
+            acc += v_packed[nbi, cbi, ti].astype(np.int32) @ u_cols[cbi]
+        out[ti, nbi * n_blk : (nbi + 1) * n_blk,
+            kbi * k_blk : (kbi + 1) * k_blk] = acc
+
+
+def _check_operands(
+    v_packed: np.ndarray, u_packed: np.ndarray, params: BlockingParams
+) -> None:
+    params.validate()
+    nb, cb, t, n_blk, c_blk = v_packed.shape
+    cb2, kb, t2, c_sub, k_phi = u_packed.shape
+    if (cb, t) != (cb2, t2):
+        raise ValueError(
+            f"operand mismatch: V blocks {(nb, cb, t)} vs U blocks {(cb2, kb, t2)}"
+        )
+    if (n_blk, c_blk) != (params.n_blk, params.c_blk) or (
+        c_sub,
+        k_phi,
+    ) != (params.c_blk // PHI, params.k_blk * PHI):
+        raise ValueError("packed shapes do not match blocking parameters")
+    if v_packed.dtype != np.uint8 or u_packed.dtype != np.int8:
+        raise ValueError(
+            f"expected uint8 V / int8 U, got {v_packed.dtype} / {u_packed.dtype}"
+        )
+
+
+def batched_gemm_reference(
+    v_packed: np.ndarray,
+    u_packed: np.ndarray,
+    zbar: np.ndarray,
+    params: BlockingParams,
+    n: int,
+    c: int,
+    k: int,
+) -> np.ndarray:
+    """Serial per-task loop over the blocked layouts (the reference).
+
+    Same contract as :func:`batched_gemm_blocked`; kept as the loop-based
+    execution for differential testing and as the baseline the runtime
+    benchmark measures the vectorized engine against.
+    """
+    _check_operands(v_packed, u_packed, params)
+    nb, cb, t, n_blk, _ = v_packed.shape
+    kb = u_packed.shape[1]
+    out = np.empty((t, nb * n_blk, kb * params.k_blk), dtype=np.int32)
+    _run_task_range(v_packed, u_packed, out, params, 0, t * kb * nb)
+    out = out[:, :n, :k]
+    return out + zbar[:, None, :k]
 
 
 def batched_gemm_blocked(
@@ -69,65 +156,36 @@ def batched_gemm_blocked(
     n, c, k:
         Logical (unpadded) GEMM dimensions.
     omega:
-        Thread count for the fork-join execution over the
-        ``(T, kb, nb)`` sub-matrix grid (Section 4.4's static schedule;
-        each thread gets a contiguous range).  1 = serial.
+        Thread count for the execution over the ``(T, kb, nb)``
+        sub-matrix grid (Section 4.4's static schedule; each thread gets
+        a contiguous range).  1 = serial.  Parallel execution runs on
+        the persistent :mod:`repro.runtime.pool` worker pool -- the
+        threads survive across calls instead of being forked and joined
+        per GEMM.
 
     Returns
     -------
     ``(T, N, K)`` int32, compensation applied (i.e. the signed product
     ``V @ U``), padding cropped.
     """
-    params.validate()
-    nb, cb, t, n_blk, c_blk = v_packed.shape
-    cb2, kb, t2, c_sub, k_phi = u_packed.shape
-    if (cb, t) != (cb2, t2):
-        raise ValueError(
-            f"operand mismatch: V blocks {(nb, cb, t)} vs U blocks {(cb2, kb, t2)}"
-        )
-    if (n_blk, c_blk) != (params.n_blk, params.c_blk) or (
-        c_sub,
-        k_phi,
-    ) != (params.c_blk // PHI, params.k_blk * PHI):
-        raise ValueError("packed shapes do not match blocking parameters")
-    if v_packed.dtype != np.uint8 or u_packed.dtype != np.int8:
-        raise ValueError(
-            f"expected uint8 V / int8 U, got {v_packed.dtype} / {u_packed.dtype}"
-        )
-    k_blk = params.k_blk
-    out = np.empty((t, nb * n_blk, kb * k_blk), dtype=np.int32)
+    _check_operands(v_packed, u_packed, params)
+    nb, cb, t, n_blk, _ = v_packed.shape
+    kb = u_packed.shape[1]
+    out = np.empty((t, nb * n_blk, kb * params.k_blk), dtype=np.int32)
 
     # Task grid flattened row-major as (T, kb, nb); each task computes
-    # one disjoint (N_blk, K_blk) output block, so the fork-join threads
+    # one disjoint (N_blk, K_blk) output block, so concurrent workers
     # never write overlapping memory.
     def run_range(start: int, stop: int) -> None:
-        u_cache_key = None
-        u_cols = None
-        for task in range(start, stop):
-            ti, rem = divmod(task, kb * nb)
-            kbi, nbi = divmod(rem, nb)
-            if u_cache_key != (ti, kbi):
-                # Pre-unpack this (t, kb) column panel once; consecutive
-                # tasks share it (contiguous assignment = cache reuse,
-                # the property Section 4.4 calls out).
-                u_cols = [
-                    unpack_u_block(u_packed[cbi, kbi, ti]).astype(np.int32)
-                    for cbi in range(cb)
-                ]
-                u_cache_key = (ti, kbi)
-            acc = np.zeros((n_blk, k_blk), dtype=np.int32)  # the L2 z-buffer
-            for cbi in range(cb):
-                acc += v_packed[nbi, cbi, ti].astype(np.int32) @ u_cols[cbi]
-            out[ti, nbi * n_blk : (nbi + 1) * n_blk,
-                kbi * k_blk : (kbi + 1) * k_blk] = acc
+        _run_task_range(v_packed, u_packed, out, params, start, stop)
 
     tasks = t * kb * nb
     if omega <= 1:
         run_range(0, tasks)
     else:
-        from ..parallel import run_partitioned
+        from ..runtime.pool import get_pool
 
-        run_partitioned(run_range, tasks, omega)
+        get_pool(omega).run_partitioned(run_range, tasks, omega)
     out = out[:, :n, :k]
     # Compensation: remove the +128 bias contribution (broadcast over N).
     out = out + zbar[:, None, :k]

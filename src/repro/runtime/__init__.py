@@ -1,0 +1,56 @@
+"""Vectorized execution runtime: plans, cache, engine, worker pool.
+
+This package is the online half of the paper's offline/online split
+(Section 4): :mod:`~repro.runtime.plan` prepares everything a layer
+needs ahead of time, :mod:`~repro.runtime.cache` keeps prepared plans
+(and per-geometry scratch) in a bounded LRU, :mod:`~repro.runtime.engine`
+executes plans as whole-tensor NumPy pipelines with no Python-level
+tile or task loops, and :mod:`~repro.runtime.pool` provides the
+persistent worker threads the blocked GEMM's static schedule runs on.
+:mod:`~repro.runtime.bench` measures it all against the loop-based
+``*_reference`` paths and gates regressions.
+
+Quick use::
+
+    from repro import runtime
+    y = runtime.conv2d(images, filters, algorithm="lowino", m=4, padding=1)
+    runtime.cache_stats()   # {'hits': ..., 'misses': ..., 'bytes': ...}
+"""
+
+from .cache import CacheStats, PlanCache, cache_stats, clear_cache, default_cache
+from .engine import ExecutionEngine, RuntimeLayer, default_engine
+from .plan import ALGORITHMS, ConvPlan, ScratchArena, build_plan, filters_digest, get_plan, plan_key
+from .pool import WorkerPool, get_pool, shutdown_pool
+
+__all__ = [
+    "ALGORITHMS",
+    "CacheStats",
+    "ConvPlan",
+    "ExecutionEngine",
+    "PlanCache",
+    "RuntimeLayer",
+    "ScratchArena",
+    "WorkerPool",
+    "build_plan",
+    "cache_stats",
+    "clear_cache",
+    "conv2d",
+    "default_cache",
+    "default_engine",
+    "filters_digest",
+    "get_plan",
+    "get_pool",
+    "make_layer",
+    "plan_key",
+    "shutdown_pool",
+]
+
+
+def conv2d(images, filters, algorithm: str = "lowino", m: int = 2, padding: int = 0, **kwargs):
+    """One-shot convolution through the default engine (plan-cached)."""
+    return default_engine().conv2d(images, filters, algorithm=algorithm, m=m, padding=padding, **kwargs)
+
+
+def make_layer(filters, algorithm: str, m: int = 2, padding: int = 0, **kwargs) -> RuntimeLayer:
+    """A persistent vectorized layer bound to the default engine."""
+    return default_engine().layer(filters, algorithm, m=m, padding=padding, **kwargs)

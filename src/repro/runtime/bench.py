@@ -1,0 +1,328 @@
+"""Wall-clock benchmarking of the vectorized runtime (``repro bench``).
+
+Times the steady-state (plan-cached) online path of every algorithm on
+the Table 2 workloads, scaled to the pure-NumPy substrate (batch capped
+at 1, spatial and channel extents capped per profile -- the full
+batch-64 layers are ASIC-scale work a single interpreter thread cannot
+turn around in benchmark time).  Three families of numbers come out:
+
+* per-layer, per-algorithm wall-clock (best-of-``repeats``),
+* speedup of each algorithm vs the vectorized ``fp32_direct`` path on
+  the same layer (the paper's baseline normalization, Figure 8), and
+* the vectorized-engine vs loop-reference ratio for the Winograd INT8
+  family (``reference_forward`` + :func:`repro.gemm.batched_gemm_reference`)
+  -- the number that justifies the runtime's existence.
+
+"Speedup" here is a *relative* claim about two implementations run in
+the same process on the same arrays; absolute wall-clock depends on the
+host and is never gated.  :func:`check_regression` compares only the
+ratio metrics against a checked-in baseline and fails on a >25% drop.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..workloads import BREAKDOWN_LAYERS, TABLE2_LAYERS, LayerConfig, layer_by_name
+from .cache import PlanCache
+from .engine import ExecutionEngine
+from .plan import ALGORITHMS
+
+__all__ = [
+    "BenchProfile",
+    "FULL_PROFILE",
+    "QUICK_PROFILE",
+    "PROFILES",
+    "REFERENCE_ALGORITHMS",
+    "scale_layer",
+    "run_bench",
+    "check_regression",
+    "format_bench",
+    "load_json",
+    "write_json",
+]
+
+#: JSON document version; bump on breaking schema changes.
+SCHEMA_VERSION = 1
+
+#: Default seed for the synthetic activation / filter tensors.
+SEED = 2021
+
+#: Algorithms whose layers expose a ``reference_forward`` loop path.
+REFERENCE_ALGORITHMS = ("lowino", "int8_upcast", "int8_downscale")
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One named measurement configuration.
+
+    ``hw_cap`` / ``chan_cap`` / ``batch_cap`` shrink each Table 2 layer
+    to a tractable size while keeping its *shape character* (the layer
+    set still spans hw 7..32 and the full channel spread up to the cap).
+    The caps are part of the emitted metadata: a baseline only gates a
+    run with identical scaling.
+    """
+
+    name: str
+    layers: tuple
+    batch_cap: int = 1
+    hw_cap: int = 32
+    chan_cap: int = 128
+    repeats: int = 3
+    m: int = 4
+    reference: bool = True
+    reference_repeats: int = 2
+
+
+FULL_PROFILE = BenchProfile("full", tuple(layer.name for layer in TABLE2_LAYERS))
+QUICK_PROFILE = BenchProfile("quick", tuple(BREAKDOWN_LAYERS), hw_cap=16, repeats=2)
+PROFILES: Dict[str, BenchProfile] = {"full": FULL_PROFILE, "quick": QUICK_PROFILE}
+
+
+def scale_layer(layer: LayerConfig, profile: BenchProfile) -> LayerConfig:
+    """Cap a Table 2 layer's batch / spatial / channel extents."""
+    return replace(
+        layer,
+        batch=min(layer.batch, profile.batch_cap),
+        hw=min(layer.hw, profile.hw_cap),
+        c=min(layer.c, profile.chan_cap),
+        k=min(layer.k, profile.chan_cap),
+    )
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _geomean(values: Iterable[float]) -> Optional[float]:
+    vals = [v for v in values if v is not None and v > 0]
+    if not vals:
+        return None
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
+
+
+def run_bench(
+    profile: BenchProfile = FULL_PROFILE,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seed: int = SEED,
+    engine: Optional[ExecutionEngine] = None,
+) -> dict:
+    """Run the benchmark and return the ``BENCH_runtime.json`` document.
+
+    A private plan cache is used by default so the emitted
+    ``cache_stats`` describe exactly this run (per-layer plan misses,
+    per-call geometry-scratch hits).  It is sized to hold every plan
+    and geometry arena of the full profile at once -- a model's working
+    set is resident in steady state, and benchmarking the eviction path
+    would just add noise.
+    """
+    engine = engine if engine is not None else ExecutionEngine(cache=PlanCache(capacity=1024))
+    rng = np.random.default_rng(seed)
+    layer_entries: List[dict] = []
+    for name in profile.layers:
+        layer_cfg = scale_layer(layer_by_name(name), profile)
+        x = layer_cfg.input_tensor(rng, dtype=np.float64)
+        w = layer_cfg.filter_tensor(rng, dtype=np.float64)
+        walls: Dict[str, float] = {}
+        runtime_layers = {}
+        for algo in algorithms:
+            layer = engine.layer(w, algo, m=profile.m, padding=layer_cfg.padding)
+            layer(x)  # warm call: builds plan state and geometry scratch
+            walls[algo] = _best_of(lambda layer=layer: layer(x), profile.repeats)
+            runtime_layers[algo] = layer
+        base = walls.get("fp32_direct")
+        algo_entries = {
+            algo: {
+                "wall_s": walls[algo],
+                "speedup_vs_fp32_direct": (base / walls[algo]) if base else None,
+            }
+            for algo in algorithms
+        }
+        ref_entries: Dict[str, dict] = {}
+        if profile.reference:
+            for algo in REFERENCE_ALGORITHMS:
+                if algo not in runtime_layers:
+                    continue
+                ref = runtime_layers[algo].reference
+                wall_ref = _best_of(
+                    lambda ref=ref: ref.reference_forward(x), profile.reference_repeats
+                )
+                ref_entries[algo] = {
+                    "wall_s": wall_ref,
+                    "vectorized_speedup": wall_ref / walls[algo],
+                }
+        layer_entries.append(
+            {
+                "name": layer_cfg.name,
+                "batch": layer_cfg.batch,
+                "c": layer_cfg.c,
+                "k": layer_cfg.k,
+                "hw": layer_cfg.hw,
+                "algorithms": algo_entries,
+                "reference": ref_entries,
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "profile": asdict(profile),
+        "seed": seed,
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "layers": layer_entries,
+        "summary": _summarize(layer_entries, algorithms),
+        "cache_stats": engine.cache.stats.as_dict(),
+    }
+
+
+def _summarize(layer_entries: List[dict], algorithms: Sequence[str]) -> dict:
+    speedups = {
+        algo: _geomean(
+            e["algorithms"][algo]["speedup_vs_fp32_direct"] for e in layer_entries
+        )
+        for algo in algorithms
+    }
+    reference = {}
+    for algo in REFERENCE_ALGORITHMS:
+        ratios = [
+            e["reference"][algo]["vectorized_speedup"]
+            for e in layer_entries
+            if algo in e.get("reference", {})
+        ]
+        if ratios:
+            reference[algo] = {
+                "geomean": _geomean(ratios),
+                "min": min(ratios),
+                "max": max(ratios),
+            }
+    return {"speedup_vs_fp32_direct": speedups, "reference_speedup": reference}
+
+
+#: Keys of ``profile`` that must match for a baseline comparison to be valid.
+_COMPAT_KEYS = ("name", "layers", "batch_cap", "hw_cap", "chan_cap", "m")
+
+
+def check_regression(current: dict, baseline: dict, gate: float = 0.25) -> List[str]:
+    """Ratio-metric regression gate: current vs checked-in baseline.
+
+    Only *relative* metrics are compared (speedup-vs-fp32_direct
+    geomeans, loop-reference ratios) -- never absolute wall-clock, which
+    varies across hosts.  A metric regresses when it drops more than
+    ``gate`` (fraction) below the baseline value.  Returns a list of
+    human-readable violations; empty means PASS.
+    """
+    violations: List[str] = []
+    cur_prof, base_prof = current.get("profile", {}), baseline.get("profile", {})
+    mismatched = [
+        k
+        for k in _COMPAT_KEYS
+        if _norm(cur_prof.get(k)) != _norm(base_prof.get(k))
+    ]
+    if mismatched:
+        return [
+            "baseline incompatible with this run (profile fields differ: "
+            + ", ".join(
+                f"{k}: {base_prof.get(k)!r} -> {cur_prof.get(k)!r}" for k in mismatched
+            )
+            + "); regenerate it with --update-baseline"
+        ]
+    floor = 1.0 - gate
+    cur_sum, base_sum = current["summary"], baseline["summary"]
+    for algo, base_val in base_sum.get("speedup_vs_fp32_direct", {}).items():
+        cur_val = cur_sum.get("speedup_vs_fp32_direct", {}).get(algo)
+        if base_val and cur_val is not None and cur_val < base_val * floor:
+            violations.append(
+                f"summary speedup_vs_fp32_direct[{algo}]: "
+                f"{cur_val:.2f}x < {floor:.2f} * baseline {base_val:.2f}x"
+            )
+    for algo, base_entry in base_sum.get("reference_speedup", {}).items():
+        cur_entry = cur_sum.get("reference_speedup", {}).get(algo)
+        if cur_entry and base_entry.get("geomean"):
+            if cur_entry["geomean"] < base_entry["geomean"] * floor:
+                violations.append(
+                    f"summary reference_speedup[{algo}].geomean: "
+                    f"{cur_entry['geomean']:.2f}x < {floor:.2f} * "
+                    f"baseline {base_entry['geomean']:.2f}x"
+                )
+    base_layers = {e["name"]: e for e in baseline.get("layers", [])}
+    for entry in current.get("layers", []):
+        base_entry = base_layers.get(entry["name"])
+        if base_entry is None:
+            continue
+        base_ref = base_entry.get("reference", {}).get("lowino")
+        cur_ref = entry.get("reference", {}).get("lowino")
+        if base_ref and cur_ref:
+            if cur_ref["vectorized_speedup"] < base_ref["vectorized_speedup"] * floor:
+                violations.append(
+                    f"{entry['name']}: lowino vectorized_speedup "
+                    f"{cur_ref['vectorized_speedup']:.2f}x < {floor:.2f} * "
+                    f"baseline {base_ref['vectorized_speedup']:.2f}x"
+                )
+    return violations
+
+
+def _norm(value):
+    # JSON round-trips tuples as lists; compare them structurally.
+    return list(value) if isinstance(value, (list, tuple)) else value
+
+
+def format_bench(doc: dict) -> str:
+    """Human-readable table for one benchmark document."""
+    algorithms = list(doc["summary"]["speedup_vs_fp32_direct"])
+    lines = []
+    prof = doc["profile"]
+    lines.append(
+        f"Runtime benchmark -- profile={prof['name']} m={prof['m']} "
+        f"caps(batch={prof['batch_cap']}, hw={prof['hw_cap']}, chan={prof['chan_cap']}) "
+        f"repeats={prof['repeats']}"
+    )
+    header = f"{'layer':14s} {'b':>2s} {'c':>4s} {'k':>4s} {'hw':>3s}"
+    for algo in algorithms:
+        header += f" {algo[:12]:>13s}"
+    header += f" {'lowino ref':>11s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in doc["layers"]:
+        row = (
+            f"{entry['name']:14s} {entry['batch']:2d} {entry['c']:4d} "
+            f"{entry['k']:4d} {entry['hw']:3d}"
+        )
+        for algo in algorithms:
+            cell = entry["algorithms"][algo]
+            row += f" {cell['wall_s'] * 1e3:8.2f}ms"
+            sp = cell["speedup_vs_fp32_direct"]
+            row += f"/{sp:4.1f}" if sp is not None else "/  --"
+        ref = entry.get("reference", {}).get("lowino")
+        row += f" {ref['vectorized_speedup']:10.1f}x" if ref else f" {'--':>11s}"
+        lines.append(row)
+    lines.append("")
+    lines.append("geomean speedup vs fp32_direct: " + "  ".join(
+        f"{algo}={sp:.2f}x" if sp is not None else f"{algo}=--"
+        for algo, sp in doc["summary"]["speedup_vs_fp32_direct"].items()
+    ))
+    for algo, entry in doc["summary"].get("reference_speedup", {}).items():
+        lines.append(
+            f"vectorized vs loop reference [{algo}]: geomean {entry['geomean']:.1f}x "
+            f"(min {entry['min']:.1f}x, max {entry['max']:.1f}x)"
+        )
+    return "\n".join(lines)
+
+
+def write_json(doc: dict, path) -> None:
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def load_json(path) -> dict:
+    return json.loads(Path(path).read_text())

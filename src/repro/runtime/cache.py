@@ -1,0 +1,159 @@
+"""LRU plan cache with observability counters.
+
+LoWino amortizes all preparation -- transform-matrix construction,
+filter transform + quantization, Eq. 9 compensation, blocking decisions
+-- offline, so the online path touches none of it (Section 4.2).  The
+NumPy substrate gets the same amortization from this cache: a bounded
+LRU mapping a :class:`~repro.runtime.plan.PlanKey` (algorithm, filter
+fingerprint, tile size, padding, blocking, input geometry) to the
+prepared :class:`~repro.runtime.plan.ConvPlan` or per-geometry scratch.
+
+Eviction is by entry count *and* by resident bytes, whichever bound is
+hit first; every entry reports its footprint via ``nbytes``.  Counters
+(hits / misses / evictions / bytes) are exported by :func:`cache_stats`
+and surfaced on the CLI as ``repro bench --cache-stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional
+
+__all__ = ["CacheStats", "PlanCache", "default_cache", "cache_stats", "clear_cache"]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Bytes currently resident (not cumulative).
+    bytes: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+            "entries": self.entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _entry_bytes(value: Any) -> int:
+    """Footprint of a cached value: its ``nbytes`` if it reports one."""
+    nbytes = getattr(value, "nbytes", 0)
+    return int(nbytes) if isinstance(nbytes, (int, float)) else 0
+
+
+class PlanCache:
+    """Thread-safe LRU keyed by any hashable plan key.
+
+    ``capacity`` bounds the entry count, ``max_bytes`` the summed
+    ``nbytes`` of resident values (0 disables the byte bound).
+    """
+
+    def __init__(self, capacity: int = 128, max_bytes: int = 1 << 31) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> Any:
+        with self._lock:
+            if key in self._entries:
+                self.stats.bytes -= _entry_bytes(self._entries[key])
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            self.stats.bytes += _entry_bytes(value)
+            self._evict_locked()
+            self.stats.entries = len(self._entries)
+            return value
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached value, building (and inserting) it on a miss.
+
+        The builder runs outside the hit fast-path but inside the lock,
+        so concurrent callers never build the same plan twice.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            value = builder()
+            self._entries[key] = value
+            self.stats.bytes += _entry_bytes(value)
+            self._evict_locked()
+            self.stats.entries = len(self._entries)
+            return value
+
+    def _evict_locked(self) -> None:
+        while len(self._entries) > self.capacity or (
+            self.max_bytes > 0
+            and self.stats.bytes > self.max_bytes
+            and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self.stats.bytes -= _entry_bytes(evicted)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters other than ``bytes`` are kept."""
+        with self._lock:
+            self._entries.clear()
+            self.stats.bytes = 0
+            self.stats.entries = 0
+
+
+_default_cache = PlanCache()
+
+
+def default_cache() -> PlanCache:
+    """The process-wide plan cache shared by engine and ``make_layer``."""
+    return _default_cache
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Snapshot of the default cache's hits/misses/evictions/bytes."""
+    return _default_cache.stats.as_dict()
+
+
+def clear_cache() -> None:
+    """Empty the default cache (plans are rebuilt on next use)."""
+    _default_cache.clear()

@@ -1,0 +1,353 @@
+"""Vectorized execution of prepared convolution plans.
+
+The online path of every algorithm is expressed as whole-tensor NumPy
+ops over *all* tiles at once -- tile extraction by stride tricks, the
+2D transforms as batched BLAS ``matmul`` over the trailing axes,
+the batched GEMM as one broadcast ``np.matmul``, the inverse transform
+and tile assembly as reshapes -- with no per-tile or per-task Python
+loop anywhere.  The loop-based implementations stay available as
+``*_reference`` (:meth:`repro.core.LoWinoConv2d.reference_forward`,
+:func:`repro.gemm.batched_gemm_reference`) for differential testing.
+
+Exactness contract
+------------------
+The integer GEMMs run through float64 BLAS instead of NumPy's integer
+``einsum`` loops.  This is *exact*, not approximate: both operands are
+small integers, so every product (< 2**16) and every partial sum
+(< 2**53 for any channel count below ~10**8) is an integer that float64
+represents without rounding, regardless of BLAS's summation order.  The
+engine therefore produces bit-for-bit the accumulators of the reference
+integer paths, and the equivalence tests assert exactly that.  (The one
+documented divergence: a true INT32 *overflow* -- reachable only beyond
+~66k input channels -- wraps in the reference and not here.)
+
+All float-domain stages (quantization, dequantization, FP32 transforms)
+call the very same functions as the reference layers, in the same
+order, so the float outputs match bitwise as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..conv._tileops import gemm_result_to_tiles, prepare_input_tiles, tiles_to_gemm_operand
+from ..conv.im2col import conv_output_shape, im2col, pad_images
+from ..isa import saturate_cast
+from ..quant import QuantParams, quantize, spatial_params_from_tensor
+from ..winograd import assemble_output, input_transform, output_transform
+from .cache import PlanCache, default_cache
+from .plan import ConvPlan, GeometryPlan, get_plan
+
+__all__ = ["ExecutionEngine", "RuntimeLayer", "default_engine"]
+
+
+def _wrap_int32(z_f64: np.ndarray) -> np.ndarray:
+    """Cast exact-integer float64 accumulators to int32 (wrapping like
+    the reference's ``astype(np.int32)`` on the rare overflow)."""
+    return z_f64.astype(np.int64).astype(np.int32)
+
+
+def _transform_int_vec(bt_f64: np.ndarray, tiles: np.ndarray) -> np.ndarray:
+    """Exact integer 2D transform ``M t M^T`` via broadcast float64 matmul.
+
+    Bit-identical to :func:`repro.conv.upcast._transform_int` (the int64
+    einsum): all intermediates are exact integers in float64.
+    """
+    half = np.matmul(tiles.astype(np.float64), bt_f64.T)
+    return np.matmul(bt_f64, half).astype(np.int64)
+
+
+class ExecutionEngine:
+    """Plan-cached, vectorized convolution executor.
+
+    One engine per process is the intended usage (:func:`default_engine`);
+    it shares the process-wide plan cache so repeated ``conv2d`` calls
+    and ``make_layer`` objects hit the same prepared state.
+
+    ``use_scratch`` enables the per-(plan, geometry) preallocated output
+    buffers.  Scratch is not re-entrant -- two threads executing the
+    *same* plan on the *same* geometry would share a buffer -- so
+    multi-threaded callers should disable it (stage-internal parallelism
+    via the worker pool is unaffected).
+    """
+
+    def __init__(self, cache: Optional[PlanCache] = None, use_scratch: bool = True):
+        self.cache = cache if cache is not None else default_cache()
+        self.use_scratch = use_scratch
+
+    # -- plan management ------------------------------------------------
+    def plan_for(
+        self, filters: np.ndarray, algorithm: str, m: int = 2, padding: int = 0, **kwargs
+    ) -> ConvPlan:
+        return get_plan(algorithm, filters, m=m, padding=padding, cache=self.cache, **kwargs)
+
+    def layer(
+        self, filters: np.ndarray, algorithm: str, m: int = 2, padding: int = 0, **kwargs
+    ) -> "RuntimeLayer":
+        """A persistent layer bound to this engine's cached plan."""
+        return RuntimeLayer(self, self.plan_for(filters, algorithm, m=m, padding=padding, **kwargs))
+
+    def conv2d(
+        self,
+        images: np.ndarray,
+        filters: np.ndarray,
+        algorithm: str = "lowino",
+        m: int = 2,
+        padding: int = 0,
+        **kwargs,
+    ) -> np.ndarray:
+        """One-shot convolution; preparation is amortized via the cache."""
+        return self.execute(self.plan_for(filters, algorithm, m=m, padding=padding, **kwargs), images)
+
+    # -- execution ------------------------------------------------------
+    def execute(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        fn = getattr(self, f"_run_{plan.algorithm}", None)
+        if fn is None:
+            raise ValueError(f"engine cannot execute algorithm {plan.algorithm!r}")
+        return fn(plan, images)
+
+    def _geometry(self, plan: ConvPlan, images: np.ndarray, padded_hw) -> GeometryPlan:
+        def build() -> GeometryPlan:
+            from ..winograd import tile_grid
+
+            alg = getattr(plan.layer, "alg", None)
+            grid = tile_grid(alg, *padded_hw) if alg is not None else None
+            return GeometryPlan(grid=grid)
+
+        return plan.geometry(self.cache, images.shape, build)
+
+    def _buf(self, geom: GeometryPlan, name: str, shape, dtype) -> Optional[np.ndarray]:
+        return geom.arena.buf(name, tuple(shape), dtype) if self.use_scratch else None
+
+    # -- algorithm bodies (each mirrors its reference layer exactly) ----
+    def _run_lowino(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        layer = plan.layer
+        images = np.asarray(images, dtype=np.float64)
+        b = images.shape[0]
+        k = layer.filters_fp32.shape[0]
+        c = images.shape[1]
+        x = pad_images(images, layer.padding)
+        geom = self._geometry(plan, images, x.shape[2:])
+        a = layer.alg.alpha
+        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
+        tile_shape = (b, c, th, tw, a, a)
+        tiles, grid = prepare_input_tiles(
+            layer.alg, x, out=self._buf(geom, "tiles", tile_shape, x.dtype)
+        )
+        v_tiles = input_transform(
+            layer.alg, tiles, out=self._buf(geom, "v_tiles", tile_shape, np.float64)
+        )
+        v = tiles_to_gemm_operand(
+            v_tiles, out=self._buf(geom, "v", (a * a, b * th * tw, c), np.float64)
+        )  # (T, N, C)
+        if layer.input_params is not None:
+            in_params = layer.input_params
+        else:
+            from ..quant import per_position_minmax_params
+
+            in_params = per_position_minmax_params(v, position_axis=0, bits=layer.bits)
+        v_q = quantize(v, in_params)  # (T, N, C) int8
+        t, n, c = v_q.shape
+        if "u_f32" in plan.operands:
+            # Low-precision GEMM: every partial sum of the u8 x s8
+            # contraction stays under 2**24 for this channel count, so
+            # float32 holds the exact int32 accumulators (plan.py).
+            gemm_dtype = np.float32
+            u_op, zbar_op = plan.operands["u_f32"], plan.operands["zbar_f32"]
+        else:
+            gemm_dtype = np.float64
+            u_op, zbar_op = plan.operands["u_f64"], plan.operands["zbar_f64"]
+        # +128 bias and int8->float cast fused into one whole-tensor add.
+        vbar = np.add(
+            v_q,
+            np.asarray(128.0, dtype=gemm_dtype),
+            out=self._buf(geom, "vbar", (t, n, c), gemm_dtype),
+        )
+        z = np.matmul(vbar, u_op, out=self._buf(geom, "z", (t, n, k), gemm_dtype))
+        z += zbar_op[:, None, :]
+        # Scatter the (still exact-integer) accumulators into tile layout
+        # *before* de-quantizing: the narrow dtype halves the strided
+        # copy, and the divide below hits the same elementwise operands
+        # as the reference's (T, N, K)-shaped divide.
+        acc_z = gemm_result_to_tiles(
+            z, b, grid, k, out=self._buf(geom, "acc_z", (b, k, th, tw, a, a), gemm_dtype)
+        )
+        # De-quantize (Eq. 6): per-(position, channel) scale rearranged
+        # to broadcast over (B, K, th, tw, a, a).
+        denom = np.broadcast_to(in_params.scale * layer.filter_params.scale, (t, 1, k))
+        denom_tiles = denom[:, 0, :].T.reshape(k, a, a)[None, :, None, None, :, :]
+        acc_tiles = np.divide(
+            acc_z, denom_tiles, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+        )
+        m = layer.alg.m
+        y = output_transform(
+            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
+        )
+        return assemble_output(grid, y)
+
+    def _run_int8_upcast(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        layer = plan.layer
+        images = np.asarray(images, dtype=np.float64)
+        k = layer.filters_fp32.shape[0]
+        if layer.input_threshold is not None:
+            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=layer.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, layer.padding)
+        geom = self._geometry(plan, images, x.shape[2:])
+        b, c = images.shape[0], images.shape[1]
+        a = layer.alg.alpha
+        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
+        tiles, grid = prepare_input_tiles(
+            layer.alg, x, out=self._buf(geom, "tiles", (b, c, th, tw, a, a), x.dtype)
+        )
+        v = _transform_int_vec(plan.operands["bt_f64"], tiles)  # int64, * bt_lcm^2
+        max_v = int(np.abs(v).max()) if v.size else 0
+        if max_v > np.iinfo(np.int16).max:
+            raise OverflowError(f"transformed inputs overflow INT16 (max {max_v})")
+        v16 = tiles_to_gemm_operand(
+            saturate_cast(v, np.int16),
+            out=self._buf(geom, "v16", (a * a, b * th * tw, c), np.int16),
+        )  # (T, N, C)
+        t, n, c = v16.shape
+        z_f64 = np.matmul(
+            v16.astype(np.float64),
+            plan.operands["u_f64"],
+            out=self._buf(geom, "z", (t, n, k), np.float64),
+        )
+        z = _wrap_int32(z_f64)
+        denom = (
+            in_params.scale
+            * layer.weight_params.scale.reshape(1, 1, k)
+            * (layer.bt_lcm**2)
+            * layer.filter_scale
+        )
+        z_fp = np.divide(
+            z.astype(np.float64), denom, out=self._buf(geom, "z_fp", z.shape, np.float64)
+        )
+        acc_tiles = gemm_result_to_tiles(
+            z_fp, b, grid, k, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+        )
+        m = layer.alg.m
+        y = output_transform(
+            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
+        )
+        return assemble_output(grid, y)
+
+    def _run_int8_downscale(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        layer = plan.layer
+        images = np.asarray(images, dtype=np.float64)
+        k = layer.filters_fp32.shape[0]
+        if layer.input_threshold is not None:
+            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=layer.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, layer.padding)
+        geom = self._geometry(plan, images, x.shape[2:])
+        b, c = images.shape[0], images.shape[1]
+        a = layer.alg.alpha
+        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
+        tiles, grid = prepare_input_tiles(
+            layer.alg, x, out=self._buf(geom, "tiles", (b, c, th, tw, a, a), x.dtype)
+        )
+        v = _transform_int_vec(plan.operands["bt_f64"], tiles)
+        scale = layer.input_downscale / (layer.bt_lcm**2)
+        v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
+        v_op = tiles_to_gemm_operand(
+            v8, out=self._buf(geom, "v8", (a * a, b * th * tw, c), np.int8)
+        )  # (T, N, C)
+        t, n, c = v_op.shape
+        z_f64 = np.matmul(
+            v_op.astype(np.float64),
+            plan.operands["u_f64"],
+            out=self._buf(geom, "z", (t, n, k), np.float64),
+        )
+        z = _wrap_int32(z_f64)
+        denom = (
+            in_params.scale
+            * layer.input_downscale
+            * layer.weight_params.scale.reshape(1, 1, k)
+            * layer.filter_downscale
+        )
+        z_fp = np.divide(
+            z.astype(np.float64), denom, out=self._buf(geom, "z_fp", z.shape, np.float64)
+        )
+        acc_tiles = gemm_result_to_tiles(
+            z_fp, b, grid, k, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+        )
+        m = layer.alg.m
+        y = output_transform(
+            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
+        )
+        return assemble_output(grid, y)
+
+    def _run_int8_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        layer = plan.layer
+        images = np.asarray(images, dtype=np.float64)
+        b, c, h, w = images.shape
+        k, _, r, _ = layer.filters_fp32.shape
+        if layer.input_threshold is not None:
+            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
+        else:
+            in_params = spatial_params_from_tensor(images, bits=layer.bits)
+        xq = quantize(images, in_params)
+        x = pad_images(xq, layer.padding)
+        oh, ow = conv_output_shape(h, w, r, stride=layer.stride, padding=layer.padding)
+        cols = im2col(x, r, stride=layer.stride)  # int8 (B*OH*OW, C*r*r)
+        acc_f64 = cols.astype(np.float64) @ plan.operands["w_f64"].T
+        acc = _wrap_int32(acc_f64)
+        w_scale = layer.weight_params.scale.reshape(1, k)
+        out = acc.astype(np.float64) / (in_params.scale * w_scale)
+        return out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
+
+    def _run_fp32_winograd(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        # The fp32 layer object already holds the precomputed transformed
+        # filters and runs the fully vectorized pipeline; execution just
+        # shares the plan-cached instance.
+        return plan.layer(images)
+
+    def _run_fp32_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        return plan.layer(images)
+
+
+class RuntimeLayer:
+    """A callable layer bound to an engine and a cached plan.
+
+    Drop-in replacement for the reference layer objects: calling it runs
+    the vectorized engine; ``calibrate``/attribute access delegate to the
+    embedded prepared layer (shared through the plan cache).
+    """
+
+    def __init__(self, engine: ExecutionEngine, plan: ConvPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return self.engine.execute(self.plan, images)
+
+    @property
+    def reference(self) -> Any:
+        """The embedded loop/reference layer (for differential tests)."""
+        return self.plan.layer
+
+    def calibrate(self, batches) -> "RuntimeLayer":
+        self.plan.layer.calibrate(batches)
+        return self
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.plan.layer, name)
+
+
+_default_engine: Optional[ExecutionEngine] = None
+
+
+def default_engine() -> ExecutionEngine:
+    """The process-wide engine bound to the default plan cache."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExecutionEngine()
+    return _default_engine

@@ -1,0 +1,279 @@
+"""Execution plans: prepared, cache-resident convolution state.
+
+A plan is everything LoWino prepares *offline* (Section 4.2): the
+Cook-Toom transform matrices, the transformed + quantized + packed
+filters, the Eq. 9 compensation term, the blocking decision -- plus the
+engine-side float64 operand casts and, per input geometry, the tile-grid
+decomposition and preallocated scratch buffers.  Building a plan is the
+expensive part of a convolution call; executing one is a handful of
+whole-tensor NumPy ops (:mod:`repro.runtime.engine`).
+
+Plans are keyed by :func:`plan_key` -- ``(algorithm, filter
+fingerprint, m, padding, bits, extra kwargs)`` -- and stored in the
+process-wide :class:`~repro.runtime.cache.PlanCache`; per-geometry
+scratch lives under a derived key that appends the input geometry.  The
+prepared state embeds the corresponding *reference layer object*
+(:class:`~repro.core.LoWinoConv2d` etc.), so plan construction runs the
+exact same offline code path the references use -- the engine cannot
+drift from the reference preparation by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from .cache import PlanCache, default_cache
+
+__all__ = [
+    "ALGORITHMS",
+    "ScratchArena",
+    "ConvPlan",
+    "plan_key",
+    "filters_digest",
+    "get_plan",
+    "build_plan",
+]
+
+#: Algorithms the runtime can plan and execute.
+ALGORITHMS: Tuple[str, ...] = (
+    "fp32_direct",
+    "fp32_winograd",
+    "int8_direct",
+    "int8_upcast",
+    "int8_downscale",
+    "lowino",
+)
+
+
+class ScratchArena:
+    """Named, reusable scratch buffers for one (plan, geometry) pair.
+
+    ``buf(name, shape, dtype)`` returns the cached array when shape and
+    dtype match, else (re)allocates.  Buffers are *uninitialized* between
+    uses; callers fully overwrite them (``np.matmul(..., out=...)``).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def buf(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        arr = self._buffers.get(name)
+        if arr is None or arr.shape != tuple(shape) or arr.dtype != np.dtype(dtype):
+            arr = np.empty(shape, dtype=dtype)
+            self._buffers[name] = arr
+        return arr
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._buffers.values())
+
+
+@dataclass
+class GeometryPlan:
+    """Per-input-geometry state: the tile grid and the scratch arena."""
+
+    grid: Any  #: TileGrid for Winograd-family plans, None for direct
+    arena: ScratchArena = field(default_factory=ScratchArena)
+
+    @property
+    def nbytes(self) -> int:
+        return self.arena.nbytes
+
+
+def _array_bytes(obj: Any) -> int:
+    """Summed ``nbytes`` of the ndarray attributes of a layer object."""
+    total = 0
+    for value in vars(obj).values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+    return total
+
+
+@dataclass
+class ConvPlan:
+    """One prepared convolution: reference layer + engine operands."""
+
+    key: Hashable
+    algorithm: str
+    #: The prepared reference layer object (offline state lives here).
+    layer: Any
+    #: Engine-side operands (float64 casts of the quantized filters,
+    #: pre-reshaped filter matrices, ...), by name.
+    operands: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return _array_bytes(self.layer) + sum(a.nbytes for a in self.operands.values())
+
+    def geometry(
+        self, cache: PlanCache, images_shape: Tuple[int, ...], builder
+    ) -> GeometryPlan:
+        """The cached per-geometry plan for an input shape."""
+        geom_key = (self.key, "geometry", tuple(images_shape))
+        return cache.get_or_build(geom_key, builder)
+
+
+def filters_digest(filters: np.ndarray) -> str:
+    """Content fingerprint of a filter tensor (shape, dtype, bytes)."""
+    filters = np.ascontiguousarray(filters)
+    h = hashlib.sha1()
+    h.update(repr((filters.shape, filters.dtype.str)).encode())
+    h.update(filters.tobytes())
+    return h.hexdigest()
+
+
+def _freeze_kwargs(kwargs: Dict[str, Any]) -> Optional[Tuple[Tuple[str, str], ...]]:
+    """Deterministic, hashable rendering of layer kwargs.
+
+    Returns ``None`` when a kwarg cannot be rendered reproducibly
+    (e.g. an ndarray-valued calibration override) -- such layers bypass
+    the cache rather than risking a collision.
+    """
+    items = []
+    for name in sorted(kwargs):
+        value = kwargs[name]
+        if isinstance(value, np.ndarray) or value.__class__.__module__ not in (
+            "builtins",
+            "repro.gemm.blocking",
+        ):
+            return None
+        items.append((name, repr(value)))
+    return tuple(items)
+
+
+def plan_key(
+    algorithm: str,
+    filters: np.ndarray,
+    m: int,
+    padding: int,
+    kwargs: Dict[str, Any],
+) -> Optional[Hashable]:
+    """Cache key for a prepared layer, or ``None`` if uncacheable."""
+    frozen = _freeze_kwargs(kwargs)
+    if frozen is None:
+        return None
+    return (
+        "plan",
+        algorithm,
+        int(m),
+        int(padding),
+        filters_digest(filters),
+        frozen,
+    )
+
+
+def _build_layer(
+    algorithm: str, filters: np.ndarray, m: int, padding: int, kwargs: Dict[str, Any]
+):
+    """Construct the prepared reference layer for ``algorithm``."""
+    if algorithm == "int8_direct":
+        from ..conv.direct import Int8DirectConv2d
+
+        return Int8DirectConv2d(filters, padding=padding, **kwargs)
+    if algorithm == "int8_upcast":
+        from ..conv.upcast import UpcastWinogradConv2d
+
+        return UpcastWinogradConv2d(filters, m=m, padding=padding, **kwargs)
+    if algorithm == "int8_downscale":
+        from ..conv.downscale import DownscaleWinogradConv2d
+
+        return DownscaleWinogradConv2d(filters, m=m, padding=padding, **kwargs)
+    if algorithm == "lowino":
+        from ..core.lowino import LoWinoConv2d
+
+        return LoWinoConv2d(filters, m=m, padding=padding, **kwargs)
+    if algorithm == "fp32_winograd":
+        from ..conv.fp32 import Fp32WinogradConv2d
+
+        return Fp32WinogradConv2d(filters, m=m, padding=padding, **kwargs)
+    if algorithm == "fp32_direct":
+        from ..conv.fp32 import Fp32DirectConv2d
+
+        return Fp32DirectConv2d(filters, padding=padding, **kwargs)
+    raise ValueError(f"unknown algorithm {algorithm!r}; known: {ALGORITHMS}")
+
+
+#: Largest input-channel count for which the LoWino u8 x s8 GEMM is exact
+#: in float32: every partial sum is bounded by C * 255 * 128, which must
+#: stay at or below 2**24 (the largest contiguous integer range of f32).
+LOWINO_F32_MAX_C = (1 << 24) // (255 * 128)
+
+
+def _engine_operands(algorithm: str, layer: Any) -> Dict[str, np.ndarray]:
+    """Float casts of the integer operands for the BLAS-backed GEMM.
+
+    The vectorized engine contracts 8/16-bit operands through float
+    ``np.matmul`` (BLAS) -- exact for integer values because every
+    product and partial sum stays below the float's contiguous-integer
+    range -- so the casts are hoisted into the plan instead of being
+    paid per call.  The LoWino GEMM additionally drops to float32
+    (double the SIMD width, half the memory traffic) whenever the
+    channel count keeps its partial sums under 2**24; wider layers fall
+    back to the float64 operands, which are exact up to 2**53.
+    """
+    ops: Dict[str, np.ndarray] = {}
+    if algorithm == "lowino":
+        if layer.filters_fp32.shape[1] <= LOWINO_F32_MAX_C:
+            ops["u_f32"] = layer.u_q.astype(np.float32)
+            ops["zbar_f32"] = layer.zbar.astype(np.float32)
+        else:
+            ops["u_f64"] = layer.u_q.astype(np.float64)
+            ops["zbar_f64"] = layer.zbar.astype(np.float64)
+    elif algorithm == "int8_upcast":
+        ops["u_f64"] = layer.u_int16.astype(np.float64)
+        ops["bt_f64"] = layer.bt_int.astype(np.float64)
+    elif algorithm == "int8_downscale":
+        ops["u_f64"] = layer.u_int8.astype(np.float64)
+        ops["bt_f64"] = layer.bt_int.astype(np.float64)
+    elif algorithm == "int8_direct":
+        k = layer.filters_q.shape[0]
+        ops["w_f64"] = np.ascontiguousarray(
+            layer.filters_q.reshape(k, -1).astype(np.float64)
+        )
+    # fp32_direct / fp32_winograd keep their operands on the layer itself.
+    return ops
+
+
+def build_plan(
+    algorithm: str,
+    filters: np.ndarray,
+    m: int = 2,
+    padding: int = 0,
+    key: Hashable = None,
+    **kwargs,
+) -> ConvPlan:
+    """Build an (uncached) plan: offline preparation + engine operands."""
+    layer = _build_layer(algorithm, filters, m, padding, kwargs)
+    return ConvPlan(
+        key=key if key is not None else object(),
+        algorithm=algorithm,
+        layer=layer,
+        operands=_engine_operands(algorithm, layer),
+    )
+
+
+def get_plan(
+    algorithm: str,
+    filters: np.ndarray,
+    m: int = 2,
+    padding: int = 0,
+    cache: Optional[PlanCache] = None,
+    **kwargs,
+) -> ConvPlan:
+    """Fetch (or build and insert) the plan for a layer configuration.
+
+    Layers whose kwargs cannot be fingerprinted reproducibly are built
+    fresh each time and never enter the cache.
+    """
+    cache = cache if cache is not None else default_cache()
+    filters = np.asarray(filters)
+    key = plan_key(algorithm, filters, m, padding, kwargs)
+    if key is None:
+        return build_plan(algorithm, filters, m=m, padding=padding, **kwargs)
+    return cache.get_or_build(
+        key, lambda: build_plan(algorithm, filters, m=m, padding=padding, key=key, **kwargs)
+    )

@@ -1,0 +1,162 @@
+"""Persistent worker pool for statically scheduled stages.
+
+The seed executed every parallel stage as a fork-join: a fresh
+``ThreadPoolExecutor`` per :func:`repro.parallel.run_partitioned` call,
+torn down when the stage finished.  On the paper's hardware the thread
+team lives for the whole inference run (Section 4.4: tasks are assigned
+to threads at plan-construction time), so per-stage thread creation is
+pure overhead the model never charges.  :class:`WorkerPool` keeps the
+threads alive across calls: work arrives as the contiguous
+:class:`~repro.parallel.scheduler.Partition` ranges of a
+:class:`~repro.parallel.scheduler.StaticSchedule`, each worker executes
+its range, and a latch releases the caller -- same decomposition and
+execution order as the fork-join path, without the spawn cost.
+
+A process-wide default pool is created lazily by :func:`get_pool` and
+resized on demand; :func:`shutdown_pool` tears it down (tests use this
+to assert clean start-up).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Callable, List, Optional
+
+from ..parallel.scheduler import StaticSchedule
+
+__all__ = ["WorkerPool", "get_pool", "shutdown_pool"]
+
+
+class _Latch:
+    """Countdown latch: releases :meth:`wait` after ``n`` calls to
+    :meth:`count_down`; collects the first raised exception."""
+
+    def __init__(self, n: int) -> None:
+        self._remaining = n
+        self._cond = threading.Condition()
+        self.error: Optional[BaseException] = None
+
+    def count_down(self, error: Optional[BaseException] = None) -> None:
+        with self._cond:
+            if error is not None and self.error is None:
+                self.error = error
+            self._remaining -= 1
+            if self._remaining <= 0:
+                self._cond.notify_all()
+
+    def wait(self) -> None:
+        with self._cond:
+            while self._remaining > 0:
+                self._cond.wait()
+        if self.error is not None:
+            raise self.error
+
+
+class WorkerPool:
+    """Long-lived threads executing contiguous partition ranges.
+
+    ``run_partitioned(fn, tasks, omega)`` has the exact semantics of
+    :func:`repro.parallel.run_partitioned` -- ``fn(start, stop)`` once
+    per partition of the static schedule, disjoint and in thread order --
+    but reuses the same worker threads call after call.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.dispatched_ranges = 0  #: partitions executed (observability)
+        self.stages_run = 0  #: run_partitioned calls served
+        for i in range(workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-runtime-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:  # shutdown sentinel
+                return
+            fn, start, stop, latch = item
+            try:
+                fn(start, stop)
+            except BaseException as exc:  # propagate to the caller
+                latch.count_down(exc)
+            else:
+                latch.count_down()
+
+    def run_partitioned(
+        self, fn: Callable[[int, int], object], tasks: int, omega: int
+    ) -> None:
+        """Execute ``fn`` over the static schedule's partitions and join.
+
+        Serial (``omega == 1`` or a closed pool) runs inline on the
+        caller's thread, like the fork-join path did.
+        """
+        schedule = StaticSchedule.for_tasks(tasks, omega)
+        schedule.validate()
+        nonempty = [p for p in schedule.partitions if p.size > 0]
+        if self._closed or omega == 1 or len(nonempty) <= 1:
+            for p in schedule.partitions:
+                fn(p.start, p.stop)
+            return
+        with self._lock:
+            self.stages_run += 1
+            self.dispatched_ranges += len(nonempty)
+        latch = _Latch(len(nonempty))
+        for p in nonempty:
+            self._queue.put((fn, p.start, p.stop, latch))
+        latch.wait()
+
+    def shutdown(self) -> None:
+        """Stop all workers; subsequent calls execute serially."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+
+_default_pool: Optional[WorkerPool] = None
+_default_lock = threading.Lock()
+
+
+def get_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The process-wide persistent pool, created lazily.
+
+    ``workers`` grows (never shrinks) the default pool when it exceeds
+    the current size; ``None`` sizes it to the CPU count on first use.
+    """
+    global _default_pool
+    with _default_lock:
+        want = workers or (os.cpu_count() or 1)
+        if _default_pool is None or _default_pool._closed:
+            _default_pool = WorkerPool(want)
+        elif workers is not None and workers > _default_pool.workers:
+            old = _default_pool
+            _default_pool = WorkerPool(workers)
+            old.shutdown()
+        return _default_pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the default pool (it will be re-created on next use)."""
+    global _default_pool
+    with _default_lock:
+        pool, _default_pool = _default_pool, None
+    if pool is not None:
+        pool.shutdown()

@@ -159,6 +159,12 @@ def amplification_factor(matrix_exact) -> float:
 def cook_toom(m: int, r: int, points: Optional[Sequence] = None) -> WinogradAlgorithm:
     """Construct F(m x m, r x r) transformation matrices.
 
+    Construction runs over exact rational arithmetic (matrix inversion
+    included), so it is far more expensive than any single online call;
+    results are memoized per ``(m, r, points)`` so each algorithm is
+    built once per process no matter how many layers or ``conv2d`` calls
+    request it.
+
     Parameters
     ----------
     m:
@@ -174,14 +180,20 @@ def cook_toom(m: int, r: int, points: Optional[Sequence] = None) -> WinogradAlgo
         raise ValueError(f"F({m},{r}) requires m >= 1 and r >= 1")
     n = m + r - 1
     if points is None:
-        pts = canonical_points(n - 1)
+        pts = tuple(canonical_points(n - 1))
     else:
-        pts = [Fraction(p) for p in points]
+        pts = tuple(Fraction(p) for p in points)
         if len(pts) != n - 1:
             raise ValueError(f"F({m},{r}) needs exactly {n - 1} finite points, got {len(pts)}")
         if len(set(pts)) != len(pts):
             raise ValueError("interpolation points must be distinct")
+    return _cook_toom_cached(m, r, pts)
 
+
+@lru_cache(maxsize=None)
+def _cook_toom_cached(m: int, r: int, pts: Tuple[Fraction, ...]) -> WinogradAlgorithm:
+    """Memoized rational Cook-Toom construction (one per (m, r, points))."""
+    n = m + r - 1
     e_m = _eval_matrix(pts, m)  # n x m
     e_r = _eval_matrix(pts, r)  # n x r
     v = _eval_matrix(pts, n)  # n x n

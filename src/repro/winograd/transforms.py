@@ -28,25 +28,38 @@ __all__ = [
 ]
 
 
-def transform_2d(mat: np.ndarray, tiles: np.ndarray) -> np.ndarray:
+def transform_2d(mat: np.ndarray, tiles: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Apply ``mat @ tile @ mat.T`` over the two trailing axes of ``tiles``.
 
     ``mat`` has shape (out, in); ``tiles`` (..., in, in); the result has
-    shape (..., out, out).
+    shape (..., out, out).  ``out``, if given, receives the result
+    (shape/dtype must match) -- the runtime engine passes a plan-cached
+    scratch buffer here so steady-state calls allocate nothing for the
+    transform output.
+
+    The contraction runs through ``np.matmul`` (BLAS), which applies the
+    same 2D kernel to every stacked (alpha, alpha) slice.  Results are
+    therefore bitwise identical whether tiles are transformed one at a
+    time (the ``*_reference`` loop paths) or as one whole-tensor call
+    (the runtime engine), and with or without ``out``.
     """
     if tiles.shape[-1] != mat.shape[1] or tiles.shape[-2] != mat.shape[1]:
         raise ValueError(
             f"tile trailing shape {tiles.shape[-2:]} does not match transform "
             f"input size {mat.shape[1]}"
         )
-    # (..., i, j) x (o, j) -> (..., i, o); then contract the i axis.
-    half = np.einsum("...ij,oj->...io", tiles, mat)
-    return np.einsum("pi,...io->...po", mat, half)
+    # (..., i, j) x (j, o) -> (..., i, o); then contract the i axis.
+    half = np.matmul(tiles, mat.T)
+    if out is None:
+        return np.matmul(mat, half)
+    return np.matmul(mat, half, out=out)
 
 
-def input_transform(alg: WinogradAlgorithm, tiles: np.ndarray) -> np.ndarray:
+def input_transform(
+    alg: WinogradAlgorithm, tiles: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """V = B^T d B for a batch of (..., alpha, alpha) input tiles."""
-    return transform_2d(alg.bt, tiles)
+    return transform_2d(alg.bt, tiles, out=out)
 
 
 def filter_transform(alg: WinogradAlgorithm, filters: np.ndarray) -> np.ndarray:
@@ -54,6 +67,8 @@ def filter_transform(alg: WinogradAlgorithm, filters: np.ndarray) -> np.ndarray:
     return transform_2d(alg.g, filters)
 
 
-def output_transform(alg: WinogradAlgorithm, acc: np.ndarray) -> np.ndarray:
+def output_transform(
+    alg: WinogradAlgorithm, acc: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
     """y = A^T Z A for a batch of (..., alpha, alpha) accumulator tiles."""
-    return transform_2d(alg.at, acc)
+    return transform_2d(alg.at, acc, out=out)

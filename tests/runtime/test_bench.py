@@ -1,0 +1,138 @@
+"""Benchmark harness: document schema, regression gate, formatting."""
+
+import copy
+
+import pytest
+
+from repro.runtime.bench import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    BenchProfile,
+    check_regression,
+    format_bench,
+    load_json,
+    run_bench,
+    scale_layer,
+    write_json,
+)
+from repro.workloads import layer_by_name
+
+TINY_PROFILE = BenchProfile(
+    "quick",  # same compat identity as the quick profile
+    ("VGG16_b",),
+    hw_cap=8,
+    chan_cap=8,
+    repeats=1,
+    reference_repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_bench(TINY_PROFILE, algorithms=("fp32_direct", "lowino"))
+
+
+class TestScaleLayer:
+    def test_caps_apply(self):
+        layer = scale_layer(layer_by_name("VGG16_b"), FULL_PROFILE)
+        assert layer.batch == 1
+        assert layer.hw <= FULL_PROFILE.hw_cap
+        assert layer.c <= FULL_PROFILE.chan_cap and layer.k <= FULL_PROFILE.chan_cap
+
+    def test_small_layers_untouched(self):
+        # 7x7 layers stay 7x7 under the 32-pixel cap.
+        layer = scale_layer(layer_by_name("ResNet-50_c"), FULL_PROFILE)
+        assert layer.hw == 7
+
+    def test_quick_profile_is_breakdown_subset(self):
+        assert set(QUICK_PROFILE.layers) <= set(FULL_PROFILE.layers)
+
+
+class TestRunBench:
+    def test_document_schema(self, doc):
+        assert doc["schema"] == 1
+        assert doc["profile"]["name"] == "quick"
+        (entry,) = doc["layers"]
+        assert entry["name"] == "VGG16_b"
+        assert entry["batch"] == 1 and entry["c"] == 8 and entry["hw"] == 8
+        for algo in ("fp32_direct", "lowino"):
+            cell = entry["algorithms"][algo]
+            assert cell["wall_s"] > 0
+        assert entry["algorithms"]["fp32_direct"]["speedup_vs_fp32_direct"] == 1.0
+
+    def test_reference_ratio_present(self, doc):
+        ref = doc["layers"][0]["reference"]["lowino"]
+        assert ref["wall_s"] > 0 and ref["vectorized_speedup"] > 0
+        assert doc["summary"]["reference_speedup"]["lowino"]["geomean"] > 0
+
+    def test_cache_stats_recorded(self, doc):
+        stats = doc["cache_stats"]
+        # Plan misses on first use; the timed calls after the warm call
+        # hit the cached geometry scratch.
+        assert stats["misses"] >= 2
+        assert stats["hits"] >= 1
+        assert stats["bytes"] > 0
+
+    def test_no_reference_profile(self):
+        profile = BenchProfile("quick", ("VGG16_b",), hw_cap=8, chan_cap=8,
+                               repeats=1, reference=False)
+        doc = run_bench(profile, algorithms=("fp32_direct", "lowino"))
+        assert doc["layers"][0]["reference"] == {}
+        assert doc["summary"]["reference_speedup"] == {}
+
+
+class TestCheckRegression:
+    def test_identical_run_passes(self, doc):
+        assert check_regression(doc, doc) == []
+
+    def test_small_drift_within_gate(self, doc):
+        drifted = copy.deepcopy(doc)
+        ref = drifted["summary"]["reference_speedup"]["lowino"]
+        ref["geomean"] *= 0.9  # -10% is inside the 25% gate
+        assert check_regression(drifted, doc) == []
+
+    def test_summary_regression_detected(self, doc):
+        regressed = copy.deepcopy(doc)
+        regressed["summary"]["reference_speedup"]["lowino"]["geomean"] *= 0.5
+        violations = check_regression(regressed, doc)
+        assert any("reference_speedup[lowino]" in v for v in violations)
+
+    def test_per_layer_regression_detected(self, doc):
+        regressed = copy.deepcopy(doc)
+        regressed["layers"][0]["reference"]["lowino"]["vectorized_speedup"] *= 0.5
+        violations = check_regression(regressed, doc)
+        assert any("VGG16_b" in v for v in violations)
+
+    def test_speedup_summary_regression_detected(self, doc):
+        regressed = copy.deepcopy(doc)
+        regressed["summary"]["speedup_vs_fp32_direct"]["lowino"] *= 0.5
+        violations = check_regression(regressed, doc)
+        assert any("speedup_vs_fp32_direct[lowino]" in v for v in violations)
+
+    def test_incompatible_profile_refused(self, doc):
+        other = copy.deepcopy(doc)
+        other["profile"]["hw_cap"] = 99
+        violations = check_regression(doc, other)
+        assert len(violations) == 1 and "incompatible" in violations[0]
+
+    def test_gate_width_configurable(self, doc):
+        regressed = copy.deepcopy(doc)
+        regressed["summary"]["reference_speedup"]["lowino"]["geomean"] *= 0.9
+        assert check_regression(regressed, doc, gate=0.25) == []
+        assert check_regression(regressed, doc, gate=0.05) != []
+
+
+class TestJsonRoundTrip:
+    def test_write_load_and_gate(self, doc, tmp_path):
+        path = tmp_path / "bench.json"
+        write_json(doc, path)
+        loaded = load_json(path)
+        # Tuples become lists in JSON; the gate must still accept it.
+        assert check_regression(doc, loaded) == []
+        assert loaded["summary"] == doc["summary"]
+
+    def test_format_bench_readable(self, doc):
+        text = format_bench(doc)
+        assert "VGG16_b" in text
+        assert "geomean speedup vs fp32_direct" in text
+        assert "loop reference" in text

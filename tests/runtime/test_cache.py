@@ -1,0 +1,129 @@
+"""Plan cache: LRU semantics, byte bounds, counters, plan integration."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import PlanCache, cache_stats, clear_cache, default_cache, get_plan
+from repro.runtime.plan import plan_key
+
+
+class TestLru:
+    def test_capacity_evicts_least_recent(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # "b" is now least recent
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_reput_updates_value_without_growth(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1 and cache.get("a") == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestByteBound:
+    def test_bytes_tracked_and_bounded(self):
+        one_kb = np.zeros(1024, dtype=np.uint8)
+        cache = PlanCache(capacity=100, max_bytes=3 * one_kb.nbytes)
+        for i in range(5):
+            cache.put(i, one_kb.copy())
+        assert cache.stats.bytes <= 3 * one_kb.nbytes
+        assert cache.stats.evictions == 2
+        assert len(cache) == 3
+
+    def test_oversized_entry_keeps_at_least_one(self):
+        cache = PlanCache(capacity=8, max_bytes=16)
+        cache.put("big", np.zeros(1024, dtype=np.uint8))
+        assert len(cache) == 1  # never evicts down to empty
+
+    def test_clear_resets_residency(self):
+        cache = PlanCache(capacity=8)
+        cache.put("a", np.zeros(64, dtype=np.uint8))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.bytes == 0
+        assert cache.stats.misses == 0  # counters other than bytes kept
+
+
+class TestStats:
+    def test_counters_and_hit_rate(self):
+        cache = PlanCache(capacity=4)
+        cache.get("missing")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.entries) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+        d = stats.as_dict()
+        assert set(d) == {"hits", "misses", "evictions", "bytes", "entries", "hit_rate"}
+
+    def test_get_or_build_builds_once(self):
+        cache = PlanCache(capacity=4)
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_build("k", lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+
+
+class TestPlanIntegration:
+    def test_same_layer_hits(self, rng):
+        cache = PlanCache(capacity=16)
+        w = rng.standard_normal((4, 4, 3, 3))
+        p1 = get_plan("lowino", w, m=2, padding=1, cache=cache)
+        p2 = get_plan("lowino", w, m=2, padding=1, cache=cache)
+        assert p1 is p2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_key_separates_configurations(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        keys = {
+            plan_key("lowino", w, 2, 1, {}),
+            plan_key("lowino", w, 4, 1, {}),
+            plan_key("lowino", w, 2, 0, {}),
+            plan_key("int8_upcast", w, 2, 1, {}),
+            plan_key("lowino", w + 1.0, 2, 1, {}),
+        }
+        assert len(keys) == 5
+
+    def test_ndarray_kwarg_bypasses_cache(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        assert plan_key("lowino", w, 2, 1, {"thr": np.ones(4)}) is None
+        cache = PlanCache(capacity=16)
+        p1 = get_plan("lowino", w, m=2, padding=1, cache=cache,
+                      calibration_method="minmax")
+        assert p1 is not None  # scalar kwargs still cacheable
+        assert len(cache) == 1
+
+    def test_plan_reports_footprint(self, rng):
+        w = rng.standard_normal((4, 4, 3, 3))
+        plan = get_plan("lowino", w, m=2, padding=1, cache=PlanCache(capacity=4))
+        assert plan.nbytes > w.nbytes  # layer arrays + engine operands
+
+
+class TestDefaultCache:
+    def test_module_level_helpers(self, rng):
+        clear_cache()
+        before = cache_stats()
+        w = rng.standard_normal((2, 2, 3, 3))
+        get_plan("fp32_direct", w, padding=0)
+        after = cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert default_cache().stats.entries >= 1
+        clear_cache()
+        assert cache_stats()["entries"] == 0

@@ -1,0 +1,130 @@
+"""Persistent worker pool: partition semantics, reuse, error paths."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gemm import BlockingParams, batched_gemm_blocked, compensation_term
+from repro.layout import pack_transformed_filters, pack_transformed_inputs
+from repro.parallel.scheduler import StaticSchedule
+from repro.runtime.pool import WorkerPool, get_pool, shutdown_pool
+
+from tests.rngutil import derive_rng
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(4)
+    yield p
+    p.shutdown()
+
+
+class TestRunPartitioned:
+    @pytest.mark.parametrize("tasks,omega", [(16, 4), (7, 3), (1, 4), (0, 2), (5, 8)])
+    def test_covers_every_task_once(self, pool, tasks, omega):
+        hits = np.zeros(tasks, dtype=np.int64)
+        lock = threading.Lock()
+
+        def fn(start, stop):
+            with lock:
+                hits[start:stop] += 1
+
+        pool.run_partitioned(fn, tasks, omega)
+        assert np.all(hits == 1)
+
+    def test_matches_static_schedule_partitions(self, pool):
+        """The pool dispatches exactly the fork-join path's ranges."""
+        seen = []
+        lock = threading.Lock()
+
+        def fn(start, stop):
+            with lock:
+                seen.append((start, stop))
+
+        pool.run_partitioned(fn, 13, 4)
+        expected = [
+            (p.start, p.stop)
+            for p in StaticSchedule.for_tasks(13, 4).partitions
+            if p.size > 0
+        ]
+        assert sorted(seen) == sorted(expected)
+
+    def test_serial_omega_runs_inline(self, pool):
+        thread_ids = []
+        pool.run_partitioned(lambda s, e: thread_ids.append(threading.get_ident()), 8, 1)
+        assert thread_ids == [threading.get_ident()]
+        assert pool.stages_run == 0  # inline work is not dispatched
+
+    def test_exception_propagates(self, pool):
+        def fn(start, stop):
+            if start == 0:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.run_partitioned(fn, 8, 4)
+        # The pool survives a failed stage.
+        pool.run_partitioned(lambda s, e: None, 8, 4)
+
+    def test_reuse_across_stages(self, pool):
+        for _ in range(5):
+            pool.run_partitioned(lambda s, e: None, 8, 4)
+        assert pool.stages_run == 5
+        assert pool.dispatched_ranges == 20
+        assert pool.workers == 4  # same threads, no respawn
+
+    def test_closed_pool_falls_back_to_inline(self):
+        p = WorkerPool(2)
+        p.shutdown()
+        hits = []
+        p.run_partitioned(lambda s, e: hits.append((s, e)), 4, 2)
+        assert len(hits) == 2  # still correct, just serial
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestDefaultPool:
+    def test_lazy_creation_and_growth(self):
+        shutdown_pool()
+        p1 = get_pool(2)
+        assert p1.workers >= 2
+        p2 = get_pool(2)
+        assert p2 is p1  # same pool reused
+        p3 = get_pool(p1.workers + 2)  # grows, never shrinks
+        assert p3.workers == p1.workers + 2
+        assert get_pool(1) is p3
+        shutdown_pool()
+
+    def test_shutdown_then_recreate(self):
+        shutdown_pool()
+        p = get_pool(2)
+        shutdown_pool()
+        assert get_pool(2) is not p
+        shutdown_pool()
+
+
+class TestBlockedGemmOnPool:
+    def test_parallel_gemm_exact_and_pool_reused(self):
+        """The blocked GEMM's omega > 1 path runs on the persistent pool
+        and stays bit-identical to the serial result."""
+        shutdown_pool()
+        rng = derive_rng(99)
+        t, n, c, k = 4, 40, 24, 128
+        v = rng.integers(-128, 128, (t, n, c)).astype(np.int8)
+        u = rng.integers(-128, 128, (t, c, k)).astype(np.int8)
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        vbar = (v.astype(np.int16) + 128).astype(np.uint8)
+        vp = pack_transformed_inputs(vbar, params.n_blk, params.c_blk)
+        up = pack_transformed_filters(u, params.c_blk, params.k_blk)
+        zbar = compensation_term(u)
+        serial = batched_gemm_blocked(vp, up, zbar, params, n, c, k, omega=1)
+        parallel = batched_gemm_blocked(vp, up, zbar, params, n, c, k, omega=4)
+        assert np.array_equal(serial, parallel)
+        pool = get_pool()
+        assert pool.stages_run >= 1
+        before = pool.stages_run
+        batched_gemm_blocked(vp, up, zbar, params, n, c, k, omega=4)
+        assert get_pool() is pool and pool.stages_run == before + 1
+        shutdown_pool()

@@ -16,6 +16,7 @@ SUBCOMMANDS = [
     "plan",
     "selftest",
     "conformance",
+    "bench",
 ]
 
 
@@ -105,6 +106,51 @@ class TestHappyPaths:
     def test_conformance_rejects_unknown_algorithm(self, capsys):
         assert main(["conformance", "--cases", "1",
                      "--algorithms", "magic"]) == 2
+
+    def test_bench_tiny_run(self, capsys):
+        assert main(["bench", "--quick", "--layers", "ResNet-50_c",
+                     "--repeats", "1", "--algorithms", "fp32_direct,lowino",
+                     "--no-reference", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-50_c" in out
+        assert "geomean speedup vs fp32_direct" in out
+        assert "plan cache:" in out and "hits=" in out
+
+    def test_bench_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        # A wide gate: this exercises the baseline round trip, not timing
+        # stability (a 1-repeat run on a tiny layer is all noise).
+        common = ["bench", "--quick", "--layers", "ResNet-50_c",
+                  "--repeats", "1", "--algorithms", "fp32_direct,lowino",
+                  "--no-reference", "--gate", "0.95",
+                  "--baseline", str(baseline)]
+        assert main(common + ["--update-baseline"]) == 0
+        assert baseline.is_file()
+        capsys.readouterr()
+        # Gating a re-run against the fresh baseline passes.
+        assert main(common) == 0
+        assert "bench gate: PASS" in capsys.readouterr().out
+
+    def test_bench_missing_baseline(self, tmp_path, capsys):
+        assert main(["bench", "--quick", "--layers", "ResNet-50_c",
+                     "--repeats", "1", "--algorithms", "fp32_direct",
+                     "--no-reference",
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_bench_rejects_unknown_algorithm(self, capsys):
+        assert main(["bench", "--quick", "--algorithms", "magic"]) == 2
+
+    def test_bench_rejects_unknown_layer(self, capsys):
+        assert main(["bench", "--quick", "--layers", "NoSuchNet_z"]) == 2
+
+    def test_bench_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--layers", "ResNet-50_c",
+                     "--repeats", "1", "--algorithms", "fp32_direct,lowino",
+                     "--no-reference", "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == 1
+        assert doc["layers"][0]["name"] == "ResNet-50_c"
 
 
 class TestParser:
