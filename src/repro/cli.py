@@ -211,7 +211,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     else:
         algorithms = ALGORITHMS
 
-    doc = rbench.run_bench(profile, algorithms=algorithms, seed=args.seed)
+    doc = rbench.run_bench(
+        profile, algorithms=algorithms, seed=args.seed, models=not args.no_models
+    )
     print(rbench.format_bench(doc))
     if args.cache_stats:
         stats = doc["cache_stats"]
@@ -219,6 +221,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "plan cache: "
             + "  ".join(f"{key}={stats[key]}" for key in sorted(stats))
         )
+        for entry in doc.get("models", []):
+            stats = entry["cache_stats"]
+            print(
+                f"model cache [{entry['name']}]: "
+                + "  ".join(f"{key}={stats[key]}" for key in sorted(stats))
+            )
     if args.out:
         rbench.write_json(doc, args.out)
         print(f"wrote {args.out}")
@@ -328,8 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record this run as the new baseline (with --baseline)")
     pbn.add_argument("--no-reference", action="store_true",
                      help="skip the (slow) loop-reference timings")
+    pbn.add_argument("--no-models", action="store_true",
+                     help="skip the whole-model compiled-vs-eager cases")
     pbn.add_argument("--cache-stats", action="store_true",
-                     help="print plan-cache hit/miss/eviction/bytes counters")
+                     help="print plan-cache hit/miss/eviction/bytes counters "
+                          "(per session for the model cases)")
     pbn.set_defaults(fn=_cmd_bench)
     return parser
 

@@ -118,6 +118,30 @@ class LoWinoConv2d:
     # ------------------------------------------------------------------
     # Calibration (Section 3, Eq. 7)
     # ------------------------------------------------------------------
+    def make_calibrator(self) -> WinogradDomainCalibrator:
+        """A fresh Winograd-domain calibrator sized for this layer.
+
+        Part of the streaming calibration API: hold one calibrator per
+        layer, feed it batch-by-batch with :meth:`collect_calibration`
+        (histograms only -- O(1) memory in the number of batches), then
+        fix thresholds with :meth:`apply_calibration`.
+        """
+        return WinogradDomainCalibrator(positions=self.alg.tile_elements, bits=self.bits)
+
+    def collect_calibration(
+        self, calib: WinogradDomainCalibrator, batch: np.ndarray
+    ) -> None:
+        """Fold one NCHW sample batch into ``calib``'s histograms."""
+        batch = np.asarray(batch, dtype=np.float64)
+        x = pad_images(batch, self.padding)
+        tiles, _ = prepare_input_tiles(self.alg, x)
+        calib.collect(tiles_to_gemm_operand(input_transform(self.alg, tiles)))
+
+    def apply_calibration(self, calib: WinogradDomainCalibrator) -> "LoWinoConv2d":
+        """Fix input thresholds from a fed calibrator; returns ``self``."""
+        self.input_params = calib.params(method=self.calibration_method)
+        return self
+
     def calibrate(self, batches: Iterable[np.ndarray]) -> "LoWinoConv2d":
         """Fix input quantization thresholds from sample batches.
 
@@ -126,15 +150,10 @@ class LoWinoConv2d:
         KL-divergence criterion (or min/max, per
         ``calibration_method``).  Returns ``self`` for chaining.
         """
-        calib = WinogradDomainCalibrator(positions=self.alg.tile_elements, bits=self.bits)
+        calib = self.make_calibrator()
         for batch in batches:
-            batch = np.asarray(batch, dtype=np.float64)
-            x = pad_images(batch, self.padding)
-            tiles, _ = prepare_input_tiles(self.alg, x)
-            v = tiles_to_gemm_operand(input_transform(self.alg, tiles))
-            calib.collect(v)
-        self.input_params = calib.params(method=self.calibration_method)
-        return self
+            self.collect_calibration(calib, batch)
+        return self.apply_calibration(calib)
 
     @property
     def is_calibrated(self) -> bool:

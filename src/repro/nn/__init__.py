@@ -12,10 +12,16 @@ from .layers import (
     ReLU,
     fold_batchnorm,
 )
+from .graph import Graph, Node, trace
 from .metrics import evaluate_model, top1_accuracy
 from .model import Residual, Sequential, named_convs
 from .models import build_alexnet_small, build_resnet_small, build_vgg_small
-from .quantize import capture_calibration_inputs, dequantize_model, quantize_model
+from .quantize import (
+    ObserverSink,
+    capture_calibration_inputs,
+    dequantize_model,
+    quantize_model,
+)
 from .serialize import load_quantized_model, save_quantized_model
 from .unet import UNetSmall, Upsample2d, build_unet_small
 
@@ -40,6 +46,10 @@ __all__ = [
     "build_alexnet_small",
     "build_resnet_small",
     "build_vgg_small",
+    "Graph",
+    "Node",
+    "trace",
+    "ObserverSink",
     "capture_calibration_inputs",
     "dequantize_model",
     "quantize_model",

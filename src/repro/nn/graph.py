@@ -1,0 +1,257 @@
+"""Graph IR traced from the layer-object models.
+
+The ``nn`` model stack executes eagerly: ``Sequential.forward`` walks a
+Python list and each layer allocates its output.  Whole-model execution
+on the vectorized runtime needs a *program* instead -- a flat,
+topologically ordered list of nodes with explicit data dependencies --
+so the compiler (:mod:`repro.runtime.compiler`) can map every
+convolution onto a cached :class:`~repro.runtime.plan.ConvPlan`, fuse
+bias-add and ReLU epilogues, and free intermediates as soon as their
+last consumer has run.
+
+:func:`trace` builds that program structurally from the known container
+types (``Sequential``, ``Residual``, ``UNetSmall``) and the layer
+library, propagating NCHW shapes as it goes (a trace is also a full
+shape check of the model).  Unknown layer types degrade gracefully to an
+``opaque`` node that calls the layer object directly -- such models
+still compile, they just get no conv-level optimization for the opaque
+part.
+
+Node identity is positional (topological id); convolution nodes carry
+the same stable path names :func:`repro.nn.model.named_convs` produces,
+so per-layer artifacts keyed by name (planner choices, serialized
+calibration state, timing tables) line up across the eager and compiled
+worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..conv.im2col import conv_output_shape
+from .layers import Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, ReLU
+from .model import Residual, Sequential, named_convs
+from .unet import UNetSmall, Upsample2d
+
+__all__ = ["Node", "Graph", "trace"]
+
+
+@dataclass
+class Node:
+    """One operation in the traced program.
+
+    ``op`` is one of: ``input``, ``conv``, ``relu``, ``maxpool``,
+    ``global_avg_pool``, ``flatten``, ``linear``, ``upsample``, ``add``,
+    ``concat``, ``opaque``.  ``inputs`` are ids of producer nodes (data
+    dependencies); ``layer`` is the originating layer object where one
+    exists.
+    """
+
+    id: int
+    op: str
+    inputs: Tuple[int, ...]
+    path: str
+    layer: Optional[Layer] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    out_shape: Tuple[int, ...] = ()
+
+
+@dataclass
+class Graph:
+    """A topologically ordered single-output dataflow program."""
+
+    input_shape: Tuple[int, ...]
+    nodes: List[Node] = field(default_factory=list)
+    output_id: int = 0
+
+    def add(
+        self,
+        op: str,
+        inputs: Tuple[int, ...],
+        path: str,
+        layer: Optional[Layer] = None,
+        attrs: Optional[Dict[str, object]] = None,
+        out_shape: Tuple[int, ...] = (),
+    ) -> Node:
+        node = Node(
+            id=len(self.nodes),
+            op=op,
+            inputs=inputs,
+            path=path,
+            layer=layer,
+            attrs=attrs or {},
+            out_shape=tuple(int(s) for s in out_shape),
+        )
+        self.nodes.append(node)
+        return node
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def in_shape(self, node: Node) -> Tuple[int, ...]:
+        """Output shape of a node's first producer."""
+        return self.nodes[node.inputs[0]].out_shape
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Map of node id -> ids of the nodes consuming its output."""
+        out: Dict[int, List[int]] = {n.id: [] for n in self.nodes}
+        for node in self.nodes:
+            for src in node.inputs:
+                out[src].append(node.id)
+        return out
+
+    def conv_nodes(self) -> Iterator[Node]:
+        return (n for n in self.nodes if n.op == "conv")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def summary(self) -> str:
+        lines = [f"graph: input {self.input_shape}, {len(self.nodes)} nodes"]
+        for n in self.nodes:
+            deps = ",".join(str(i) for i in n.inputs)
+            lines.append(
+                f"  #{n.id:<3d} {n.op:16s} ({deps:>7s}) -> {str(n.out_shape):20s} {n.path}"
+            )
+        return "\n".join(lines)
+
+
+def trace(model: Layer, input_shape: Tuple[int, ...]) -> Graph:
+    """Trace ``model`` into a :class:`Graph` for an NCHW ``input_shape``.
+
+    The batch extent of ``input_shape`` is metadata only -- a compiled
+    program runs any batch size -- but channel/spatial extents are
+    checked against every layer during the trace.
+    """
+    input_shape = tuple(int(s) for s in input_shape)
+    g = Graph(input_shape=input_shape)
+    root = g.add("input", (), "input", out_shape=input_shape)
+    conv_names = {id(conv): name for name, conv in named_convs(model)}
+    g.output_id = _trace_layer(model, g, root.id, "", conv_names)
+    return g
+
+
+def _child_path(prefix: str, child: Layer, i: int) -> str:
+    name = getattr(child, "name", type(child).__name__.lower())
+    tag = f"{name}{i}"
+    return f"{prefix}/{tag}" if prefix else tag
+
+
+def _chain(
+    layers: List[Layer], g: Graph, in_id: int, prefix: str, conv_names: Dict[int, str]
+) -> int:
+    cur = in_id
+    for i, child in enumerate(layers):
+        cur = _trace_layer(child, g, cur, _child_path(prefix, child, i), conv_names)
+    return cur
+
+
+def _trace_layer(
+    layer: Layer, g: Graph, in_id: int, path: str, conv_names: Dict[int, str]
+) -> int:
+    in_shape = g.node(in_id).out_shape
+
+    if isinstance(layer, Conv2d):
+        b, c, h, w = in_shape
+        k, c2, r, _ = layer.filters.shape
+        if c != c2:
+            raise ValueError(
+                f"conv {path or layer.name}: input has {c} channels, filters expect {c2}"
+            )
+        oh, ow = conv_output_shape(h, w, r, stride=layer.stride, padding=layer.padding)
+        node = g.add(
+            "conv",
+            (in_id,),
+            conv_names.get(id(layer), path or layer.name),
+            layer=layer,
+            attrs={"stride": layer.stride, "padding": layer.padding},
+            out_shape=(b, k, oh, ow),
+        )
+        return node.id
+
+    if isinstance(layer, Sequential):
+        return _chain(layer.layers, g, in_id, path, conv_names)
+
+    if isinstance(layer, Residual):
+        base = path or getattr(layer, "name", "res")
+        if layer.shortcut is None:
+            skip = in_id
+        else:
+            skip = _trace_layer(
+                layer.shortcut, g, in_id, _child_path(path, layer.shortcut, 1), conv_names
+            )
+        body = _trace_layer(
+            layer.body, g, in_id, _child_path(path, layer.body, 0), conv_names
+        )
+        body_shape = g.node(body).out_shape
+        skip_shape = g.node(skip).out_shape
+        if body_shape != skip_shape:
+            raise ValueError(
+                f"residual {base}: body {body_shape} vs shortcut {skip_shape}"
+            )
+        add = g.add("add", (body, skip), f"{base}/add", out_shape=body_shape)
+        relu = g.add("relu", (add.id,), f"{base}/relu", layer=layer.relu,
+                     out_shape=body_shape)
+        return relu.id
+
+    if isinstance(layer, UNetSmall):
+        base = path or getattr(layer, "name", "unet")
+        skip = _chain(layer.enc1, g, in_id, f"{base}/enc1", conv_names)
+        t = _trace_layer(layer.pool, g, skip, f"{base}/pool", conv_names)
+        t = _chain(layer.bottleneck, g, t, f"{base}/bot", conv_names)
+        t = _trace_layer(layer.up, g, t, f"{base}/up", conv_names)
+        bt, ct, ht, wt = g.node(t).out_shape
+        bs, cs, hs, ws = g.node(skip).out_shape
+        h, w = min(ht, hs), min(wt, ws)
+        cat = g.add(
+            "concat",
+            (t, skip),
+            f"{base}/concat",
+            attrs={"crop_h": h, "crop_w": w},
+            out_shape=(bt, ct + cs, h, w),
+        )
+        t = _chain(layer.dec1, g, cat.id, f"{base}/dec1", conv_names)
+        return _trace_layer(layer.head, g, t, f"{base}/head", conv_names)
+
+    if isinstance(layer, ReLU):
+        return g.add("relu", (in_id,), path, layer=layer, out_shape=in_shape).id
+
+    if isinstance(layer, MaxPool2d):
+        b, c, h, w = in_shape
+        s = layer.size
+        out = (b, c, (h - h % s) // s, (w - w % s) // s)
+        node = g.add("maxpool", (in_id,), path, layer=layer,
+                     attrs={"size": s}, out_shape=out)
+        return node.id
+
+    if isinstance(layer, GlobalAvgPool):
+        b, c = in_shape[:2]
+        return g.add("global_avg_pool", (in_id,), path, layer=layer,
+                     out_shape=(b, c, 1, 1)).id
+
+    if isinstance(layer, Flatten):
+        b = in_shape[0]
+        flat = int(np.prod(in_shape[1:])) if len(in_shape) > 1 else 1
+        return g.add("flatten", (in_id,), path, layer=layer, out_shape=(b, flat)).id
+
+    if isinstance(layer, Linear):
+        b, d = in_shape
+        out_dim, in_dim = layer.weight.shape
+        if d != in_dim:
+            raise ValueError(f"linear {path}: input width {d} != weight in-dim {in_dim}")
+        return g.add("linear", (in_id,), path, layer=layer, out_shape=(b, out_dim)).id
+
+    if isinstance(layer, Upsample2d):
+        b, c, h, w = in_shape
+        f = layer.factor
+        return g.add("upsample", (in_id,), path, layer=layer,
+                     attrs={"factor": f}, out_shape=(b, c, h * f, w * f)).id
+
+    # Unknown layer type: keep it executable as an opaque call.  The
+    # output shape comes from one zero-input evaluation (the only way to
+    # learn the contract of arbitrary code).
+    out_shape = np.asarray(layer(np.zeros(in_shape))).shape
+    return g.add("opaque", (in_id,), path, layer=layer, out_shape=out_shape).id

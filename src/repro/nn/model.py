@@ -5,17 +5,46 @@ post-training quantization: :func:`named_convs` enumerates every
 convolution with a stable path name, and ``Sequential.forward_capture``
 records each convolution's *input* tensor (what a calibration pass
 needs).
+
+``forward_capture`` accepts two kinds of capture target:
+
+* a plain dict -- every conv input array is appended under ``id(conv)``
+  (the legacy protocol; memory grows with the calibration set, and the
+  ``id()`` key is only meaningful while the caller holds the model);
+* any object with a ``record(conv, x)`` method (a *sink*, e.g.
+  :class:`repro.nn.quantize.ObserverSink`) -- the input is handed over
+  for streaming consumption and never stored, and the conv is passed by
+  reference, so there is no ``id()``-reuse hazard.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from .layers import Conv2d, Layer, ReLU
 
-__all__ = ["Sequential", "Residual", "named_convs"]
+__all__ = ["Sequential", "Residual", "named_convs", "CaptureTarget"]
+
+#: What ``forward_capture`` accepts: a legacy append-dict or a sink
+#: object exposing ``record(conv, x)``.
+CaptureTarget = Union[Dict[int, List[np.ndarray]], "SupportsRecord"]
+
+
+class SupportsRecord:
+    """Protocol stand-in: any object with ``record(conv, x)``."""
+
+    def record(self, conv: Conv2d, x: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _record(captures: CaptureTarget, conv: Conv2d, x: np.ndarray) -> None:
+    record = getattr(captures, "record", None)
+    if record is not None:
+        record(conv, x)
+    else:
+        captures.setdefault(id(conv), []).append(x)
 
 
 class Sequential(Layer):
@@ -33,16 +62,14 @@ class Sequential(Layer):
             x = layer(x)
         return x
 
-    def forward_capture(
-        self, x: np.ndarray, captures: Dict[int, List[np.ndarray]]
-    ) -> np.ndarray:
-        """Forward pass that appends every Conv2d's input to ``captures``
-        (keyed by ``id(conv)``)."""
+    def forward_capture(self, x: np.ndarray, captures: CaptureTarget) -> np.ndarray:
+        """Forward pass that hands every Conv2d's input to ``captures``
+        (a dict keyed by ``id(conv)`` or a sink with ``record``)."""
         for layer in self.layers:
             if isinstance(layer, Conv2d):
-                captures.setdefault(id(layer), []).append(x)
+                _record(captures, layer, x)
                 x = layer(x)
-            elif isinstance(layer, (Sequential, Residual)):
+            elif hasattr(layer, "forward_capture"):
                 x = layer.forward_capture(x, captures)
             else:
                 x = layer(x)
@@ -72,12 +99,18 @@ class Residual(Layer):
         skip = x if self.shortcut is None else self.shortcut(x)
         return self.relu(self.body(x) + skip)
 
-    def forward_capture(
-        self, x: np.ndarray, captures: Dict[int, List[np.ndarray]]
-    ) -> np.ndarray:
-        if isinstance(self.shortcut, Conv2d):
-            captures.setdefault(id(self.shortcut), []).append(x)
-        skip = x if self.shortcut is None else self.shortcut(x)
+    def forward_capture(self, x: np.ndarray, captures: CaptureTarget) -> np.ndarray:
+        if self.shortcut is None:
+            skip = x
+        elif isinstance(self.shortcut, Conv2d):
+            _record(captures, self.shortcut, x)
+            skip = self.shortcut(x)
+        elif hasattr(self.shortcut, "forward_capture"):
+            # Composite shortcuts (e.g. a Sequential projection) carry
+            # convs of their own; the trace must reach them too.
+            skip = self.shortcut.forward_capture(x, captures)
+        else:
+            skip = self.shortcut(x)
         out = self.body.forward_capture(x, captures)
         return self.relu(out + skip)
 

@@ -1,14 +1,22 @@
 """Post-training quantization of a whole model.
 
-Walks the model, captures every convolution's input distribution on the
-calibration set (propagated through the FP32 network, the standard PTQ
-procedure), then swaps each ``Conv2d``'s engine for the selected INT8
-implementation:
+Walks the model, streams the calibration set through the FP32 network
+once while per-layer observers watch every convolution's input
+distribution (the standard PTQ procedure), then swaps each ``Conv2d``'s
+engine for the selected INT8 implementation:
 
 * ``'lowino'``       -- Winograd-domain KL calibration (Eq. 7) per layer;
 * ``'int8_direct'``  -- spatial per-tensor activation threshold;
 * ``'int8_upcast'``  -- ncnn-style (spatial quantization, INT16 multiply);
 * ``'int8_downscale'`` -- oneDNN-style (spatial quantization + down-scale).
+
+Calibration is *streaming*: each batch updates a
+:class:`~repro.quant.observer.MinMaxObserver` (spatial thresholds) and,
+for LoWino layers, the Winograd-domain histogram calibrator -- nothing
+retains the activation tensors, so memory stays O(model), not
+O(calibration set).  The resulting thresholds are bit-identical to the
+legacy store-every-tensor procedure (max and histogram merges are exact
+over any batch split).
 
 The original FP32 filters stay on the layer, so :func:`dequantize_model`
 restores full precision.
@@ -16,22 +24,82 @@ restores full precision.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from ..conv import DownscaleWinogradConv2d, Int8DirectConv2d, UpcastWinogradConv2d
 from ..core import LoWinoConv2d
+from ..quant import MinMaxObserver
 from .layers import Conv2d
 from .model import Sequential, named_convs
 
-__all__ = ["capture_calibration_inputs", "quantize_model", "dequantize_model"]
+__all__ = [
+    "ObserverSink",
+    "capture_calibration_inputs",
+    "quantize_model",
+    "dequantize_model",
+]
+
+
+class ObserverSink:
+    """``forward_capture`` sink that streams conv inputs into observers.
+
+    Each recorded ``(conv, x)`` pair updates that conv's observer
+    (default :class:`~repro.quant.observer.MinMaxObserver`) plus any
+    registered per-conv hooks; the tensor itself is never retained.
+    This replaces the legacy capture dict for calibration -- O(1) memory
+    in the number of batches -- and, because entries hold the conv
+    object itself, it is immune to the ``id()``-reuse hazard the dict
+    protocol has when a model is rebuilt between capture and quantize.
+    """
+
+    def __init__(self, observer_factory: Callable[[], Any] = MinMaxObserver) -> None:
+        self._factory = observer_factory
+        #: id(conv) -> (conv, observer); the conv reference keeps the id
+        #: stable for the sink's lifetime.
+        self._entries: Dict[int, Tuple[Conv2d, Any]] = {}
+        self._hooks: Dict[int, List[Callable[[np.ndarray], None]]] = {}
+
+    def record(self, conv: Conv2d, x: np.ndarray) -> None:
+        entry = self._entries.get(id(conv))
+        if entry is None:
+            entry = (conv, self._factory())
+            self._entries[id(conv)] = entry
+        entry[1].observe(x)
+        for hook in self._hooks.get(id(conv), ()):
+            hook(x)
+
+    def add_hook(self, conv: Conv2d, hook: Callable[[np.ndarray], None]) -> None:
+        """Also call ``hook(x)`` for every recorded input of ``conv``."""
+        self._hooks.setdefault(id(conv), []).append(hook)
+
+    def observer(self, conv: Conv2d) -> Optional[Any]:
+        entry = self._entries.get(id(conv))
+        return entry[1] if entry is not None else None
+
+    def threshold(self, conv: Conv2d) -> Optional[float]:
+        """``max |x|`` over everything ``conv`` saw, or ``None`` if the
+        trace never reached it."""
+        obs = self.observer(conv)
+        if obs is None or obs.count == 0:
+            return None
+        return obs.threshold()
+
+    def convs_seen(self) -> List[Conv2d]:
+        return [conv for conv, _ in self._entries.values()]
 
 
 def capture_calibration_inputs(
     model: Sequential, batches: Iterable[np.ndarray]
 ) -> Dict[int, List[np.ndarray]]:
-    """Run FP32 forward passes recording each conv's input batches."""
+    """Run FP32 forward passes recording each conv's input batches.
+
+    Legacy protocol: retains every input tensor (O(calibration set)
+    memory).  Prefer streaming through an :class:`ObserverSink` -- this
+    remains for tooling that needs the raw activations.
+    """
     captures: Dict[int, List[np.ndarray]] = {}
     for batch in batches:
         model.forward_capture(np.asarray(batch, dtype=np.float64), captures)
@@ -53,55 +121,73 @@ def quantize_model(
     tile size -- the paper's future-work algorithm selector applied to a
     whole network.  Requires at least one calibration batch (it defines
     the input shape used for planning).
+
+    ``calibration_batches`` may be any iterable, including a generator:
+    batches are consumed once, streamed through the FP32 model, and
+    never stored.
     """
-    batches = list(calibration_batches)
-    captures = capture_calibration_inputs(model, batches) if batches else {}
+    batches = iter(calibration_batches)
+    first = next(batches, None)
 
     plan = None
     if algorithm == "auto":
-        if not batches:
+        if first is None:
             raise ValueError("algorithm='auto' needs calibration batches "
                              "(the planner traces the input shape)")
         from ..tuning.model_planner import plan_model
 
-        plan = plan_model(model, batches[0].shape)
+        plan = plan_model(model, np.asarray(first).shape)
 
+    # Build every engine first (offline filter preparation only), but do
+    # not attach yet: the calibration pass must see the FP32 network.
+    engines: Dict[int, Any] = {}
+    sink = ObserverSink()
+    calibrators: List[Tuple[LoWinoConv2d, Any]] = []
     for name, conv in named_convs(model):
         layer_algorithm = algorithm
         if plan is not None:
             choice = plan.choices[name]
             layer_algorithm = choice.algorithm
             m = choice.m or m
-        inputs = captures.get(id(conv), [])
-        threshold = None
-        if inputs:
-            threshold = max(float(np.max(np.abs(x))) for x in inputs)
         if not conv.winograd_eligible and layer_algorithm != "int8_direct":
             # Strided layers cannot run the Winograd engines; fall back
             # to INT8 direct convolution (standard deployment behaviour).
-            conv.engine = Int8DirectConv2d(conv.filters, stride=conv.stride,
-                                           padding=conv.padding,
-                                           input_threshold=threshold)
-            continue
+            layer_algorithm = "int8_direct"
         if layer_algorithm == "lowino":
             engine = LoWinoConv2d(
                 conv.filters, m=m, padding=conv.padding,
                 calibration_method=calibration_method,
             )
-            if inputs:
-                engine.calibrate(inputs)
+            if first is not None:
+                calib = engine.make_calibrator()
+                calibrators.append((engine, calib))
+                sink.add_hook(
+                    conv,
+                    lambda x, e=engine, c=calib: e.collect_calibration(c, x),
+                )
         elif layer_algorithm == "int8_direct":
             engine = Int8DirectConv2d(conv.filters, stride=conv.stride,
-                                      padding=conv.padding,
-                                      input_threshold=threshold)
+                                      padding=conv.padding)
         elif layer_algorithm == "int8_upcast":
-            engine = UpcastWinogradConv2d(conv.filters, m=m, padding=conv.padding,
-                                          input_threshold=threshold)
+            engine = UpcastWinogradConv2d(conv.filters, m=m, padding=conv.padding)
         elif layer_algorithm == "int8_downscale":
-            engine = DownscaleWinogradConv2d(conv.filters, m=m, padding=conv.padding,
-                                             input_threshold=threshold)
+            engine = DownscaleWinogradConv2d(conv.filters, m=m, padding=conv.padding)
         else:
             raise ValueError(f"unknown quantization algorithm {layer_algorithm!r}")
+        engines[id(conv)] = engine
+
+    # One streaming FP32 pass over the calibration set: min/max observers
+    # for the spatial engines, Winograd-domain histograms for LoWino.
+    if first is not None:
+        for batch in itertools.chain([first], batches):
+            model.forward_capture(np.asarray(batch, dtype=np.float64), sink)
+
+    for engine, calib in calibrators:
+        engine.apply_calibration(calib)
+    for _, conv in named_convs(model):
+        engine = engines[id(conv)]
+        if hasattr(engine, "input_threshold"):
+            engine.input_threshold = sink.threshold(conv)
         conv.engine = engine
     return model
 

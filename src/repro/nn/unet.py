@@ -13,11 +13,12 @@ All convolutions are 3x3 / stride 1 / pad 1 (Winograd-eligible), so
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Iterator, List
 
 import numpy as np
 
 from .layers import Conv2d, Layer, MaxPool2d, ReLU
+from .model import CaptureTarget, _record
 
 __all__ = ["Upsample2d", "UNetSmall", "build_unet_small"]
 
@@ -56,10 +57,10 @@ class UNetSmall(Layer):
         yield from self.dec1
         yield self.head
 
-    def _run(self, x: np.ndarray, captures: Dict[int, List[np.ndarray]] | None) -> np.ndarray:
+    def _run(self, x: np.ndarray, captures: CaptureTarget | None) -> np.ndarray:
         def conv_step(layer: Layer, t: np.ndarray) -> np.ndarray:
             if captures is not None and isinstance(layer, Conv2d):
-                captures.setdefault(id(layer), []).append(t)
+                _record(captures, layer, t)
             return layer(t)
 
         skip = x

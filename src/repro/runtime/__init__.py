@@ -18,15 +18,19 @@ Quick use::
 """
 
 from .cache import CacheStats, PlanCache, cache_stats, clear_cache, default_cache
+from .compiler import CompiledProgram, compile_model, lower
 from .engine import ExecutionEngine, RuntimeLayer, default_engine
 from .plan import ALGORITHMS, ConvPlan, ScratchArena, build_plan, filters_digest, get_plan, plan_key
 from .pool import WorkerPool, get_pool, shutdown_pool
+from .session import InferenceSession
 
 __all__ = [
     "ALGORITHMS",
     "CacheStats",
+    "CompiledProgram",
     "ConvPlan",
     "ExecutionEngine",
+    "InferenceSession",
     "PlanCache",
     "RuntimeLayer",
     "ScratchArena",
@@ -34,12 +38,14 @@ __all__ = [
     "build_plan",
     "cache_stats",
     "clear_cache",
+    "compile_model",
     "conv2d",
     "default_cache",
     "default_engine",
     "filters_digest",
     "get_plan",
     "get_pool",
+    "lower",
     "make_layer",
     "plan_key",
     "shutdown_pool",

@@ -38,12 +38,14 @@ from .plan import ALGORITHMS
 
 __all__ = [
     "BenchProfile",
+    "ModelCase",
     "FULL_PROFILE",
     "QUICK_PROFILE",
     "PROFILES",
     "REFERENCE_ALGORITHMS",
     "scale_layer",
     "run_bench",
+    "run_model_bench",
     "check_regression",
     "format_bench",
     "load_json",
@@ -61,6 +63,31 @@ REFERENCE_ALGORITHMS = ("lowino", "int8_upcast", "int8_downscale")
 
 
 @dataclass(frozen=True)
+class ModelCase:
+    """One whole-model compiled-vs-eager measurement.
+
+    ``model`` names a builder from :mod:`repro.nn.models` /
+    :mod:`repro.nn.unet`; ``algorithm`` is a ``quantize_model`` choice
+    (``'auto'`` = the per-layer planner) or ``'fp32'`` for the
+    unquantized network.  The eager path runs ``model(x)`` layer by
+    layer; the compiled path runs the same prepared engines through an
+    :class:`~repro.runtime.session.InferenceSession`, so the ratio
+    isolates exactly what whole-model lowering buys.
+    """
+
+    model: str
+    algorithm: str
+    batch: int = 4
+    hw: int = 32
+    width: int = 32
+    m: int = 4
+
+    @property
+    def case_name(self) -> str:
+        return f"{self.model}/{self.algorithm}"
+
+
+@dataclass(frozen=True)
 class BenchProfile:
     """One named measurement configuration.
 
@@ -68,7 +95,8 @@ class BenchProfile:
     to a tractable size while keeping its *shape character* (the layer
     set still spans hw 7..32 and the full channel spread up to the cap).
     The caps are part of the emitted metadata: a baseline only gates a
-    run with identical scaling.
+    run with identical scaling.  ``model_cases`` adds whole-network
+    compiled-vs-eager measurements on the scaled Table 2 model families.
     """
 
     name: str
@@ -80,10 +108,40 @@ class BenchProfile:
     m: int = 4
     reference: bool = True
     reference_repeats: int = 2
+    model_cases: tuple = ()
+    model_repeats: int = 3
 
 
-FULL_PROFILE = BenchProfile("full", tuple(layer.name for layer in TABLE2_LAYERS))
-QUICK_PROFILE = BenchProfile("quick", tuple(BREAKDOWN_LAYERS), hw_cap=16, repeats=2)
+#: The scaled Table 2 network mix for the full profile: per-layer 'auto'
+#: selection on all four families plus single-algorithm VGG cases, so
+#: both the planner path and the pure lowino / direct paths are gated.
+_FULL_MODEL_CASES = (
+    ModelCase("vgg", "auto"),
+    ModelCase("resnet", "auto"),
+    ModelCase("alexnet", "auto"),
+    ModelCase("unet", "auto", batch=2, width=16),
+    ModelCase("vgg", "lowino"),
+    ModelCase("vgg", "int8_direct"),
+)
+
+_QUICK_MODEL_CASES = (
+    ModelCase("resnet", "auto", batch=2, hw=16, width=16),
+    ModelCase("vgg", "lowino", batch=2, hw=16, width=16),
+)
+
+FULL_PROFILE = BenchProfile(
+    "full",
+    tuple(layer.name for layer in TABLE2_LAYERS),
+    model_cases=_FULL_MODEL_CASES,
+)
+QUICK_PROFILE = BenchProfile(
+    "quick",
+    tuple(BREAKDOWN_LAYERS),
+    hw_cap=16,
+    repeats=2,
+    model_cases=_QUICK_MODEL_CASES,
+    model_repeats=2,
+)
 PROFILES: Dict[str, BenchProfile] = {"full": FULL_PROFILE, "quick": QUICK_PROFILE}
 
 
@@ -114,11 +172,79 @@ def _geomean(values: Iterable[float]) -> Optional[float]:
     return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
 
 
+def _build_case_model(case: ModelCase):
+    """Instantiate the (FP32) network for a model case."""
+    from ..nn.models import build_alexnet_small, build_resnet_small, build_vgg_small
+    from ..nn.unet import build_unet_small
+
+    builders = {
+        "vgg": build_vgg_small,
+        "resnet": build_resnet_small,
+        "alexnet": build_alexnet_small,
+        "unet": build_unet_small,
+    }
+    try:
+        builder = builders[case.model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {case.model!r}; known: {sorted(builders)}"
+        ) from None
+    return builder(width=case.width)
+
+
+def run_model_bench(
+    profile: BenchProfile = FULL_PROFILE, seed: int = SEED
+) -> List[dict]:
+    """Whole-model compiled-vs-eager measurements (``model_cases``).
+
+    For each case: build the network, quantize it (streaming calibration
+    on the bench input), and time ``model(x)`` (eager, layer-by-layer)
+    against ``InferenceSession.run(x)`` (compiled, plan-cached, fused
+    epilogues) -- the *same prepared engine objects* either way, so the
+    ratio is pure execution-architecture.  Each entry also records
+    bitwise equality of the two outputs (``exact``) and the session's
+    plan-cache counters.
+    """
+    from ..nn.quantize import quantize_model
+    from .session import InferenceSession
+
+    rng = np.random.default_rng(seed)
+    entries: List[dict] = []
+    for case in profile.model_cases:
+        model = _build_case_model(case)
+        x = rng.standard_normal((case.batch, 3, case.hw, case.hw))
+        if case.algorithm != "fp32":
+            quantize_model(model, case.algorithm, m=case.m, calibration_batches=[x])
+        session = InferenceSession(model, x.shape, collect_timings=False)
+        y_compiled = session.run(x)  # warm: builds plans + geometry scratch
+        y_eager = model(x)  # warm eager (engines already prepared)
+        eager_s = _best_of(lambda: model(x), profile.model_repeats)
+        compiled_s = _best_of(lambda: session.run(x), profile.model_repeats)
+        entries.append(
+            {
+                "name": case.case_name,
+                "model": case.model,
+                "algorithm": case.algorithm,
+                "batch": case.batch,
+                "hw": case.hw,
+                "width": case.width,
+                "m": case.m,
+                "eager_s": eager_s,
+                "compiled_s": compiled_s,
+                "compiled_speedup": eager_s / compiled_s,
+                "exact": bool(np.array_equal(y_eager, y_compiled)),
+                "cache_stats": session.cache_stats(),
+            }
+        )
+    return entries
+
+
 def run_bench(
     profile: BenchProfile = FULL_PROFILE,
     algorithms: Sequence[str] = ALGORITHMS,
     seed: int = SEED,
     engine: Optional[ExecutionEngine] = None,
+    models: bool = True,
 ) -> dict:
     """Run the benchmark and return the ``BENCH_runtime.json`` document.
 
@@ -175,6 +301,7 @@ def run_bench(
                 "reference": ref_entries,
             }
         )
+    model_entries = run_model_bench(profile, seed=seed) if models else []
     return {
         "schema": SCHEMA_VERSION,
         "profile": asdict(profile),
@@ -182,12 +309,17 @@ def run_bench(
         "numpy": np.__version__,
         "machine": platform.machine(),
         "layers": layer_entries,
-        "summary": _summarize(layer_entries, algorithms),
+        "models": model_entries,
+        "summary": _summarize(layer_entries, algorithms, model_entries),
         "cache_stats": engine.cache.stats.as_dict(),
     }
 
 
-def _summarize(layer_entries: List[dict], algorithms: Sequence[str]) -> dict:
+def _summarize(
+    layer_entries: List[dict],
+    algorithms: Sequence[str],
+    model_entries: Sequence[dict] = (),
+) -> dict:
     speedups = {
         algo: _geomean(
             e["algorithms"][algo]["speedup_vs_fp32_direct"] for e in layer_entries
@@ -207,11 +339,19 @@ def _summarize(layer_entries: List[dict], algorithms: Sequence[str]) -> dict:
                 "min": min(ratios),
                 "max": max(ratios),
             }
-    return {"speedup_vs_fp32_direct": speedups, "reference_speedup": reference}
+    summary = {"speedup_vs_fp32_direct": speedups, "reference_speedup": reference}
+    ratios = [e["compiled_speedup"] for e in model_entries]
+    if ratios:
+        summary["model_compiled_vs_eager"] = {
+            "geomean": _geomean(ratios),
+            "min": min(ratios),
+            "max": max(ratios),
+        }
+    return summary
 
 
 #: Keys of ``profile`` that must match for a baseline comparison to be valid.
-_COMPAT_KEYS = ("name", "layers", "batch_cap", "hw_cap", "chan_cap", "m")
+_COMPAT_KEYS = ("name", "layers", "batch_cap", "hw_cap", "chan_cap", "m", "model_cases")
 
 
 def check_regression(current: dict, baseline: dict, gate: float = 0.25) -> List[str]:
@@ -270,6 +410,34 @@ def check_regression(current: dict, baseline: dict, gate: float = 0.25) -> List[
                     f"{cur_ref['vectorized_speedup']:.2f}x < {floor:.2f} * "
                     f"baseline {base_ref['vectorized_speedup']:.2f}x"
                 )
+    # Model-level gates: the compiled-vs-eager ratio (host-independent,
+    # both paths timed in the same process) and the bitwise-equality
+    # invariant, which must never break regardless of host.
+    base_model = base_sum.get("model_compiled_vs_eager")
+    cur_model = cur_sum.get("model_compiled_vs_eager")
+    if base_model and cur_model and base_model.get("geomean"):
+        if cur_model["geomean"] < base_model["geomean"] * floor:
+            violations.append(
+                f"summary model_compiled_vs_eager.geomean: "
+                f"{cur_model['geomean']:.2f}x < {floor:.2f} * "
+                f"baseline {base_model['geomean']:.2f}x"
+            )
+    base_cases = {e["name"]: e for e in baseline.get("models", [])}
+    for entry in current.get("models", []):
+        if not entry["exact"]:
+            violations.append(
+                f"model {entry['name']}: compiled output is not bit-identical "
+                f"to the eager model"
+            )
+        base_entry = base_cases.get(entry["name"])
+        if base_entry is None:
+            continue
+        if entry["compiled_speedup"] < base_entry["compiled_speedup"] * floor:
+            violations.append(
+                f"model {entry['name']}: compiled_speedup "
+                f"{entry['compiled_speedup']:.2f}x < {floor:.2f} * "
+                f"baseline {base_entry['compiled_speedup']:.2f}x"
+            )
     return violations
 
 
@@ -317,6 +485,25 @@ def format_bench(doc: dict) -> str:
             f"vectorized vs loop reference [{algo}]: geomean {entry['geomean']:.1f}x "
             f"(min {entry['min']:.1f}x, max {entry['max']:.1f}x)"
         )
+    if doc.get("models"):
+        lines.append("")
+        lines.append(
+            f"{'model case':22s} {'b':>2s} {'hw':>3s} {'w':>3s} "
+            f"{'eager':>10s} {'compiled':>10s} {'speedup':>8s} {'exact':>6s}"
+        )
+        for entry in doc["models"]:
+            lines.append(
+                f"{entry['name']:22s} {entry['batch']:2d} {entry['hw']:3d} "
+                f"{entry['width']:3d} {entry['eager_s'] * 1e3:8.2f}ms "
+                f"{entry['compiled_s'] * 1e3:8.2f}ms "
+                f"{entry['compiled_speedup']:7.2f}x {'yes' if entry['exact'] else 'NO':>6s}"
+            )
+        model_sum = doc["summary"].get("model_compiled_vs_eager")
+        if model_sum:
+            lines.append(
+                f"model compiled vs eager: geomean {model_sum['geomean']:.2f}x "
+                f"(min {model_sum['min']:.2f}x, max {model_sum['max']:.2f}x)"
+            )
     return "\n".join(lines)
 
 

@@ -1,0 +1,255 @@
+"""Lowering: graph IR -> executable program on the vectorized runtime.
+
+:func:`lower` walks a traced :class:`~repro.nn.graph.Graph` and emits a
+:class:`CompiledProgram` -- a flat step list in which
+
+* every convolution node becomes a :class:`~repro.runtime.plan.ConvPlan`
+  executed by the shared :class:`~repro.runtime.engine.ExecutionEngine`
+  (one :class:`~repro.runtime.cache.PlanCache` + scratch arena for the
+  whole program, so repeated geometries amortize across layers and
+  batches);
+* the FP32-mode bias add and a directly following single-consumer ReLU
+  are fused into the convolution step's epilogue (likewise the ReLU
+  after a residual add), eliminating the intermediate materialization
+  the eager path pays;
+* intermediates are reference-counted and dropped after their last
+  consumer, so peak memory is the widest cut of the graph rather than
+  the sum of all activations.
+
+Bitwise contract: a compiled program reuses the *same prepared engine
+objects* the eager layers hold (a plan wraps ``conv.engine`` instead of
+rebuilding it) and replays the eager op order exactly -- engine call,
+``+ bias[None, :, None, None]``, ``np.maximum(., 0.0)`` -- so outputs
+are bit-identical to ``model(x)`` for every algorithm.  That identity is
+what lets the eager stack remain the conformance reference while all
+throughput work happens here.
+
+Quantized engines are captured at lowering time: re-quantizing or
+re-calibrating a model invalidates its compiled programs (build a new
+session; plans are cheap, the cache persists).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..conv import DownscaleWinogradConv2d, Int8DirectConv2d, UpcastWinogradConv2d
+from ..conv.fp32 import Fp32DirectConv2d, Fp32WinogradConv2d
+from ..core import LoWinoConv2d
+from ..nn.graph import Graph, Node, trace
+from ..nn.layers import Conv2d, Layer
+from .cache import PlanCache
+from .engine import ExecutionEngine
+from .plan import ConvPlan, _engine_operands, get_plan
+
+__all__ = [
+    "algorithm_of_engine",
+    "plan_for_conv",
+    "Step",
+    "CompiledProgram",
+    "lower",
+    "compile_model",
+]
+
+#: Prepared engine layer type -> runtime algorithm name.
+_ENGINE_ALGORITHMS = (
+    (LoWinoConv2d, "lowino"),
+    (Int8DirectConv2d, "int8_direct"),
+    (UpcastWinogradConv2d, "int8_upcast"),
+    (DownscaleWinogradConv2d, "int8_downscale"),
+    (Fp32WinogradConv2d, "fp32_winograd"),
+    (Fp32DirectConv2d, "fp32_direct"),
+)
+
+
+def algorithm_of_engine(engine: Any) -> str:
+    """Runtime algorithm name for a prepared engine object."""
+    for cls, name in _ENGINE_ALGORITHMS:
+        if isinstance(engine, cls):
+            return name
+    raise TypeError(f"cannot lower engine type {type(engine).__name__}")
+
+
+def plan_for_conv(conv: Conv2d, cache: PlanCache) -> ConvPlan:
+    """The :class:`ConvPlan` executing ``conv``'s current mode.
+
+    FP32 layers (``engine is None``) lower to a cached ``fp32_direct``
+    plan built from the filters.  Quantized layers wrap the *existing*
+    prepared engine object -- calibration state, packed filters and the
+    Eq. 9 compensation are reused, not rebuilt, which both skips the
+    offline cost and guarantees the compiled output cannot drift from
+    the eager engine.  The wrapping plan is keyed by engine identity;
+    the plan holds the engine alive, so a cached key can never be
+    re-issued to a different object.
+    """
+    engine = conv.engine
+    if engine is None:
+        return get_plan(
+            "fp32_direct",
+            conv.filters,
+            m=0,
+            padding=conv.padding,
+            cache=cache,
+            stride=conv.stride,
+        )
+    algorithm = algorithm_of_engine(engine)
+    key = ("model-engine", algorithm, id(engine))
+    return cache.get_or_build(
+        key,
+        lambda: ConvPlan(
+            key=key,
+            algorithm=algorithm,
+            layer=engine,
+            operands=_engine_operands(algorithm, engine),
+        ),
+    )
+
+
+@dataclass
+class Step:
+    """One executable program step (a graph node, possibly with a fused
+    ReLU epilogue; conv steps also carry the plan and the bias)."""
+
+    node: Node
+    #: Value id the result is stored under (the ReLU node's id when one
+    #: was fused, else ``node.id``).
+    out_id: int
+    plan: Optional[ConvPlan] = None
+    bias: Optional[np.ndarray] = None
+    relu: bool = False
+
+    @property
+    def kind(self) -> str:
+        return self.node.op
+
+    @property
+    def path(self) -> str:
+        return self.node.path
+
+
+@dataclass
+class CompiledProgram:
+    """A lowered model: ordered steps over a shared engine + plan cache."""
+
+    graph: Graph
+    steps: List[Step]
+    cache: PlanCache
+    engine: ExecutionEngine
+    #: Remaining-consumer count per value id (output counted once extra,
+    #: so it survives the sweep).
+    _refcounts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def output_id(self) -> int:
+        return self.graph.output_id
+
+    def run(
+        self,
+        images: np.ndarray,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> np.ndarray:
+        """Execute the program; optionally accumulate per-step seconds
+        into ``timings`` keyed by the step's layer path."""
+        x = np.asarray(images, dtype=np.float64)
+        values: Dict[int, np.ndarray] = {self.graph.nodes[0].id: x}
+        remaining = dict(self._refcounts)
+        for step in self.steps:
+            args = [values[i] for i in step.node.inputs]
+            if timings is None:
+                values[step.out_id] = _execute_step(step, args, self.engine)
+            else:
+                t0 = time.perf_counter()
+                values[step.out_id] = _execute_step(step, args, self.engine)
+                timings[step.path] = timings.get(step.path, 0.0) + (
+                    time.perf_counter() - t0
+                )
+            for i in step.node.inputs:
+                remaining[i] -= 1
+                if remaining[i] == 0:
+                    del values[i]
+        return values[self.output_id]
+
+    __call__ = run
+
+
+def _execute_step(step: Step, args: List[np.ndarray], engine: ExecutionEngine) -> np.ndarray:
+    kind = step.kind
+    if kind == "conv":
+        y = engine.execute(step.plan, args[0])
+        y = y + step.bias[None, :, None, None]
+        if step.relu:
+            y = np.maximum(y, 0.0)
+        return y
+    if kind == "add":
+        y = args[0] + args[1]
+        if step.relu:
+            y = np.maximum(y, 0.0)
+        return y
+    if kind == "relu":
+        return np.maximum(args[0], 0.0)
+    if kind == "concat":
+        t, skip = args
+        h = min(t.shape[2], skip.shape[2])
+        w = min(t.shape[3], skip.shape[3])
+        return np.concatenate([t[:, :, :h, :w], skip[:, :, :h, :w]], axis=1)
+    # maxpool / global_avg_pool / flatten / linear / upsample / opaque:
+    # these are cheap whole-tensor NumPy ops already; call the layer.
+    return step.node.layer(args[0])
+
+
+def lower(graph: Graph, cache: Optional[PlanCache] = None,
+          engine: Optional[ExecutionEngine] = None) -> CompiledProgram:
+    """Lower a traced graph onto the vectorized runtime."""
+    cache = cache if cache is not None else PlanCache()
+    engine = engine if engine is not None else ExecutionEngine(cache=cache)
+    consumers = graph.consumers()
+
+    # A ReLU directly after a conv or residual add fuses into that
+    # step's epilogue when it is the producer's only consumer (fusing a
+    # shared value would change what the other consumers see).
+    fused: Dict[int, int] = {}  # producer node id -> fused relu node id
+    for node in graph.nodes:
+        if node.op != "relu":
+            continue
+        producer = graph.node(node.inputs[0])
+        if producer.op in ("conv", "add") and consumers[producer.id] == [node.id]:
+            fused[producer.id] = node.id
+
+    steps: List[Step] = []
+    for node in graph.nodes:
+        if node.op == "input":
+            continue
+        if node.id in fused.values():
+            continue  # emitted as its producer's epilogue
+        relu_id = fused.get(node.id)
+        step = Step(node=node, out_id=relu_id if relu_id is not None else node.id,
+                    relu=relu_id is not None)
+        if node.op == "conv":
+            conv = node.layer
+            step.plan = plan_for_conv(conv, cache)
+            step.bias = conv.bias
+        steps.append(step)
+
+    refcounts: Dict[int, int] = {}
+    for step in steps:
+        for i in step.node.inputs:
+            refcounts[i] = refcounts.get(i, 0) + 1
+    refcounts[graph.output_id] = refcounts.get(graph.output_id, 0) + 1
+
+    return CompiledProgram(
+        graph=graph, steps=steps, cache=cache, engine=engine, _refcounts=refcounts
+    )
+
+
+def compile_model(
+    model: Layer,
+    input_shape: Tuple[int, ...],
+    cache: Optional[PlanCache] = None,
+    engine: Optional[ExecutionEngine] = None,
+) -> CompiledProgram:
+    """Trace + lower ``model`` for an NCHW ``input_shape``."""
+    return lower(trace(model, input_shape), cache=cache, engine=engine)

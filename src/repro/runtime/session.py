@@ -1,0 +1,125 @@
+"""InferenceSession: the compiled front door for whole-model execution.
+
+A session owns the full compile-then-execute pipeline for one model:
+trace to the graph IR, lower every convolution onto the vectorized
+runtime (:mod:`repro.runtime.compiler`), and serve ``run(batch)`` with a
+private :class:`~repro.runtime.cache.PlanCache` shared by all layers, so
+per-geometry scratch and prepared plans persist across batches.
+
+Sessions are observable: every run accumulates per-layer wall-clock into
+:attr:`timings` (keyed by the stable layer paths from
+:func:`repro.nn.model.named_convs`), and :meth:`cache_stats` reports the
+aggregated plan-cache hit/miss/eviction counters -- the numbers
+``repro bench --cache-stats`` surfaces for model runs.
+
+A session is callable (``session(batch)``), so it drops into any API
+written against an eager model, e.g.
+:func:`repro.nn.metrics.evaluate_model`.
+
+Typical flow (see README quickstart)::
+
+    model = build_resnet_small()
+    quantize_model(model, "auto", calibration_batches=batches)
+    session = InferenceSession(model, input_shape=(8, 3, 32, 32))
+    logits = session.run(images)          # bit-identical to model(images)
+
+The wrapped model must not be re-quantized after the session is built
+(plans capture the prepared engine objects); build a new session
+instead -- tracing and lowering cost microseconds next to one batch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Layer
+from .cache import PlanCache
+from .compiler import CompiledProgram, compile_model
+from .engine import ExecutionEngine
+
+__all__ = ["InferenceSession"]
+
+
+class InferenceSession:
+    """Compiled, cache-backed execution of one model."""
+
+    def __init__(
+        self,
+        model: Layer,
+        input_shape: Tuple[int, ...],
+        cache: Optional[PlanCache] = None,
+        engine: Optional[ExecutionEngine] = None,
+        collect_timings: bool = True,
+    ) -> None:
+        self.model = model
+        self.input_shape = tuple(int(s) for s in input_shape)
+        if cache is None:
+            # Room for every conv's plan + per-geometry scratch entries
+            # without evicting within a run.
+            n_convs = sum(1 for _ in _convs(model))
+            cache = PlanCache(capacity=max(64, 8 * max(1, n_convs)))
+        self.cache = cache
+        self.engine = engine if engine is not None else ExecutionEngine(cache=cache)
+        self.program: CompiledProgram = compile_model(
+            model, self.input_shape, cache=self.cache, engine=self.engine
+        )
+        self.collect_timings = collect_timings
+        #: Cumulative per-layer seconds across all runs, by layer path.
+        self.timings: Dict[str, float] = {}
+        #: Number of ``run`` calls since construction / ``reset_stats``.
+        self.runs = 0
+        #: Total images pushed through ``run``.
+        self.images_seen = 0
+
+    @property
+    def graph(self):
+        return self.program.graph
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        """Execute the compiled program on one NCHW batch."""
+        images = np.asarray(images)
+        out = self.program.run(
+            images, timings=self.timings if self.collect_timings else None
+        )
+        self.runs += 1
+        self.images_seen += int(images.shape[0])
+        return out
+
+    __call__ = run
+
+    def run_batches(self, batches: Iterable[np.ndarray]) -> Iterable[np.ndarray]:
+        """Lazily map ``run`` over a stream of batches."""
+        return (self.run(b) for b in batches)
+
+    def layer_timings(self) -> Dict[str, float]:
+        """Cumulative seconds per layer path, slowest first."""
+        return dict(sorted(self.timings.items(), key=lambda kv: -kv[1]))
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregated plan-cache counters for this session's cache."""
+        return self.cache.stats.as_dict()
+
+    def reset_stats(self) -> None:
+        self.timings = {}
+        self.runs = 0
+        self.images_seen = 0
+
+    def describe(self) -> str:
+        """Human-readable program listing (graph + per-step algorithms)."""
+        lines = [
+            f"InferenceSession: {len(self.program.steps)} steps, "
+            f"input {self.input_shape}"
+        ]
+        for step in self.program.steps:
+            algo = step.plan.algorithm if step.plan is not None else "-"
+            fused = "+relu" if step.relu else ""
+            lines.append(f"  {step.kind}{fused:6s} {algo:15s} {step.path}")
+        return "\n".join(lines)
+
+
+def _convs(model: Layer):
+    from ..nn.model import named_convs
+
+    return (conv for _, conv in named_convs(model))

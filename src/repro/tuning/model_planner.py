@@ -12,11 +12,8 @@ algorithm='auto')`` consumes the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
-import numpy as np
-
-from ..nn.layers import Conv2d
 from ..nn.model import Sequential, named_convs
 from ..perf import CASCADE_LAKE_8C, MachineModel, predict_layer_times
 from ..workloads import LayerConfig
@@ -78,11 +75,18 @@ class ModelPlan:
 def _trace_conv_inputs(
     model: Sequential, input_shape: Tuple[int, ...]
 ) -> Dict[int, Tuple[int, ...]]:
-    """One dummy forward pass recording each conv's input shape."""
-    captures: Dict[int, List[np.ndarray]] = {}
-    dummy = np.zeros(input_shape)
-    model.forward_capture(dummy, captures)
-    return {conv_id: batches[0].shape for conv_id, batches in captures.items()}
+    """Each conv's input shape, from the graph trace.
+
+    Uses :func:`repro.nn.graph.trace` -- pure shape inference, no dummy
+    forward pass -- and covers every convolution the graph reaches,
+    including projection convs inside ``Residual.shortcut`` (which the
+    old ``forward_capture``-based trace silently skipped for composite
+    shortcuts, leaving them unplanned under ``algorithm='auto'``).
+    """
+    from ..nn.graph import trace
+
+    graph = trace(model, input_shape)
+    return {id(node.layer): graph.in_shape(node) for node in graph.conv_nodes()}
 
 
 def plan_model(

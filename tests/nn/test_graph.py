@@ -1,0 +1,131 @@
+"""Graph IR: tracing, shape inference, naming, topology."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Layer,
+    ReLU,
+    Residual,
+    Sequential,
+    build_resnet_small,
+    build_unet_small,
+    build_vgg_small,
+    named_convs,
+    trace,
+)
+
+
+def _conv(rng, c_in, c_out, name, stride=1):
+    return Conv2d(rng.standard_normal((c_out, c_in, 3, 3)) * 0.1, padding=1,
+                  stride=stride, name=name)
+
+
+class TestTraceBasics:
+    def test_sequential_chain(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a"), ReLU(), _conv(rng, 4, 5, "b")])
+        g = trace(model, (2, 3, 8, 8))
+        assert [n.op for n in g.nodes] == ["input", "conv", "relu", "conv"]
+        assert g.nodes[0].out_shape == (2, 3, 8, 8)
+        assert g.nodes[1].out_shape == (2, 4, 8, 8)
+        assert g.nodes[3].out_shape == (2, 5, 8, 8)
+        assert g.output_id == 3
+
+    def test_shapes_match_execution(self, rng):
+        for build, shape in [
+            (build_vgg_small, (2, 3, 32, 32)),
+            (build_resnet_small, (2, 3, 32, 32)),
+            (build_unet_small, (2, 3, 32, 32)),
+        ]:
+            model = build()
+            g = trace(model, shape)
+            out = model(np.zeros(shape))
+            assert g.nodes[g.output_id].out_shape == out.shape
+
+    def test_strided_conv_shape(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "s", stride=2)])
+        g = trace(model, (1, 3, 9, 9))
+        (conv,) = list(g.conv_nodes())
+        assert conv.attrs["stride"] == 2
+        assert conv.out_shape == model(np.zeros((1, 3, 9, 9))).shape
+
+    def test_channel_mismatch_rejected(self, rng):
+        model = Sequential([_conv(rng, 5, 4, "bad")])
+        with pytest.raises(ValueError, match="channels"):
+            trace(model, (1, 3, 8, 8))
+
+
+class TestConvNaming:
+    def test_paths_match_named_convs(self, rng):
+        for build in (build_vgg_small, build_resnet_small, build_unet_small):
+            model = build()
+            g = trace(model, (1, 3, 32, 32))
+            traced = {n.path: n.layer for n in g.conv_nodes()}
+            named = dict(named_convs(model))
+            assert traced == named
+
+    def test_every_conv_reached(self):
+        model = build_resnet_small()
+        g = trace(model, (1, 3, 32, 32))
+        assert len(list(g.conv_nodes())) == len(list(named_convs(model)))
+
+
+class TestResidualTrace:
+    def test_identity_shortcut_topology(self, rng):
+        body = Sequential([_conv(rng, 4, 4, "a")])
+        model = Sequential([Residual(body)])
+        g = trace(model, (1, 4, 6, 6))
+        add = next(n for n in g.nodes if n.op == "add")
+        # body conv output and the *input* node feed the add.
+        assert g.nodes[add.inputs[1]].op == "input"
+        assert g.nodes[g.output_id].op == "relu"
+
+    def test_composite_shortcut_convs_traced(self, rng):
+        body = Sequential([_conv(rng, 4, 8, "a")])
+        shortcut = Sequential([_conv(rng, 4, 8, "p1"), _conv(rng, 8, 8, "p2")],
+                              name="proj")
+        model = Sequential([Residual(body, shortcut)])
+        g = trace(model, (1, 4, 6, 6))
+        assert len(list(g.conv_nodes())) == 3
+
+    def test_shape_mismatch_rejected(self, rng):
+        body = Sequential([_conv(rng, 4, 8, "a")])
+        model = Sequential([Residual(body)])  # identity skip: 4 != 8 channels
+        with pytest.raises(ValueError, match="residual"):
+            trace(model, (1, 4, 6, 6))
+
+
+class TestUNetTrace:
+    def test_concat_shape(self):
+        model = build_unet_small(width=8)
+        g = trace(model, (1, 3, 16, 16))
+        cat = next(n for n in g.nodes if n.op == "concat")
+        # up(bottleneck) has 2*width channels, skip has width.
+        assert cat.out_shape == (1, 24, 16, 16)
+
+    def test_skip_has_two_consumers(self):
+        model = build_unet_small(width=8)
+        g = trace(model, (1, 3, 16, 16))
+        consumers = g.consumers()
+        cat = next(n for n in g.nodes if n.op == "concat")
+        skip = cat.inputs[1]
+        assert len(consumers[skip]) == 2  # pool + concat
+
+
+class TestOpaqueFallback:
+    def test_unknown_layer_becomes_opaque(self, rng):
+        class Doubler(Layer):
+            def forward(self, x):
+                return np.concatenate([x, x], axis=1)
+
+        model = Sequential([_conv(rng, 3, 4, "a"), Doubler()])
+        g = trace(model, (1, 3, 8, 8))
+        opaque = g.nodes[g.output_id]
+        assert opaque.op == "opaque"
+        assert opaque.out_shape == (1, 8, 8, 8)
+
+    def test_summary_renders(self):
+        g = trace(build_vgg_small(width=8), (1, 3, 16, 16))
+        text = g.summary()
+        assert "conv" in text and "maxpool" in text and str(len(g)) in text

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Conv2d, ReLU, Residual, Sequential, named_convs
+from repro.nn import Conv2d, ObserverSink, ReLU, Residual, Sequential, named_convs
 
 
 def _conv(rng, c_in, c_out, name):
@@ -68,3 +68,43 @@ class TestNamedConvs:
         assert {conv for _, conv in convs} == {c1, c2}
         names = [n for n, _ in convs]
         assert len(set(names)) == 2  # names are unique
+
+
+class TestObserverSink:
+    """forward_capture's streaming sink protocol (O(1) memory)."""
+
+    def test_thresholds_match_dict_capture(self, rng):
+        c1 = _conv(rng, 3, 4, "a")
+        c2 = _conv(rng, 4, 5, "b")
+        model = Sequential([c1, ReLU(), c2])
+        batches = [rng.standard_normal((2, 3, 6, 6)) for _ in range(3)]
+        caps = {}
+        sink = ObserverSink()
+        for x in batches:
+            model.forward_capture(x, caps)
+            model.forward_capture(x, sink)
+        for conv in (c1, c2):
+            legacy = max(float(np.abs(a).max()) for a in caps[id(conv)])
+            assert sink.threshold(conv) == legacy
+
+    def test_composite_shortcut_seen(self, rng):
+        body = Sequential([_conv(rng, 4, 8, "a")])
+        proj = Sequential([_conv(rng, 4, 8, "p")], name="sc")
+        model = Sequential([Residual(body, proj)])
+        sink = ObserverSink()
+        model.forward_capture(rng.standard_normal((1, 4, 6, 6)), sink)
+        assert set(sink.convs_seen()) == {body.layers[0], proj.layers[0]}
+
+    def test_hooks_fire_per_batch(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        model = Sequential([conv])
+        sink = ObserverSink()
+        seen = []
+        sink.add_hook(conv, seen.append)
+        for _ in range(2):
+            model.forward_capture(rng.standard_normal((1, 3, 6, 6)), sink)
+        assert len(seen) == 2
+
+    def test_unseen_conv_has_no_threshold(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        assert ObserverSink().threshold(conv) is None

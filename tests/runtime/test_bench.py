@@ -8,6 +8,7 @@ from repro.runtime.bench import (
     FULL_PROFILE,
     QUICK_PROFILE,
     BenchProfile,
+    ModelCase,
     check_regression,
     format_bench,
     load_json,
@@ -136,3 +137,65 @@ class TestJsonRoundTrip:
         assert "VGG16_b" in text
         assert "geomean speedup vs fp32_direct" in text
         assert "loop reference" in text
+
+
+MODEL_PROFILE = BenchProfile(
+    "quick",
+    ("VGG16_b",),
+    hw_cap=8,
+    chan_cap=8,
+    repeats=1,
+    reference=False,
+    model_cases=(ModelCase("vgg", "lowino", batch=1, hw=8, width=8, m=2),),
+    model_repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def model_doc():
+    return run_bench(MODEL_PROFILE, algorithms=("fp32_direct", "lowino"))
+
+
+class TestModelBench:
+    def test_entry_schema(self, model_doc):
+        (entry,) = model_doc["models"]
+        assert entry["name"] == "vgg/lowino"
+        assert entry["eager_s"] > 0 and entry["compiled_s"] > 0
+        assert entry["compiled_speedup"] > 0
+        assert entry["exact"] is True  # hard gate: bit-identical outputs
+        assert entry["cache_stats"]["entries"] > 0
+
+    def test_summary_geomean(self, model_doc):
+        summary = model_doc["summary"]["model_compiled_vs_eager"]
+        assert summary["min"] <= summary["geomean"] <= summary["max"]
+
+    def test_models_disabled(self):
+        doc = run_bench(MODEL_PROFILE, algorithms=("fp32_direct",),
+                        models=False)
+        assert doc["models"] == []
+        assert "model_compiled_vs_eager" not in doc["summary"]
+
+    def test_exactness_violation_detected(self, model_doc):
+        broken = copy.deepcopy(model_doc)
+        broken["models"][0]["exact"] = False
+        violations = check_regression(broken, model_doc)
+        assert any("bit-identical" in v for v in violations)
+
+    def test_model_speedup_regression_detected(self, model_doc):
+        regressed = copy.deepcopy(model_doc)
+        regressed["models"][0]["compiled_speedup"] *= 0.5
+        regressed["summary"]["model_compiled_vs_eager"]["geomean"] *= 0.5
+        violations = check_regression(regressed, model_doc)
+        assert any("model_compiled_vs_eager" in v for v in violations)
+        assert any("vgg/lowino" in v for v in violations)
+
+    def test_model_cases_are_compat_keys(self, model_doc):
+        other = copy.deepcopy(model_doc)
+        other["profile"]["model_cases"] = []
+        violations = check_regression(model_doc, other)
+        assert len(violations) == 1 and "incompatible" in violations[0]
+
+    def test_format_includes_model_table(self, model_doc):
+        text = format_bench(model_doc)
+        assert "vgg/lowino" in text
+        assert "model compiled vs eager" in text

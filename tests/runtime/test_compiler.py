@@ -1,0 +1,128 @@
+"""Lowering: plan mapping, epilogue fusion, shared cache, execution."""
+
+import numpy as np
+import pytest
+
+from repro.conv.fp32 import Fp32WinogradConv2d
+from repro.core import LoWinoConv2d
+from repro.nn import Conv2d, ReLU, Residual, Sequential, build_resnet_small, trace
+from repro.nn.quantize import quantize_model
+from repro.runtime import PlanCache
+from repro.runtime.compiler import (
+    algorithm_of_engine,
+    compile_model,
+    lower,
+    plan_for_conv,
+)
+
+
+def _conv(rng, c_in, c_out, name, stride=1):
+    return Conv2d(rng.standard_normal((c_out, c_in, 3, 3)) * 0.1, padding=1,
+                  stride=stride, name=name)
+
+
+class TestPlanForConv:
+    def test_fp32_conv_lowers_to_fp32_direct(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        cache = PlanCache()
+        plan = plan_for_conv(conv, cache)
+        assert plan.algorithm == "fp32_direct"
+
+    def test_quantized_conv_wraps_existing_engine(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        conv.engine = LoWinoConv2d(conv.filters, m=2, padding=1)
+        cache = PlanCache()
+        plan = plan_for_conv(conv, cache)
+        assert plan.algorithm == "lowino"
+        assert plan.layer is conv.engine  # reused, not rebuilt
+
+    def test_plan_cached_per_engine(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        conv.engine = LoWinoConv2d(conv.filters, m=2, padding=1)
+        cache = PlanCache()
+        assert plan_for_conv(conv, cache) is plan_for_conv(conv, cache)
+
+    def test_algorithm_of_engine_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            algorithm_of_engine(object())
+
+
+class TestFusion:
+    def test_conv_relu_fused(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a"), ReLU()])
+        program = compile_model(model, (1, 3, 8, 8))
+        (step,) = program.steps
+        assert step.kind == "conv" and step.relu
+
+    def test_trailing_conv_not_fused(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a")])
+        program = compile_model(model, (1, 3, 8, 8))
+        (step,) = program.steps
+        assert not step.relu
+
+    def test_residual_add_relu_fused(self, rng):
+        body = Sequential([_conv(rng, 4, 4, "a")])
+        model = Sequential([Residual(body)])
+        program = compile_model(model, (1, 4, 6, 6))
+        kinds = [(s.kind, s.relu) for s in program.steps]
+        # Body conv feeds the add unfused; the residual ReLU fuses into add.
+        assert kinds == [("conv", False), ("add", True)]
+
+    def test_multi_consumer_relu_not_fused_away_from_reader(self, rng):
+        # In the U-Net, enc1's output feeds both pool and concat; fusion
+        # must keep a single stored value that both consumers read.
+        from repro.nn import build_unet_small
+
+        model = build_unet_small(width=8)
+        x = rng.standard_normal((1, 3, 16, 16))
+        program = compile_model(model, (1, 3, 16, 16))
+        assert np.array_equal(program.run(x), model(x))
+
+
+class TestExecution:
+    def test_shared_cache_across_layers(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a"), ReLU(), _conv(rng, 4, 4, "b")])
+        cache = PlanCache()
+        program = compile_model(model, (1, 3, 8, 8), cache=cache)
+        assert program.cache is cache
+        program.run(rng.standard_normal((1, 3, 8, 8)))
+        assert cache.stats.entries > 0
+
+    def test_batch_size_flexible(self, rng):
+        # The traced batch extent is metadata; other batch sizes run.
+        model = Sequential([_conv(rng, 3, 4, "a"), ReLU()])
+        program = compile_model(model, (2, 3, 8, 8))
+        for b in (1, 3):
+            x = rng.standard_normal((b, 3, 8, 8))
+            assert np.array_equal(program.run(x), model(x))
+
+    def test_timings_accumulate(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a"), ReLU()])
+        program = compile_model(model, (1, 3, 8, 8))
+        timings = {}
+        program.run(rng.standard_normal((1, 3, 8, 8)), timings=timings)
+        assert set(timings) == {"a0"}
+        assert timings["a0"] > 0
+
+    def test_fp32_winograd_engine_lowered(self, rng):
+        conv = _conv(rng, 3, 4, "a")
+        conv.engine = Fp32WinogradConv2d(conv.filters, m=2, padding=1)
+        model = Sequential([conv, ReLU()])
+        program = compile_model(model, (1, 3, 8, 8))
+        assert program.steps[0].plan.algorithm == "fp32_winograd"
+        x = rng.standard_normal((1, 3, 8, 8))
+        assert np.array_equal(program.run(x), model(x))
+
+    def test_quantized_resnet_runs(self, rng):
+        model = build_resnet_small(width=8)
+        x = rng.standard_normal((2, 3, 16, 16))
+        quantize_model(model, "lowino", m=2, calibration_batches=[x])
+        program = compile_model(model, x.shape)
+        assert np.array_equal(program.run(x), model(x))
+
+    def test_lower_accepts_pretraced_graph(self, rng):
+        model = Sequential([_conv(rng, 3, 4, "a")])
+        graph = trace(model, (1, 3, 8, 8))
+        program = lower(graph)
+        x = rng.standard_normal((1, 3, 8, 8))
+        assert np.array_equal(program.run(x), model(x))

@@ -110,11 +110,26 @@ class TestHappyPaths:
     def test_bench_tiny_run(self, capsys):
         assert main(["bench", "--quick", "--layers", "ResNet-50_c",
                      "--repeats", "1", "--algorithms", "fp32_direct,lowino",
-                     "--no-reference", "--cache-stats"]) == 0
+                     "--no-reference", "--no-models", "--cache-stats"]) == 0
         out = capsys.readouterr().out
         assert "ResNet-50_c" in out
         assert "geomean speedup vs fp32_direct" in out
         assert "plan cache:" in out and "hits=" in out
+
+    def test_bench_model_cases(self, capsys):
+        assert main(["bench", "--quick", "--layers", "ResNet-50_c",
+                     "--repeats", "1", "--algorithms", "fp32_direct",
+                     "--no-reference", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "model compiled vs eager" in out
+        assert "vgg/lowino" in out
+        assert "model cache [" in out
+
+    def test_bench_no_models_skips_table(self, capsys):
+        assert main(["bench", "--quick", "--layers", "ResNet-50_c",
+                     "--repeats", "1", "--algorithms", "fp32_direct",
+                     "--no-reference", "--no-models"]) == 0
+        assert "model compiled vs eager" not in capsys.readouterr().out
 
     def test_bench_baseline_round_trip(self, tmp_path, capsys):
         baseline = tmp_path / "baseline.json"
@@ -122,7 +137,7 @@ class TestHappyPaths:
         # stability (a 1-repeat run on a tiny layer is all noise).
         common = ["bench", "--quick", "--layers", "ResNet-50_c",
                   "--repeats", "1", "--algorithms", "fp32_direct,lowino",
-                  "--no-reference", "--gate", "0.95",
+                  "--no-reference", "--no-models", "--gate", "0.95",
                   "--baseline", str(baseline)]
         assert main(common + ["--update-baseline"]) == 0
         assert baseline.is_file()
@@ -134,7 +149,7 @@ class TestHappyPaths:
     def test_bench_missing_baseline(self, tmp_path, capsys):
         assert main(["bench", "--quick", "--layers", "ResNet-50_c",
                      "--repeats", "1", "--algorithms", "fp32_direct",
-                     "--no-reference",
+                     "--no-reference", "--no-models",
                      "--baseline", str(tmp_path / "nope.json")]) == 2
 
     def test_bench_rejects_unknown_algorithm(self, capsys):
@@ -147,7 +162,7 @@ class TestHappyPaths:
         out_file = tmp_path / "bench.json"
         assert main(["bench", "--quick", "--layers", "ResNet-50_c",
                      "--repeats", "1", "--algorithms", "fp32_direct,lowino",
-                     "--no-reference", "--out", str(out_file)]) == 0
+                     "--no-reference", "--no-models", "--out", str(out_file)]) == 0
         doc = json.loads(out_file.read_text())
         assert doc["schema"] == 1
         assert doc["layers"][0]["name"] == "ResNet-50_c"

@@ -63,3 +63,39 @@ class TestAutoQuantize:
         model = build_vgg_small(width=16)
         with pytest.raises(ValueError):
             quantize_model(model, "auto")
+
+
+class TestCompositeShortcut:
+    """Convs inside a Residual's composite shortcut must be planned.
+
+    The planner previously discovered conv inputs with an ad-hoc dummy
+    forward pass that skipped Sequential shortcuts; it now walks the
+    traced graph IR, which covers them.
+    """
+
+    def test_shortcut_convs_planned(self, rng):
+        from repro.nn import Conv2d, ReLU, Residual, Sequential
+
+        def conv(c_in, c_out, name):
+            w = rng.standard_normal((c_out, c_in, 3, 3)) * 0.1
+            return Conv2d(w, padding=1, name=name)
+
+        body = Sequential([conv(3, 8, "b1"), ReLU(), conv(8, 8, "b2")])
+        shortcut = Sequential([conv(3, 8, "p")], name="sc")
+        model = Sequential([Residual(body, shortcut)])
+        plan = plan_model(model, (2, 3, 16, 16))
+        assert set(plan.choices) == {name for name, _ in named_convs(model)}
+
+    def test_auto_quantize_composite_shortcut(self, rng):
+        from repro.nn import Conv2d, ReLU, Residual, Sequential
+
+        def conv(c_in, c_out, name):
+            w = rng.standard_normal((c_out, c_in, 3, 3)) * 0.1
+            return Conv2d(w, padding=1, name=name)
+
+        body = Sequential([conv(3, 8, "b1"), ReLU(), conv(8, 8, "b2")])
+        model = Sequential([Residual(body, Sequential([conv(3, 8, "p")]))])
+        x = np.maximum(rng.standard_normal((2, 3, 16, 16)), 0)
+        quantize_model(model, "auto", calibration_batches=[x])
+        assert all(conv.engine is not None for _, conv in named_convs(model))
+        dequantize_model(model)
