@@ -8,6 +8,7 @@
     python -m repro selftest
     python -m repro conformance [--cases 50] [--update-golden]
     python -m repro bench [--quick] [--out BENCH_runtime.json]
+    python -m repro serve-bench [--threads 1,2,8] [--gate 1.5]
 
 Each subcommand prints the same rows the corresponding benchmark
 emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
@@ -15,7 +16,10 @@ and ordering properties the test suite checks in depth);
 ``conformance`` differentially tests every algorithm against the FP32
 direct oracle and gates the error statistics against ``tests/golden``;
 ``bench`` times the vectorized runtime on the (scaled) Table 2
-workloads and can gate speedup ratios against a checked-in baseline.
+workloads and can gate speedup ratios against a checked-in baseline;
+``serve-bench`` measures the micro-batching server's throughput vs
+concurrent client count, with every served result gated bit-identical
+to serial eager execution.
 """
 
 from __future__ import annotations
@@ -250,6 +254,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve import bench as sbench
+
+    try:
+        threads = tuple(
+            int(s.strip()) for s in args.threads.split(",") if s.strip()
+        )
+    except ValueError:
+        print(f"invalid --threads list: {args.threads!r}", file=sys.stderr)
+        return 2
+    if not threads or any(t < 1 for t in threads):
+        print(f"--threads must be positive integers, got {args.threads!r}",
+              file=sys.stderr)
+        return 2
+    cfg = sbench.ServeBenchConfig(
+        model=args.model,
+        algorithm=args.algorithm,
+        width=args.width,
+        hw=args.hw,
+        m=args.m,
+        request_batch=args.request_batch,
+        requests_per_thread=args.requests,
+        threads=threads,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    try:
+        doc = sbench.run_serve_bench(cfg)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(sbench.format_serve_bench(doc))
+    if args.out:
+        sbench.write_json(doc, args.out)
+        print(f"wrote {args.out}")
+    violations = sbench.check_serve_gate(doc, min_speedup=args.gate)
+    if violations:
+        print(f"\nserve gate: {len(violations)} VIOLATION(S)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    print(f"\nserve gate: PASS (bit-identity + >= {args.gate:.2f}x throughput)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LoWino reproduction experiment runner"
@@ -342,6 +393,41 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print plan-cache hit/miss/eviction/bytes counters "
                           "(per session for the model cases)")
     pbn.set_defaults(fn=_cmd_bench)
+
+    psv = sub.add_parser(
+        "serve-bench",
+        help="micro-batching server throughput vs client threads "
+             "(bit-identity gated)",
+    )
+    psv.add_argument("--model", default="vgg",
+                     help="model family: vgg/resnet/alexnet/unet (default vgg)")
+    psv.add_argument("--algorithm", default="lowino",
+                     help="quantize_model algorithm or 'fp32' (default lowino)")
+    psv.add_argument("--threads", default="1,2,8",
+                     help="comma-separated client thread counts (default 1,2,8)")
+    psv.add_argument("--requests", type=int, default=8,
+                     help="requests per client thread (default 8)")
+    psv.add_argument("--request-batch", type=int, default=2,
+                     help="images per request (default 2)")
+    psv.add_argument("--max-batch", type=int, default=16,
+                     help="micro-batcher image bound (default 16)")
+    psv.add_argument("--max-delay-ms", type=float, default=5.0,
+                     help="micro-batcher coalescing window (default 5ms)")
+    psv.add_argument("--workers", type=int, default=1,
+                     help="server worker threads per model (default 1)")
+    psv.add_argument("--width", type=int, default=16,
+                     help="model width (default 16)")
+    psv.add_argument("--hw", type=int, default=16,
+                     help="input spatial size (default 16)")
+    psv.add_argument("--m", type=int, default=4,
+                     help="Winograd output tile size (default 4)")
+    psv.add_argument("--seed", type=int, default=2021, help="tensor generator seed")
+    psv.add_argument("--gate", type=float, default=1.5,
+                     help="required throughput speedup at max threads vs 1 "
+                          "(default 1.5)")
+    psv.add_argument("--out", default=None,
+                     help="write the serve-bench JSON document here")
+    psv.set_defaults(fn=_cmd_serve_bench)
     return parser
 
 

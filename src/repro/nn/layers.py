@@ -131,7 +131,17 @@ class Linear(Layer):
             raise ValueError(
                 f"linear input width {x.shape[1]} != weight in-dim {self.weight.shape[1]}"
             )
-        return x @ self.weight.T + self.bias
+        # Row-wise GEMV: each sample's logits depend only on that sample,
+        # never on the batch composition.  A batched ``x @ W.T`` lets BLAS
+        # pick a different (correct but not bit-equal) blocking per batch
+        # size, which would break the serving layer's bit-identity
+        # contract when the micro-batcher coalesces requests.  Heads are
+        # small, so the per-row loop costs nothing measurable.
+        out = np.empty((x.shape[0], self.weight.shape[0]), dtype=np.float64)
+        for i in range(x.shape[0]):
+            out[i] = self.weight @ x[i]
+        out += self.bias
+        return out
 
 
 def fold_batchnorm(

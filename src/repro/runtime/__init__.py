@@ -20,7 +20,17 @@ Quick use::
 from .cache import CacheStats, PlanCache, cache_stats, clear_cache, default_cache
 from .compiler import CompiledProgram, compile_model, lower
 from .engine import ExecutionEngine, RuntimeLayer, default_engine
-from .plan import ALGORITHMS, ConvPlan, ScratchArena, build_plan, filters_digest, get_plan, plan_key
+from .plan import (
+    ALGORITHMS,
+    ConvPlan,
+    LeaseStats,
+    ScratchArena,
+    ScratchPool,
+    build_plan,
+    filters_digest,
+    get_plan,
+    plan_key,
+)
 from .pool import WorkerPool, get_pool, shutdown_pool
 from .session import InferenceSession
 
@@ -31,9 +41,11 @@ __all__ = [
     "ConvPlan",
     "ExecutionEngine",
     "InferenceSession",
+    "LeaseStats",
     "PlanCache",
     "RuntimeLayer",
     "ScratchArena",
+    "ScratchPool",
     "WorkerPool",
     "build_plan",
     "cache_stats",

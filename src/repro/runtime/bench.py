@@ -43,6 +43,7 @@ __all__ = [
     "QUICK_PROFILE",
     "PROFILES",
     "REFERENCE_ALGORITHMS",
+    "build_case_model",
     "scale_layer",
     "run_bench",
     "run_model_bench",
@@ -172,7 +173,7 @@ def _geomean(values: Iterable[float]) -> Optional[float]:
     return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
 
 
-def _build_case_model(case: ModelCase):
+def build_case_model(case: ModelCase):
     """Instantiate the (FP32) network for a model case."""
     from ..nn.models import build_alexnet_small, build_resnet_small, build_vgg_small
     from ..nn.unet import build_unet_small
@@ -211,7 +212,7 @@ def run_model_bench(
     rng = np.random.default_rng(seed)
     entries: List[dict] = []
     for case in profile.model_cases:
-        model = _build_case_model(case)
+        model = build_case_model(case)
         x = rng.standard_normal((case.batch, 3, case.hw, case.hw))
         if case.algorithm != "fp32":
             quantize_model(model, case.algorithm, m=case.m, calibration_batches=[x])

@@ -16,6 +16,7 @@ and surfaced on the CLI as ``repro bench --cache-stats``.
 
 from __future__ import annotations
 
+import numbers
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -55,9 +56,15 @@ class CacheStats:
 
 
 def _entry_bytes(value: Any) -> int:
-    """Footprint of a cached value: its ``nbytes`` if it reports one."""
+    """Footprint of a cached value: its ``nbytes`` if it reports one.
+
+    Accepts any real number (NumPy integers are not ``int`` subclasses,
+    so an ``isinstance(..., int)`` check would silently report 0 for
+    entries whose ``nbytes`` sums ndarray footprints) -- plans and
+    geometry scratch must be visible to the byte bound.
+    """
     nbytes = getattr(value, "nbytes", 0)
-    return int(nbytes) if isinstance(nbytes, (int, float)) else 0
+    return int(nbytes) if isinstance(nbytes, numbers.Real) else 0
 
 
 class PlanCache:

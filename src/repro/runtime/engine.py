@@ -28,6 +28,7 @@ order, so the float outputs match bitwise as well.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Optional
 
 import numpy as np
@@ -66,11 +67,13 @@ class ExecutionEngine:
     it shares the process-wide plan cache so repeated ``conv2d`` calls
     and ``make_layer`` objects hit the same prepared state.
 
-    ``use_scratch`` enables the per-(plan, geometry) preallocated output
-    buffers.  Scratch is not re-entrant -- two threads executing the
-    *same* plan on the *same* geometry would share a buffer -- so
-    multi-threaded callers should disable it (stage-internal parallelism
-    via the worker pool is unaffected).
+    ``use_scratch`` enables preallocated intermediate buffers.  Scratch
+    is held in a per-(plan, geometry) :class:`~repro.runtime.plan.ScratchPool`
+    of *leased* arenas: each ``execute`` call acquires a private arena for
+    its duration and releases it on return, so any number of threads may
+    execute the same plan on the same geometry concurrently -- the pool
+    grows to one arena per peak-concurrent caller and reports contention
+    via its :class:`~repro.runtime.plan.LeaseStats`.
     """
 
     def __init__(self, cache: Optional[PlanCache] = None, use_scratch: bool = True):
@@ -118,8 +121,30 @@ class ExecutionEngine:
 
         return plan.geometry(self.cache, images.shape, build)
 
-    def _buf(self, geom: GeometryPlan, name: str, shape, dtype) -> Optional[np.ndarray]:
-        return geom.arena.buf(name, tuple(shape), dtype) if self.use_scratch else None
+    @contextmanager
+    def _scratch(self, geom: GeometryPlan):
+        """Lease a private scratch arena for one call (None = disabled)."""
+        if not self.use_scratch:
+            yield None
+            return
+        arena = geom.scratch.acquire()
+        try:
+            yield arena
+        finally:
+            geom.scratch.release(arena)
+
+    @staticmethod
+    def _buf(arena, name: str, shape, dtype) -> Optional[np.ndarray]:
+        return arena.buf(name, tuple(shape), dtype) if arena is not None else None
+
+    @staticmethod
+    def _detach(out: np.ndarray, arena) -> np.ndarray:
+        """Copy ``out`` if it aliases leased scratch (edge geometries where
+        ``assemble_output`` returns a view); the lease ends with the call,
+        so escaping views would see the next caller's data."""
+        if arena is not None and arena.aliases(out):
+            return out.copy()
+        return out
 
     # -- algorithm bodies (each mirrors its reference layer exactly) ----
     def _run_lowino(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
@@ -133,59 +158,60 @@ class ExecutionEngine:
         a = layer.alg.alpha
         th, tw = geom.grid.tiles_h, geom.grid.tiles_w
         tile_shape = (b, c, th, tw, a, a)
-        tiles, grid = prepare_input_tiles(
-            layer.alg, x, out=self._buf(geom, "tiles", tile_shape, x.dtype)
-        )
-        v_tiles = input_transform(
-            layer.alg, tiles, out=self._buf(geom, "v_tiles", tile_shape, np.float64)
-        )
-        v = tiles_to_gemm_operand(
-            v_tiles, out=self._buf(geom, "v", (a * a, b * th * tw, c), np.float64)
-        )  # (T, N, C)
-        if layer.input_params is not None:
-            in_params = layer.input_params
-        else:
-            from ..quant import per_position_minmax_params
+        with self._scratch(geom) as s:
+            tiles, grid = prepare_input_tiles(
+                layer.alg, x, out=self._buf(s, "tiles", tile_shape, x.dtype)
+            )
+            v_tiles = input_transform(
+                layer.alg, tiles, out=self._buf(s, "v_tiles", tile_shape, np.float64)
+            )
+            v = tiles_to_gemm_operand(
+                v_tiles, out=self._buf(s, "v", (a * a, b * th * tw, c), np.float64)
+            )  # (T, N, C)
+            if layer.input_params is not None:
+                in_params = layer.input_params
+            else:
+                from ..quant import per_position_minmax_params
 
-            in_params = per_position_minmax_params(v, position_axis=0, bits=layer.bits)
-        v_q = quantize(v, in_params)  # (T, N, C) int8
-        t, n, c = v_q.shape
-        if "u_f32" in plan.operands:
-            # Low-precision GEMM: every partial sum of the u8 x s8
-            # contraction stays under 2**24 for this channel count, so
-            # float32 holds the exact int32 accumulators (plan.py).
-            gemm_dtype = np.float32
-            u_op, zbar_op = plan.operands["u_f32"], plan.operands["zbar_f32"]
-        else:
-            gemm_dtype = np.float64
-            u_op, zbar_op = plan.operands["u_f64"], plan.operands["zbar_f64"]
-        # +128 bias and int8->float cast fused into one whole-tensor add.
-        vbar = np.add(
-            v_q,
-            np.asarray(128.0, dtype=gemm_dtype),
-            out=self._buf(geom, "vbar", (t, n, c), gemm_dtype),
-        )
-        z = np.matmul(vbar, u_op, out=self._buf(geom, "z", (t, n, k), gemm_dtype))
-        z += zbar_op[:, None, :]
-        # Scatter the (still exact-integer) accumulators into tile layout
-        # *before* de-quantizing: the narrow dtype halves the strided
-        # copy, and the divide below hits the same elementwise operands
-        # as the reference's (T, N, K)-shaped divide.
-        acc_z = gemm_result_to_tiles(
-            z, b, grid, k, out=self._buf(geom, "acc_z", (b, k, th, tw, a, a), gemm_dtype)
-        )
-        # De-quantize (Eq. 6): per-(position, channel) scale rearranged
-        # to broadcast over (B, K, th, tw, a, a).
-        denom = np.broadcast_to(in_params.scale * layer.filter_params.scale, (t, 1, k))
-        denom_tiles = denom[:, 0, :].T.reshape(k, a, a)[None, :, None, None, :, :]
-        acc_tiles = np.divide(
-            acc_z, denom_tiles, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-        )
-        m = layer.alg.m
-        y = output_transform(
-            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
-        )
-        return assemble_output(grid, y)
+                in_params = per_position_minmax_params(v, position_axis=0, bits=layer.bits)
+            v_q = quantize(v, in_params)  # (T, N, C) int8
+            t, n, c = v_q.shape
+            if "u_f32" in plan.operands:
+                # Low-precision GEMM: every partial sum of the u8 x s8
+                # contraction stays under 2**24 for this channel count, so
+                # float32 holds the exact int32 accumulators (plan.py).
+                gemm_dtype = np.float32
+                u_op, zbar_op = plan.operands["u_f32"], plan.operands["zbar_f32"]
+            else:
+                gemm_dtype = np.float64
+                u_op, zbar_op = plan.operands["u_f64"], plan.operands["zbar_f64"]
+            # +128 bias and int8->float cast fused into one whole-tensor add.
+            vbar = np.add(
+                v_q,
+                np.asarray(128.0, dtype=gemm_dtype),
+                out=self._buf(s, "vbar", (t, n, c), gemm_dtype),
+            )
+            z = np.matmul(vbar, u_op, out=self._buf(s, "z", (t, n, k), gemm_dtype))
+            z += zbar_op[:, None, :]
+            # Scatter the (still exact-integer) accumulators into tile layout
+            # *before* de-quantizing: the narrow dtype halves the strided
+            # copy, and the divide below hits the same elementwise operands
+            # as the reference's (T, N, K)-shaped divide.
+            acc_z = gemm_result_to_tiles(
+                z, b, grid, k, out=self._buf(s, "acc_z", (b, k, th, tw, a, a), gemm_dtype)
+            )
+            # De-quantize (Eq. 6): per-(position, channel) scale rearranged
+            # to broadcast over (B, K, th, tw, a, a).
+            denom = np.broadcast_to(in_params.scale * layer.filter_params.scale, (t, 1, k))
+            denom_tiles = denom[:, 0, :].T.reshape(k, a, a)[None, :, None, None, :, :]
+            acc_tiles = np.divide(
+                acc_z, denom_tiles, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+            )
+            m = layer.alg.m
+            y = output_transform(
+                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
+            )
+            return self._detach(assemble_output(grid, y), s)
 
     def _run_int8_upcast(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
         layer = plan.layer
@@ -201,41 +227,42 @@ class ExecutionEngine:
         b, c = images.shape[0], images.shape[1]
         a = layer.alg.alpha
         th, tw = geom.grid.tiles_h, geom.grid.tiles_w
-        tiles, grid = prepare_input_tiles(
-            layer.alg, x, out=self._buf(geom, "tiles", (b, c, th, tw, a, a), x.dtype)
-        )
-        v = _transform_int_vec(plan.operands["bt_f64"], tiles)  # int64, * bt_lcm^2
-        max_v = int(np.abs(v).max()) if v.size else 0
-        if max_v > np.iinfo(np.int16).max:
-            raise OverflowError(f"transformed inputs overflow INT16 (max {max_v})")
-        v16 = tiles_to_gemm_operand(
-            saturate_cast(v, np.int16),
-            out=self._buf(geom, "v16", (a * a, b * th * tw, c), np.int16),
-        )  # (T, N, C)
-        t, n, c = v16.shape
-        z_f64 = np.matmul(
-            v16.astype(np.float64),
-            plan.operands["u_f64"],
-            out=self._buf(geom, "z", (t, n, k), np.float64),
-        )
-        z = _wrap_int32(z_f64)
-        denom = (
-            in_params.scale
-            * layer.weight_params.scale.reshape(1, 1, k)
-            * (layer.bt_lcm**2)
-            * layer.filter_scale
-        )
-        z_fp = np.divide(
-            z.astype(np.float64), denom, out=self._buf(geom, "z_fp", z.shape, np.float64)
-        )
-        acc_tiles = gemm_result_to_tiles(
-            z_fp, b, grid, k, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-        )
-        m = layer.alg.m
-        y = output_transform(
-            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
-        )
-        return assemble_output(grid, y)
+        with self._scratch(geom) as s:
+            tiles, grid = prepare_input_tiles(
+                layer.alg, x, out=self._buf(s, "tiles", (b, c, th, tw, a, a), x.dtype)
+            )
+            v = _transform_int_vec(plan.operands["bt_f64"], tiles)  # int64, * bt_lcm^2
+            max_v = int(np.abs(v).max()) if v.size else 0
+            if max_v > np.iinfo(np.int16).max:
+                raise OverflowError(f"transformed inputs overflow INT16 (max {max_v})")
+            v16 = tiles_to_gemm_operand(
+                saturate_cast(v, np.int16),
+                out=self._buf(s, "v16", (a * a, b * th * tw, c), np.int16),
+            )  # (T, N, C)
+            t, n, c = v16.shape
+            z_f64 = np.matmul(
+                v16.astype(np.float64),
+                plan.operands["u_f64"],
+                out=self._buf(s, "z", (t, n, k), np.float64),
+            )
+            z = _wrap_int32(z_f64)
+            denom = (
+                in_params.scale
+                * layer.weight_params.scale.reshape(1, 1, k)
+                * (layer.bt_lcm**2)
+                * layer.filter_scale
+            )
+            z_fp = np.divide(
+                z.astype(np.float64), denom, out=self._buf(s, "z_fp", z.shape, np.float64)
+            )
+            acc_tiles = gemm_result_to_tiles(
+                z_fp, b, grid, k, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+            )
+            m = layer.alg.m
+            y = output_transform(
+                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
+            )
+            return self._detach(assemble_output(grid, y), s)
 
     def _run_int8_downscale(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
         layer = plan.layer
@@ -251,39 +278,40 @@ class ExecutionEngine:
         b, c = images.shape[0], images.shape[1]
         a = layer.alg.alpha
         th, tw = geom.grid.tiles_h, geom.grid.tiles_w
-        tiles, grid = prepare_input_tiles(
-            layer.alg, x, out=self._buf(geom, "tiles", (b, c, th, tw, a, a), x.dtype)
-        )
-        v = _transform_int_vec(plan.operands["bt_f64"], tiles)
-        scale = layer.input_downscale / (layer.bt_lcm**2)
-        v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
-        v_op = tiles_to_gemm_operand(
-            v8, out=self._buf(geom, "v8", (a * a, b * th * tw, c), np.int8)
-        )  # (T, N, C)
-        t, n, c = v_op.shape
-        z_f64 = np.matmul(
-            v_op.astype(np.float64),
-            plan.operands["u_f64"],
-            out=self._buf(geom, "z", (t, n, k), np.float64),
-        )
-        z = _wrap_int32(z_f64)
-        denom = (
-            in_params.scale
-            * layer.input_downscale
-            * layer.weight_params.scale.reshape(1, 1, k)
-            * layer.filter_downscale
-        )
-        z_fp = np.divide(
-            z.astype(np.float64), denom, out=self._buf(geom, "z_fp", z.shape, np.float64)
-        )
-        acc_tiles = gemm_result_to_tiles(
-            z_fp, b, grid, k, out=self._buf(geom, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-        )
-        m = layer.alg.m
-        y = output_transform(
-            layer.alg, acc_tiles, out=self._buf(geom, "y", (b, k, th, tw, m, m), np.float64)
-        )
-        return assemble_output(grid, y)
+        with self._scratch(geom) as s:
+            tiles, grid = prepare_input_tiles(
+                layer.alg, x, out=self._buf(s, "tiles", (b, c, th, tw, a, a), x.dtype)
+            )
+            v = _transform_int_vec(plan.operands["bt_f64"], tiles)
+            scale = layer.input_downscale / (layer.bt_lcm**2)
+            v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
+            v_op = tiles_to_gemm_operand(
+                v8, out=self._buf(s, "v8", (a * a, b * th * tw, c), np.int8)
+            )  # (T, N, C)
+            t, n, c = v_op.shape
+            z_f64 = np.matmul(
+                v_op.astype(np.float64),
+                plan.operands["u_f64"],
+                out=self._buf(s, "z", (t, n, k), np.float64),
+            )
+            z = _wrap_int32(z_f64)
+            denom = (
+                in_params.scale
+                * layer.input_downscale
+                * layer.weight_params.scale.reshape(1, 1, k)
+                * layer.filter_downscale
+            )
+            z_fp = np.divide(
+                z.astype(np.float64), denom, out=self._buf(s, "z_fp", z.shape, np.float64)
+            )
+            acc_tiles = gemm_result_to_tiles(
+                z_fp, b, grid, k, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
+            )
+            m = layer.alg.m
+            y = output_transform(
+                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
+            )
+            return self._detach(assemble_output(grid, y), s)
 
     def _run_int8_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
         layer = plan.layer

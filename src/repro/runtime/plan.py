@@ -21,8 +21,11 @@ drift from the reference preparation by construction.
 from __future__ import annotations
 
 import hashlib
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +34,8 @@ from .cache import PlanCache, default_cache
 __all__ = [
     "ALGORITHMS",
     "ScratchArena",
+    "ScratchPool",
+    "LeaseStats",
     "ConvPlan",
     "plan_key",
     "filters_digest",
@@ -50,11 +55,17 @@ ALGORITHMS: Tuple[str, ...] = (
 
 
 class ScratchArena:
-    """Named, reusable scratch buffers for one (plan, geometry) pair.
+    """Named, reusable scratch buffers for one engine call.
 
     ``buf(name, shape, dtype)`` returns the cached array when shape and
     dtype match, else (re)allocates.  Buffers are *uninitialized* between
     uses; callers fully overwrite them (``np.matmul(..., out=...)``).
+
+    An arena belongs to exactly one caller at a time: it is handed out
+    as a lease by :class:`ScratchPool` and must not be shared between
+    threads.  ``aliases(array)`` tells whether ``array`` overlaps any
+    buffer -- the engine uses it to copy results that would otherwise
+    escape the lease.
     """
 
     def __init__(self) -> None:
@@ -67,21 +78,128 @@ class ScratchArena:
             self._buffers[name] = arr
         return arr
 
+    def aliases(self, array: np.ndarray) -> bool:
+        """True when ``array`` may share memory with any arena buffer
+        (bounds overlap -- cheap and conservative)."""
+        return any(np.may_share_memory(array, buf) for buf in self._buffers.values())
+
     @property
     def nbytes(self) -> int:
         return sum(a.nbytes for a in self._buffers.values())
 
 
 @dataclass
-class GeometryPlan:
-    """Per-input-geometry state: the tile grid and the scratch arena."""
+class LeaseStats:
+    """Telemetry for one :class:`ScratchPool`.
 
-    grid: Any  #: TileGrid for Winograd-family plans, None for direct
-    arena: ScratchArena = field(default_factory=ScratchArena)
+    ``grows`` counts acquisitions that found no free arena and had to
+    allocate a new one (the contention signal); ``waits`` /
+    ``wait_seconds`` accumulate blocking time when a ``max_leases``
+    bound forces callers to queue for a release.
+    """
+
+    acquires: int = 0
+    releases: int = 0
+    grows: int = 0
+    waits: int = 0
+    wait_seconds: float = 0.0
+    in_use: int = 0
+    peak_in_use: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "acquires": self.acquires,
+            "releases": self.releases,
+            "grows": self.grows,
+            "waits": self.waits,
+            "wait_seconds": self.wait_seconds,
+            "in_use": self.in_use,
+            "peak_in_use": self.peak_in_use,
+        }
+
+
+class ScratchPool:
+    """Leased pool of :class:`ScratchArena` instances for one geometry.
+
+    The engine acquires an arena for the duration of one ``execute``
+    call and releases it afterwards, so any number of threads can run
+    the *same* plan on the *same* geometry concurrently: each holds a
+    private buffer set.  The pool grows on demand -- an acquire that
+    finds every arena leased allocates a fresh one (counted in
+    ``stats.grows``) -- so steady-state serving settles at one arena
+    per peak-concurrent caller.
+
+    ``max_leases`` optionally bounds the pool; callers beyond the bound
+    block until a release and the wait is recorded in ``stats``.
+    """
+
+    def __init__(self, max_leases: Optional[int] = None) -> None:
+        if max_leases is not None and max_leases < 1:
+            raise ValueError(f"max_leases must be >= 1, got {max_leases}")
+        self.max_leases = max_leases
+        self._cond = threading.Condition()
+        self._free: List[ScratchArena] = []
+        self._arenas: List[ScratchArena] = []  #: every arena ever created
+        self.stats = LeaseStats()
+
+    def acquire(self) -> ScratchArena:
+        with self._cond:
+            self.stats.acquires += 1
+            if not self._free and (
+                self.max_leases is None or len(self._arenas) < self.max_leases
+            ):
+                arena = ScratchArena()
+                self._arenas.append(arena)
+                self._free.append(arena)
+                if len(self._arenas) > 1:
+                    self.stats.grows += 1
+            if not self._free:
+                self.stats.waits += 1
+                t0 = time.perf_counter()
+                while not self._free:
+                    self._cond.wait()
+                self.stats.wait_seconds += time.perf_counter() - t0
+            arena = self._free.pop()
+            self.stats.in_use += 1
+            self.stats.peak_in_use = max(self.stats.peak_in_use, self.stats.in_use)
+            return arena
+
+    def release(self, arena: ScratchArena) -> None:
+        with self._cond:
+            self.stats.releases += 1
+            self.stats.in_use -= 1
+            self._free.append(arena)
+            self._cond.notify()
+
+    @contextmanager
+    def lease(self):
+        arena = self.acquire()
+        try:
+            yield arena
+        finally:
+            self.release(arena)
+
+    @property
+    def arenas(self) -> int:
+        with self._cond:
+            return len(self._arenas)
 
     @property
     def nbytes(self) -> int:
-        return self.arena.nbytes
+        with self._cond:
+            return sum(a.nbytes for a in self._arenas)
+
+
+@dataclass
+class GeometryPlan:
+    """Per-input-geometry state: the tile grid and the scratch pool."""
+
+    grid: Any  #: TileGrid for Winograd-family plans, None for direct
+    scratch: ScratchPool = field(default_factory=ScratchPool)
+
+    @property
+    def nbytes(self) -> int:
+        return self.scratch.nbytes
 
 
 def _array_bytes(obj: Any) -> int:

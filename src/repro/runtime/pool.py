@@ -12,9 +12,20 @@ threads alive across calls: work arrives as the contiguous
 its range, and a latch releases the caller -- same decomposition and
 execution order as the fork-join path, without the spawn cost.
 
+Concurrency contract
+--------------------
+``run_partitioned`` may be called from any number of threads at once;
+in-flight stages are tracked so :meth:`WorkerPool.shutdown` can *drain*
+(wait for active stages to join) before closing.  A call made from
+inside one of the pool's own worker threads runs its stage inline --
+nested dispatch would wait on a latch only the already-occupied workers
+could release, i.e. deadlock.
+
 A process-wide default pool is created lazily by :func:`get_pool` and
-resized on demand; :func:`shutdown_pool` tears it down (tests use this
-to assert clean start-up).
+grown on demand; growth swaps in a larger pool and retires the old one
+only after its in-flight stages drain, so callers mid-stage are never
+flipped to serial execution.  :func:`shutdown_pool` tears the default
+pool down (tests use this to assert clean start-up).
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from ..parallel.scheduler import StaticSchedule
 
@@ -51,6 +62,9 @@ class _Latch:
             while self._remaining > 0:
                 self._cond.wait()
         if self.error is not None:
+            # Re-raise the worker's exception object: its __traceback__
+            # still points at the partition frame that raised, so the
+            # caller sees the original failure site, not just the latch.
             raise self.error
 
 
@@ -68,8 +82,10 @@ class WorkerPool:
             raise ValueError(f"worker count must be >= 1, got {workers}")
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._threads: List[threading.Thread] = []
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self._closed = False
+        self._active = 0  #: run_partitioned calls currently dispatched
+        self._worker_ids: Set[int] = set()
         self.dispatched_ranges = 0  #: partitions executed (observability)
         self.stages_run = 0  #: run_partitioned calls served
         for i in range(workers):
@@ -84,6 +100,8 @@ class WorkerPool:
         return len(self._threads)
 
     def _worker_loop(self) -> None:
+        with self._cond:
+            self._worker_ids.add(threading.get_ident())
         while True:
             item = self._queue.get()
             if item is None:  # shutdown sentinel
@@ -96,32 +114,62 @@ class WorkerPool:
             else:
                 latch.count_down()
 
+    def _in_worker_thread(self) -> bool:
+        return threading.get_ident() in self._worker_ids
+
     def run_partitioned(
         self, fn: Callable[[int, int], object], tasks: int, omega: int
     ) -> None:
         """Execute ``fn`` over the static schedule's partitions and join.
 
         Serial (``omega == 1`` or a closed pool) runs inline on the
-        caller's thread, like the fork-join path did.
+        caller's thread, like the fork-join path did.  Calls from inside
+        one of the pool's own workers also run inline: nested dispatch
+        would wait on workers that are, by definition, busy.
         """
         schedule = StaticSchedule.for_tasks(tasks, omega)
         schedule.validate()
         nonempty = [p for p in schedule.partitions if p.size > 0]
-        if self._closed or omega == 1 or len(nonempty) <= 1:
+        inline = omega == 1 or len(nonempty) <= 1 or self._in_worker_thread()
+        if not inline:
+            # Register as active *before* re-checking closed, so a
+            # concurrent drain-shutdown either sees us and waits, or
+            # closed first and we fall back to inline execution.
+            with self._cond:
+                if self._closed:
+                    inline = True
+                else:
+                    self._active += 1
+                    self.stages_run += 1
+                    self.dispatched_ranges += len(nonempty)
+        if inline:
             for p in schedule.partitions:
                 fn(p.start, p.stop)
             return
-        with self._lock:
-            self.stages_run += 1
-            self.dispatched_ranges += len(nonempty)
         latch = _Latch(len(nonempty))
-        for p in nonempty:
-            self._queue.put((fn, p.start, p.stop, latch))
-        latch.wait()
+        try:
+            for p in nonempty:
+                self._queue.put((fn, p.start, p.stop, latch))
+            latch.wait()
+        finally:
+            with self._cond:
+                self._active -= 1
+                if self._active == 0:
+                    self._cond.notify_all()
 
-    def shutdown(self) -> None:
-        """Stop all workers; subsequent calls execute serially."""
-        with self._lock:
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop all workers; subsequent calls execute serially.
+
+        ``drain`` (the default) first waits for in-flight
+        ``run_partitioned`` calls to complete, so a pool can be retired
+        from under concurrent callers without corrupting their stages.
+        A non-draining shutdown is only safe when no other thread can be
+        mid-stage.
+        """
+        with self._cond:
+            if drain:
+                while self._active > 0:
+                    self._cond.wait()
             if self._closed:
                 return
             self._closed = True
@@ -140,17 +188,28 @@ def get_pool(workers: Optional[int] = None) -> WorkerPool:
 
     ``workers`` grows (never shrinks) the default pool when it exceeds
     the current size; ``None`` sizes it to the CPU count on first use.
+    An explicit non-positive ``workers`` is an error (it used to fall
+    through to the CPU count silently).  Growth swaps a larger pool in
+    and drains the old one in the background, so threads mid-stage on
+    the old pool finish normally.
     """
     global _default_pool
+    if workers is not None and workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
     with _default_lock:
-        want = workers or (os.cpu_count() or 1)
+        want = workers if workers is not None else (os.cpu_count() or 1)
+        old = None
         if _default_pool is None or _default_pool._closed:
             _default_pool = WorkerPool(want)
         elif workers is not None and workers > _default_pool.workers:
             old = _default_pool
             _default_pool = WorkerPool(workers)
-            old.shutdown()
-        return _default_pool
+        pool = _default_pool
+    if old is not None:
+        threading.Thread(
+            target=old.shutdown, kwargs={"drain": True}, daemon=True
+        ).start()
+    return pool
 
 
 def shutdown_pool() -> None:
@@ -159,4 +218,4 @@ def shutdown_pool() -> None:
     with _default_lock:
         pool, _default_pool = _default_pool, None
     if pool is not None:
-        pool.shutdown()
+        pool.shutdown(drain=True)

@@ -16,6 +16,14 @@ A session is callable (``session(batch)``), so it drops into any API
 written against an eager model, e.g.
 :func:`repro.nn.metrics.evaluate_model`.
 
+Sessions are thread-safe: one prepared session can serve ``run`` from
+any number of threads (the LoWino deployment shape -- prepare once,
+serve many).  Execution shares only immutable plans, the internally
+locked :class:`~repro.runtime.cache.PlanCache`, and per-geometry
+:class:`~repro.runtime.plan.ScratchPool` leases; the cumulative
+statistics are merged under a private lock.  :mod:`repro.serve` builds
+a batching server on top of this guarantee.
+
 Typical flow (see README quickstart)::
 
     model = build_resnet_small()
@@ -30,6 +38,7 @@ instead -- tracing and lowering cost microseconds next to one batch.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -66,6 +75,9 @@ class InferenceSession:
             model, self.input_shape, cache=self.cache, engine=self.engine
         )
         self.collect_timings = collect_timings
+        #: Guards the cumulative statistics below; ``run`` itself holds
+        #: no lock while executing, so N threads can run concurrently.
+        self._stats_lock = threading.Lock()
         #: Cumulative per-layer seconds across all runs, by layer path.
         self.timings: Dict[str, float] = {}
         #: Number of ``run`` calls since construction / ``reset_stats``.
@@ -78,13 +90,23 @@ class InferenceSession:
         return self.program.graph
 
     def run(self, images: np.ndarray) -> np.ndarray:
-        """Execute the compiled program on one NCHW batch."""
+        """Execute the compiled program on one NCHW batch.
+
+        Safe to call from any number of threads: execution itself is
+        lock-free (plans are immutable, scratch is leased per call, the
+        plan cache has its own lock), and per-run timings accumulate in
+        a thread-local dict merged into :attr:`timings` under
+        ``_stats_lock`` afterwards.
+        """
         images = np.asarray(images)
-        out = self.program.run(
-            images, timings=self.timings if self.collect_timings else None
-        )
-        self.runs += 1
-        self.images_seen += int(images.shape[0])
+        local: Optional[Dict[str, float]] = {} if self.collect_timings else None
+        out = self.program.run(images, timings=local)
+        with self._stats_lock:
+            if local:
+                for path, seconds in local.items():
+                    self.timings[path] = self.timings.get(path, 0.0) + seconds
+            self.runs += 1
+            self.images_seen += int(images.shape[0])
         return out
 
     __call__ = run
@@ -95,16 +117,19 @@ class InferenceSession:
 
     def layer_timings(self) -> Dict[str, float]:
         """Cumulative seconds per layer path, slowest first."""
-        return dict(sorted(self.timings.items(), key=lambda kv: -kv[1]))
+        with self._stats_lock:
+            items = list(self.timings.items())
+        return dict(sorted(items, key=lambda kv: -kv[1]))
 
     def cache_stats(self) -> Dict[str, int]:
         """Aggregated plan-cache counters for this session's cache."""
         return self.cache.stats.as_dict()
 
     def reset_stats(self) -> None:
-        self.timings = {}
-        self.runs = 0
-        self.images_seen = 0
+        with self._stats_lock:
+            self.timings = {}
+            self.runs = 0
+            self.images_seen = 0
 
     def describe(self) -> str:
         """Human-readable program listing (graph + per-step algorithms)."""

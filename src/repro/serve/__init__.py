@@ -1,0 +1,46 @@
+"""Concurrency-safe serving layer over compiled inference sessions.
+
+The runtime's offline/online split (prepare plans once, execute many
+times) pays off at deployment when one prepared session serves many
+concurrent callers.  This package provides that deployment shape:
+
+* :class:`~repro.serve.server.Server` -- one compiled
+  :class:`~repro.runtime.session.InferenceSession` per model, worker
+  threads, synchronous (:meth:`~repro.serve.server.Server.infer`) and
+  asynchronous (:meth:`~repro.serve.server.Server.submit`) request
+  paths;
+* :mod:`~repro.serve.batching` -- the bounded request queue with
+  dynamic micro-batching (coalesce up to ``max_batch`` images or
+  ``max_delay_ms``, split results back per request) and the
+  backpressure / closed-server error types;
+* :mod:`~repro.serve.stats` -- per-model latency distributions, queue
+  depth, and batch-coalescing counters;
+* :mod:`~repro.serve.bench` -- ``repro serve-bench``: throughput vs
+  client-thread count with a hard bit-identity gate against serial
+  eager execution.
+
+Quick use::
+
+    from repro.serve import Server
+    server = Server(max_batch=16, max_delay_ms=2.0)
+    server.add_model("resnet", quantized_model, input_shape=(8, 3, 32, 32))
+    logits = server.infer("resnet", images)
+    server.stats()["resnet"]["latency"]
+    server.close()
+"""
+
+from .batching import InferenceFuture, Request, RequestQueue, ServerClosed, ServerOverloaded
+from .server import ServedModel, Server
+from .stats import LatencyStats, ModelStats
+
+__all__ = [
+    "InferenceFuture",
+    "LatencyStats",
+    "ModelStats",
+    "Request",
+    "RequestQueue",
+    "ServedModel",
+    "Server",
+    "ServerClosed",
+    "ServerOverloaded",
+]

@@ -1,0 +1,260 @@
+"""Serving throughput benchmark (``repro serve-bench``).
+
+Measures what the serving layer buys: N client threads hammer one
+:class:`~repro.serve.server.Server` (one compiled, calibrated session),
+and for each thread count the benchmark records wall-clock throughput,
+per-request latency, and the coalescing statistics of the micro-batcher.
+The headline number is ``throughput(T threads) / throughput(1 thread)``:
+with one client every request runs alone (batch = the request), with
+many clients the batcher merges them into wide whole-tensor calls the
+vectorized runtime turns around far more efficiently.
+
+Correctness is gated *hard*: every served result is compared bitwise
+against serial eager execution of the same request
+(``model(request_images)``).  This holds because the default model is a
+fully calibrated quantized network -- its integer GEMMs are exact under
+any batch composition -- and the FP32 classifier head computes row-wise
+(each sample's logits never depend on which other samples were
+coalesced into the micro-batch).
+
+Like ``repro bench``, absolute wall-clock is reported but never gated;
+the throughput ratio and the bit-identity flag are host-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.bench import ModelCase, build_case_model
+from ..runtime.session import InferenceSession
+from .server import Server
+
+__all__ = [
+    "ServeBenchConfig",
+    "run_serve_bench",
+    "check_serve_gate",
+    "format_serve_bench",
+    "write_json",
+]
+
+#: JSON document version; bump on breaking schema changes.
+SCHEMA_VERSION = 1
+
+SEED = 2021
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """One serving benchmark configuration.
+
+    ``threads`` is the sweep of concurrent client counts; each client
+    synchronously sends ``requests_per_thread`` requests of
+    ``request_batch`` images.  The model/algorithm knobs mirror
+    :class:`~repro.runtime.bench.ModelCase`.
+    """
+
+    model: str = "vgg"
+    algorithm: str = "lowino"
+    width: int = 16
+    hw: int = 16
+    m: int = 4
+    request_batch: int = 2
+    requests_per_thread: int = 8
+    threads: Tuple[int, ...] = (1, 2, 8)
+    max_batch: int = 16
+    max_delay_ms: float = 5.0
+    queue_size: int = 256
+    workers: int = 1
+    seed: int = SEED
+
+
+def _build_session(cfg: ServeBenchConfig):
+    """Build + quantize + compile the benchmark model once (offline)."""
+    from ..nn.quantize import quantize_model
+
+    case = ModelCase(cfg.model, cfg.algorithm, hw=cfg.hw, width=cfg.width, m=cfg.m)
+    model = build_case_model(case)
+    rng = np.random.default_rng(cfg.seed)
+    calib = rng.standard_normal((max(2, cfg.request_batch), 3, cfg.hw, cfg.hw))
+    if cfg.algorithm != "fp32":
+        quantize_model(model, cfg.algorithm, m=cfg.m, calibration_batches=[calib])
+    input_shape = (cfg.request_batch, 3, cfg.hw, cfg.hw)
+    return model, InferenceSession(model, input_shape, collect_timings=False)
+
+
+def _client_inputs(cfg: ServeBenchConfig, threads: int) -> List[List[np.ndarray]]:
+    """Deterministic per-(thread, request) activation tensors."""
+    rng = np.random.default_rng(cfg.seed + 1)
+    return [
+        [
+            rng.standard_normal((cfg.request_batch, 3, cfg.hw, cfg.hw))
+            for _ in range(cfg.requests_per_thread)
+        ]
+        for _ in range(threads)
+    ]
+
+
+def _measure(
+    server: Server, name: str, inputs: List[List[np.ndarray]]
+) -> Tuple[float, List[List[np.ndarray]]]:
+    """Fire all clients against the server; returns (wall_s, outputs)."""
+    threads = len(inputs)
+    outputs: List[List[Optional[np.ndarray]]] = [
+        [None] * len(reqs) for reqs in inputs
+    ]
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def client(tid: int) -> None:
+        barrier.wait()
+        try:
+            for i, x in enumerate(inputs[tid]):
+                outputs[tid][i] = server.infer(name, x, timeout=60.0)
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=client, args=(tid,), daemon=True)
+        for tid in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return wall, outputs  # type: ignore[return-value]
+
+
+def run_serve_bench(cfg: ServeBenchConfig = ServeBenchConfig()) -> dict:
+    """Run the sweep and return the serve-bench JSON document."""
+    model, session = _build_session(cfg)
+    max_threads = max(cfg.threads)
+    inputs = _client_inputs(cfg, max_threads)
+    # Serial eager reference, computed once per distinct request.
+    expected = [[model(x) for x in reqs] for reqs in inputs]
+
+    entries: List[dict] = []
+    for threads in cfg.threads:
+        server = Server(
+            max_batch=cfg.max_batch,
+            max_delay_ms=cfg.max_delay_ms,
+            queue_size=cfg.queue_size,
+            workers_per_model=cfg.workers,
+        )
+        server.add_model("bench", session=session)
+        # Warm the per-request geometry (coalesced sizes build their own
+        # cheap tile grids on first contact during the measurement).
+        server.infer("bench", inputs[0][0], timeout=60.0)
+        wall, outputs = _measure(server, "bench", inputs[:threads])
+        stats = server.stats()["bench"]
+        server.close()
+        exact = all(
+            np.array_equal(outputs[tid][i], expected[tid][i])
+            for tid in range(threads)
+            for i in range(cfg.requests_per_thread)
+        )
+        images = threads * cfg.requests_per_thread * cfg.request_batch
+        entries.append(
+            {
+                "threads": threads,
+                "requests": threads * cfg.requests_per_thread,
+                "images": images,
+                "wall_s": wall,
+                "throughput_ips": images / wall,
+                "exact": exact,
+                "mean_batch_images": stats["mean_batch_images"],
+                "max_batch_images": stats["max_batch_images"],
+                "batches": stats["batches"],
+                "rejected": stats["rejected"],
+                "latency": stats["latency"],
+            }
+        )
+
+    by_threads = {e["threads"]: e for e in entries}
+    summary: Dict[str, object] = {
+        "exact": all(e["exact"] for e in entries),
+    }
+    if 1 in by_threads and max_threads > 1:
+        summary["throughput_speedup"] = (
+            by_threads[max_threads]["throughput_ips"]
+            / by_threads[1]["throughput_ips"]
+        )
+        summary["speedup_threads"] = max_threads
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": asdict(cfg),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": entries,
+        "summary": summary,
+    }
+
+
+def check_serve_gate(doc: dict, min_speedup: float = 1.5) -> List[str]:
+    """Hard gates: bit-identity always; throughput ratio when measured.
+
+    Returns human-readable violations; empty means PASS.  The identity
+    gate compares served outputs against serial eager execution and is
+    host-independent; the throughput gate fires only when the sweep
+    includes 1 thread and a multi-thread point.
+    """
+    violations: List[str] = []
+    for entry in doc["results"]:
+        if not entry["exact"]:
+            violations.append(
+                f"{entry['threads']} client thread(s): served outputs are not "
+                f"bit-identical to serial eager execution"
+            )
+    speedup = doc["summary"].get("throughput_speedup")
+    if speedup is not None and speedup < min_speedup:
+        violations.append(
+            f"throughput at {doc['summary']['speedup_threads']} client threads is "
+            f"{speedup:.2f}x the 1-thread throughput (gate: >= {min_speedup:.2f}x)"
+        )
+    return violations
+
+
+def format_serve_bench(doc: dict) -> str:
+    """Human-readable table for one serve-bench document."""
+    cfg = doc["config"]
+    lines = [
+        f"Serving benchmark -- model={cfg['model']}/{cfg['algorithm']} "
+        f"hw={cfg['hw']} width={cfg['width']} request_batch={cfg['request_batch']} "
+        f"requests/thread={cfg['requests_per_thread']} "
+        f"max_batch={cfg['max_batch']} max_delay={cfg['max_delay_ms']}ms "
+        f"workers={cfg['workers']}",
+        f"{'clients':>7s} {'images':>6s} {'wall':>9s} {'imgs/s':>8s} "
+        f"{'batch~':>6s} {'p50':>8s} {'p95':>8s} {'exact':>6s}",
+    ]
+    for e in doc["results"]:
+        lat = e["latency"]
+        lines.append(
+            f"{e['threads']:7d} {e['images']:6d} {e['wall_s'] * 1e3:7.1f}ms "
+            f"{e['throughput_ips']:8.1f} {e['mean_batch_images']:6.1f} "
+            f"{lat['p50_ms']:6.1f}ms {lat['p95_ms']:6.1f}ms "
+            f"{'yes' if e['exact'] else 'NO':>6s}"
+        )
+    speedup = doc["summary"].get("throughput_speedup")
+    if speedup is not None:
+        lines.append(
+            f"throughput speedup at {doc['summary']['speedup_threads']} clients "
+            f"vs 1: {speedup:.2f}x"
+        )
+    lines.append(f"bit-identity vs serial eager: {'yes' if doc['summary']['exact'] else 'NO'}")
+    return "\n".join(lines)
+
+
+def write_json(doc: dict, path) -> None:
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,275 @@
+"""Concurrency-safe model server with dynamic micro-batching.
+
+One :class:`Server` owns one compiled
+:class:`~repro.runtime.session.InferenceSession` per model (LoWino's
+offline/online split at deployment granularity: prepare once, serve
+many).  Clients call :meth:`Server.submit` / :meth:`Server.infer` from
+any number of threads; requests flow through a bounded
+:class:`~repro.serve.batching.RequestQueue`, worker threads coalesce
+them into micro-batches (up to ``max_batch`` images or ``max_delay_ms``
+of waiting), execute one ``session.run`` per batch, and split the
+output rows back to the originating futures.
+
+Guarantees:
+
+* **Correctness under concurrency** -- sessions are thread-safe
+  (leased scratch, locked plan cache), so ``workers > 1`` per model is
+  sound; results are the session's outputs for the coalesced batch,
+  row-sliced per request.
+* **Bit-identity** -- for calibrated quantized models the integer
+  pipeline is exact under any batch composition, so a served result is
+  bitwise the serial eager result for the same request
+  (``repro serve-bench`` gates this hard).
+* **Backpressure** -- a full queue rejects with
+  :class:`~repro.serve.batching.ServerOverloaded` instead of queueing
+  unboundedly; per-request latency and queue depth are exported by
+  :meth:`Server.stats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn.layers import Layer
+from ..runtime.session import InferenceSession
+from .batching import InferenceFuture, Request, RequestQueue, ServerClosed
+from .stats import ModelStats
+
+__all__ = ["Server", "ServedModel"]
+
+
+class ServedModel:
+    """One deployed model: session + queue + micro-batching workers."""
+
+    def __init__(
+        self,
+        name: str,
+        session: InferenceSession,
+        max_batch: int,
+        max_delay_s: float,
+        queue_size: int,
+        workers: int,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.name = name
+        self.session = session
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.queue = RequestQueue(max_requests=queue_size)
+        self.stats = ModelStats()
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-{name}-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.queue.next_batch(self.max_batch, self.max_delay_s)
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: List[Request]) -> None:
+        if len(batch) == 1:
+            x = batch[0].images
+        else:
+            x = np.concatenate([r.images for r in batch], axis=0)
+        try:
+            y = self.session.run(x)
+        except BaseException as exc:
+            for req in batch:
+                req.future.set_exception(exc)
+            self.stats.record_error(len(batch))
+            return
+        self.stats.record_batch(int(x.shape[0]))
+        offset = 0
+        done = time.perf_counter()
+        for req in batch:
+            req.future.set_result(y[offset : offset + req.n_images])
+            offset += req.n_images
+            self.stats.latency.record(done - req.enqueued_at)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests; fail whatever cannot be drained.
+
+        ``drain=True`` lets workers finish the queued backlog before
+        they exit; ``drain=False`` rejects the backlog immediately.
+        """
+        self.queue.close()
+        if not drain:
+            for req in self.queue.drain_rejected():
+                req.future.set_exception(ServerClosed(f"model {self.name!r} closed"))
+        for t in self._threads:
+            t.join(timeout=10.0)
+        # Anything still pending after the join (e.g. drain=True racing
+        # an already-exited worker) must not leave callers hanging.
+        for req in self.queue.drain_rejected():
+            req.future.set_exception(ServerClosed(f"model {self.name!r} closed"))
+
+    def snapshot(self) -> Dict[str, object]:
+        doc = self.stats.snapshot()
+        doc["queue_depth"] = self.queue.depth
+        doc["max_batch"] = self.max_batch
+        doc["max_delay_ms"] = self.max_delay_s * 1e3
+        doc["workers"] = len(self._threads)
+        doc["session"] = {
+            "runs": self.session.runs,
+            "images_seen": self.session.images_seen,
+            "cache": self.session.cache_stats(),
+        }
+        return doc
+
+
+class Server:
+    """Multi-model inference server over compiled sessions.
+
+    Typical use::
+
+        server = Server(max_batch=16, max_delay_ms=2.0)
+        server.add_model("resnet", model, input_shape=(8, 3, 32, 32))
+        y = server.infer("resnet", images)          # synchronous
+        fut = server.submit("resnet", images)       # async handle
+        ...
+        server.close()
+
+    ``Server`` is itself thread-safe: ``submit`` / ``infer`` may be
+    called concurrently with each other and with ``add_model``.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 16,
+        max_delay_ms: float = 2.0,
+        queue_size: int = 64,
+        workers_per_model: int = 1,
+    ) -> None:
+        self.max_batch = max_batch
+        self.max_delay_ms = max_delay_ms
+        self.queue_size = queue_size
+        self.workers_per_model = workers_per_model
+        self._models: Dict[str, ServedModel] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- deployment -----------------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        model: Optional[Layer] = None,
+        input_shape: Optional[Tuple[int, ...]] = None,
+        session: Optional[InferenceSession] = None,
+        workers: Optional[int] = None,
+    ) -> InferenceSession:
+        """Deploy a model under ``name``; returns its compiled session.
+
+        Pass either a prebuilt ``session`` or a ``model`` +
+        ``input_shape`` to compile here.  The model must already be
+        quantized/calibrated if quantization is wanted -- deployment
+        never mutates it.
+        """
+        if session is None:
+            if model is None or input_shape is None:
+                raise ValueError("add_model needs a session, or a model + input_shape")
+            session = InferenceSession(model, input_shape)
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            if name in self._models:
+                raise ValueError(f"model {name!r} is already deployed")
+            self._models[name] = ServedModel(
+                name,
+                session,
+                max_batch=self.max_batch,
+                max_delay_s=self.max_delay_ms / 1e3,
+                queue_size=self.queue_size,
+                workers=workers if workers is not None else self.workers_per_model,
+            )
+        return session
+
+    def _entry(self, name: str) -> ServedModel:
+        with self._lock:
+            if self._closed:
+                raise ServerClosed("server is closed")
+            try:
+                return self._models[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model {name!r}; deployed: {sorted(self._models)}"
+                ) from None
+
+    @property
+    def models(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    # -- request path ---------------------------------------------------
+    def submit(
+        self, name: str, images: np.ndarray, timeout: Optional[float] = 0.0
+    ) -> InferenceFuture:
+        """Enqueue one NCHW batch; returns a completion future.
+
+        ``timeout`` bounds how long a full queue may block the caller
+        (0 = reject immediately, None = wait indefinitely).  Raises
+        :class:`~repro.serve.batching.ServerOverloaded` on rejection.
+        """
+        entry = self._entry(name)
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4:
+            raise ValueError(f"expected NCHW images, got shape {images.shape}")
+        request = Request(images=images)
+        try:
+            entry.queue.put(request, timeout=timeout)
+        except Exception:
+            entry.stats.record_rejection()
+            raise
+        entry.stats.record_request(request.n_images)
+        return request.future
+
+    def infer(
+        self,
+        name: str,
+        images: np.ndarray,
+        timeout: Optional[float] = None,
+        submit_timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Synchronous request: submit, wait, return the output rows.
+
+        ``submit_timeout`` defaults to ``timeout`` (block on a full
+        queue as long as we would wait for the answer)."""
+        future = self.submit(
+            name, images, timeout=timeout if submit_timeout is None else submit_timeout
+        )
+        return future.result(timeout=timeout)
+
+    # -- observability / lifecycle --------------------------------------
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-model serving statistics (counters, latency, queue depth)."""
+        with self._lock:
+            entries = dict(self._models)
+        return {name: entry.snapshot() for name, entry in entries.items()}
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down all model workers; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._models.values())
+        for entry in entries:
+            entry.close(drain=drain)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

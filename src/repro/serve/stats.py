@@ -1,0 +1,112 @@
+"""Serving telemetry: latency distributions and per-model counters.
+
+Everything here is thread-safe and cheap enough to record per request:
+the serving layer's value claim is *measured* (throughput, latency,
+queue depth, batch coalescing), so the stats are first-class citizens,
+not an afterthought.  ``repro serve-bench`` and ``Server.stats()`` both
+read these structures.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+__all__ = ["LatencyStats", "ModelStats"]
+
+
+class LatencyStats:
+    """Streaming latency accumulator with bounded sample retention.
+
+    Keeps exact count / sum / max plus a bounded sample buffer for
+    percentiles (the first ``max_samples`` observations are retained;
+    serving benchmarks stay well under the cap, long-lived servers
+    degrade to count/mean/max which never lose precision).
+    """
+
+    def __init__(self, max_samples: int = 65536) -> None:
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+            if len(self._samples) < self._max_samples:
+                self._samples.append(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if none)."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        rank = min(len(samples) - 1, max(0, int(round(q / 100.0 * (len(samples) - 1)))))
+        return samples[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            count, total, mx = self.count, self.total, self.max
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1e3) if count else 0.0,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "max_ms": mx * 1e3,
+        }
+
+
+class ModelStats:
+    """Counters for one served model (all mutations under one lock)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0  #: requests accepted into the queue
+        self.images = 0  #: images across accepted requests
+        self.batches = 0  #: session.run calls issued by workers
+        self.batched_images = 0  #: images across those calls
+        self.max_batch_images = 0  #: largest coalesced batch observed
+        self.rejected = 0  #: requests refused by backpressure
+        self.errors = 0  #: requests completed with an exception
+        self.latency = LatencyStats()
+
+    def record_request(self, images: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.images += images
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_batch(self, images: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_images += images
+            if images > self.max_batch_images:
+                self.max_batch_images = images
+
+    def record_error(self, requests: int = 1) -> None:
+        with self._lock:
+            self.errors += requests
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            batches = self.batches
+            doc = {
+                "requests": self.requests,
+                "images": self.images,
+                "batches": batches,
+                "mean_batch_images": (self.batched_images / batches) if batches else 0.0,
+                "max_batch_images": self.max_batch_images,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            }
+        doc["latency"] = self.latency.snapshot()
+        return doc

@@ -115,6 +115,40 @@ class TestPlanIntegration:
         plan = get_plan("lowino", w, m=2, padding=1, cache=PlanCache(capacity=4))
         assert plan.nbytes > w.nbytes  # layer arrays + engine operands
 
+    def test_numpy_integer_nbytes_counted(self):
+        """``nbytes`` built by summing ndarray footprints is a NumPy
+        integer, which is *not* an ``int`` subclass; the byte accounting
+        used to report 0 for such entries and the bound never fired."""
+
+        class PlanLike:
+            nbytes = np.int64(512)
+
+        cache = PlanCache(capacity=8, max_bytes=1024)
+        cache.put("a", PlanLike())
+        assert cache.stats.bytes == 512
+        cache.put("b", PlanLike())
+        cache.put("c", PlanLike())
+        assert cache.stats.evictions == 1
+        assert cache.stats.bytes <= 1024
+
+    def test_byte_bound_evicts_real_plans(self, rng):
+        """End-to-end: ConvPlan entries must be visible to the byte
+        bound, so a small ``max_bytes`` actually evicts plans."""
+        probe = get_plan(
+            "lowino",
+            rng.standard_normal((4, 4, 3, 3)),
+            m=2,
+            padding=1,
+            cache=PlanCache(capacity=4),
+        )
+        cache = PlanCache(capacity=100, max_bytes=2 * int(probe.nbytes))
+        for _ in range(5):
+            w = rng.standard_normal((4, 4, 3, 3))
+            get_plan("lowino", w, m=2, padding=1, cache=cache)
+        assert cache.stats.evictions >= 2
+        assert cache.stats.bytes <= cache.max_bytes
+        assert len(cache) <= 2
+
 
 class TestDefaultCache:
     def test_module_level_helpers(self, rng):

@@ -1,6 +1,7 @@
 """Persistent worker pool: partition semantics, reuse, error paths."""
 
 import threading
+import traceback
 
 import numpy as np
 import pytest
@@ -85,7 +86,158 @@ class TestRunPartitioned:
             WorkerPool(0)
 
 
+class TestNestedDispatch:
+    def test_worker_thread_call_runs_inline(self, pool):
+        """run_partitioned from inside a worker must not re-dispatch:
+        nested dispatch waits on workers that are already busy."""
+        inner_threads = []
+        lock = threading.Lock()
+
+        def inner(start, stop):
+            with lock:
+                inner_threads.append(threading.get_ident())
+
+        def outer(start, stop):
+            pool.run_partitioned(inner, 8, 4)
+
+        # Would deadlock before the inline-detection fix: 4 outer ranges
+        # occupy all 4 workers, each waiting on an inner latch no free
+        # worker can release.
+        pool.run_partitioned(outer, 4, 4)
+        # Every nested call ran on the worker thread that made it.
+        assert set(inner_threads) <= {t.ident for t in pool._threads}
+        # Outer stage (and any pre-registration) only; inner calls were
+        # never dispatched as stages.
+        assert pool.stages_run == 1
+
+    def test_nested_results_still_correct(self, pool):
+        hits = np.zeros(16, dtype=np.int64)
+        lock = threading.Lock()
+
+        def inner(start, stop):
+            with lock:
+                hits[start:stop] += 1
+
+        pool.run_partitioned(lambda s, e: pool.run_partitioned(inner, 16, 4), 2, 2)
+        assert np.all(hits == 2)  # once per outer partition
+
+
+class TestExceptionPropagation:
+    def test_original_traceback_surfaced(self, pool):
+        def exploding_partition(start, stop):
+            raise RuntimeError("partition blew up")
+
+        with pytest.raises(RuntimeError, match="partition blew up") as info:
+            pool.run_partitioned(exploding_partition, 8, 4)
+        frames = traceback.extract_tb(info.value.__traceback__)
+        assert any(f.name == "exploding_partition" for f in frames), (
+            "the re-raised error must carry the worker frame that raised"
+        )
+
+    def test_multiple_failing_partitions_release_latch(self, pool):
+        def fn(start, stop):
+            raise ValueError(f"range {start}:{stop}")
+
+        # All four partitions raise; the latch must still count down to
+        # zero (no wedge) and surface one of the originals.
+        with pytest.raises(ValueError, match="range"):
+            pool.run_partitioned(fn, 8, 4)
+
+    def test_pool_serves_next_stage_after_failure(self, pool):
+        def fn(start, stop):
+            if start == 0:
+                raise RuntimeError("boom")
+
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                pool.run_partitioned(fn, 8, 4)
+            hits = np.zeros(8, dtype=np.int64)
+            lock = threading.Lock()
+
+            def ok(start, stop):
+                with lock:
+                    hits[start:stop] += 1
+
+            pool.run_partitioned(ok, 8, 4)
+            assert np.all(hits == 1)
+        assert pool.workers == 4  # no worker died with the stage
+
+
+class TestDrainShutdown:
+    def test_shutdown_waits_for_active_stage(self):
+        pool = WorkerPool(2)
+        release = threading.Event()
+        done = []
+
+        def slow(start, stop):
+            release.wait(timeout=10.0)
+            done.append((start, stop))
+
+        stage = threading.Thread(
+            target=pool.run_partitioned, args=(slow, 4, 2), daemon=True
+        )
+        stage.start()
+        while pool._active == 0 and stage.is_alive():
+            pass  # wait until the stage registered
+        closer = threading.Thread(target=pool.shutdown, daemon=True)
+        closer.start()
+        # Drain-shutdown must block while the stage is in flight.
+        closer.join(timeout=0.2)
+        assert closer.is_alive()
+        release.set()
+        stage.join(timeout=10.0)
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert len(done) == 2  # both partitions completed, none dropped
+
+
 class TestDefaultPool:
+    def test_explicit_nonpositive_workers_rejected(self):
+        """get_pool(0) used to fall through ``workers or cpu_count()``
+        and silently size the pool to the machine."""
+        shutdown_pool()
+        with pytest.raises(ValueError, match=">= 1"):
+            get_pool(0)
+        with pytest.raises(ValueError, match=">= 1"):
+            get_pool(-3)
+        assert get_pool(2).workers >= 2  # pool still creatable after
+        shutdown_pool()
+
+    def test_growth_drains_old_pool_mid_stage(self):
+        """Growing the default pool must not shut the old pool down under
+        a caller mid-stage (which used to flip it to serial / drop it)."""
+        shutdown_pool()
+        old = get_pool(2)
+        release = threading.Event()
+        hits = np.zeros(8, dtype=np.int64)
+        lock = threading.Lock()
+
+        def slow(start, stop):
+            release.wait(timeout=10.0)
+            with lock:
+                hits[start:stop] += 1
+
+        stage = threading.Thread(
+            target=old.run_partitioned, args=(slow, 8, 2), daemon=True
+        )
+        stage.start()
+        while old._active == 0 and stage.is_alive():
+            pass
+        new = get_pool(old.workers + 2)  # triggers background retirement
+        assert new is not old
+        assert not old._closed  # old pool still open: stage in flight
+        release.set()
+        stage.join(timeout=10.0)
+        assert np.all(hits == 1)  # the in-flight stage completed intact
+        # Background drain retires the old pool once idle.
+        for _ in range(1000):
+            if old._closed:
+                break
+            threading.Event().wait(0.01)
+        assert old._closed
+        assert get_pool() is new
+        shutdown_pool()
+
     def test_lazy_creation_and_growth(self):
         shutdown_pool()
         p1 = get_pool(2)

@@ -1,0 +1,126 @@
+"""Request queue and future primitives: bounds, coalescing, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    InferenceFuture,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+
+def _req(n=1, shape=(3, 4, 4)):
+    return Request(images=np.zeros((n,) + shape))
+
+
+class TestInferenceFuture:
+    def test_result_blocks_until_set(self):
+        fut = InferenceFuture()
+        assert not fut.done()
+        with pytest.raises(TimeoutError):
+            fut.result(timeout=0.01)
+        fut.set_result(np.ones(3))
+        assert fut.done()
+        assert np.array_equal(fut.result(timeout=0), np.ones(3))
+
+    def test_exception_reraised(self):
+        fut = InferenceFuture()
+        fut.set_exception(ValueError("bad request"))
+        with pytest.raises(ValueError, match="bad request"):
+            fut.result()
+
+
+class TestRequestQueue:
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            RequestQueue(max_requests=0)
+
+    def test_full_queue_raises_overloaded(self):
+        q = RequestQueue(max_requests=2)
+        q.put(_req(), timeout=0)
+        q.put(_req(), timeout=0)
+        with pytest.raises(ServerOverloaded):
+            q.put(_req(), timeout=0)
+        assert q.depth == 2
+
+    def test_blocked_put_succeeds_after_pop(self):
+        q = RequestQueue(max_requests=1)
+        q.put(_req(), timeout=0)
+        done = []
+
+        def producer():
+            q.put(_req(), timeout=5.0)
+            done.append(True)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        assert q.next_batch(max_batch=8, max_delay=0.0) is not None
+        t.join(timeout=5.0)
+        assert done == [True]
+
+    def test_put_after_close_raises(self):
+        q = RequestQueue(max_requests=2)
+        q.close()
+        with pytest.raises(ServerClosed):
+            q.put(_req(), timeout=0)
+
+    def test_coalesces_contiguous_same_shape_prefix(self):
+        q = RequestQueue(max_requests=8)
+        a, b = _req(2), _req(2)
+        other = _req(1, shape=(3, 8, 8))
+        c = _req(2)
+        for r in (a, b, other, c):
+            q.put(r, timeout=0)
+        batch = q.next_batch(max_batch=16, max_delay=0.0)
+        # The shape change closes the batch; FIFO order within it.
+        assert batch == [a, b]
+        assert q.next_batch(max_batch=16, max_delay=0.0) == [other]
+        assert q.next_batch(max_batch=16, max_delay=0.0) == [c]
+
+    def test_max_batch_bounds_images_not_requests(self):
+        q = RequestQueue(max_requests=8)
+        reqs = [_req(3) for _ in range(4)]
+        for r in reqs:
+            q.put(r, timeout=0)
+        batch = q.next_batch(max_batch=6, max_delay=0.0)
+        assert batch == reqs[:2]  # 3 + 3 images; a third would overflow
+
+    def test_oversized_request_served_alone(self):
+        q = RequestQueue(max_requests=4)
+        big = _req(10)
+        q.put(big, timeout=0)
+        assert q.next_batch(max_batch=4, max_delay=0.0) == [big]
+
+    def test_next_batch_waits_for_stragglers(self):
+        q = RequestQueue(max_requests=8)
+        first = _req(1)
+        q.put(first, timeout=0)
+        late = _req(1)
+
+        def producer():
+            q.put(late, timeout=5.0)
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        batch = q.next_batch(max_batch=4, max_delay=2.0)
+        t.join(timeout=5.0)
+        assert first in batch  # late request usually coalesces; first always served
+
+    def test_closed_empty_queue_returns_none(self):
+        q = RequestQueue(max_requests=2)
+        q.close()
+        assert q.next_batch(max_batch=4, max_delay=0.0) is None
+
+    def test_drain_rejected_empties_queue(self):
+        q = RequestQueue(max_requests=4)
+        reqs = [_req() for _ in range(3)]
+        for r in reqs:
+            q.put(r, timeout=0)
+        q.close()
+        assert q.drain_rejected() == reqs
+        assert q.depth == 0

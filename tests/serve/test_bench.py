@@ -1,0 +1,77 @@
+"""serve-bench: document schema, bit-identity, and gate semantics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import (
+    SCHEMA_VERSION,
+    ServeBenchConfig,
+    check_serve_gate,
+    format_serve_bench,
+    run_serve_bench,
+    write_json,
+)
+
+pytestmark = pytest.mark.concurrency
+
+TINY = ServeBenchConfig(
+    model="vgg", algorithm="lowino", width=8, hw=8, m=2,
+    request_batch=2, requests_per_thread=2, threads=(1, 2),
+    max_batch=8, max_delay_ms=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return run_serve_bench(TINY)
+
+
+class TestDocument:
+    def test_schema_and_entries(self, doc):
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["config"]["model"] == "vgg"
+        assert [e["threads"] for e in doc["results"]] == [1, 2]
+        for e in doc["results"]:
+            assert e["images"] == e["threads"] * 2 * 2
+            assert e["throughput_ips"] > 0
+            assert set(e["latency"]) >= {"count", "p50_ms", "p95_ms"}
+        assert doc["summary"]["speedup_threads"] == 2
+        assert doc["summary"]["throughput_speedup"] > 0
+
+    def test_served_results_bit_identical(self, doc):
+        """The tentpole contract: every served request, coalesced or
+        not, bitwise matches serial eager execution."""
+        assert all(e["exact"] for e in doc["results"])
+        assert doc["summary"]["exact"] is True
+
+    def test_json_round_trip(self, doc, tmp_path):
+        path = tmp_path / "serve.json"
+        write_json(doc, path)
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+    def test_format_mentions_gatekeeping_facts(self, doc):
+        text = format_serve_bench(doc)
+        assert "clients" in text and "exact" in text
+        assert "bit-identity" in text
+
+
+class TestGate:
+    def test_passing_doc_has_no_violations(self, doc):
+        # The throughput ratio on a tiny 2-thread run is noisy, so gate
+        # only identity here; the CLI gates the full sweep.
+        assert check_serve_gate(doc, min_speedup=0.0) == []
+
+    def test_identity_violation_detected(self, doc):
+        bad = {**doc, "results": [dict(doc["results"][0], exact=False)]}
+        violations = check_serve_gate(bad, min_speedup=0.0)
+        assert len(violations) == 1 and "bit-identical" in violations[0]
+
+    def test_throughput_violation_detected(self, doc):
+        bad = {
+            **doc,
+            "summary": {"exact": True, "throughput_speedup": 1.0, "speedup_threads": 2},
+        }
+        violations = check_serve_gate(bad, min_speedup=1.5)
+        assert len(violations) == 1 and "throughput" in violations[0]

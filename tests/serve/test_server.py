@@ -1,0 +1,217 @@
+"""Server behaviour: correctness vs eager, coalescing, backpressure,
+error propagation, lifecycle."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn.quantize import quantize_model
+from repro.runtime.bench import ModelCase, build_case_model
+from repro.serve import Server, ServerClosed, ServerOverloaded
+
+pytestmark = pytest.mark.concurrency
+
+HW = 8
+ITEM = (3, HW, HW)
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """Small calibrated quantized model for the whole module."""
+    case = ModelCase("vgg", "lowino", hw=HW, width=8, m=2)
+    model = build_case_model(case)
+    rng = np.random.default_rng(11)
+    quantize_model(
+        model, "lowino", m=2,
+        calibration_batches=[rng.standard_normal((2,) + ITEM)],
+    )
+    return model
+
+
+class _BlockingSession:
+    """Duck-typed session whose run() parks until released (for
+    backpressure and shutdown tests)."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.runs = 0
+        self.images_seen = 0
+
+    def run(self, x):
+        self.started.set()
+        assert self.release.wait(timeout=30.0)
+        return np.zeros((x.shape[0], 1))
+
+    def cache_stats(self):
+        return {}
+
+
+class TestCorrectness:
+    def test_served_outputs_bitwise_vs_eager(self, served_model, make_rng):
+        rng = make_rng()
+        with Server(max_batch=8, max_delay_ms=1.0) as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            for _ in range(4):
+                x = rng.standard_normal((2,) + ITEM)
+                assert np.array_equal(server.infer("m", x, timeout=60.0), served_model(x))
+
+    def test_concurrent_clients_coalesce_and_stay_exact(self, served_model, make_rng):
+        rng = make_rng()
+        n_threads, iters = 8, 3
+        inputs = [
+            [rng.standard_normal((2,) + ITEM) for _ in range(iters)]
+            for _ in range(n_threads)
+        ]
+        expected = [[served_model(x) for x in reqs] for reqs in inputs]
+        got = [[None] * iters for _ in range(n_threads)]
+        with Server(max_batch=16, max_delay_ms=5.0, queue_size=64) as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            barrier = threading.Barrier(n_threads)
+            errors = []
+
+            def client(tid):
+                barrier.wait()
+                try:
+                    for i in range(iters):
+                        got[tid][i] = server.infer("m", inputs[tid][i], timeout=60.0)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(t,), daemon=True)
+                for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert not errors
+            stats = server.stats()["m"]
+        assert stats["requests"] == n_threads * iters
+        # The micro-batcher actually coalesced: fewer session calls than
+        # requests, and at least one batch wider than one request.
+        assert stats["batches"] < stats["requests"]
+        assert stats["max_batch_images"] > 2
+        for tid in range(n_threads):
+            for i in range(iters):
+                assert np.array_equal(got[tid][i], expected[tid][i])
+
+    def test_mixed_shapes_grouped_not_merged(self, served_model, make_rng):
+        """Requests of different image sizes never coalesce into one
+        tensor; both still come back correct."""
+        rng = make_rng()
+        small = rng.standard_normal((2,) + ITEM)
+        with Server(max_batch=16, max_delay_ms=5.0) as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            big = rng.standard_normal((2, 3, HW * 2, HW * 2))
+            f1 = server.submit("m", small, timeout=None)
+            f2 = server.submit("m", big, timeout=None)
+            y_small = f1.result(timeout=60.0)
+            y_big = f2.result(timeout=60.0)
+        assert np.array_equal(y_small, served_model(small))
+        assert np.array_equal(y_big, served_model(big))
+
+
+class TestValidationAndErrors:
+    def test_non_nchw_rejected(self, served_model):
+        with Server() as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            with pytest.raises(ValueError, match="NCHW"):
+                server.submit("m", np.zeros(ITEM))
+
+    def test_unknown_model(self, served_model):
+        with Server() as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            with pytest.raises(KeyError, match="unknown model"):
+                server.infer("nope", np.zeros((1,) + ITEM))
+
+    def test_duplicate_deploy_rejected(self, served_model):
+        with Server() as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            with pytest.raises(ValueError, match="already deployed"):
+                server.add_model("m", served_model, input_shape=(2,) + ITEM)
+
+    def test_add_model_needs_session_or_model(self):
+        with Server() as server:
+            with pytest.raises(ValueError, match="session, or a model"):
+                server.add_model("m")
+
+    def test_execution_error_propagates_to_future(self, served_model):
+        with Server(max_delay_ms=0.5) as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            # Wrong channel count: the conv raises inside the worker;
+            # the error must surface on the caller's future, with the
+            # worker alive for subsequent requests.
+            with pytest.raises(Exception):
+                server.infer("m", np.zeros((2, 5, HW, HW)), timeout=60.0)
+            x = np.ones((2,) + ITEM)
+            assert np.array_equal(server.infer("m", x, timeout=60.0), served_model(x))
+            assert server.stats()["m"]["errors"] == 1
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_overloaded(self):
+        stub = _BlockingSession()
+        server = Server(queue_size=1, max_delay_ms=0.0)
+        try:
+            server.add_model("m", session=stub)
+            x = np.zeros((1, 1, 2, 2))
+            f1 = server.submit("m", x, timeout=None)  # worker picks up, parks
+            assert stub.started.wait(timeout=10.0)
+            server.submit("m", x, timeout=None)  # fills the queue
+            with pytest.raises(ServerOverloaded):
+                server.submit("m", x, timeout=0.0)
+            assert server.stats()["m"]["rejected"] == 1
+        finally:
+            stub.release.set()
+            server.close()
+        assert f1.result(timeout=10.0).shape == (1, 1)
+
+
+class TestLifecycle:
+    def test_close_drains_pending_then_rejects(self, served_model, make_rng):
+        rng = make_rng()
+        x = rng.standard_normal((2,) + ITEM)
+        server = Server(max_delay_ms=0.5)
+        server.add_model("m", served_model, input_shape=(2,) + ITEM)
+        fut = server.submit("m", x, timeout=None)
+        server.close(drain=True)
+        assert np.array_equal(fut.result(timeout=60.0), served_model(x))
+        with pytest.raises(ServerClosed):
+            server.submit("m", x)
+        server.close()  # idempotent
+
+    def test_close_without_drain_fails_backlog(self):
+        stub = _BlockingSession()
+        server = Server(queue_size=4, max_delay_ms=0.0)
+        server.add_model("m", session=stub)
+        x = np.zeros((1, 1, 2, 2))
+        server.submit("m", x, timeout=None)  # occupies the worker
+        assert stub.started.wait(timeout=10.0)
+        queued = server.submit("m", x, timeout=None)  # stays in the queue
+        closer = threading.Thread(
+            target=server.close, kwargs={"drain": False}, daemon=True
+        )
+        closer.start()
+        with pytest.raises(ServerClosed):
+            queued.result(timeout=30.0)
+        stub.release.set()
+        closer.join(timeout=30.0)
+        assert not closer.is_alive()
+
+    def test_stats_snapshot_shape(self, served_model, make_rng):
+        rng = make_rng()
+        with Server() as server:
+            server.add_model("m", served_model, input_shape=(2,) + ITEM)
+            server.infer("m", rng.standard_normal((2,) + ITEM), timeout=60.0)
+            doc = server.stats()["m"]
+        for key in (
+            "requests", "images", "batches", "mean_batch_images",
+            "max_batch_images", "rejected", "errors", "latency",
+            "queue_depth", "workers", "session",
+        ):
+            assert key in doc
+        assert doc["latency"]["count"] == 1
+        assert doc["session"]["runs"] >= 1

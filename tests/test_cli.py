@@ -17,6 +17,7 @@ SUBCOMMANDS = [
     "selftest",
     "conformance",
     "bench",
+    "serve-bench",
 ]
 
 
@@ -157,6 +158,25 @@ class TestHappyPaths:
 
     def test_bench_rejects_unknown_layer(self, capsys):
         assert main(["bench", "--quick", "--layers", "NoSuchNet_z"]) == 2
+
+    def test_serve_bench_tiny_run(self, tmp_path, capsys):
+        out_file = tmp_path / "serve.json"
+        # Gate 0: a tiny 2-thread CI run only checks bit-identity and
+        # plumbing; the real >=1.5x throughput gate runs on the default
+        # sweep.
+        assert main(["serve-bench", "--threads", "1,2", "--requests", "2",
+                     "--width", "8", "--hw", "8", "--m", "2",
+                     "--gate", "0", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identity vs serial eager: yes" in out
+        assert "serve gate: PASS" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == 1
+        assert doc["summary"]["exact"] is True
+
+    def test_serve_bench_rejects_bad_threads(self, capsys):
+        assert main(["serve-bench", "--threads", "1,zero"]) == 2
+        assert main(["serve-bench", "--threads", "0"]) == 2
 
     def test_bench_writes_json(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
