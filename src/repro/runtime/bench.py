@@ -312,7 +312,7 @@ def run_bench(
         "layers": layer_entries,
         "models": model_entries,
         "summary": _summarize(layer_entries, algorithms, model_entries),
-        "cache_stats": engine.cache.stats.as_dict(),
+        "cache_stats": engine.cache.stats_dict(),
     }
 
 

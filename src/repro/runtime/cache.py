@@ -103,10 +103,8 @@ class PlanCache:
     def put(self, key: Hashable, value: Any) -> Any:
         with self._lock:
             if key in self._entries:
-                self.stats.bytes -= _entry_bytes(self._entries[key])
                 self._entries.move_to_end(key)
             self._entries[key] = value
-            self.stats.bytes += _entry_bytes(value)
             self._evict_locked()
             self.stats.entries = len(self._entries)
             return value
@@ -125,20 +123,38 @@ class PlanCache:
             self.stats.misses += 1
             value = builder()
             self._entries[key] = value
-            self.stats.bytes += _entry_bytes(value)
             self._evict_locked()
             self.stats.entries = len(self._entries)
             return value
 
+    def _resident_bytes_locked(self) -> int:
+        """Summed footprint of the live entries, measured *now*.
+
+        Values can grow after insertion (a GeometryPlan's scratch pool
+        allocates arenas on first lease and under contention), so byte
+        accounting must re-measure rather than trust insert-time sizes.
+        """
+        return max(0, sum(_entry_bytes(v) for v in self._entries.values()))
+
     def _evict_locked(self) -> None:
+        resident = self._resident_bytes_locked()
         while len(self._entries) > self.capacity or (
             self.max_bytes > 0
-            and self.stats.bytes > self.max_bytes
+            and resident > self.max_bytes
             and len(self._entries) > 1
         ):
             _, evicted = self._entries.popitem(last=False)
-            self.stats.bytes -= _entry_bytes(evicted)
+            resident = max(0, resident - _entry_bytes(evicted))
             self.stats.evictions += 1
+        self.stats.bytes = resident
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Counter snapshot with ``bytes``/``entries`` re-measured from
+        the live entries (scratch pools grow after insertion)."""
+        with self._lock:
+            self.stats.bytes = self._resident_bytes_locked()
+            self.stats.entries = len(self._entries)
+            return self.stats.as_dict()
 
     def clear(self) -> None:
         """Drop all entries; counters other than ``bytes`` are kept."""
@@ -158,7 +174,7 @@ def default_cache() -> PlanCache:
 
 def cache_stats() -> Dict[str, Any]:
     """Snapshot of the default cache's hits/misses/evictions/bytes."""
-    return _default_cache.stats.as_dict()
+    return _default_cache.stats_dict()
 
 
 def clear_cache() -> None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from typing import Callable, List, Optional, Set
 
 from ..parallel.scheduler import StaticSchedule
@@ -57,15 +58,22 @@ class _Latch:
             if self._remaining <= 0:
                 self._cond.notify_all()
 
-    def wait(self) -> None:
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until released; with ``timeout``, return False when it
+        elapses first (so callers can re-check pool liveness)."""
         with self._cond:
+            deadline = None if timeout is None else time.monotonic() + timeout
             while self._remaining > 0:
-                self._cond.wait()
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
         if self.error is not None:
             # Re-raise the worker's exception object: its __traceback__
             # still points at the partition frame that raised, so the
             # caller sees the original failure site, not just the latch.
             raise self.error
+        return True
 
 
 class WorkerPool:
@@ -150,7 +158,18 @@ class WorkerPool:
         try:
             for p in nonempty:
                 self._queue.put((fn, p.start, p.stop, latch))
-            latch.wait()
+            # Bounded waits so a non-draining shutdown racing this
+            # dispatch (workers exiting on sentinels queued before our
+            # items) surfaces as an error instead of a permanent hang.
+            while not latch.wait(timeout=0.5):
+                with self._cond:
+                    closed = self._closed
+                if closed and not latch.wait(timeout=0.5):
+                    raise RuntimeError(
+                        "WorkerPool was shut down (drain=False) while this "
+                        "stage was in flight; some partitions may not have "
+                        "executed"
+                    )
         finally:
             with self._cond:
                 self._active -= 1
@@ -177,6 +196,21 @@ class WorkerPool:
             self._queue.put(None)
         for t in self._threads:
             t.join(timeout=5.0)
+        # A non-draining shutdown can leave stage items queued behind the
+        # sentinels; fail them so blocked callers wake instead of hanging.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                continue
+            _, _, _, latch = item
+            latch.count_down(
+                RuntimeError(
+                    "WorkerPool shut down before executing a queued partition"
+                )
+            )
 
 
 _default_pool: Optional[WorkerPool] = None

@@ -123,7 +123,7 @@ class InferenceSession:
 
     def cache_stats(self) -> Dict[str, int]:
         """Aggregated plan-cache counters for this session's cache."""
-        return self.cache.stats.as_dict()
+        return self.cache.stats_dict()
 
     def reset_stats(self) -> None:
         with self._stats_lock:

@@ -142,24 +142,30 @@ class RequestQueue:
         own batch rather than rejected.
         """
         with self._cond:
-            while not self._items:
-                if self._closed:
-                    return None
-                self._cond.wait()
-            deadline = time.perf_counter() + max_delay
             while True:
-                batch, images = self._peek_batch(max_batch)
-                if images >= max_batch or self._closed:
-                    break
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
-                    break
-                self._cond.wait(remaining)
-            batch, _ = self._peek_batch(max_batch)
-            for _ in batch:
-                self._items.popleft()
-            self._cond.notify_all()  # wake producers blocked on the bound
-            return batch
+                while not self._items:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+                deadline = time.perf_counter() + max_delay
+                while True:
+                    batch, images = self._peek_batch(max_batch)
+                    if images >= max_batch or self._closed:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch, _ = self._peek_batch(max_batch)
+                if not batch:
+                    # Another consumer popped the prefix (or a close
+                    # drained the queue) while we waited; go back to
+                    # blocking for fresh work rather than returning [].
+                    continue
+                for _ in batch:
+                    self._items.popleft()
+                self._cond.notify_all()  # wake producers blocked on the bound
+                return batch
 
     def _peek_batch(self, max_batch: int) -> Tuple[List[Request], int]:
         """The maximal coalescible FIFO prefix and its image count."""

@@ -77,14 +77,16 @@ class ServedModel:
             batch = self.queue.next_batch(self.max_batch, self.max_delay_s)
             if batch is None:
                 return
+            if not batch:  # defensive: never execute an empty batch
+                continue
             self._execute(batch)
 
     def _execute(self, batch: List[Request]) -> None:
-        if len(batch) == 1:
-            x = batch[0].images
-        else:
-            x = np.concatenate([r.images for r in batch], axis=0)
         try:
+            if len(batch) == 1:
+                x = batch[0].images
+            else:
+                x = np.concatenate([r.images for r in batch], axis=0)
             y = self.session.run(x)
         except BaseException as exc:
             for req in batch:
@@ -95,7 +97,14 @@ class ServedModel:
         offset = 0
         done = time.perf_counter()
         for req in batch:
-            req.future.set_result(y[offset : offset + req.n_images])
+            rows = y[offset : offset + req.n_images]
+            if len(batch) > 1:
+                # Each future must own its rows: a view of the shared
+                # coalesced output exposes batch-mates' results through
+                # ``.base`` (ascontiguousarray would return the view
+                # unchanged, since row slices are already contiguous).
+                rows = rows.copy()
+            req.future.set_result(rows)
             offset += req.n_images
             self.stats.latency.record(done - req.enqueued_at)
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.runtime import PlanCache, cache_stats, clear_cache, default_cache, get_plan
-from repro.runtime.plan import plan_key
+from repro.runtime.plan import GeometryPlan, plan_key
 
 
 class TestLru:
@@ -50,6 +50,34 @@ class TestByteBound:
         cache = PlanCache(capacity=8, max_bytes=16)
         cache.put("big", np.zeros(1024, dtype=np.uint8))
         assert len(cache) == 1  # never evicts down to empty
+
+    def test_post_insert_scratch_growth_visible_and_evictable(self):
+        """A GeometryPlan is inserted with an empty scratch pool; its
+        arenas allocate afterwards.  Byte accounting must re-measure the
+        live entries -- insert-time charging left the growth invisible
+        to ``max_bytes`` and drove ``bytes`` negative at eviction."""
+        cache = PlanCache(capacity=8, max_bytes=10_000)
+        grown = GeometryPlan(grid=None)
+        cache.put("grown", grown)
+        assert cache.stats_dict()["bytes"] == 0
+        with grown.scratch.lease() as arena:
+            arena.buf("x", (2048,), np.float64)  # 16 KiB, over the bound
+        assert cache.stats_dict()["bytes"] == 16384  # growth is visible
+        cache.put("small", GeometryPlan(grid=None))  # eviction re-measures
+        assert "grown" not in cache and "small" in cache
+        assert cache.stats.evictions == 1
+        assert cache.stats.bytes == 0  # never negative after eviction
+
+    def test_bytes_never_negative(self):
+        cache = PlanCache(capacity=8, max_bytes=100)
+        for i in range(4):
+            plan = GeometryPlan(grid=None)
+            cache.put(i, plan)
+            with plan.scratch.lease() as arena:
+                arena.buf("x", (64,), np.float64)  # grows after insert
+        assert cache.stats.evictions >= 1
+        assert cache.stats.bytes >= 0
+        assert cache.stats_dict()["bytes"] >= 0
 
     def test_clear_resets_residency(self):
         cache = PlanCache(capacity=8)

@@ -9,7 +9,7 @@ import pytest
 from repro.gemm import BlockingParams, batched_gemm_blocked, compensation_term
 from repro.layout import pack_transformed_filters, pack_transformed_inputs
 from repro.parallel.scheduler import StaticSchedule
-from repro.runtime.pool import WorkerPool, get_pool, shutdown_pool
+from repro.runtime.pool import WorkerPool, _Latch, get_pool, shutdown_pool
 
 from tests.rngutil import derive_rng
 
@@ -189,6 +189,64 @@ class TestDrainShutdown:
         closer.join(timeout=10.0)
         assert not closer.is_alive()
         assert len(done) == 2  # both partitions completed, none dropped
+
+
+class TestNonDrainingShutdown:
+    def test_latch_bounded_wait(self):
+        latch = _Latch(1)
+        assert latch.wait(timeout=0.05) is False
+        latch.count_down()
+        assert latch.wait(timeout=0.05) is True
+
+    def test_shutdown_racing_dispatch_errors_instead_of_hanging(self):
+        """shutdown(drain=False) between a caller registering active and
+        enqueueing its partitions used to hang the caller forever on the
+        latch; it must raise instead."""
+
+        class _HijackQueue:
+            """Delegating queue that fires a callback before the first
+            stage item lands (sentinels pass through untouched)."""
+
+            def __init__(self, inner, on_first_item):
+                self._inner = inner
+                self._on_first = on_first_item
+                self._fired = False
+
+            def put(self, item):
+                if item is not None and not self._fired:
+                    self._fired = True
+                    self._on_first()
+                self._inner.put(item)
+
+            def get(self):
+                return self._inner.get()
+
+            def get_nowait(self):
+                return self._inner.get_nowait()
+
+        pool = WorkerPool(2)
+        pool._queue = _HijackQueue(
+            pool._queue, lambda: pool.shutdown(drain=False)
+        )
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.run_partitioned(lambda s, e: None, tasks=8, omega=2)
+
+    def test_shutdown_fails_partitions_left_behind_sentinels(self):
+        """Stage items queued behind the shutdown sentinels are never
+        picked up by a worker; shutdown must fail their latch so blocked
+        callers wake instead of hanging."""
+        pool = WorkerPool(1)
+        gate = threading.Event()
+        busy = _Latch(1)
+        pool._queue.put((lambda s, e: gate.wait(10.0), 0, 1, busy))
+        orphan = _Latch(1)
+        pool._queue.put(None)  # worker exits here, before the orphan
+        pool._queue.put((lambda s, e: None, 1, 2, orphan))
+        gate.set()
+        pool.shutdown(drain=False)
+        with pytest.raises(RuntimeError, match="before executing"):
+            orphan.wait(timeout=5.0)
+        assert busy.wait(timeout=5.0)  # the in-flight item completed
 
 
 class TestDefaultPool:

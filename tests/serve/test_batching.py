@@ -1,6 +1,7 @@
 """Request queue and future primitives: bounds, coalescing, lifecycle."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -115,6 +116,58 @@ class TestRequestQueue:
         q = RequestQueue(max_requests=2)
         q.close()
         assert q.next_batch(max_batch=4, max_delay=0.0) is None
+
+    def test_waiting_consumer_never_returns_empty_batch(self):
+        """A consumer in the straggler wait whose queue contents are
+        drained out from under it (another worker's pop, or a
+        non-draining close) must re-wait or return None -- returning
+        ``[]`` used to kill serve workers via ``np.concatenate([])``."""
+        q = RequestQueue(max_requests=8)
+        q.put(_req(1), timeout=0)
+        results = []
+
+        def consumer():
+            results.append(q.next_batch(max_batch=8, max_delay=30.0))
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        time.sleep(0.2)  # let the consumer enter the straggler wait
+        q.drain_rejected()  # steal the prefix it peeked
+        q.close()
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert results == [None]
+
+    def test_two_consumers_one_request_loser_blocks_or_closes(self):
+        """Two workers racing one request: exactly one gets it; the
+        loser must block for more work (not return ``[]``) and unblock
+        with None at close."""
+        q = RequestQueue(max_requests=8)
+        only = _req(1)
+        q.put(only, timeout=0)
+        results = []
+        lock = threading.Lock()
+
+        def consumer():
+            batch = q.next_batch(max_batch=8, max_delay=0.2)
+            with lock:
+                results.append(batch)
+
+        threads = [threading.Thread(target=consumer, daemon=True) for _ in range(2)]
+        for t in threads:
+            t.start()
+        deadline = time.perf_counter() + 10.0
+        while time.perf_counter() < deadline:
+            with lock:
+                if len(results) == 1:
+                    break
+            time.sleep(0.01)
+        assert results == [[only]]  # winner got the request, loser still waiting
+        q.close()
+        for t in threads:
+            t.join(timeout=10.0)
+            assert not t.is_alive()
+        assert sorted(results, key=lambda b: b is None) == [[only], None]
 
     def test_drain_rejected_empties_queue(self):
         q = RequestQueue(max_requests=4)

@@ -114,6 +114,32 @@ class TestCorrectness:
         assert np.array_equal(y_big, served_model(big))
 
 
+class TestResultOwnership:
+    def test_coalesced_results_privately_owned(self):
+        """Results split from one coalesced batch must be copies: a
+        row-slice view would expose every batch-mate's rows through
+        ``.base``, so one client mutating its array could corrupt the
+        others' results."""
+        stub = _BlockingSession()
+        server = Server(queue_size=8, max_delay_ms=0.0, max_batch=16)
+        try:
+            server.add_model("m", session=stub)
+            x = np.zeros((1, 1, 2, 2))
+            plug = server.submit("m", x, timeout=None)  # parks the worker
+            assert stub.started.wait(timeout=10.0)
+            f1 = server.submit("m", x, timeout=None)  # these two queue up
+            f2 = server.submit("m", x, timeout=None)  # and coalesce
+            stub.release.set()
+            y1 = f1.result(timeout=10.0)
+            y2 = f2.result(timeout=10.0)
+            assert y1.base is None and y2.base is None  # owned, not views
+            y1[...] = 123.0  # hostile client scribbles over its result
+            assert np.array_equal(y2, np.zeros((1, 1)))
+            assert plug.result(timeout=10.0).shape == (1, 1)
+        finally:
+            server.close()
+
+
 class TestValidationAndErrors:
     def test_non_nchw_rejected(self, served_model):
         with Server() as server:
