@@ -254,6 +254,50 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import profile as oprof
+
+    cfg = oprof.ProfileConfig(
+        model=args.model,
+        algorithm=args.algorithm,
+        batch=args.batch,
+        hw=args.hw,
+        width=args.width,
+        m=args.m,
+        runs=args.runs,
+        seed=args.seed,
+    )
+    try:
+        doc = oprof.run_profile(cfg)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(oprof.format_profile(doc))
+    overhead_doc = None
+    if args.overhead:
+        overhead_doc = oprof.measure_overhead(cfg, repeats=args.overhead_repeats)
+        print()
+        print(oprof.format_overhead(overhead_doc))
+        violations = oprof.check_overhead_gate(overhead_doc, limit=args.gate)
+        if violations:
+            print(f"\noverhead gate: {len(violations)} VIOLATION(S)")
+            for v in violations:
+                print(f"  {v}")
+            return 1
+        print(f"\noverhead gate: PASS (enabled instrumentation <= {args.gate:.0%})")
+    if args.out:
+        out_doc = dict(doc)
+        if overhead_doc is not None:
+            out_doc["overhead"] = overhead_doc
+        from pathlib import Path
+
+        Path(args.out).write_text(json.dumps(out_doc, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .serve import bench as sbench
 
@@ -393,6 +437,35 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print plan-cache hit/miss/eviction/bytes counters "
                           "(per session for the model cases)")
     pbn.set_defaults(fn=_cmd_bench)
+
+    ppr = sub.add_parser(
+        "profile",
+        help="per-layer x per-stage wall-clock breakdown (traced session)",
+    )
+    ppr.add_argument("--model", default="resnet",
+                     help="model family: vgg/resnet/alexnet/unet (default resnet)")
+    ppr.add_argument("--algorithm", default="auto",
+                     help="quantize_model algorithm or 'fp32' (default auto)")
+    ppr.add_argument("--batch", type=int, default=2, help="batch size (default 2)")
+    ppr.add_argument("--hw", type=int, default=32,
+                     help="input spatial size (default 32)")
+    ppr.add_argument("--width", type=int, default=32,
+                     help="model width (default 32)")
+    ppr.add_argument("--m", type=int, default=4,
+                     help="Winograd output tile size (default 4)")
+    ppr.add_argument("--runs", type=int, default=3,
+                     help="timed runs after warmup (default 3)")
+    ppr.add_argument("--seed", type=int, default=2021, help="tensor generator seed")
+    ppr.add_argument("--overhead", action="store_true",
+                     help="also measure instrumentation overhead (none vs "
+                          "disabled vs enabled tracer) and gate it")
+    ppr.add_argument("--overhead-repeats", type=int, default=5,
+                     help="interleaved best-of repeats for --overhead (default 5)")
+    ppr.add_argument("--gate", type=float, default=0.05,
+                     help="allowed enabled-tracer overhead fraction (default 0.05)")
+    ppr.add_argument("--out", default=None,
+                     help="write the profile JSON document here")
+    ppr.set_defaults(fn=_cmd_profile)
 
     psv = sub.add_parser(
         "serve-bench",

@@ -1,0 +1,44 @@
+"""Unified observability: metrics registry, stage tracer, exporters.
+
+One subsystem owns every number the runtime and serving stack report:
+
+* :mod:`repro.obs.metrics` -- thread-safe :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` (seeded Algorithm-R reservoir,
+  nearest-rank percentiles) in a :class:`MetricsRegistry` with
+  collector callbacks for externally-locked components.
+* :mod:`repro.obs.tracer` -- :class:`StageTracer`, the per-layer x
+  per-stage wall-clock accumulator behind ``repro profile``.
+* :mod:`repro.obs.export` -- Prometheus text exposition
+  (:func:`prometheus_text`) and its strict parser.
+* :mod:`repro.obs.profile` -- the ``repro profile`` driver: stage
+  breakdown tables and the measured instrumentation-overhead gate.
+"""
+
+from .export import ParsedExposition, parse_prometheus_text, prometheus_text
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    format_metric_name,
+    global_registry,
+    nearest_rank,
+)
+from .tracer import STAGES, StageTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ParsedExposition",
+    "STAGES",
+    "Sample",
+    "StageTracer",
+    "format_metric_name",
+    "global_registry",
+    "nearest_rank",
+    "parse_prometheus_text",
+    "prometheus_text",
+]

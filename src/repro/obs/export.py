@@ -1,0 +1,190 @@
+"""Prometheus-style text exposition and a strict parser for it.
+
+:func:`prometheus_text` renders everything a
+:class:`~repro.obs.metrics.MetricsRegistry` knows -- owned counters,
+gauges, and histograms plus every collector sample -- in the Prometheus
+text exposition format (``# HELP`` / ``# TYPE`` comments, one sample
+per line, labels sorted, histograms as summaries with ``quantile``
+labels and ``_count`` / ``_sum`` rows).
+
+:func:`parse_prometheus_text` is the inverse used by the tests: it
+parses an exposition back into typed samples and *rejects* malformed
+lines, so the round-trip test is a real format check, not a smoke
+test.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .metrics import MetricsRegistry, Sample, format_metric_name
+
+__all__ = ["prometheus_text", "parse_prometheus_text", "ParsedExposition"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _render_value(value: float) -> str:
+    # Integers render without a trailing .0 (matches Prometheus idiom
+    # for counters) while floats keep full repr precision.
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def _registry_samples(registry: MetricsRegistry) -> List[Sample]:
+    """Flatten a registry into exposition rows (histograms expand into
+    quantile / _count / _sum samples)."""
+    rows: List[Sample] = []
+    for metric in registry.metrics():
+        if metric.kind in ("counter", "gauge"):
+            rows.append(
+                Sample(metric.name, metric.value, dict(metric.labels), metric.kind, metric.help)
+            )
+        else:
+            snap = metric.snapshot()
+            for q_key, quantile in (("p50", "0.5"), ("p95", "0.95"), ("p99", "0.99")):
+                labels = dict(metric.labels)
+                labels["quantile"] = quantile
+                rows.append(Sample(metric.name, snap[q_key], labels, "histogram", metric.help))
+            rows.append(
+                Sample(metric.name + "_count", snap["count"], dict(metric.labels), "histogram")
+            )
+            rows.append(
+                Sample(metric.name + "_sum", snap["sum"], dict(metric.labels), "histogram")
+            )
+    rows.extend(registry.collect())
+    return rows
+
+
+#: Exposition TYPE per internal kind (histograms export as summaries:
+#: pre-computed quantiles, not cumulative buckets).
+_EXPOSITION_TYPE = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    rows = _registry_samples(registry)
+    # Group rows under their family name (strip _count/_sum suffixes so
+    # a summary's rows share one HELP/TYPE header).
+    families: Dict[str, List[Sample]] = {}
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    order: List[str] = []
+    for row in rows:
+        family = row.name
+        for suffix in ("_count", "_sum"):
+            if row.kind == "histogram" and family.endswith(suffix):
+                family = family[: -len(suffix)]
+        if family not in families:
+            families[family] = []
+            order.append(family)
+        families[family].append(row)
+        kinds.setdefault(family, _EXPOSITION_TYPE.get(row.kind, "gauge"))
+        if row.help:
+            helps.setdefault(family, row.help)
+    lines: List[str] = []
+    for family in order:
+        if not _NAME_RE.match(family):
+            raise ValueError(f"invalid metric name {family!r}")
+        help_text = helps.get(family, "")
+        if help_text:
+            lines.append(f"# HELP {family} {help_text}")
+        lines.append(f"# TYPE {family} {kinds[family]}")
+        for row in families[family]:
+            lines.append(
+                f"{format_metric_name(row.name, row.labels)} {_render_value(row.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ParsedExposition:
+    """Parsed form of a Prometheus text exposition."""
+
+    #: family name -> declared TYPE
+    types: Dict[str, str] = field(default_factory=dict)
+    #: family name -> HELP text
+    helps: Dict[str, str] = field(default_factory=dict)
+    #: (metric name, sorted label items) -> value
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+
+    def value(self, name: str, **labels) -> float:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.samples[key]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace(r"\n", "\n").replace(r"\"", '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    items: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _LABEL_RE.match(text, pos)
+        if m is None:
+            raise ValueError(f"malformed label block at {text[pos:]!r}")
+        items.append((m.group(1), _unescape_label(m.group(2))))
+        pos = m.end()
+        if pos < len(text):
+            if text[pos] != ",":
+                raise ValueError(f"expected ',' between labels at {text[pos:]!r}")
+            pos += 1
+    return tuple(sorted(items))
+
+
+def parse_prometheus_text(text: str) -> ParsedExposition:
+    """Parse an exposition; raises ``ValueError`` on malformed lines."""
+    doc = ParsedExposition()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad HELP metric name {name!r}")
+            doc.helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: bad TYPE metric name {name!r}")
+            if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            doc.types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        labels = _parse_labels(m.group("labels") or "")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric sample value {m.group('value')!r}"
+            ) from None
+        doc.samples[(m.group("name"), labels)] = value
+    return doc

@@ -64,6 +64,11 @@ class HistogramObserver:
 
     def _grow_range(self, new_max: float) -> None:
         """Double the histogram range until ``new_max`` fits, merging bins."""
+        # A subnormal range underflows the bin width and np.histogram
+        # cannot form ``bins`` distinct edges; floor the range so every
+        # bin spans at least one normal float (denormal observations
+        # then simply land in bin 0).
+        new_max = max(new_max, float(np.finfo(np.float64).tiny) * self.bins)
         if self.range == 0.0:
             self.range = float(new_max)
             return

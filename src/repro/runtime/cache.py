@@ -156,6 +156,22 @@ class PlanCache:
             self.stats.entries = len(self._entries)
             return self.stats.as_dict()
 
+    def reset_stats(self) -> None:
+        """Zero the cumulative counters (hits/misses/evictions) while
+        preserving the live entries and their re-measured footprint --
+        the epoch reset :meth:`InferenceSession.reset_stats` needs so a
+        post-reset ``cache_stats()`` does not mix epochs."""
+        with self._lock:
+            self.stats = CacheStats(
+                bytes=self._resident_bytes_locked(), entries=len(self._entries)
+            )
+
+    def entries_snapshot(self) -> list:
+        """Consistent copy of the live values (telemetry aggregation:
+        e.g. summing scratch-pool lease stats across geometry plans)."""
+        with self._lock:
+            return list(self._entries.values())
+
     def clear(self) -> None:
         """Drop all entries; counters other than ``bytes`` are kept."""
         with self._lock:

@@ -157,13 +157,17 @@ class CompiledProgram:
         x = np.asarray(images, dtype=np.float64)
         values: Dict[int, np.ndarray] = {self.graph.nodes[0].id: x}
         remaining = dict(self._refcounts)
+        tracer = getattr(self.engine, "tracer", None)
+        tr = tracer if tracer is not None and tracer.enabled else None
         for step in self.steps:
             args = [values[i] for i in step.node.inputs]
-            if timings is None:
-                values[step.out_id] = _execute_step(step, args, self.engine)
+            t0 = time.perf_counter() if timings is not None else 0.0
+            if tr is not None:
+                with tr.step(step.path):
+                    values[step.out_id] = _execute_step(step, args, self.engine, tr)
             else:
-                t0 = time.perf_counter()
                 values[step.out_id] = _execute_step(step, args, self.engine)
+            if timings is not None:
                 timings[step.path] = timings.get(step.path, 0.0) + (
                     time.perf_counter() - t0
                 )
@@ -176,29 +180,41 @@ class CompiledProgram:
     __call__ = run
 
 
-def _execute_step(step: Step, args: List[np.ndarray], engine: ExecutionEngine) -> np.ndarray:
+def _execute_step(
+    step: Step,
+    args: List[np.ndarray],
+    engine: ExecutionEngine,
+    tracer: Optional[Any] = None,
+) -> np.ndarray:
     kind = step.kind
     if kind == "conv":
         y = engine.execute(step.plan, args[0])
+        t0 = time.perf_counter() if tracer is not None else 0.0
         y = y + step.bias[None, :, None, None]
         if step.relu:
             y = np.maximum(y, 0.0)
+        if tracer is not None:
+            tracer.record("epilogue", time.perf_counter() - t0)
         return y
+    t0 = time.perf_counter() if tracer is not None else 0.0
     if kind == "add":
         y = args[0] + args[1]
         if step.relu:
             y = np.maximum(y, 0.0)
-        return y
-    if kind == "relu":
-        return np.maximum(args[0], 0.0)
-    if kind == "concat":
+    elif kind == "relu":
+        y = np.maximum(args[0], 0.0)
+    elif kind == "concat":
         t, skip = args
         h = min(t.shape[2], skip.shape[2])
         w = min(t.shape[3], skip.shape[3])
-        return np.concatenate([t[:, :, :h, :w], skip[:, :, :h, :w]], axis=1)
-    # maxpool / global_avg_pool / flatten / linear / upsample / opaque:
-    # these are cheap whole-tensor NumPy ops already; call the layer.
-    return step.node.layer(args[0])
+        y = np.concatenate([t[:, :, :h, :w], skip[:, :, :h, :w]], axis=1)
+    else:
+        # maxpool / global_avg_pool / flatten / linear / upsample /
+        # opaque: cheap whole-tensor NumPy ops already; call the layer.
+        y = step.node.layer(args[0])
+    if tracer is not None:
+        tracer.record("op", time.perf_counter() - t0)
+    return y
 
 
 def lower(graph: Graph, cache: Optional[PlanCache] = None,

@@ -28,6 +28,7 @@ order, so the float outputs match bitwise as well.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import Any, Optional
 
@@ -74,11 +75,27 @@ class ExecutionEngine:
     execute the same plan on the same geometry concurrently -- the pool
     grows to one arena per peak-concurrent caller and reports contention
     via its :class:`~repro.runtime.plan.LeaseStats`.
+
+    ``tracer`` (a :class:`~repro.obs.tracer.StageTracer`) lap-times the
+    algorithm bodies per stage -- input transform, quantize, GEMM,
+    output transform -- consecutive laps tiling each body exactly.  With
+    no tracer attached (or a disabled one) the hot path pays a single
+    attribute check and no timing calls.
     """
 
-    def __init__(self, cache: Optional[PlanCache] = None, use_scratch: bool = True):
+    def __init__(
+        self,
+        cache: Optional[PlanCache] = None,
+        use_scratch: bool = True,
+        tracer: Optional[Any] = None,
+    ):
         self.cache = cache if cache is not None else default_cache()
         self.use_scratch = use_scratch
+        self.tracer = tracer
+
+    def _active_tracer(self):
+        tracer = self.tracer
+        return tracer if tracer is not None and tracer.enabled else None
 
     # -- plan management ------------------------------------------------
     def plan_for(
@@ -148,6 +165,8 @@ class ExecutionEngine:
 
     # -- algorithm bodies (each mirrors its reference layer exactly) ----
     def _run_lowino(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        tr = self._active_tracer()
+        t_lap = time.perf_counter() if tr else 0.0
         layer = plan.layer
         images = np.asarray(images, dtype=np.float64)
         b = images.shape[0]
@@ -168,6 +187,8 @@ class ExecutionEngine:
             v = tiles_to_gemm_operand(
                 v_tiles, out=self._buf(s, "v", (a * a, b * th * tw, c), np.float64)
             )  # (T, N, C)
+            if tr:
+                t_lap = tr.lap("input_transform", t_lap)
             if layer.input_params is not None:
                 in_params = layer.input_params
             else:
@@ -191,8 +212,12 @@ class ExecutionEngine:
                 np.asarray(128.0, dtype=gemm_dtype),
                 out=self._buf(s, "vbar", (t, n, c), gemm_dtype),
             )
+            if tr:
+                t_lap = tr.lap("quantize", t_lap)
             z = np.matmul(vbar, u_op, out=self._buf(s, "z", (t, n, k), gemm_dtype))
             z += zbar_op[:, None, :]
+            if tr:
+                t_lap = tr.lap("gemm", t_lap)
             # Scatter the (still exact-integer) accumulators into tile layout
             # *before* de-quantizing: the narrow dtype halves the strided
             # copy, and the divide below hits the same elementwise operands
@@ -211,9 +236,14 @@ class ExecutionEngine:
             y = output_transform(
                 layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
             )
-            return self._detach(assemble_output(grid, y), s)
+            out = self._detach(assemble_output(grid, y), s)
+            if tr:
+                tr.lap("output_transform", t_lap)
+            return out
 
     def _run_int8_upcast(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        tr = self._active_tracer()
+        t_lap = time.perf_counter() if tr else 0.0
         layer = plan.layer
         images = np.asarray(images, dtype=np.float64)
         k = layer.filters_fp32.shape[0]
@@ -222,6 +252,8 @@ class ExecutionEngine:
         else:
             in_params = spatial_params_from_tensor(images, bits=layer.bits)
         xq = quantize(images, in_params)
+        if tr:
+            t_lap = tr.lap("quantize", t_lap)
         x = pad_images(xq, layer.padding)
         geom = self._geometry(plan, images, x.shape[2:])
         b, c = images.shape[0], images.shape[1]
@@ -239,6 +271,8 @@ class ExecutionEngine:
                 saturate_cast(v, np.int16),
                 out=self._buf(s, "v16", (a * a, b * th * tw, c), np.int16),
             )  # (T, N, C)
+            if tr:
+                t_lap = tr.lap("input_transform", t_lap)
             t, n, c = v16.shape
             z_f64 = np.matmul(
                 v16.astype(np.float64),
@@ -246,6 +280,8 @@ class ExecutionEngine:
                 out=self._buf(s, "z", (t, n, k), np.float64),
             )
             z = _wrap_int32(z_f64)
+            if tr:
+                t_lap = tr.lap("gemm", t_lap)
             denom = (
                 in_params.scale
                 * layer.weight_params.scale.reshape(1, 1, k)
@@ -262,9 +298,14 @@ class ExecutionEngine:
             y = output_transform(
                 layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
             )
-            return self._detach(assemble_output(grid, y), s)
+            out = self._detach(assemble_output(grid, y), s)
+            if tr:
+                tr.lap("output_transform", t_lap)
+            return out
 
     def _run_int8_downscale(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        tr = self._active_tracer()
+        t_lap = time.perf_counter() if tr else 0.0
         layer = plan.layer
         images = np.asarray(images, dtype=np.float64)
         k = layer.filters_fp32.shape[0]
@@ -273,6 +314,8 @@ class ExecutionEngine:
         else:
             in_params = spatial_params_from_tensor(images, bits=layer.bits)
         xq = quantize(images, in_params)
+        if tr:
+            t_lap = tr.lap("quantize", t_lap)
         x = pad_images(xq, layer.padding)
         geom = self._geometry(plan, images, x.shape[2:])
         b, c = images.shape[0], images.shape[1]
@@ -288,6 +331,8 @@ class ExecutionEngine:
             v_op = tiles_to_gemm_operand(
                 v8, out=self._buf(s, "v8", (a * a, b * th * tw, c), np.int8)
             )  # (T, N, C)
+            if tr:
+                t_lap = tr.lap("input_transform", t_lap)
             t, n, c = v_op.shape
             z_f64 = np.matmul(
                 v_op.astype(np.float64),
@@ -295,6 +340,8 @@ class ExecutionEngine:
                 out=self._buf(s, "z", (t, n, k), np.float64),
             )
             z = _wrap_int32(z_f64)
+            if tr:
+                t_lap = tr.lap("gemm", t_lap)
             denom = (
                 in_params.scale
                 * layer.input_downscale
@@ -311,9 +358,14 @@ class ExecutionEngine:
             y = output_transform(
                 layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
             )
-            return self._detach(assemble_output(grid, y), s)
+            out = self._detach(assemble_output(grid, y), s)
+            if tr:
+                tr.lap("output_transform", t_lap)
+            return out
 
     def _run_int8_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        tr = self._active_tracer()
+        t_lap = time.perf_counter() if tr else 0.0
         layer = plan.layer
         images = np.asarray(images, dtype=np.float64)
         b, c, h, w = images.shape
@@ -323,22 +375,40 @@ class ExecutionEngine:
         else:
             in_params = spatial_params_from_tensor(images, bits=layer.bits)
         xq = quantize(images, in_params)
+        if tr:
+            t_lap = tr.lap("quantize", t_lap)
         x = pad_images(xq, layer.padding)
         oh, ow = conv_output_shape(h, w, r, stride=layer.stride, padding=layer.padding)
         cols = im2col(x, r, stride=layer.stride)  # int8 (B*OH*OW, C*r*r)
+        if tr:
+            t_lap = tr.lap("input_transform", t_lap)
         acc_f64 = cols.astype(np.float64) @ plan.operands["w_f64"].T
         acc = _wrap_int32(acc_f64)
+        if tr:
+            t_lap = tr.lap("gemm", t_lap)
         w_scale = layer.weight_params.scale.reshape(1, k)
         out = acc.astype(np.float64) / (in_params.scale * w_scale)
-        return out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
+        out = out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
+        if tr:
+            tr.lap("output_transform", t_lap)
+        return out
 
     def _run_fp32_winograd(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
         # The fp32 layer object already holds the precomputed transformed
         # filters and runs the fully vectorized pipeline; execution just
-        # shares the plan-cached instance.
+        # shares the plan-cached instance.  The stage tracer sees it as
+        # one undecomposed "op" (its internals live in the layer).
+        tr = self._active_tracer()
+        if tr:
+            with tr.span("op"):
+                return plan.layer(images)
         return plan.layer(images)
 
     def _run_fp32_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+        tr = self._active_tracer()
+        if tr:
+            with tr.span("op"):
+                return plan.layer(images)
         return plan.layer(images)
 
 

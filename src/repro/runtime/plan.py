@@ -39,6 +39,7 @@ __all__ = [
     "ConvPlan",
     "plan_key",
     "filters_digest",
+    "aggregate_lease_stats",
     "get_plan",
     "build_plan",
 ]
@@ -189,6 +190,14 @@ class ScratchPool:
         with self._cond:
             return sum(a.nbytes for a in self._arenas)
 
+    def stats_dict(self) -> Dict[str, Any]:
+        """Consistent :class:`LeaseStats` snapshot plus arena footprint."""
+        with self._cond:
+            doc = self.stats.as_dict()
+            doc["arenas"] = len(self._arenas)
+            doc["nbytes"] = sum(a.nbytes for a in self._arenas)
+            return doc
+
 
 @dataclass
 class GeometryPlan:
@@ -233,6 +242,38 @@ class ConvPlan:
         """The cached per-geometry plan for an input shape."""
         geom_key = (self.key, "geometry", tuple(images_shape))
         return cache.get_or_build(geom_key, builder)
+
+
+def aggregate_lease_stats(values) -> Dict[str, Any]:
+    """Sum the scratch-pool lease telemetry across cached values.
+
+    ``values`` is typically ``cache.entries_snapshot()``; every
+    :class:`GeometryPlan` contributes its pool's acquires / grows /
+    waits / wait seconds plus arena count and bytes, giving the
+    engine-wide contention picture one snapshot exports.
+    """
+    totals: Dict[str, Any] = {
+        "pools": 0,
+        "acquires": 0,
+        "releases": 0,
+        "grows": 0,
+        "waits": 0,
+        "wait_seconds": 0.0,
+        "in_use": 0,
+        "peak_in_use": 0,
+        "arenas": 0,
+        "nbytes": 0,
+    }
+    for value in values:
+        if not isinstance(value, GeometryPlan):
+            continue
+        doc = value.scratch.stats_dict()
+        totals["pools"] += 1
+        for key in ("acquires", "releases", "grows", "waits", "in_use", "arenas", "nbytes"):
+            totals[key] += doc[key]
+        totals["wait_seconds"] += doc["wait_seconds"]
+        totals["peak_in_use"] = max(totals["peak_in_use"], doc["peak_in_use"])
+    return totals
 
 
 def filters_digest(filters: np.ndarray) -> str:

@@ -44,9 +44,12 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from ..nn.layers import Layer
+from ..obs.metrics import MetricsRegistry, Sample
+from ..obs.tracer import StageTracer
 from .cache import PlanCache
 from .compiler import CompiledProgram, compile_model
 from .engine import ExecutionEngine
+from .plan import aggregate_lease_stats
 
 __all__ = ["InferenceSession"]
 
@@ -61,6 +64,8 @@ class InferenceSession:
         cache: Optional[PlanCache] = None,
         engine: Optional[ExecutionEngine] = None,
         collect_timings: bool = True,
+        tracer: Optional[StageTracer] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.model = model
         self.input_shape = tuple(int(s) for s in input_shape)
@@ -70,7 +75,18 @@ class InferenceSession:
             n_convs = sum(1 for _ in _convs(model))
             cache = PlanCache(capacity=max(64, 8 * max(1, n_convs)))
         self.cache = cache
-        self.engine = engine if engine is not None else ExecutionEngine(cache=cache)
+        #: Session-wide telemetry hub.  Private by default so two
+        #: sessions never alias counters; pass a shared registry to
+        #: aggregate (the serving layer labels per model instead).
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        if engine is None:
+            engine = ExecutionEngine(cache=cache, tracer=tracer)
+        elif tracer is not None:
+            engine.tracer = tracer
+        self.engine = engine
+        if tracer is not None:
+            self.registry.register_collector(tracer.collect)
         self.program: CompiledProgram = compile_model(
             model, self.input_shape, cache=self.cache, engine=self.engine
         )
@@ -81,13 +97,28 @@ class InferenceSession:
         #: Cumulative per-layer seconds across all runs, by layer path.
         self.timings: Dict[str, float] = {}
         #: Number of ``run`` calls since construction / ``reset_stats``.
-        self.runs = 0
+        self._runs = self.registry.counter(
+            "repro_session_runs_total", help="run() calls on this session"
+        )
         #: Total images pushed through ``run``.
-        self.images_seen = 0
+        self._images = self.registry.counter(
+            "repro_session_images_total", help="images executed by this session"
+        )
+        self.registry.register_collector(self._collect)
 
     @property
     def graph(self):
         return self.program.graph
+
+    @property
+    def runs(self) -> int:
+        """Number of ``run`` calls since construction / ``reset_stats``."""
+        return int(self._runs.value)
+
+    @property
+    def images_seen(self) -> int:
+        """Total images pushed through ``run``."""
+        return int(self._images.value)
 
     def run(self, images: np.ndarray) -> np.ndarray:
         """Execute the compiled program on one NCHW batch.
@@ -101,12 +132,12 @@ class InferenceSession:
         images = np.asarray(images)
         local: Optional[Dict[str, float]] = {} if self.collect_timings else None
         out = self.program.run(images, timings=local)
-        with self._stats_lock:
-            if local:
+        if local:
+            with self._stats_lock:
                 for path, seconds in local.items():
                     self.timings[path] = self.timings.get(path, 0.0) + seconds
-            self.runs += 1
-            self.images_seen += int(images.shape[0])
+        self._runs.inc()
+        self._images.inc(int(images.shape[0]))
         return out
 
     __call__ = run
@@ -125,11 +156,75 @@ class InferenceSession:
         """Aggregated plan-cache counters for this session's cache."""
         return self.cache.stats_dict()
 
+    def scratch_stats(self) -> Dict[str, int]:
+        """Scratch-pool lease counters summed over the cached plans."""
+        return aggregate_lease_stats(self.cache.entries_snapshot())
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-ready snapshot of everything this session tracks."""
+        doc: Dict[str, object] = {
+            "runs": self.runs,
+            "images_seen": self.images_seen,
+            "timings": self.layer_timings(),
+            "cache": self.cache_stats(),
+            "scratch": self.scratch_stats(),
+        }
+        if self.tracer is not None:
+            doc["stages"] = self.tracer.breakdown()
+        return doc
+
+    def metrics_text(self) -> str:
+        """This session's registry in Prometheus text format."""
+        from ..obs.export import prometheus_text
+
+        return prometheus_text(self.registry)
+
     def reset_stats(self) -> None:
+        """Start a fresh statistics epoch: per-layer timings, run/image
+        counters, *and* the plan-cache counters (a post-reset snapshot
+        must not mix epochs).  Live plans/scratch stay resident."""
         with self._stats_lock:
             self.timings = {}
-            self.runs = 0
-            self.images_seen = 0
+        self._runs.reset()
+        self._images.reset()
+        self.cache.reset_stats()
+        if self.tracer is not None:
+            self.tracer.reset()
+
+    def _collect(self):
+        """Registry collector: plan-cache and scratch-pool telemetry."""
+        cache = self.cache.stats_dict()
+        for key in ("hits", "misses", "evictions"):
+            yield Sample(
+                f"repro_plan_cache_{key}_total",
+                cache[key],
+                kind="counter",
+                help=f"Plan cache {key}",
+            )
+        yield Sample(
+            "repro_plan_cache_bytes", cache["bytes"], help="Resident plan bytes"
+        )
+        yield Sample(
+            "repro_plan_cache_entries", cache["entries"], help="Resident plan entries"
+        )
+        scratch = self.scratch_stats()
+        for key in ("acquires", "releases", "grows", "waits"):
+            yield Sample(
+                f"repro_scratch_{key}_total",
+                scratch[key],
+                kind="counter",
+                help=f"Scratch pool {key}",
+            )
+        yield Sample(
+            "repro_scratch_wait_seconds_total",
+            scratch["wait_seconds"],
+            kind="counter",
+            help="Seconds spent waiting on scratch leases",
+        )
+        for key in ("in_use", "peak_in_use", "arenas", "nbytes"):
+            yield Sample(
+                f"repro_scratch_{key}", scratch[key], help=f"Scratch pool {key}"
+            )
 
     def describe(self) -> str:
         """Human-readable program listing (graph + per-step algorithms)."""

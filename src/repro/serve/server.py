@@ -35,6 +35,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..nn.layers import Layer
+from ..obs.export import prometheus_text
+from ..obs.metrics import MetricsRegistry, Sample
 from ..runtime.session import InferenceSession
 from .batching import InferenceFuture, Request, RequestQueue, ServerClosed
 from .stats import ModelStats
@@ -53,6 +55,7 @@ class ServedModel:
         max_delay_s: float,
         queue_size: int,
         workers: int,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -63,7 +66,18 @@ class ServedModel:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.queue = RequestQueue(max_requests=queue_size)
-        self.stats = ModelStats()
+        registry = registry if registry is not None else MetricsRegistry()
+        self.stats = ModelStats(registry=registry, model=name)
+        # Live views: queue depth reads the queue itself at export time,
+        # and the session's cache / run counters come in via a collector
+        # (they live under the session's own locks).
+        registry.gauge(
+            "repro_queue_depth",
+            help="requests waiting in the model queue",
+            fn=lambda: self.queue.depth,
+            model=name,
+        )
+        registry.register_collector(self._collect)
         self._threads: List[threading.Thread] = []
         for i in range(workers):
             t = threading.Thread(
@@ -138,6 +152,36 @@ class ServedModel:
         }
         return doc
 
+    def _collect(self):
+        """Registry collector: session run/image and plan-cache counters
+        for this model, labeled so multi-model exports stay distinct."""
+        labels = {"model": self.name}
+        yield Sample(
+            "repro_session_runs_total",
+            self.session.runs,
+            dict(labels),
+            "counter",
+            "run() calls on the model session",
+        )
+        yield Sample(
+            "repro_session_images_total",
+            self.session.images_seen,
+            dict(labels),
+            "counter",
+            "images executed by the model session",
+        )
+        cache = self.session.cache_stats()
+        for key in ("hits", "misses", "evictions"):
+            yield Sample(
+                f"repro_plan_cache_{key}_total",
+                cache[key],
+                dict(labels),
+                "counter",
+                f"Plan cache {key}",
+            )
+        yield Sample("repro_plan_cache_bytes", cache["bytes"], dict(labels))
+        yield Sample("repro_plan_cache_entries", cache["entries"], dict(labels))
+
 
 class Server:
     """Multi-model inference server over compiled sessions.
@@ -161,11 +205,16 @@ class Server:
         max_delay_ms: float = 2.0,
         queue_size: int = 64,
         workers_per_model: int = 1,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
         self.queue_size = queue_size
         self.workers_per_model = workers_per_model
+        #: All serving telemetry (per-model counters, latency reservoirs,
+        #: live queue depths, session collectors) lands here; export with
+        #: :meth:`metrics_text` / :meth:`metrics`.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
         self._closed = False
@@ -202,6 +251,7 @@ class Server:
                 max_delay_s=self.max_delay_ms / 1e3,
                 queue_size=self.queue_size,
                 workers=workers if workers is not None else self.workers_per_model,
+                registry=self.registry,
             )
         return session
 
@@ -266,6 +316,14 @@ class Server:
         with self._lock:
             entries = dict(self._models)
         return {name: entry.snapshot() for name, entry in entries.items()}
+
+    def metrics(self) -> Dict[str, Dict[str, object]]:
+        """JSON snapshot of the server's metrics registry."""
+        return self.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """All serving telemetry in the Prometheus text format."""
+        return prometheus_text(self.registry)
 
     def close(self, drain: bool = True) -> None:
         """Shut down all model workers; idempotent."""

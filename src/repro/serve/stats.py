@@ -5,12 +5,24 @@ the serving layer's value claim is *measured* (throughput, latency,
 queue depth, batch coalescing), so the stats are first-class citizens,
 not an afterthought.  ``repro serve-bench`` and ``Server.stats()`` both
 read these structures.
+
+Since the unified observability layer (:mod:`repro.obs`) landed, these
+classes are thin shapes over registry-owned metrics: every number in a
+``snapshot()`` is also exported by the server's
+:class:`~repro.obs.metrics.MetricsRegistry` (Prometheus text via
+``Server.metrics_text()``), labeled per model.  Two correctness fixes
+rode along with the move: latency percentiles now come from a seeded
+Algorithm-R reservoir (an unbiased sample of the whole stream, not the
+first 65536 observations) and use true nearest-rank selection
+(``ceil(q/100 * n) - 1``, matching ``np.percentile(...,
+method="inverted_cdf")``).
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Dict, List
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import RESERVOIR_SEED, Histogram, MetricsRegistry
 
 __all__ = ["LatencyStats", "ModelStats"]
 
@@ -18,95 +30,160 @@ __all__ = ["LatencyStats", "ModelStats"]
 class LatencyStats:
     """Streaming latency accumulator with bounded sample retention.
 
-    Keeps exact count / sum / max plus a bounded sample buffer for
-    percentiles (the first ``max_samples`` observations are retained;
-    serving benchmarks stay well under the cap, long-lived servers
-    degrade to count/mean/max which never lose precision).
+    Exact count / sum / max are kept for the whole stream; percentiles
+    come from a seeded Algorithm-R reservoir
+    (:class:`~repro.obs.metrics.Histogram`), so a long-lived server's
+    p95 keeps tracking the live distribution after the buffer fills.
     """
 
-    def __init__(self, max_samples: int = 65536) -> None:
-        self._lock = threading.Lock()
-        self._samples: List[float] = []
-        self._max_samples = max_samples
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
+    def __init__(
+        self,
+        max_samples: int = 65536,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "repro_request_latency_seconds",
+        seed: int = RESERVOIR_SEED,
+        **labels: str,
+    ) -> None:
+        if registry is not None:
+            self._hist = registry.histogram(
+                name,
+                help="End-to-end request latency",
+                max_samples=max_samples,
+                seed=seed,
+                **labels,
+            )
+        else:
+            self._hist = Histogram(
+                name, labels=dict(labels), max_samples=max_samples, seed=seed
+            )
 
     def record(self, seconds: float) -> None:
-        with self._lock:
-            self.count += 1
-            self.total += seconds
-            if seconds > self.max:
-                self.max = seconds
-            if len(self._samples) < self._max_samples:
-                self._samples.append(seconds)
+        self._hist.observe(seconds)
+
+    @property
+    def count(self) -> int:
+        return self._hist.count
+
+    @property
+    def total(self) -> float:
+        return self._hist.total
+
+    @property
+    def max(self) -> float:
+        return self._hist.max
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained samples (0 if none)."""
-        with self._lock:
-            samples = sorted(self._samples)
-        if not samples:
-            return 0.0
-        rank = min(len(samples) - 1, max(0, int(round(q / 100.0 * (len(samples) - 1)))))
-        return samples[rank]
+        return self._hist.percentile(q)
 
     def snapshot(self) -> Dict[str, float]:
-        with self._lock:
-            count, total, mx = self.count, self.total, self.max
+        snap = self._hist.snapshot()
         return {
-            "count": count,
-            "mean_ms": (total / count * 1e3) if count else 0.0,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p95_ms": self.percentile(95) * 1e3,
-            "max_ms": mx * 1e3,
+            "count": snap["count"],
+            "mean_ms": snap["mean"] * 1e3,
+            "p50_ms": snap["p50"] * 1e3,
+            "p95_ms": snap["p95"] * 1e3,
+            "p99_ms": snap["p99"] * 1e3,
+            "max_ms": snap["max"] * 1e3,
         }
+
+    def reset(self) -> None:
+        self._hist.reset()
 
 
 class ModelStats:
-    """Counters for one served model (all mutations under one lock)."""
+    """Counters for one served model, owned by a metrics registry.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.requests = 0  #: requests accepted into the queue
-        self.images = 0  #: images across accepted requests
-        self.batches = 0  #: session.run calls issued by workers
-        self.batched_images = 0  #: images across those calls
-        self.max_batch_images = 0  #: largest coalesced batch observed
-        self.rejected = 0  #: requests refused by backpressure
-        self.errors = 0  #: requests completed with an exception
-        self.latency = LatencyStats()
+    Every mutation lands on a registry metric (counters are exact under
+    concurrent callers), so ``snapshot()`` and the Prometheus export
+    read the *same* state -- there is no second bookkeeping path to
+    drift.  With no ``registry`` argument a private registry is used,
+    which keeps the class drop-in for direct construction in tests.
+    """
 
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, model: str = ""
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        labels = {"model": model} if model else {}
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_requests_total", help="requests accepted into the queue", **labels
+        )
+        self._images = reg.counter(
+            "repro_request_images_total", help="images across accepted requests", **labels
+        )
+        self._batches = reg.counter(
+            "repro_batches_total", help="session.run calls issued by workers", **labels
+        )
+        self._batched_images = reg.counter(
+            "repro_batched_images_total", help="images across executed batches", **labels
+        )
+        self._rejected = reg.counter(
+            "repro_rejected_total", help="requests refused by backpressure", **labels
+        )
+        self._errors = reg.counter(
+            "repro_errors_total", help="requests completed with an exception", **labels
+        )
+        self._max_batch = reg.gauge(
+            "repro_max_batch_images", help="largest coalesced batch observed", **labels
+        )
+        self.latency = LatencyStats(registry=reg, **labels)
+
+    # -- recorded counters, exposed with the historical attribute names --
+    @property
+    def requests(self) -> int:
+        return self._requests.value
+
+    @property
+    def images(self) -> int:
+        return self._images.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def batched_images(self) -> int:
+        return self._batched_images.value
+
+    @property
+    def max_batch_images(self) -> int:
+        return int(self._max_batch.value)
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    # -- recording -------------------------------------------------------
     def record_request(self, images: int) -> None:
-        with self._lock:
-            self.requests += 1
-            self.images += images
+        self._requests.inc()
+        self._images.inc(images)
 
     def record_rejection(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
 
     def record_batch(self, images: int) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batched_images += images
-            if images > self.max_batch_images:
-                self.max_batch_images = images
+        self._batches.inc()
+        self._batched_images.inc(images)
+        self._max_batch.set_max(images)
 
     def record_error(self, requests: int = 1) -> None:
-        with self._lock:
-            self.errors += requests
+        self._errors.inc(requests)
 
     def snapshot(self) -> Dict[str, Any]:
-        with self._lock:
-            batches = self.batches
-            doc = {
-                "requests": self.requests,
-                "images": self.images,
-                "batches": batches,
-                "mean_batch_images": (self.batched_images / batches) if batches else 0.0,
-                "max_batch_images": self.max_batch_images,
-                "rejected": self.rejected,
-                "errors": self.errors,
-            }
-        doc["latency"] = self.latency.snapshot()
-        return doc
+        batches = self.batches
+        return {
+            "requests": self.requests,
+            "images": self.images,
+            "batches": batches,
+            "mean_batch_images": (self.batched_images / batches) if batches else 0.0,
+            "max_batch_images": self.max_batch_images,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }

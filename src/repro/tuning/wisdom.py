@@ -3,11 +3,22 @@
 The paper saves auto-tuning results "into a wisdom file and used in
 inference".  The wisdom file here is JSON keyed by the GEMM problem
 signature ``T x N x C x K``; entries round-trip exactly.
+
+Durability: :meth:`WisdomFile.store` writes through a temporary file in
+the same directory followed by ``os.replace``, so readers only ever see
+a complete JSON document -- a crash mid-write can no longer truncate
+accumulated wisdom.  A corrupt or unreadable existing file is warned
+about and treated as empty (tuning regenerates it) instead of raising
+at construction, and ``store`` re-merges the on-disk entries first so
+concurrent tuners append rather than clobber each other.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Optional
@@ -22,6 +33,28 @@ def problem_key(t: int, n: int, c: int, k: int) -> str:
     return f"{t}x{n}x{c}x{k}"
 
 
+def _read_entries(path: Path) -> Dict[str, dict]:
+    """Entries from ``path``; a missing, corrupt, or non-dict file is an
+    empty wisdom file (with a warning for the corrupt cases -- losing
+    tuning time silently would be worse than the noise)."""
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        return {}
+    try:
+        entries = json.loads(raw)
+        if not isinstance(entries, dict):
+            raise ValueError(f"expected a JSON object, got {type(entries).__name__}")
+    except ValueError as exc:
+        warnings.warn(
+            f"wisdom file {path} is corrupt ({exc}); starting fresh",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return {}
+    return entries
+
+
 class WisdomFile:
     """Load/store tuned blocking parameters.
 
@@ -32,9 +65,7 @@ class WisdomFile:
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._entries: Dict[str, dict] = {}
-        if self.path.exists():
-            self._entries = json.loads(self.path.read_text())
+        self._entries: Dict[str, dict] = _read_entries(self.path)
 
     def lookup(self, t: int, n: int, c: int, k: int) -> Optional[BlockingParams]:
         entry = self._entries.get(problem_key(t, n, c, k))
@@ -50,7 +81,34 @@ class WisdomFile:
             "predicted_time": result.predicted_time,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._entries, indent=2, sort_keys=True))
+        # Merge whatever is on disk now under our in-memory entries:
+        # another process may have tuned different problems since we
+        # loaded, and a plain overwrite would discard its work.
+        on_disk = _read_entries(self.path)
+        if on_disk:
+            merged = dict(on_disk)
+            merged.update(self._entries)
+            self._entries = merged
+        self._write_atomic(json.dumps(self._entries, indent=2, sort_keys=True))
+
+    def _write_atomic(self, text: str) -> None:
+        """Write via tempfile + ``os.replace`` so the wisdom file on
+        disk is always a complete document, even across a crash."""
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(text)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def lookup_or_tune(self, t: int, n: int, c: int, k: int, **tune_kwargs) -> BlockingParams:
         cached = self.lookup(t, n, c, k)

@@ -1,0 +1,100 @@
+"""Prometheus text exposition: render, then parse every line back."""
+
+import pytest
+
+from repro.obs.export import parse_prometheus_text, prometheus_text
+from repro.obs.metrics import MetricsRegistry, Sample
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", help="requests", model="vgg").inc(5)
+    reg.counter("repro_requests_total", help="requests", model="resnet").inc(2)
+    reg.gauge("repro_queue_depth", model="vgg").set(3)
+    hist = reg.histogram("repro_latency_seconds", help="latency", model="vgg")
+    for v in (0.001, 0.002, 0.003, 0.010):
+        hist.observe(v)
+    reg.register_collector(
+        lambda: [
+            Sample(
+                "repro_stage_seconds_total",
+                0.25,
+                {"layer": "conv0", "stage": "gemm"},
+                "counter",
+                "stage seconds",
+            )
+        ]
+    )
+    return reg
+
+
+class TestRoundTrip:
+    def test_every_line_parses_and_values_round_trip(self):
+        reg = _populated_registry()
+        text = prometheus_text(reg)
+        doc = parse_prometheus_text(text)  # raises on ANY malformed line
+
+        assert doc.value("repro_requests_total", model="vgg") == 5
+        assert doc.value("repro_requests_total", model="resnet") == 2
+        assert doc.value("repro_queue_depth", model="vgg") == 3
+        assert doc.value("repro_latency_seconds_count", model="vgg") == 4
+        assert doc.value("repro_latency_seconds_sum", model="vgg") == pytest.approx(
+            0.016
+        )
+        snap = reg.histogram("repro_latency_seconds", model="vgg").snapshot()
+        for q_label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            assert doc.value(
+                "repro_latency_seconds", model="vgg", quantile=q_label
+            ) == pytest.approx(snap[key])
+        assert doc.value(
+            "repro_stage_seconds_total", layer="conv0", stage="gemm"
+        ) == 0.25
+
+    def test_type_and_help_headers(self):
+        text = prometheus_text(_populated_registry())
+        doc = parse_prometheus_text(text)
+        assert doc.types["repro_requests_total"] == "counter"
+        assert doc.types["repro_queue_depth"] == "gauge"
+        # histograms export as Prometheus summaries (pre-computed quantiles)
+        assert doc.types["repro_latency_seconds"] == "summary"
+        assert doc.types["repro_stage_seconds_total"] == "counter"
+        assert doc.helps["repro_requests_total"] == "requests"
+        # one TYPE line per family, even with _count/_sum rows present
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE ")
+        ]
+        assert len(type_lines) == len(doc.types)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        tricky = 'he said "hi"\\path\nnewline'
+        reg.counter("c_total", layer=tricky).inc(1)
+        doc = parse_prometheus_text(prometheus_text(reg))
+        assert doc.value("c_total", layer=tricky) == 1
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(7)
+        assert "c_total 7\n" in prometheus_text(reg)
+
+
+class TestParserStrictness:
+    def test_malformed_sample_line_rejected(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("this is not a metric line at all!{\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            parse_prometheus_text("good_name notanumber\n")
+
+    def test_malformed_label_block_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_prometheus_text('m{key=unquoted} 1\n')
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE m nonsense\n")
+
+    def test_other_comments_ignored(self):
+        doc = parse_prometheus_text("# just a comment\nm 1\n")
+        assert doc.value("m") == 1

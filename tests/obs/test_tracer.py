@@ -1,0 +1,129 @@
+"""Stage tracer: attribution, laps, thread-local paths, registry export."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import STAGES, StageTracer
+
+
+class TestRecording:
+    def test_record_attributes_to_current_step(self):
+        tr = StageTracer()
+        with tr.step("conv0"):
+            tr.record("gemm", 0.5)
+            tr.record("gemm", 0.25)
+        with tr.step("conv1"):
+            tr.record("quantize", 0.1)
+        bd = tr.breakdown()
+        assert bd["conv0"]["gemm"] == 0.75
+        assert bd["conv1"]["quantize"] == 0.1
+        assert tr.call_counts()["conv0"]["gemm"] == 2
+
+    def test_nested_steps_restore_previous_path(self):
+        tr = StageTracer()
+        with tr.step("outer"):
+            with tr.step("inner"):
+                tr.record("op", 1.0)
+            tr.record("op", 2.0)
+        bd = tr.breakdown()
+        assert bd["inner"]["op"] == 1.0
+        assert bd["outer"]["op"] == 2.0
+
+    def test_lap_tiles_time_and_returns_new_origin(self):
+        tr = StageTracer()
+        with tr.step("l"):
+            t0 = time.perf_counter()
+            time.sleep(0.01)
+            t1 = tr.lap("a", t0)
+            assert t1 > t0
+            time.sleep(0.01)
+            tr.lap("b", t1)
+        bd = tr.breakdown()["l"]
+        assert bd["a"] >= 0.005
+        assert bd["b"] >= 0.005
+
+    def test_span_records_block_duration(self):
+        tr = StageTracer()
+        with tr.step("l"), tr.span("op"):
+            time.sleep(0.01)
+        assert tr.breakdown()["l"]["op"] >= 0.005
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = StageTracer(enabled=False)
+        with tr.step("l"):
+            tr.record("gemm", 1.0)
+            with tr.span("op"):
+                pass
+        assert tr.breakdown() == {}
+        tr.enable()
+        tr.record("gemm", 1.0, path="l")
+        assert tr.breakdown() == {"l": {"gemm": 1.0}}
+
+    def test_totals_and_reset(self):
+        tr = StageTracer()
+        tr.record("gemm", 1.0, path="a")
+        tr.record("quantize", 2.0, path="a")
+        tr.record("gemm", 3.0, path="b")
+        assert tr.stage_totals() == {"gemm": 4.0, "quantize": 2.0}
+        assert tr.layer_totals() == {"a": 3.0, "b": 3.0}
+        assert tr.total_seconds() == 6.0
+        tr.reset()
+        assert tr.total_seconds() == 0.0
+
+
+class TestThreadSafety:
+    def test_paths_are_thread_local(self):
+        tr = StageTracer()
+        ready = threading.Barrier(2)
+        errors = []
+
+        def worker(name):
+            try:
+                with tr.step(name):
+                    ready.wait(timeout=10.0)
+                    # both threads are inside their step now; each must
+                    # see its OWN path
+                    assert tr.current_path == name
+                    for _ in range(1000):
+                        tr.record("gemm", 0.001)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors
+        bd = tr.breakdown()
+        for name in ("t0", "t1"):
+            assert bd[name]["gemm"] == pytest.approx(1.0)
+            assert tr.call_counts()[name]["gemm"] == 1000
+
+
+class TestRegistryExport:
+    def test_collect_yields_labeled_counters(self):
+        reg = MetricsRegistry()
+        tr = StageTracer(registry=reg)
+        tr.record("gemm", 0.5, path="conv0")
+        samples = {s.full_name: s for s in reg.collect()}
+        key = 'repro_stage_seconds_total{layer="conv0",stage="gemm"}'
+        assert samples[key].value == 0.5
+        assert samples[key].kind == "counter"
+        calls = 'repro_stage_calls_total{layer="conv0",stage="gemm"}'
+        assert samples[calls].value == 1
+
+    def test_canonical_stage_names(self):
+        assert STAGES == (
+            "input_transform",
+            "quantize",
+            "gemm",
+            "output_transform",
+            "epilogue",
+            "op",
+        )

@@ -93,6 +93,18 @@ class TestHistogram:
         assert a.range == c.range
         assert np.array_equal(a.counts, c.counts)
 
+    def test_denormal_observation_does_not_break_binning(self):
+        # A subnormal max (5e-324) used to set a subnormal range whose
+        # bin width underflowed -- np.histogram raised "Too many bins
+        # for data range".  The range is floored so bins stay finite.
+        obs = HistogramObserver(bins=128)
+        obs.observe(np.array([5e-324]))
+        assert obs.counts.sum() == 1
+        assert obs.range >= 5e-324
+        obs.observe(np.array([1.0]))  # growth from the floored range works
+        assert obs.counts.sum() == 2
+        assert obs.range >= 1.0
+
     def test_threshold_minmax_zero_data(self):
         obs = HistogramObserver()
         obs.observe(np.zeros(10))

@@ -108,6 +108,27 @@ class TestStats:
         assert len(calls) == 1
         assert cache.stats.hits == 2 and cache.stats.misses == 1
 
+    def test_reset_stats_keeps_entries_and_remeasures_bytes(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", np.zeros(16, dtype=np.float64))
+        cache.get("a")
+        cache.get("missing")
+        cache.reset_stats()
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+        assert stats.entries == 1
+        assert stats.bytes == 128  # re-measured from the live value
+        assert cache.get("a") is not None  # entry survived the reset
+
+    def test_entries_snapshot_is_a_copy(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        snap = cache.entries_snapshot()
+        assert sorted(snap) == [1, 2]
+        snap.append(3)
+        assert len(cache) == 2
+
 
 class TestPlanIntegration:
     def test_same_layer_hits(self, rng):

@@ -141,6 +141,44 @@ class TestSessionStats:
         session.reset_stats()
         assert session.runs == 0 and not session.timings
 
+    def test_reset_stats_resets_cache_counters_keeps_entries(self, rng):
+        # reset_stats starts a statistics EPOCH: the plan-cache
+        # hit/miss/eviction counters must restart with it (a post-reset
+        # cache_stats() mixing epochs made hit rates meaningless), while
+        # the live plans and their footprint stay resident.
+        model = build_vgg_small(width=8)
+        x = rng.standard_normal((1, 3, 16, 16))
+        # Quantized layers look up per-geometry scratch in the cache on
+        # every run, so hits accumulate (fp32 plans are resolved at
+        # compile time and would leave the run-time counters at zero).
+        quantize_model(model, "lowino", m=2, calibration_batches=[np.maximum(x, 0)])
+        session = InferenceSession(model, (1, 3, 16, 16))
+        session.run(x)
+        session.run(x)
+        before = session.cache_stats()
+        assert before["hits"] > 0 and before["entries"] > 0
+        session.reset_stats()
+        after = session.cache_stats()
+        assert after["hits"] == 0 and after["misses"] == 0
+        assert after["evictions"] == 0
+        assert after["entries"] == before["entries"]
+        assert after["bytes"] == before["bytes"]
+        session.run(x)  # plans still resident: pure hits, no rebuild
+        assert session.cache_stats()["misses"] == 0
+        assert session.cache_stats()["hits"] > 0
+
+    def test_stats_snapshot_and_scratch(self, rng):
+        model = build_vgg_small(width=8)
+        session = InferenceSession(model, (1, 3, 16, 16))
+        session.run(rng.standard_normal((1, 3, 16, 16)))
+        doc = session.stats()
+        assert doc["runs"] == 1 and doc["images_seen"] == 1
+        assert doc["cache"]["entries"] > 0
+        assert doc["timings"]
+        scratch = doc["scratch"]
+        assert scratch["acquires"] == scratch["releases"]
+        assert scratch["in_use"] == 0
+
     def test_collect_timings_off(self, rng):
         model = build_vgg_small(width=8)
         session = InferenceSession(model, (1, 3, 16, 16),

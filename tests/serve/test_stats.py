@@ -1,0 +1,154 @@
+"""Serving telemetry: reservoir percentiles, counters, registry export."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.export import parse_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.stats import LatencyStats, ModelStats
+
+
+class TestLatencyPercentiles:
+    def test_matches_numpy_inverted_cdf_on_random_streams(self):
+        # Under the reservoir cap the retained samples ARE the stream,
+        # so percentile() must be exactly np.percentile(...,
+        # method='inverted_cdf') -- the true nearest-rank definition
+        # (the old round((n-1)*q/100) was neither that nor interpolation).
+        rng = np.random.default_rng(12)
+        for trial in range(10):
+            n = int(rng.integers(1, 300))
+            values = (rng.lognormal(sigma=1.0, size=n) * 1e-3).tolist()
+            stats = LatencyStats()
+            for v in values:
+                stats.record(v)
+            for q in (1.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+                expected = float(np.percentile(values, q, method="inverted_cdf"))
+                assert stats.percentile(q) == pytest.approx(expected), (
+                    f"trial {trial} n={n} q={q}"
+                )
+
+    def test_p95_follows_bimodal_shift_past_the_cap(self):
+        # Regression for first-N retention: a latency regression arriving
+        # AFTER max_samples observations must move p95.  4096 fast samples
+        # fill a 1024 reservoir, then 4x as many slow samples arrive; with
+        # Algorithm R the reservoir converges to ~80% slow, so p95 lands
+        # on the slow mode.  The old buffer kept p95 == 1ms forever.
+        stats = LatencyStats(max_samples=1024)
+        for _ in range(4096):
+            stats.record(0.001)
+        assert stats.snapshot()["p95_ms"] == pytest.approx(1.0)
+        for _ in range(4 * 4096):
+            stats.record(0.100)
+        snap = stats.snapshot()
+        assert snap["p95_ms"] == pytest.approx(100.0)
+        assert snap["count"] == 5 * 4096  # exact aggregates never sampled
+
+    def test_snapshot_shape_is_backwards_compatible(self):
+        stats = LatencyStats()
+        stats.record(0.002)
+        snap = stats.snapshot()
+        for key in ("count", "mean_ms", "p50_ms", "p95_ms", "max_ms"):
+            assert key in snap
+        assert snap["count"] == 1
+        assert snap["mean_ms"] == pytest.approx(2.0)
+        assert snap["max_ms"] == pytest.approx(2.0)
+        assert stats.count == 1
+        assert stats.max == pytest.approx(0.002)
+
+
+class TestModelStats:
+    def test_counters_and_snapshot(self):
+        stats = ModelStats()
+        stats.record_request(4)
+        stats.record_request(2)
+        stats.record_batch(6)
+        stats.record_rejection()
+        stats.record_error(2)
+        snap = stats.snapshot()
+        assert snap["requests"] == 2
+        assert snap["images"] == 6
+        assert snap["batches"] == 1
+        assert snap["max_batch_images"] == 6
+        assert snap["mean_batch_images"] == 6.0
+        assert snap["rejected"] == 1
+        assert snap["errors"] == 2
+
+    def test_exact_under_concurrent_recording(self):
+        stats = ModelStats()
+        n_threads, per_thread = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(per_thread):
+                stats.record_request(2)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert stats.requests == n_threads * per_thread
+        assert stats.images == 2 * n_threads * per_thread
+
+    def test_registry_export_carries_model_label(self):
+        reg = MetricsRegistry()
+        stats = ModelStats(registry=reg, model="vgg")
+        stats.record_request(3)
+        stats.latency.record(0.005)
+        snap = reg.snapshot()
+        assert snap["counters"]['repro_requests_total{model="vgg"}'] == 1
+        assert snap["counters"]['repro_request_images_total{model="vgg"}'] == 3
+        hist = snap["histograms"]['repro_request_latency_seconds{model="vgg"}']
+        assert hist["count"] == 1
+
+    def test_two_models_share_a_registry_without_aliasing(self):
+        reg = MetricsRegistry()
+        a = ModelStats(registry=reg, model="a")
+        b = ModelStats(registry=reg, model="b")
+        a.record_request(1)
+        assert a.requests == 1
+        assert b.requests == 0
+
+
+class TestServerMetricsEndToEnd:
+    @pytest.mark.concurrency
+    def test_server_prometheus_export_matches_stats(self):
+        from repro.nn.quantize import quantize_model
+        from repro.runtime.bench import ModelCase, build_case_model
+        from repro.serve import Server
+
+        case = ModelCase("vgg", "lowino", hw=8, width=8, m=2)
+        model = build_case_model(case)
+        rng = np.random.default_rng(5)
+        quantize_model(
+            model, "lowino", m=2,
+            calibration_batches=[rng.standard_normal((2, 3, 8, 8))],
+        )
+        with Server(max_batch=8, max_delay_ms=1.0) as server:
+            server.add_model("vgg", model, input_shape=(2, 3, 8, 8))
+            for _ in range(3):
+                server.infer("vgg", rng.standard_normal((2, 3, 8, 8)), timeout=60.0)
+            stats = server.stats()["vgg"]
+            doc = parse_prometheus_text(server.metrics_text())
+            assert doc.value("repro_requests_total", model="vgg") == stats["requests"]
+            assert (
+                doc.value("repro_request_images_total", model="vgg")
+                == stats["images"]
+            )
+            assert doc.value("repro_batches_total", model="vgg") == stats["batches"]
+            assert (
+                doc.value("repro_request_latency_seconds_count", model="vgg")
+                == stats["latency"]["count"]
+            )
+            assert doc.value("repro_queue_depth", model="vgg") == 0
+            assert (
+                doc.value("repro_session_runs_total", model="vgg")
+                == stats["session"]["runs"]
+            )
+            assert (
+                doc.value("repro_plan_cache_hits_total", model="vgg")
+                == stats["session"]["cache"]["hits"]
+            )

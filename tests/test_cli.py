@@ -17,6 +17,7 @@ SUBCOMMANDS = [
     "selftest",
     "conformance",
     "bench",
+    "profile",
     "serve-bench",
 ]
 
@@ -173,6 +174,19 @@ class TestHappyPaths:
         doc = json.loads(out_file.read_text())
         assert doc["schema"] == 1
         assert doc["summary"]["exact"] is True
+
+    def test_profile_tiny_run(self, tmp_path, capsys):
+        out_file = tmp_path / "profile.json"
+        assert main(["profile", "--model", "vgg", "--algorithm", "lowino",
+                     "--hw", "8", "--width", "8", "--m", "2",
+                     "--runs", "1", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "input_transform" in out and "gemm" in out
+        assert "vs step timings" in out  # tracer/step agreement line
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == 1
+        assert doc["stage_totals"]["gemm"] > 0
+        assert set(doc["breakdown"]) == set(doc["layer_timings"])
 
     def test_serve_bench_rejects_bad_threads(self, capsys):
         assert main(["serve-bench", "--threads", "1,zero"]) == 2

@@ -50,3 +50,74 @@ class TestWisdomFile:
         wf.lookup_or_tune(4, 24, 16, 32)
         data = json.loads(path.read_text())
         assert "4x24x16x32" in data
+
+
+class TestDurability:
+    """Atomic writes + corrupt-file recovery (the store() bugfix)."""
+
+    def _result(self):
+        params = BlockingParams(n_blk=12, c_blk=8, k_blk=64, row_blk=6, col_blk=4)
+        return params, TuneResult(params=params, predicted_time=1e-3,
+                                  candidates_evaluated=10)
+
+    def test_corrupt_file_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        path.write_text('{"4x50x8x64": {"params"')  # truncated mid-write
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            wf = WisdomFile(path)
+        assert len(wf) == 0
+        params, result = self._result()
+        # store() re-reads the (still corrupt) on-disk file for merging,
+        # warns once more, then atomically replaces it with valid JSON.
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            wf.store(4, 50, 8, 64, result)
+        assert WisdomFile(path).lookup(4, 50, 8, 64) == params
+
+    def test_non_object_json_warns_and_starts_fresh(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert len(WisdomFile(path)) == 0
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        _, result = self._result()
+        WisdomFile(path).store(4, 50, 8, 64, result)
+        assert [p.name for p in tmp_path.iterdir()] == ["wisdom.json"]
+
+    def test_failed_replace_preserves_old_file_and_cleans_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.tuning.wisdom as wisdom_module
+
+        path = tmp_path / "wisdom.json"
+        params, result = self._result()
+        wf = WisdomFile(path)
+        wf.store(4, 50, 8, 64, result)
+        before = path.read_text()
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(wisdom_module.os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            wf.store(4, 51, 8, 64, result)
+        monkeypatch.undo()
+        # the old complete document is untouched, no tmp litter remains
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["wisdom.json"]
+        assert WisdomFile(path).lookup(4, 50, 8, 64) == params
+
+    def test_store_merges_concurrent_writers(self, tmp_path):
+        # Two WisdomFile instances on the same path (two tuner
+        # processes): the second store must not clobber what the first
+        # one persisted after this instance loaded.
+        path = tmp_path / "wisdom.json"
+        params, result = self._result()
+        a = WisdomFile(path)
+        b = WisdomFile(path)
+        a.store(4, 50, 8, 64, result)
+        b.store(4, 51, 8, 64, result)
+        merged = WisdomFile(path)
+        assert merged.lookup(4, 50, 8, 64) == params
+        assert merged.lookup(4, 51, 8, 64) == params
