@@ -9,6 +9,7 @@
     python -m repro conformance [--cases 50] [--update-golden]
     python -m repro bench [--quick] [--out BENCH_runtime.json]
     python -m repro serve-bench [--threads 1,2,8] [--gate 1.5]
+    python -m repro load-bench [--mode virtual] [--baseline BENCH_serve_quick.json]
 
 Each subcommand prints the same rows the corresponding benchmark
 emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
@@ -19,7 +20,11 @@ direct oracle and gates the error statistics against ``tests/golden``;
 workloads and can gate speedup ratios against a checked-in baseline;
 ``serve-bench`` measures the micro-batching server's throughput vs
 concurrent client count, with every served result gated bit-identical
-to serial eager execution.
+to serial eager execution; ``load-bench`` replays seeded open-loop
+traces (Poisson / bursty multi-model / overload) and reports SLO-style
+p50/p95/p99, goodput, and shed rate, gateable against a checked-in
+baseline.  Both persist their JSON documents under ``benchmarks/`` by
+default so the serve perf trajectory is first-class.
 """
 
 from __future__ import annotations
@@ -332,9 +337,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     print(sbench.format_serve_bench(doc))
-    if args.out:
-        sbench.write_json(doc, args.out)
-        print(f"wrote {args.out}")
+    out = None if args.no_out else (args.out or sbench.DEFAULT_BENCH_PATH)
+    if out:
+        sbench.write_json(doc, out)
+        print(f"wrote {out}")
     violations = sbench.check_serve_gate(doc, min_speedup=args.gate)
     if violations:
         print(f"\nserve gate: {len(violations)} VIOLATION(S)")
@@ -342,6 +348,65 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {v}")
         return 1
     print(f"\nserve gate: PASS (bit-identity + >= {args.gate:.2f}x throughput)")
+    return 0
+
+
+def _cmd_load_bench(args: argparse.Namespace) -> int:
+    from .serve import loadgen
+
+    tenants = (("vgg", "vgg", "lowino"), ("resnet", "resnet", "int8_upcast"))
+    if args.single_tenant:
+        tenants = tenants[:1]
+    cfg = loadgen.LoadBenchConfig(
+        tenants=tenants,
+        width=args.width,
+        hw=args.hw,
+        m=args.m,
+        horizon_s=args.horizon,
+        base_rate=args.rate,
+        overload_rate=args.overload_rate,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_size=args.queue_size,
+        workers=args.workers,
+        mode=args.mode,
+        speed=args.speed,
+        seed=args.seed,
+    )
+    try:
+        doc = loadgen.run_load_bench(cfg)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(loadgen.format_load_bench(doc))
+    out = None if args.no_out else (args.out or loadgen.DEFAULT_BENCH_PATH)
+    if out:
+        loadgen.write_json(doc, out)
+        print(f"wrote {out}")
+    baseline = None
+    if args.baseline:
+        if args.update_baseline:
+            loadgen.write_json(doc, args.baseline)
+            print(f"wrote baseline {args.baseline}")
+            return 0
+        try:
+            baseline = loadgen.load_json(args.baseline)
+        except FileNotFoundError:
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+    violations = loadgen.check_load_gate(
+        doc,
+        baseline=baseline,
+        p95_factor=args.gate_p95,
+        shed_tolerance=args.gate_shed,
+    )
+    if violations:
+        print(f"\nload gate: {len(violations)} VIOLATION(S)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    against = f", baseline {args.baseline}" if baseline is not None else ""
+    print(f"\nload gate: PASS (bit-identity + backpressure{against})")
     return 0
 
 
@@ -499,8 +564,63 @@ def build_parser() -> argparse.ArgumentParser:
                      help="required throughput speedup at max threads vs 1 "
                           "(default 1.5)")
     psv.add_argument("--out", default=None,
-                     help="write the serve-bench JSON document here")
+                     help="write the serve-bench JSON document here "
+                          "(default: benchmarks/BENCH_serve_threads.json)")
+    psv.add_argument("--no-out", action="store_true",
+                     help="do not persist the JSON document")
     psv.set_defaults(fn=_cmd_serve_bench)
+
+    plb = sub.add_parser(
+        "load-bench",
+        help="open-loop trace-driven load harness: SLO latency/goodput/"
+             "shed-rate sweep (bit-identity gated)",
+    )
+    plb.add_argument("--mode", choices=("virtual", "realtime"), default="virtual",
+                     help="virtual = wall-clock-free replay (default); "
+                          "realtime = submit at scheduled instants")
+    plb.add_argument("--speed", type=float, default=1.0,
+                     help="realtime schedule compression factor (default 1)")
+    plb.add_argument("--horizon", type=float, default=2.0,
+                     help="trace horizon in (virtual) seconds (default 2)")
+    plb.add_argument("--rate", type=float, default=30.0,
+                     help="base Poisson rate per tenant, req/s (default 30)")
+    plb.add_argument("--overload-rate", type=float, default=600.0,
+                     help="offered rate for the overload scenario (default 600)")
+    plb.add_argument("--single-tenant", action="store_true",
+                     help="drop the multi-model tenancy scenario")
+    plb.add_argument("--width", type=int, default=8,
+                     help="tenant model width (default 8)")
+    plb.add_argument("--hw", type=int, default=8,
+                     help="input spatial size (default 8)")
+    plb.add_argument("--m", type=int, default=2,
+                     help="Winograd output tile size (default 2)")
+    plb.add_argument("--max-batch", type=int, default=16,
+                     help="micro-batcher image bound (default 16)")
+    plb.add_argument("--max-delay-ms", type=float, default=2.0,
+                     help="micro-batcher coalescing window (default 2ms)")
+    plb.add_argument("--queue-size", type=int, default=256,
+                     help="request queue bound for paced scenarios (default 256)")
+    plb.add_argument("--workers", type=int, default=1,
+                     help="server worker threads per model (default 1)")
+    plb.add_argument("--seed", type=int, default=2021,
+                     help="trace + tensor generator seed")
+    plb.add_argument("--gate-p95", type=float, default=4.0,
+                     help="allowed p95 factor vs baseline; <= 0 disables "
+                          "(default 4.0)")
+    plb.add_argument("--gate-shed", type=float, default=0.2,
+                     help="allowed absolute overload shed-rate drift vs "
+                          "baseline (default 0.2)")
+    plb.add_argument("--out", default=None,
+                     help="write the load-bench JSON document here "
+                          "(default: benchmarks/BENCH_serve_quick.json)")
+    plb.add_argument("--no-out", action="store_true",
+                     help="do not persist the JSON document")
+    plb.add_argument("--baseline", default=None,
+                     help="baseline JSON to gate schedule digests, shed rate, "
+                          "and p95 against")
+    plb.add_argument("--update-baseline", action="store_true",
+                     help="record this run as the new baseline (with --baseline)")
+    plb.set_defaults(fn=_cmd_load_bench)
     return parser
 
 

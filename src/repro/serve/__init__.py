@@ -17,7 +17,14 @@ concurrent callers.  This package provides that deployment shape:
   depth, and batch-coalescing counters;
 * :mod:`~repro.serve.bench` -- ``repro serve-bench``: throughput vs
   client-thread count with a hard bit-identity gate against serial
-  eager execution.
+  eager execution;
+* :mod:`~repro.serve.workload` -- seeded open-loop traffic traces:
+  Poisson / bursty (MMPP) arrivals, heavy-tailed request-size mixes,
+  multi-model tenancy, with schedule digests proving determinism;
+* :mod:`~repro.serve.loadgen` -- ``repro load-bench``: replays traces
+  open-loop (virtual clock for tests, real-time for benchmarking) and
+  reports SLO-style p50/p95/p99, goodput vs offered load, and shed
+  rate from the obs registry's reservoir histograms.
 
 Quick use::
 
@@ -30,17 +37,44 @@ Quick use::
 """
 
 from .batching import InferenceFuture, Request, RequestQueue, ServerClosed, ServerOverloaded
+from .loadgen import LoadBenchConfig, ReplayResult, replay, run_load_bench
 from .server import ServedModel, Server
 from .stats import LatencyStats, ModelStats
+from .workload import (
+    BurstyArrivals,
+    FixedSizes,
+    LognormalSizes,
+    ModelWorkload,
+    PoissonArrivals,
+    Trace,
+    TraceEvent,
+    UniformArrivals,
+    ZipfSizes,
+    build_trace,
+)
 
 __all__ = [
+    "BurstyArrivals",
+    "FixedSizes",
     "InferenceFuture",
     "LatencyStats",
+    "LoadBenchConfig",
+    "LognormalSizes",
     "ModelStats",
+    "ModelWorkload",
+    "PoissonArrivals",
+    "ReplayResult",
     "Request",
     "RequestQueue",
     "ServedModel",
     "Server",
     "ServerClosed",
     "ServerOverloaded",
+    "Trace",
+    "TraceEvent",
+    "UniformArrivals",
+    "ZipfSizes",
+    "build_trace",
+    "replay",
+    "run_load_bench",
 ]

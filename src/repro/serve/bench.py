@@ -38,12 +38,18 @@ from ..runtime.session import InferenceSession
 from .server import Server
 
 __all__ = [
+    "DEFAULT_BENCH_PATH",
     "ServeBenchConfig",
     "run_serve_bench",
     "check_serve_gate",
     "format_serve_bench",
+    "load_json",
     "write_json",
 ]
+
+#: Default persistence target: the closed-loop serve perf trajectory
+#: lives next to the runtime baselines in ``benchmarks/``.
+DEFAULT_BENCH_PATH = "benchmarks/BENCH_serve_threads.json"
 
 #: JSON document version; bump on breaking schema changes.
 SCHEMA_VERSION = 1
@@ -257,4 +263,10 @@ def format_serve_bench(doc: dict) -> str:
 
 
 def write_json(doc: dict, path) -> None:
-    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def load_json(path) -> dict:
+    return json.loads(Path(path).read_text())

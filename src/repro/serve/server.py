@@ -271,6 +271,11 @@ class Server:
         with self._lock:
             return sorted(self._models)
 
+    def session(self, name: str) -> InferenceSession:
+        """The compiled session serving ``name`` (e.g. for its
+        ``input_shape``); raises ``KeyError`` for unknown models."""
+        return self._entry(name).session
+
     # -- request path ---------------------------------------------------
     def submit(
         self, name: str, images: np.ndarray, timeout: Optional[float] = 0.0

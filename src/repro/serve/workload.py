@@ -1,0 +1,379 @@
+"""Trace-driven serving workloads: seeded arrivals, sizes, tenancy.
+
+``repro serve-bench`` drives uniform *closed-loop* clients: every
+thread waits for its previous answer before sending the next request,
+so the offered load adapts to the server and the measured latency can
+never exhibit the queueing tails real traffic produces.  Production
+arrivals are **open-loop** -- requests show up on their own schedule
+whether or not the server is keeping up -- and they are neither uniform
+in time (diurnal bursts, retry storms) nor in size (heavy-tailed batch
+mixes) nor in tenant (many models share one box).
+
+This module builds that schedule *ahead of time* as a deterministic,
+seeded **trace**: a time-sorted sequence of :class:`TraceEvent`\\ s,
+each naming the target model, the request's image count, and the seed
+its activation tensor is derived from.  Because the trace is data (not
+live RNG draws interleaved with serving), the same seed yields a
+bit-identical schedule on every host -- ``Trace.digest()`` hashes the
+exact event tuples so two runs can *prove* they replayed the same
+workload -- and the eager reference outputs for the bit-identity gate
+can be computed serially from the trace alone.
+
+Arrival processes (all per-model, merged by :func:`build_trace`):
+
+* :class:`PoissonArrivals` -- memoryless arrivals at ``rate`` req/s
+  (exponential inter-arrivals), the classic open-loop baseline.
+* :class:`BurstyArrivals` -- a two-state Markov-modulated Poisson
+  process (MMPP): exponentially-dwelling *burst* and *idle* states,
+  each with its own Poisson rate.  Its inter-arrival CV^2 > 1 is what
+  stresses tail latency and the micro-batcher's coalescing window in a
+  way no uniform client sweep can.
+* :class:`UniformArrivals` -- fixed-spacing arrivals (the closed-loop
+  sweep's character, kept for A/B comparisons against the above).
+
+Request-size mixes:
+
+* :class:`FixedSizes` -- every request carries the same image count.
+* :class:`ZipfSizes` -- bounded Zipf over ``1..max_images`` (mass
+  ``1/k**alpha``), sampled by inverse CDF so the draw is reproducible
+  and bounded (NumPy's ``Generator.zipf`` is unbounded).
+* :class:`LognormalSizes` -- rounded, clipped lognormal -- the
+  "mostly small, occasionally huge" mix that exercises the
+  ``max_batch`` splitting path.
+
+Everything is seeded through :func:`numpy.random.default_rng` with
+per-(workload, stream) :class:`numpy.random.SeedSequence` keys, so
+adding a tenant to a spec never perturbs another tenant's schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "FixedSizes",
+    "LognormalSizes",
+    "ModelWorkload",
+    "PoissonArrivals",
+    "SizeSampler",
+    "Trace",
+    "TraceEvent",
+    "UniformArrivals",
+    "ZipfSizes",
+    "build_trace",
+]
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate`` requests/second."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def times(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        """Arrival instants in ``[0, horizon_s)``, strictly sorted."""
+        out: List[np.ndarray] = []
+        t = 0.0
+        # Draw in chunks sized to the expectation; loop until past the
+        # horizon so the tail is never truncated mid-chunk.
+        chunk = max(16, int(self.rate * horizon_s * 1.2) + 4)
+        while t < horizon_s:
+            gaps = rng.exponential(1.0 / self.rate, size=chunk)
+            times = t + np.cumsum(gaps)
+            out.append(times)
+            t = float(times[-1])
+        times = np.concatenate(out)
+        return times[times < horizon_s]
+
+
+@dataclass(frozen=True)
+class UniformArrivals:
+    """Evenly spaced arrivals at ``rate`` requests/second (CV^2 = 0)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+
+    def times(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        n = int(np.floor(self.rate * horizon_s))
+        return (np.arange(n) + 0.5) / self.rate
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Two-state MMPP: Poisson bursts separated by quiet periods.
+
+    The process alternates between a *burst* state (arrivals at
+    ``burst_rate``) and an *idle* state (``idle_rate``); state dwell
+    times are exponential with means ``mean_burst_s`` / ``mean_idle_s``.
+    ``duty_cycle`` is the long-run fraction of time spent bursting, so
+    the mean offered rate is ``duty_cycle * burst_rate +
+    (1 - duty_cycle) * idle_rate``.
+    """
+
+    burst_rate: float
+    idle_rate: float
+    mean_burst_s: float
+    mean_idle_s: float
+
+    def __post_init__(self) -> None:
+        if self.burst_rate <= 0:
+            raise ValueError(f"burst_rate must be > 0, got {self.burst_rate}")
+        if self.idle_rate < 0:
+            raise ValueError(f"idle_rate must be >= 0, got {self.idle_rate}")
+        if self.mean_burst_s <= 0 or self.mean_idle_s <= 0:
+            raise ValueError("state dwell means must be > 0")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Long-run fraction of time in the burst state."""
+        return self.mean_burst_s / (self.mean_burst_s + self.mean_idle_s)
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run offered rate in requests/second."""
+        d = self.duty_cycle
+        return d * self.burst_rate + (1.0 - d) * self.idle_rate
+
+    def times(self, horizon_s: float, rng: np.random.Generator) -> np.ndarray:
+        out: List[float] = []
+        t = 0.0
+        bursting = True  # deterministic convention: start in a burst
+        while t < horizon_s:
+            mean_dwell = self.mean_burst_s if bursting else self.mean_idle_s
+            dwell = float(rng.exponential(mean_dwell))
+            end = min(t + dwell, horizon_s)
+            rate = self.burst_rate if bursting else self.idle_rate
+            if rate > 0:
+                u = t + float(rng.exponential(1.0 / rate))
+                while u < end:
+                    out.append(u)
+                    u += float(rng.exponential(1.0 / rate))
+            t += dwell
+            bursting = not bursting
+        return np.asarray(out, dtype=np.float64)
+
+
+#: Anything with ``times(horizon_s, rng) -> ndarray`` of sorted instants.
+ArrivalProcess = object
+
+
+# ---------------------------------------------------------------------------
+# request-size mixes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedSizes:
+    """Every request carries exactly ``images`` images."""
+
+    images: int = 1
+
+    def __post_init__(self) -> None:
+        if self.images < 1:
+            raise ValueError(f"images must be >= 1, got {self.images}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.images, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ZipfSizes:
+    """Bounded Zipf over ``1..max_images``: P(k) proportional to 1/k^alpha.
+
+    Sampled by inverse CDF on ``rng.random()`` so draws are bounded and
+    reproducible (``Generator.zipf`` has unbounded support).
+    """
+
+    alpha: float = 1.5
+    max_images: int = 8
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {self.alpha}")
+        if self.max_images < 1:
+            raise ValueError(f"max_images must be >= 1, got {self.max_images}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        k = np.arange(1, self.max_images + 1, dtype=np.float64)
+        cdf = np.cumsum(k**-self.alpha)
+        cdf /= cdf[-1]
+        return np.searchsorted(cdf, rng.random(n), side="right") + 1
+
+
+@dataclass(frozen=True)
+class LognormalSizes:
+    """Rounded lognormal sizes clipped to ``1..max_images``.
+
+    ``median_images`` is the distribution's median (``exp(mu)``);
+    ``sigma`` controls the tail weight.
+    """
+
+    median_images: float = 2.0
+    sigma: float = 0.75
+    max_images: int = 16
+
+    def __post_init__(self) -> None:
+        if self.median_images < 1:
+            raise ValueError(f"median_images must be >= 1, got {self.median_images}")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+        if self.max_images < 1:
+            raise ValueError(f"max_images must be >= 1, got {self.max_images}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        raw = rng.lognormal(mean=np.log(self.median_images), sigma=self.sigma, size=n)
+        return np.clip(np.rint(raw).astype(np.int64), 1, self.max_images)
+
+
+#: Anything with ``sample(n, rng) -> ndarray`` of positive ints.
+SizeSampler = object
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModelWorkload:
+    """One tenant's offered load: which model, when, and how much."""
+
+    model: str
+    arrivals: ArrivalProcess
+    sizes: SizeSampler = field(default_factory=FixedSizes)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled request.
+
+    ``t`` is seconds from trace start; ``payload_seed`` deterministically
+    derives the request's activation tensor (see
+    :func:`repro.serve.loadgen.event_payload`), so a trace fully
+    determines both the schedule *and* the bytes served.
+    """
+
+    t: float
+    model: str
+    n_images: int
+    request_id: int
+    payload_seed: int
+
+    def key(self) -> Tuple[bytes, str, int, int, int]:
+        """Canonical tuple for hashing/equality (exact float bytes)."""
+        return (
+            np.float64(self.t).tobytes(),
+            self.model,
+            self.n_images,
+            self.request_id,
+            self.payload_seed,
+        )
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete, replayable open-loop schedule."""
+
+    seed: int
+    horizon_s: float
+    events: Tuple[TraceEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def models(self) -> List[str]:
+        return sorted({e.model for e in self.events})
+
+    @property
+    def total_images(self) -> int:
+        return sum(e.n_images for e in self.events)
+
+    def offered_rps(self) -> float:
+        """Offered request rate over the trace horizon."""
+        return len(self.events) / self.horizon_s if self.horizon_s > 0 else 0.0
+
+    def per_model(self) -> Dict[str, Dict[str, float]]:
+        """Offered requests/images per tenant."""
+        out: Dict[str, Dict[str, float]] = {}
+        for event in self.events:
+            entry = out.setdefault(event.model, {"requests": 0, "images": 0})
+            entry["requests"] += 1
+            entry["images"] += event.n_images
+        return out
+
+    def digest(self) -> str:
+        """SHA-256 over the exact event tuples (schedule identity proof)."""
+        h = hashlib.sha256()
+        h.update(np.float64(self.horizon_s).tobytes())
+        for event in self.events:
+            t_bytes, model, n, rid, pseed = event.key()
+            h.update(t_bytes)
+            h.update(model.encode())
+            h.update(f":{n}:{rid}:{pseed};".encode())
+        return h.hexdigest()
+
+
+def build_trace(
+    workloads: Sequence[ModelWorkload], horizon_s: float, seed: int
+) -> Trace:
+    """Merge per-tenant schedules into one time-sorted trace.
+
+    Each workload draws from its own :class:`~numpy.random.SeedSequence`
+    streams (``[seed, index, 0]`` for arrivals, ``[seed, index, 1]`` for
+    sizes), so tenants are statistically independent and a spec edit to
+    one tenant leaves the others' schedules bit-identical.  Ties in
+    arrival time break by (model, per-model order), which is
+    deterministic; ``request_id`` numbers the merged order.
+    """
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be > 0, got {horizon_s}")
+    if not workloads:
+        raise ValueError("build_trace needs at least one ModelWorkload")
+    names = [w.model for w in workloads]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate model names in workloads: {names}")
+    rows: List[Tuple[float, int, int, str, int]] = []
+    for index, workload in enumerate(sorted(workloads, key=lambda w: w.model)):
+        arrival_rng = np.random.default_rng(np.random.SeedSequence([seed, index, 0]))
+        size_rng = np.random.default_rng(np.random.SeedSequence([seed, index, 1]))
+        times = np.asarray(workload.arrivals.times(horizon_s, arrival_rng))
+        sizes = np.asarray(workload.sizes.sample(len(times), size_rng))
+        if len(sizes) != len(times):
+            raise ValueError(
+                f"size sampler returned {len(sizes)} sizes for {len(times)} arrivals"
+            )
+        for order, (t, n) in enumerate(zip(times, sizes)):
+            rows.append((float(t), index, order, workload.model, int(n)))
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
+    payload_rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFEED]))
+    payload_seeds = payload_rng.integers(0, 2**31 - 1, size=len(rows))
+    events = tuple(
+        TraceEvent(
+            t=t,
+            model=model,
+            n_images=n,
+            request_id=rid,
+            payload_seed=int(payload_seeds[rid]),
+        )
+        for rid, (t, _, _, model, n) in enumerate(rows)
+    )
+    return Trace(seed=seed, horizon_s=float(horizon_s), events=events)

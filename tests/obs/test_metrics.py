@@ -119,6 +119,20 @@ class TestHistogram:
         assert hist.percentile(95) == 10.0
         assert hist.percentile(50) == 10.0
 
+    def test_quantiles_match_individual_percentiles(self):
+        hist = Histogram("lat", max_samples=512, seed=7)
+        rng = np.random.default_rng(12)
+        for v in rng.lognormal(0.0, 1.0, size=2000):
+            hist.observe(float(v))
+        qs = (50.0, 90.0, 95.0, 99.0)
+        doc = hist.quantiles(qs)
+        assert set(doc) == {"p50", "p90", "p95", "p99"}
+        for q in qs:
+            assert doc[f"p{q:g}"] == hist.percentile(q)
+
+    def test_quantiles_empty_reservoir_is_zero(self):
+        assert Histogram("lat").quantiles((50.0, 99.0)) == {"p50": 0.0, "p99": 0.0}
+
     def test_snapshot_consistent_under_concurrent_observes(self):
         hist = Histogram("lat", max_samples=128)
         stop = threading.Event()
@@ -172,6 +186,15 @@ class TestRegistry:
         reg.counter("hits")
         with pytest.raises(ValueError, match="already registered"):
             reg.gauge("hits")
+
+    def test_find_looks_up_without_creating(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", model="m1")
+        assert reg.find("lat", model="m1") is hist
+        # A miss returns None and must NOT mint an empty metric.
+        assert reg.find("lat", model="m2") is None
+        assert reg.find("nope") is None
+        assert len(reg.metrics()) == 1
 
     def test_snapshot_shape_and_collectors(self):
         reg = MetricsRegistry()

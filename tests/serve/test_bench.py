@@ -1,17 +1,35 @@
-"""serve-bench: document schema, bit-identity, and gate semantics."""
+"""serve-bench: document schema, bit-identity, and gate semantics.
+
+The closed-loop sweep's bit-identity gate is extended here to
+**non-uniform open-loop arrivals**: a bursty multi-model trace replayed
+through the server must still return, for every request, exactly the
+bytes serial eager execution produces -- whatever micro-batches the
+arrival pattern happens to coalesce.
+"""
 
 import json
 
 import numpy as np
 import pytest
 
+from repro.serve import loadgen
 from repro.serve.bench import (
     SCHEMA_VERSION,
     ServeBenchConfig,
     check_serve_gate,
     format_serve_bench,
+    load_json,
     run_serve_bench,
     write_json,
+)
+from repro.serve.loadgen import LoadBenchConfig, event_payload, output_digest, replay
+from repro.serve.server import Server
+from repro.serve.workload import (
+    BurstyArrivals,
+    ModelWorkload,
+    PoissonArrivals,
+    ZipfSizes,
+    build_trace,
 )
 
 pytestmark = pytest.mark.concurrency
@@ -49,12 +67,85 @@ class TestDocument:
     def test_json_round_trip(self, doc, tmp_path):
         path = tmp_path / "serve.json"
         write_json(doc, path)
-        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+        loaded = load_json(path)
+        assert loaded["schema"] == SCHEMA_VERSION
+        # The round-tripped document still drives the gate unchanged.
+        assert check_serve_gate(loaded, min_speedup=0.0) == []
+
+    def test_write_json_creates_parent_dirs(self, doc, tmp_path):
+        path = tmp_path / "benchmarks" / "BENCH_serve_threads.json"
+        write_json(doc, path)
+        assert load_json(path)["schema"] == SCHEMA_VERSION
 
     def test_format_mentions_gatekeeping_facts(self, doc):
         text = format_serve_bench(doc)
         assert "clients" in text and "exact" in text
         assert "bit-identity" in text
+
+
+class TestOpenLoopIdentity:
+    """The bit-identity gate under non-uniform arrivals.
+
+    The closed-loop sweep above coalesces whatever N synchronized
+    clients produce; here a bursty two-tenant open-loop trace drives
+    the batcher through ragged, shifting batch compositions -- and
+    every response must still be bitwise the serial eager result.
+    """
+
+    @pytest.fixture(scope="class")
+    def tenants(self):
+        cfg = LoadBenchConfig(
+            tenants=(("vgg", "vgg", "lowino"), ("resnet", "resnet", "int8_upcast")),
+            width=8,
+            hw=8,
+            m=2,
+        )
+        return loadgen._build_tenants(cfg)
+
+    def make_trace(self, seed=31):
+        return build_trace(
+            [
+                ModelWorkload(
+                    "vgg",
+                    BurstyArrivals(150.0, 5.0, mean_burst_s=0.2, mean_idle_s=0.3),
+                    ZipfSizes(alpha=1.4, max_images=5),
+                ),
+                ModelWorkload(
+                    "resnet", PoissonArrivals(40.0), ZipfSizes(alpha=1.4, max_images=3)
+                ),
+            ],
+            1.0,
+            seed=seed,
+        )
+
+    def run_trace(self, tenants, trace):
+        server = Server(max_batch=16, max_delay_ms=2.0, queue_size=256)
+        for name in trace.models:
+            server.add_model(name, session=tenants[name][1])
+        result = replay(server, trace, mode="virtual", submit_timeout=None)
+        server.close()
+        return result
+
+    def test_bursty_multi_model_trace_is_bit_identical_to_eager(self, tenants):
+        trace = self.make_trace()
+        result = self.run_trace(tenants, trace)
+        assert result.shed == 0
+        assert result.completed == len(trace)
+        for event in trace.events:
+            x = event_payload(trace, event, (3, 8, 8))
+            expected = tenants[event.model][0](x)
+            got = result.outputs[event.request_id]
+            assert got.shape == expected.shape
+            assert np.array_equal(got, expected), (
+                f"request {event.request_id} ({event.model}, "
+                f"{event.n_images} images) diverged from serial eager"
+            )
+
+    def test_same_seed_replays_serve_identical_bytes(self, tenants):
+        trace = self.make_trace()
+        first = self.run_trace(tenants, trace)
+        second = self.run_trace(tenants, trace)
+        assert output_digest(first.outputs) == output_digest(second.outputs)
 
 
 class TestGate:

@@ -19,6 +19,7 @@ SUBCOMMANDS = [
     "bench",
     "profile",
     "serve-bench",
+    "load-bench",
 ]
 
 
@@ -191,6 +192,56 @@ class TestHappyPaths:
     def test_serve_bench_rejects_bad_threads(self, capsys):
         assert main(["serve-bench", "--threads", "1,zero"]) == 2
         assert main(["serve-bench", "--threads", "0"]) == 2
+
+    def test_serve_bench_persists_json_by_default(self, tmp_path, capsys,
+                                                  monkeypatch):
+        """Without --out the document lands under benchmarks/ (the serve
+        perf trajectory is on by default, not opt-in)."""
+        monkeypatch.chdir(tmp_path)
+        assert main(["serve-bench", "--threads", "1,2", "--requests", "2",
+                     "--width", "8", "--hw", "8", "--m", "2",
+                     "--gate", "0"]) == 0
+        out = capsys.readouterr().out
+        default = tmp_path / "benchmarks" / "BENCH_serve_threads.json"
+        assert f"wrote {default.relative_to(tmp_path)}" in out
+        assert json.loads(default.read_text())["schema"] == 1
+
+    def test_serve_bench_no_out_skips_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["serve-bench", "--threads", "1", "--requests", "2",
+                     "--width", "8", "--hw", "8", "--m", "2",
+                     "--gate", "0", "--no-out"]) == 0
+        assert not (tmp_path / "benchmarks").exists()
+
+    def test_load_bench_run_and_baseline_round_trip(self, tmp_path, capsys,
+                                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "serve_baseline.json"
+        args = ["load-bench", "--single-tenant", "--horizon", "0.4",
+                "--rate", "20", "--overload-rate", "250"]
+        # First run: default persistence + record the baseline.
+        assert main(args + ["--baseline", str(baseline),
+                            "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "load-bench" not in out  # table, not argparse usage
+        default = tmp_path / "benchmarks" / "BENCH_serve_quick.json"
+        doc = json.loads(default.read_text())
+        assert doc["schema"] == 1
+        assert doc["summary"]["exact"] is True
+        assert doc["summary"]["deterministic_outputs"] is True
+        assert baseline.is_file()
+        # Second run, same seed: schedule digests match the baseline and
+        # every gate (identity, sheds, p95 factor) passes.
+        assert main(args + ["--no-out", "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identity vs serial eager: yes" in out
+        assert "load gate: PASS" in out
+
+    def test_load_bench_missing_baseline(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["load-bench", "--single-tenant", "--horizon", "0.2",
+                     "--rate", "15", "--overload-rate", "200", "--no-out",
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
 
     def test_bench_writes_json(self, tmp_path, capsys):
         out_file = tmp_path / "bench.json"
