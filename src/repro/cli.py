@@ -221,7 +221,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         algorithms = ALGORITHMS
 
     doc = rbench.run_bench(
-        profile, algorithms=algorithms, seed=args.seed, models=not args.no_models
+        profile,
+        algorithms=algorithms,
+        seed=args.seed,
+        models=not args.no_models,
+        backend=args.backend,
     )
     print(rbench.format_bench(doc))
     if args.cache_stats:
@@ -272,6 +276,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         width=args.width,
         m=args.m,
         runs=args.runs,
+        backend=args.backend,
         seed=args.seed,
     )
     try:
@@ -280,6 +285,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     print(oprof.format_profile(doc))
+    if args.stage_baseline:
+        from pathlib import Path
+
+        if args.update_stage_baseline:
+            baseline_doc = oprof.stage_baseline_doc(doc)
+            path = Path(args.stage_baseline)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(baseline_doc, indent=1, sort_keys=True) + "\n"
+            )
+            print(f"wrote stage baseline {args.stage_baseline}")
+        else:
+            try:
+                baseline = json.loads(Path(args.stage_baseline).read_text())
+            except FileNotFoundError:
+                print(f"stage baseline not found: {args.stage_baseline}",
+                      file=sys.stderr)
+                return 2
+            print()
+            print(oprof.format_stage_gate(doc, baseline))
+            violations = oprof.check_stage_gate(
+                doc, baseline, tolerance=args.stage_tolerance
+            )
+            if violations:
+                print(f"\nstage gate: {len(violations)} VIOLATION(S)")
+                for v in violations:
+                    print(f"  {v}")
+                return 1
+            print(f"\nstage gate: PASS (tolerance "
+                  f"{args.stage_tolerance * 100:.0f}pp, "
+                  f"baseline {args.stage_baseline})")
     overhead_doc = None
     if args.overhead:
         overhead_doc = oprof.measure_overhead(cfg, repeats=args.overhead_repeats)
@@ -329,6 +365,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         workers=args.workers,
+        backend=args.backend,
         seed=args.seed,
     )
     try:
@@ -408,6 +445,12 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
     against = f", baseline {args.baseline}" if baseline is not None else ""
     print(f"\nload gate: PASS (bit-identity + backpressure{against})")
     return 0
+
+
+def _backend_choices() -> tuple:
+    from .runtime.backends import available_backends
+
+    return tuple(available_backends())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -494,6 +537,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="allowed fractional regression vs baseline (default 0.25)")
     pbn.add_argument("--update-baseline", action="store_true",
                      help="record this run as the new baseline (with --baseline)")
+    pbn.add_argument("--backend", default=None, choices=_backend_choices(),
+                     help="fused-stage kernel backend (default: process default)")
     pbn.add_argument("--no-reference", action="store_true",
                      help="skip the (slow) loop-reference timings")
     pbn.add_argument("--no-models", action="store_true",
@@ -528,6 +573,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="interleaved best-of repeats for --overhead (default 5)")
     ppr.add_argument("--gate", type=float, default=0.05,
                      help="allowed enabled-tracer overhead fraction (default 0.05)")
+    ppr.add_argument("--backend", default="numpy", choices=_backend_choices(),
+                     help="fused-stage kernel backend (default numpy)")
+    ppr.add_argument("--stage-baseline", default=None,
+                     help="stage-share baseline JSON to gate against "
+                          "(e.g. benchmarks/BENCH_stages.json)")
+    ppr.add_argument("--update-stage-baseline", action="store_true",
+                     help="record this run's stage shares as the new baseline "
+                          "(with --stage-baseline)")
+    ppr.add_argument("--stage-tolerance", type=float, default=0.10,
+                     help="allowed absolute growth of any stage's share of "
+                          "stage time, as a fraction (default 0.10 = 10pp)")
     ppr.add_argument("--out", default=None,
                      help="write the profile JSON document here")
     ppr.set_defaults(fn=_cmd_profile)
@@ -553,6 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="micro-batcher coalescing window (default 5ms)")
     psv.add_argument("--workers", type=int, default=1,
                      help="server worker threads per model (default 1)")
+    psv.add_argument("--backend", default="numpy", choices=_backend_choices(),
+                     help="fused-stage kernel backend (default numpy)")
     psv.add_argument("--width", type=int, default=16,
                      help="model width (default 16)")
     psv.add_argument("--hw", type=int, default=16,

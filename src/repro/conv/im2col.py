@@ -32,7 +32,9 @@ def pad_images(images: np.ndarray, padding: int) -> np.ndarray:
     return np.pad(images, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
 
 
-def im2col(images: np.ndarray, r: int, stride: int = 1) -> np.ndarray:
+def im2col(
+    images: np.ndarray, r: int, stride: int = 1, out: np.ndarray | None = None
+) -> np.ndarray:
     """Lower NCHW images to the im2col matrix.
 
     Parameters
@@ -43,6 +45,11 @@ def im2col(images: np.ndarray, r: int, stride: int = 1) -> np.ndarray:
         Square filter size.
     stride:
         Convolution stride.
+    out:
+        Optional preallocated C-contiguous ``(B*OH*OW, C*r*r)``
+        destination (the runtime engine passes a leased scratch buffer);
+        the copy out of the strided window view lands there instead of a
+        fresh allocation.  Values are identical either way.
 
     Returns
     -------
@@ -58,4 +65,7 @@ def im2col(images: np.ndarray, r: int, stride: int = 1) -> np.ndarray:
         strides=(sb, sh * stride, sw * stride, sc, sh, sw),
         writeable=False,
     )
-    return np.ascontiguousarray(view).reshape(b * oh * ow, c * r * r)
+    if out is None:
+        return np.ascontiguousarray(view).reshape(b * oh * ow, c * r * r)
+    np.copyto(out.reshape(b, oh, ow, c, r, r), view)
+    return out

@@ -32,13 +32,22 @@ import numpy as np
 from .tracer import STAGES, StageTracer
 
 __all__ = [
+    "DEFAULT_STAGE_BASELINE_PATH",
     "ProfileConfig",
     "run_profile",
     "format_profile",
     "measure_overhead",
     "check_overhead_gate",
     "format_overhead",
+    "stage_shares",
+    "stage_baseline_doc",
+    "check_stage_gate",
+    "format_stage_gate",
 ]
+
+#: Default persistence target for the per-stage share baseline the CI
+#: bench-smoke job gates against.
+DEFAULT_STAGE_BASELINE_PATH = "benchmarks/BENCH_stages.json"
 
 #: Matches the bench default; profiles must be reproducible.
 SEED = 2021
@@ -58,6 +67,9 @@ class ProfileConfig:
     width: int = 32
     m: int = 4
     runs: int = 3
+    #: Fused-stage kernel backend the profiled session executes on
+    #: (:func:`repro.runtime.backends.available_backends`).
+    backend: str = "numpy"
     seed: int = SEED
 
 
@@ -83,7 +95,7 @@ def _build_session(config: ProfileConfig, tracer: Optional[StageTracer], model=N
             quantize_model(
                 model, config.algorithm, m=config.m, calibration_batches=[x]
             )
-    session = InferenceSession(model, x.shape, tracer=tracer)
+    session = InferenceSession(model, x.shape, tracer=tracer, backend=config.backend)
     return session, x, model
 
 
@@ -260,3 +272,108 @@ def format_overhead(doc: Dict[str, Any]) -> str:
             f"  outputs bit-identical: {'yes' if doc['outputs_identical'] else 'NO'}",
         ]
     )
+
+
+# -- per-stage share gate (CI bench-smoke) -------------------------------
+
+def stage_shares(doc: Dict[str, Any]) -> Dict[str, float]:
+    """Each stage's fraction of the total traced stage wall-clock.
+
+    Shares, not absolute seconds: the *shape* of the Figure 10 breakdown
+    is host-independent (a faster machine shrinks every stage together),
+    so share drift is the signal that one stage's implementation
+    regressed relative to the others.
+    """
+    totals: Dict[str, float] = doc["stage_totals"]
+    total = sum(totals.values())
+    if total <= 0:
+        return {stage: 0.0 for stage in totals}
+    return {stage: seconds / total for stage, seconds in totals.items()}
+
+
+def stage_baseline_doc(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The checked-in stage baseline for one profile run
+    (``benchmarks/BENCH_stages.json``)."""
+    return {
+        "schema": 1,
+        "config": doc["config"],
+        "stage_shares": stage_shares(doc),
+        "stage_total_s": doc["stage_total_s"],
+    }
+
+
+#: ``config`` keys that must match for a stage baseline to gate a run
+#: (seed/runs affect noise, not the breakdown shape; ``backend`` *is*
+#: compared -- the threaded backend legitimately shifts the GEMM share).
+_STAGE_COMPAT_KEYS = ("model", "algorithm", "batch", "hw", "width", "m", "backend")
+
+
+def check_stage_gate(
+    current: Dict[str, Any], baseline: Dict[str, Any], tolerance: float = 0.10
+) -> List[str]:
+    """Per-stage share regression gate: profile run vs checked-in baseline.
+
+    A stage fails when its share of total stage time *grows* more than
+    ``tolerance`` (absolute percentage points, as a fraction) above the
+    baseline share -- e.g. quantize going from 12% to 25% of the run
+    with the default 0.10 tolerance.  Shrinking shares never fail (the
+    other stages' growth is what gets flagged).  A stage absent from the
+    baseline fails if its share alone exceeds ``tolerance`` -- new
+    overhead must be re-baselined deliberately.  Returns human-readable
+    violations; empty means PASS.
+    """
+    cur_cfg = current.get("config", {})
+    base_cfg = baseline.get("config", {})
+    mismatched = [
+        k for k in _STAGE_COMPAT_KEYS if cur_cfg.get(k) != base_cfg.get(k)
+    ]
+    if mismatched:
+        return [
+            "stage baseline incompatible with this run (config fields differ: "
+            + ", ".join(
+                f"{k}: {base_cfg.get(k)!r} -> {cur_cfg.get(k)!r}" for k in mismatched
+            )
+            + "); regenerate it with --update-stage-baseline"
+        ]
+    violations: List[str] = []
+    cur_shares = stage_shares(current)
+    base_shares: Dict[str, float] = baseline["stage_shares"]
+    for stage, share in sorted(cur_shares.items()):
+        base = base_shares.get(stage)
+        if base is None:
+            if share > tolerance:
+                violations.append(
+                    f"stage {stage!r}: {share * 100:.1f}% of stage time but "
+                    f"absent from the baseline (tolerance "
+                    f"{tolerance * 100:.0f}pp); re-baseline deliberately"
+                )
+        elif share > base + tolerance:
+            violations.append(
+                f"stage {stage!r}: share grew {base * 100:.1f}% -> "
+                f"{share * 100:.1f}% of stage time "
+                f"(tolerance {tolerance * 100:.0f}pp)"
+            )
+    return violations
+
+
+def format_stage_gate(
+    current: Dict[str, Any], baseline: Dict[str, Any]
+) -> str:
+    """Side-by-side stage shares, current vs baseline."""
+    cur_shares = stage_shares(current)
+    base_shares: Dict[str, float] = baseline.get("stage_shares", {})
+    stages = [s for s in STAGES if s in cur_shares or s in base_shares]
+    stages += sorted((set(cur_shares) | set(base_shares)) - set(stages))
+    lines = [f"{'stage':18s} {'baseline':>9s} {'current':>9s} {'drift':>8s}"]
+    for stage in stages:
+        base = base_shares.get(stage)
+        cur = cur_shares.get(stage)
+        base_s = f"{base * 100:8.1f}%" if base is not None else f"{'--':>9s}"
+        cur_s = f"{cur * 100:8.1f}%" if cur is not None else f"{'--':>9s}"
+        drift = (
+            f"{(cur - base) * 100:+7.1f}pp"
+            if base is not None and cur is not None
+            else f"{'--':>8s}"
+        )
+        lines.append(f"{stage:18s} {base_s} {cur_s} {drift}")
+    return "\n".join(lines)

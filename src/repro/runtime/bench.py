@@ -194,7 +194,9 @@ def build_case_model(case: ModelCase):
 
 
 def run_model_bench(
-    profile: BenchProfile = FULL_PROFILE, seed: int = SEED
+    profile: BenchProfile = FULL_PROFILE,
+    seed: int = SEED,
+    backend: Optional[str] = None,
 ) -> List[dict]:
     """Whole-model compiled-vs-eager measurements (``model_cases``).
 
@@ -216,7 +218,9 @@ def run_model_bench(
         x = rng.standard_normal((case.batch, 3, case.hw, case.hw))
         if case.algorithm != "fp32":
             quantize_model(model, case.algorithm, m=case.m, calibration_batches=[x])
-        session = InferenceSession(model, x.shape, collect_timings=False)
+        session = InferenceSession(
+            model, x.shape, collect_timings=False, backend=backend
+        )
         y_compiled = session.run(x)  # warm: builds plans + geometry scratch
         y_eager = model(x)  # warm eager (engines already prepared)
         eager_s = _best_of(lambda: model(x), profile.model_repeats)
@@ -246,6 +250,7 @@ def run_bench(
     seed: int = SEED,
     engine: Optional[ExecutionEngine] = None,
     models: bool = True,
+    backend: Optional[str] = None,
 ) -> dict:
     """Run the benchmark and return the ``BENCH_runtime.json`` document.
 
@@ -255,8 +260,19 @@ def run_bench(
     and geometry arena of the full profile at once -- a model's working
     set is resident in steady state, and benchmarking the eviction path
     would just add noise.
+
+    ``backend`` names the fused-stage kernel backend (``"numpy"`` /
+    ``"threaded"``; ``None`` = process default).  It is recorded in the
+    emitted document but deliberately *not* part of the baseline
+    compatibility key -- both backends are bitwise identical, so a
+    baseline gates any backend's ratios.
     """
-    engine = engine if engine is not None else ExecutionEngine(cache=PlanCache(capacity=1024))
+    if engine is None:
+        engine = ExecutionEngine(cache=PlanCache(capacity=1024), backend=backend)
+    elif backend is not None:
+        from .backends import resolve_backend
+
+        engine.backend = resolve_backend(backend)
     rng = np.random.default_rng(seed)
     layer_entries: List[dict] = []
     for name in profile.layers:
@@ -302,10 +318,13 @@ def run_bench(
                 "reference": ref_entries,
             }
         )
-    model_entries = run_model_bench(profile, seed=seed) if models else []
+    model_entries = (
+        run_model_bench(profile, seed=seed, backend=backend) if models else []
+    )
     return {
         "schema": SCHEMA_VERSION,
         "profile": asdict(profile),
+        "backend": engine.backend.name,
         "seed": seed,
         "numpy": np.__version__,
         "machine": platform.machine(),

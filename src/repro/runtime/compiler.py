@@ -44,7 +44,7 @@ from ..nn.graph import Graph, Node, trace
 from ..nn.layers import Conv2d, Layer
 from .cache import PlanCache
 from .engine import ExecutionEngine
-from .plan import ConvPlan, _engine_operands, get_plan
+from .plan import ConvPlan, _engine_operands, _plan_meta, get_plan
 
 __all__ = [
     "algorithm_of_engine",
@@ -105,6 +105,7 @@ def plan_for_conv(conv: Conv2d, cache: PlanCache) -> ConvPlan:
             algorithm=algorithm,
             layer=engine,
             operands=_engine_operands(algorithm, engine),
+            meta=_plan_meta(algorithm, engine),
         ),
     )
 
@@ -121,6 +122,10 @@ class Step:
     plan: Optional[ConvPlan] = None
     bias: Optional[np.ndarray] = None
     relu: bool = False
+    #: Dense value-slot indices assigned by :func:`lower` -- the run
+    #: loop indexes flat lists instead of hashing node ids per step.
+    in_slots: Tuple[int, ...] = ()
+    out_slot: int = 0
 
     @property
     def kind(self) -> str:
@@ -133,15 +138,27 @@ class Step:
 
 @dataclass
 class CompiledProgram:
-    """A lowered model: ordered steps over a shared engine + plan cache."""
+    """A lowered model: ordered steps over a shared engine + plan cache.
+
+    Per-run bookkeeping is slot-based: :func:`lower` assigns every value
+    id a dense index, so ``run`` materializes its liveness state as two
+    flat list copies (``[None] * n`` and ``list.copy()`` of the refcount
+    template -- C-level allocations) instead of rebuilding dicts keyed
+    by node id on every call.  See ``benchmarks/bench_dispatch.py`` for
+    the per-step dispatch cost this buys back.
+    """
 
     graph: Graph
     steps: List[Step]
     cache: PlanCache
     engine: ExecutionEngine
-    #: Remaining-consumer count per value id (output counted once extra,
-    #: so it survives the sweep).
-    _refcounts: Dict[int, int] = field(default_factory=dict)
+    #: Remaining-consumer count per value *slot* (output counted once
+    #: extra, so it survives the sweep); copied per run.
+    _refcounts: List[int] = field(default_factory=list)
+    #: value id -> dense slot index.
+    _slots: Dict[int, int] = field(default_factory=dict)
+    _input_slot: int = 0
+    _output_slot: int = 0
 
     @property
     def output_id(self) -> int:
@@ -155,27 +172,29 @@ class CompiledProgram:
         """Execute the program; optionally accumulate per-step seconds
         into ``timings`` keyed by the step's layer path."""
         x = np.asarray(images, dtype=np.float64)
-        values: Dict[int, np.ndarray] = {self.graph.nodes[0].id: x}
-        remaining = dict(self._refcounts)
-        tracer = getattr(self.engine, "tracer", None)
+        values: List[Optional[np.ndarray]] = [None] * len(self._refcounts)
+        remaining = self._refcounts.copy()
+        values[self._input_slot] = x
+        engine = self.engine
+        tracer = getattr(engine, "tracer", None)
         tr = tracer if tracer is not None and tracer.enabled else None
         for step in self.steps:
-            args = [values[i] for i in step.node.inputs]
+            args = [values[i] for i in step.in_slots]
             t0 = time.perf_counter() if timings is not None else 0.0
             if tr is not None:
                 with tr.step(step.path):
-                    values[step.out_id] = _execute_step(step, args, self.engine, tr)
+                    values[step.out_slot] = _execute_step(step, args, engine, tr)
             else:
-                values[step.out_id] = _execute_step(step, args, self.engine)
+                values[step.out_slot] = _execute_step(step, args, engine)
             if timings is not None:
                 timings[step.path] = timings.get(step.path, 0.0) + (
                     time.perf_counter() - t0
                 )
-            for i in step.node.inputs:
+            for i in step.in_slots:
                 remaining[i] -= 1
                 if remaining[i] == 0:
-                    del values[i]
-        return values[self.output_id]
+                    values[i] = None
+        return values[self._output_slot]
 
     __call__ = run
 
@@ -188,14 +207,10 @@ def _execute_step(
 ) -> np.ndarray:
     kind = step.kind
     if kind == "conv":
-        y = engine.execute(step.plan, args[0])
-        t0 = time.perf_counter() if tracer is not None else 0.0
-        y = y + step.bias[None, :, None, None]
-        if step.relu:
-            y = np.maximum(y, 0.0)
-        if tracer is not None:
-            tracer.record("epilogue", time.perf_counter() - t0)
-        return y
+        # Bias + fused ReLU run inside the engine's kernel epilogue (in
+        # place on the fresh output -- bitwise ``max(y + bias, 0)``; the
+        # backend laps the "epilogue" stage).
+        return engine.execute(step.plan, args[0], bias=step.bias, relu=step.relu)
     t0 = time.perf_counter() if tracer is not None else 0.0
     if kind == "add":
         y = args[0] + args[1]
@@ -250,14 +265,38 @@ def lower(graph: Graph, cache: Optional[PlanCache] = None,
             step.bias = conv.bias
         steps.append(step)
 
-    refcounts: Dict[int, int] = {}
+    # Dense slot assignment: every live value id (the input, each step's
+    # output, each step's inputs) gets a flat index so the run loop's
+    # per-call state is two list copies instead of dict rebuilds.
+    slots: Dict[int, int] = {}
+
+    def slot(value_id: int) -> int:
+        idx = slots.get(value_id)
+        if idx is None:
+            idx = slots[value_id] = len(slots)
+        return idx
+
+    input_slot = slot(graph.nodes[0].id)
     for step in steps:
-        for i in step.node.inputs:
-            refcounts[i] = refcounts.get(i, 0) + 1
-    refcounts[graph.output_id] = refcounts.get(graph.output_id, 0) + 1
+        step.in_slots = tuple(slot(i) for i in step.node.inputs)
+        step.out_slot = slot(step.out_id)
+    output_slot = slot(graph.output_id)
+
+    refcounts: List[int] = [0] * len(slots)
+    for step in steps:
+        for i in step.in_slots:
+            refcounts[i] += 1
+    refcounts[output_slot] += 1  # the output survives the sweep
 
     return CompiledProgram(
-        graph=graph, steps=steps, cache=cache, engine=engine, _refcounts=refcounts
+        graph=graph,
+        steps=steps,
+        cache=cache,
+        engine=engine,
+        _refcounts=refcounts,
+        _slots=slots,
+        _input_slot=input_slot,
+        _output_slot=output_slot,
     )
 
 

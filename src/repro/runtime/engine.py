@@ -9,6 +9,16 @@ loop anywhere.  The loop-based implementations stay available as
 ``*_reference`` (:meth:`repro.core.LoWinoConv2d.reference_forward`,
 :func:`repro.gemm.batched_gemm_reference`) for differential testing.
 
+The four quantized algorithms run through *fused-stage kernel backends*
+(:mod:`repro.runtime.backends`): the engine resolves plan + geometry +
+scratch lease and then dispatches ``input_transform_quantize`` /
+``gemm_bias`` / ``dequant_output_transform_epilogue`` on the configured
+:class:`~repro.runtime.backends.KernelBackend`.  The default backend is
+pure NumPy; a threaded-BLAS backend partitions the GEMM batch across
+the :class:`~repro.runtime.pool.WorkerPool`.  All backends are bitwise
+identical to the reference layers (see the bit-identity notes in
+:mod:`repro.runtime.backends`).
+
 Exactness contract
 ------------------
 The integer GEMMs run through float64 BLAS instead of NumPy's integer
@@ -17,13 +27,17 @@ small integers, so every product (< 2**16) and every partial sum
 (< 2**53 for any channel count below ~10**8) is an integer that float64
 represents without rounding, regardless of BLAS's summation order.  The
 engine therefore produces bit-for-bit the accumulators of the reference
-integer paths, and the equivalence tests assert exactly that.  (The one
-documented divergence: a true INT32 *overflow* -- reachable only beyond
-~66k input channels -- wraps in the reference and not here.)
+integer paths, and the equivalence tests assert exactly that.  Where
+the reference materializes narrow integers (int8 codes, the upcast
+path's int16 operands, wrapped int32 accumulators), the fused kernels
+carry the same values in float64 whenever the plan-time bounds
+(:func:`repro.runtime.plan._plan_meta`) prove the round-trip is the
+identity -- and fall back to the reference's runtime checks and
+wrapping casts when they cannot.
 
 All float-domain stages (quantization, dequantization, FP32 transforms)
-call the very same functions as the reference layers, in the same
-order, so the float outputs match bitwise as well.
+perform the very same elementwise operations as the reference layers,
+in the same order, so the float outputs match bitwise as well.
 """
 
 from __future__ import annotations
@@ -34,31 +48,11 @@ from typing import Any, Optional
 
 import numpy as np
 
-from ..conv._tileops import gemm_result_to_tiles, prepare_input_tiles, tiles_to_gemm_operand
-from ..conv.im2col import conv_output_shape, im2col, pad_images
-from ..isa import saturate_cast
-from ..quant import QuantParams, quantize, spatial_params_from_tensor
-from ..winograd import assemble_output, input_transform, output_transform
+from .backends import FUSED_ALGORITHMS, FusedCall, resolve_backend
 from .cache import PlanCache, default_cache
 from .plan import ConvPlan, GeometryPlan, get_plan
 
 __all__ = ["ExecutionEngine", "RuntimeLayer", "default_engine"]
-
-
-def _wrap_int32(z_f64: np.ndarray) -> np.ndarray:
-    """Cast exact-integer float64 accumulators to int32 (wrapping like
-    the reference's ``astype(np.int32)`` on the rare overflow)."""
-    return z_f64.astype(np.int64).astype(np.int32)
-
-
-def _transform_int_vec(bt_f64: np.ndarray, tiles: np.ndarray) -> np.ndarray:
-    """Exact integer 2D transform ``M t M^T`` via broadcast float64 matmul.
-
-    Bit-identical to :func:`repro.conv.upcast._transform_int` (the int64
-    einsum): all intermediates are exact integers in float64.
-    """
-    half = np.matmul(tiles.astype(np.float64), bt_f64.T)
-    return np.matmul(bt_f64, half).astype(np.int64)
 
 
 class ExecutionEngine:
@@ -76,11 +70,16 @@ class ExecutionEngine:
     grows to one arena per peak-concurrent caller and reports contention
     via its :class:`~repro.runtime.plan.LeaseStats`.
 
+    ``backend`` selects the fused-stage kernel backend for the quantized
+    algorithms: ``None`` (the process default pure-NumPy backend), a
+    registered name (``"numpy"``, ``"threaded"``), or a
+    :class:`~repro.runtime.backends.KernelBackend` instance.
+
     ``tracer`` (a :class:`~repro.obs.tracer.StageTracer`) lap-times the
-    algorithm bodies per stage -- input transform, quantize, GEMM,
-    output transform -- consecutive laps tiling each body exactly.  With
-    no tracer attached (or a disabled one) the hot path pays a single
-    attribute check and no timing calls.
+    fused kernels per stage -- input transform, quantize, GEMM, output
+    transform, epilogue -- consecutive laps tiling each call exactly.
+    With no tracer attached (or a disabled one) the hot path pays a
+    single attribute check and no timing calls.
     """
 
     def __init__(
@@ -88,10 +87,12 @@ class ExecutionEngine:
         cache: Optional[PlanCache] = None,
         use_scratch: bool = True,
         tracer: Optional[Any] = None,
+        backend: Optional[Any] = None,
     ):
         self.cache = cache if cache is not None else default_cache()
         self.use_scratch = use_scratch
         self.tracer = tracer
+        self.backend = resolve_backend(backend)
 
     def _active_tracer(self):
         tracer = self.tracer
@@ -122,11 +123,54 @@ class ExecutionEngine:
         return self.execute(self.plan_for(filters, algorithm, m=m, padding=padding, **kwargs), images)
 
     # -- execution ------------------------------------------------------
-    def execute(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
+    def execute(
+        self,
+        plan: ConvPlan,
+        images: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        relu: bool = False,
+    ) -> np.ndarray:
+        """Run one plan; ``bias``/``relu`` fuse the compiled graph's
+        epilogue into the kernel (in place on the fresh output, bitwise
+        ``np.maximum(y + bias, 0.0)``)."""
+        if plan.algorithm in FUSED_ALGORITHMS:
+            return self._run_fused(plan, images, bias, relu)
         fn = getattr(self, f"_run_{plan.algorithm}", None)
         if fn is None:
             raise ValueError(f"engine cannot execute algorithm {plan.algorithm!r}")
-        return fn(plan, images)
+        y = fn(plan, images)
+        if bias is not None or relu:
+            tr = self._active_tracer()
+            t0 = time.perf_counter() if tr else 0.0
+            # The fp32 layers return freshly allocated (or freshly
+            # backed) arrays, so the in-place epilogue is private.
+            if bias is not None:
+                y += bias[None, :, None, None]
+            if relu:
+                np.maximum(y, 0.0, out=y)
+            if tr:
+                tr.lap("epilogue", t0)
+        return y
+
+    def _run_fused(
+        self,
+        plan: ConvPlan,
+        images: np.ndarray,
+        bias: Optional[np.ndarray],
+        relu: bool,
+    ) -> np.ndarray:
+        backend = self.backend
+        tr = self._active_tracer()
+        call = FusedCall(plan, np.asarray(images, dtype=np.float64), bias, relu, tr)
+        if tr:
+            call.t_lap = time.perf_counter()
+        try:
+            backend.input_transform_quantize(self, call)
+            backend.gemm_bias(self, call)
+            return backend.dequant_output_transform_epilogue(self, call)
+        finally:
+            if call.arena is not None:
+                call.geom.scratch.release(call.arena)
 
     def _geometry(self, plan: ConvPlan, images: np.ndarray, padded_hw) -> GeometryPlan:
         def build() -> GeometryPlan:
@@ -137,6 +181,13 @@ class ExecutionEngine:
             return GeometryPlan(grid=grid)
 
         return plan.geometry(self.cache, images.shape, build)
+
+    def _lease(self, call: FusedCall, geom: GeometryPlan) -> None:
+        """Attach the geometry and (when enabled) a leased scratch arena
+        to a fused call; released by ``_run_fused``'s finally block."""
+        call.geom = geom
+        if self.use_scratch:
+            call.arena = geom.scratch.acquire()
 
     @contextmanager
     def _scratch(self, geom: GeometryPlan):
@@ -163,236 +214,7 @@ class ExecutionEngine:
             return out.copy()
         return out
 
-    # -- algorithm bodies (each mirrors its reference layer exactly) ----
-    def _run_lowino(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        tr = self._active_tracer()
-        t_lap = time.perf_counter() if tr else 0.0
-        layer = plan.layer
-        images = np.asarray(images, dtype=np.float64)
-        b = images.shape[0]
-        k = layer.filters_fp32.shape[0]
-        c = images.shape[1]
-        x = pad_images(images, layer.padding)
-        geom = self._geometry(plan, images, x.shape[2:])
-        a = layer.alg.alpha
-        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
-        tile_shape = (b, c, th, tw, a, a)
-        with self._scratch(geom) as s:
-            tiles, grid = prepare_input_tiles(
-                layer.alg, x, out=self._buf(s, "tiles", tile_shape, x.dtype)
-            )
-            v_tiles = input_transform(
-                layer.alg, tiles, out=self._buf(s, "v_tiles", tile_shape, np.float64)
-            )
-            v = tiles_to_gemm_operand(
-                v_tiles, out=self._buf(s, "v", (a * a, b * th * tw, c), np.float64)
-            )  # (T, N, C)
-            if tr:
-                t_lap = tr.lap("input_transform", t_lap)
-            if layer.input_params is not None:
-                in_params = layer.input_params
-            else:
-                from ..quant import per_position_minmax_params
-
-                in_params = per_position_minmax_params(v, position_axis=0, bits=layer.bits)
-            v_q = quantize(v, in_params)  # (T, N, C) int8
-            t, n, c = v_q.shape
-            if "u_f32" in plan.operands:
-                # Low-precision GEMM: every partial sum of the u8 x s8
-                # contraction stays under 2**24 for this channel count, so
-                # float32 holds the exact int32 accumulators (plan.py).
-                gemm_dtype = np.float32
-                u_op, zbar_op = plan.operands["u_f32"], plan.operands["zbar_f32"]
-            else:
-                gemm_dtype = np.float64
-                u_op, zbar_op = plan.operands["u_f64"], plan.operands["zbar_f64"]
-            # +128 bias and int8->float cast fused into one whole-tensor add.
-            vbar = np.add(
-                v_q,
-                np.asarray(128.0, dtype=gemm_dtype),
-                out=self._buf(s, "vbar", (t, n, c), gemm_dtype),
-            )
-            if tr:
-                t_lap = tr.lap("quantize", t_lap)
-            z = np.matmul(vbar, u_op, out=self._buf(s, "z", (t, n, k), gemm_dtype))
-            z += zbar_op[:, None, :]
-            if tr:
-                t_lap = tr.lap("gemm", t_lap)
-            # Scatter the (still exact-integer) accumulators into tile layout
-            # *before* de-quantizing: the narrow dtype halves the strided
-            # copy, and the divide below hits the same elementwise operands
-            # as the reference's (T, N, K)-shaped divide.
-            acc_z = gemm_result_to_tiles(
-                z, b, grid, k, out=self._buf(s, "acc_z", (b, k, th, tw, a, a), gemm_dtype)
-            )
-            # De-quantize (Eq. 6): per-(position, channel) scale rearranged
-            # to broadcast over (B, K, th, tw, a, a).
-            denom = np.broadcast_to(in_params.scale * layer.filter_params.scale, (t, 1, k))
-            denom_tiles = denom[:, 0, :].T.reshape(k, a, a)[None, :, None, None, :, :]
-            acc_tiles = np.divide(
-                acc_z, denom_tiles, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-            )
-            m = layer.alg.m
-            y = output_transform(
-                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
-            )
-            out = self._detach(assemble_output(grid, y), s)
-            if tr:
-                tr.lap("output_transform", t_lap)
-            return out
-
-    def _run_int8_upcast(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        tr = self._active_tracer()
-        t_lap = time.perf_counter() if tr else 0.0
-        layer = plan.layer
-        images = np.asarray(images, dtype=np.float64)
-        k = layer.filters_fp32.shape[0]
-        if layer.input_threshold is not None:
-            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
-        else:
-            in_params = spatial_params_from_tensor(images, bits=layer.bits)
-        xq = quantize(images, in_params)
-        if tr:
-            t_lap = tr.lap("quantize", t_lap)
-        x = pad_images(xq, layer.padding)
-        geom = self._geometry(plan, images, x.shape[2:])
-        b, c = images.shape[0], images.shape[1]
-        a = layer.alg.alpha
-        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
-        with self._scratch(geom) as s:
-            tiles, grid = prepare_input_tiles(
-                layer.alg, x, out=self._buf(s, "tiles", (b, c, th, tw, a, a), x.dtype)
-            )
-            v = _transform_int_vec(plan.operands["bt_f64"], tiles)  # int64, * bt_lcm^2
-            max_v = int(np.abs(v).max()) if v.size else 0
-            if max_v > np.iinfo(np.int16).max:
-                raise OverflowError(f"transformed inputs overflow INT16 (max {max_v})")
-            v16 = tiles_to_gemm_operand(
-                saturate_cast(v, np.int16),
-                out=self._buf(s, "v16", (a * a, b * th * tw, c), np.int16),
-            )  # (T, N, C)
-            if tr:
-                t_lap = tr.lap("input_transform", t_lap)
-            t, n, c = v16.shape
-            z_f64 = np.matmul(
-                v16.astype(np.float64),
-                plan.operands["u_f64"],
-                out=self._buf(s, "z", (t, n, k), np.float64),
-            )
-            z = _wrap_int32(z_f64)
-            if tr:
-                t_lap = tr.lap("gemm", t_lap)
-            denom = (
-                in_params.scale
-                * layer.weight_params.scale.reshape(1, 1, k)
-                * (layer.bt_lcm**2)
-                * layer.filter_scale
-            )
-            z_fp = np.divide(
-                z.astype(np.float64), denom, out=self._buf(s, "z_fp", z.shape, np.float64)
-            )
-            acc_tiles = gemm_result_to_tiles(
-                z_fp, b, grid, k, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-            )
-            m = layer.alg.m
-            y = output_transform(
-                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
-            )
-            out = self._detach(assemble_output(grid, y), s)
-            if tr:
-                tr.lap("output_transform", t_lap)
-            return out
-
-    def _run_int8_downscale(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        tr = self._active_tracer()
-        t_lap = time.perf_counter() if tr else 0.0
-        layer = plan.layer
-        images = np.asarray(images, dtype=np.float64)
-        k = layer.filters_fp32.shape[0]
-        if layer.input_threshold is not None:
-            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
-        else:
-            in_params = spatial_params_from_tensor(images, bits=layer.bits)
-        xq = quantize(images, in_params)
-        if tr:
-            t_lap = tr.lap("quantize", t_lap)
-        x = pad_images(xq, layer.padding)
-        geom = self._geometry(plan, images, x.shape[2:])
-        b, c = images.shape[0], images.shape[1]
-        a = layer.alg.alpha
-        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
-        with self._scratch(geom) as s:
-            tiles, grid = prepare_input_tiles(
-                layer.alg, x, out=self._buf(s, "tiles", (b, c, th, tw, a, a), x.dtype)
-            )
-            v = _transform_int_vec(plan.operands["bt_f64"], tiles)
-            scale = layer.input_downscale / (layer.bt_lcm**2)
-            v8 = saturate_cast(v.astype(np.float64) * scale, np.int8)
-            v_op = tiles_to_gemm_operand(
-                v8, out=self._buf(s, "v8", (a * a, b * th * tw, c), np.int8)
-            )  # (T, N, C)
-            if tr:
-                t_lap = tr.lap("input_transform", t_lap)
-            t, n, c = v_op.shape
-            z_f64 = np.matmul(
-                v_op.astype(np.float64),
-                plan.operands["u_f64"],
-                out=self._buf(s, "z", (t, n, k), np.float64),
-            )
-            z = _wrap_int32(z_f64)
-            if tr:
-                t_lap = tr.lap("gemm", t_lap)
-            denom = (
-                in_params.scale
-                * layer.input_downscale
-                * layer.weight_params.scale.reshape(1, 1, k)
-                * layer.filter_downscale
-            )
-            z_fp = np.divide(
-                z.astype(np.float64), denom, out=self._buf(s, "z_fp", z.shape, np.float64)
-            )
-            acc_tiles = gemm_result_to_tiles(
-                z_fp, b, grid, k, out=self._buf(s, "acc_tiles", (b, k, th, tw, a, a), np.float64)
-            )
-            m = layer.alg.m
-            y = output_transform(
-                layer.alg, acc_tiles, out=self._buf(s, "y", (b, k, th, tw, m, m), np.float64)
-            )
-            out = self._detach(assemble_output(grid, y), s)
-            if tr:
-                tr.lap("output_transform", t_lap)
-            return out
-
-    def _run_int8_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        tr = self._active_tracer()
-        t_lap = time.perf_counter() if tr else 0.0
-        layer = plan.layer
-        images = np.asarray(images, dtype=np.float64)
-        b, c, h, w = images.shape
-        k, _, r, _ = layer.filters_fp32.shape
-        if layer.input_threshold is not None:
-            in_params = QuantParams.from_threshold(layer.input_threshold, bits=layer.bits)
-        else:
-            in_params = spatial_params_from_tensor(images, bits=layer.bits)
-        xq = quantize(images, in_params)
-        if tr:
-            t_lap = tr.lap("quantize", t_lap)
-        x = pad_images(xq, layer.padding)
-        oh, ow = conv_output_shape(h, w, r, stride=layer.stride, padding=layer.padding)
-        cols = im2col(x, r, stride=layer.stride)  # int8 (B*OH*OW, C*r*r)
-        if tr:
-            t_lap = tr.lap("input_transform", t_lap)
-        acc_f64 = cols.astype(np.float64) @ plan.operands["w_f64"].T
-        acc = _wrap_int32(acc_f64)
-        if tr:
-            t_lap = tr.lap("gemm", t_lap)
-        w_scale = layer.weight_params.scale.reshape(1, k)
-        out = acc.astype(np.float64) / (in_params.scale * w_scale)
-        out = out.reshape(b, oh, ow, k).transpose(0, 3, 1, 2)
-        if tr:
-            tr.lap("output_transform", t_lap)
-        return out
-
+    # -- fp32 algorithm bodies (not part of the fused pipeline) ---------
     def _run_fp32_winograd(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
         # The fp32 layer object already holds the precomputed transformed
         # filters and runs the fully vectorized pipeline; execution just

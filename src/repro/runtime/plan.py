@@ -231,6 +231,10 @@ class ConvPlan:
     #: Engine-side operands (float64 casts of the quantized filters,
     #: pre-reshaped filter matrices, ...), by name.
     operands: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Plan-time analytic facts the fused kernels exploit (see
+    #: :func:`_plan_meta`): integer range bounds that let the online
+    #: path skip runtime overflow reductions and int round-trips.
+    meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def nbytes(self) -> int:
@@ -397,6 +401,57 @@ def _engine_operands(algorithm: str, layer: Any) -> Dict[str, np.ndarray]:
     return ops
 
 
+def _abs_colsum_max(matrix: np.ndarray, axis: int) -> int:
+    """``max over the kept axes of sum(|matrix|)`` along ``axis`` (int64)."""
+    if matrix.size == 0:
+        return 0
+    return int(np.abs(matrix.astype(np.int64)).sum(axis=axis).max())
+
+
+def _plan_meta(algorithm: str, layer: Any) -> Dict[str, Any]:
+    """Plan-time analytic integer bounds for the fused kernels.
+
+    All quantized operands are known at plan time, so worst-case
+    magnitudes of the online intermediates follow from Hölder's
+    inequality (``|Av| <= max_row sum|A| * max|v|``):
+
+    - ``v_bound``: elementwise bound on the integer input transform
+      ``B^T d B`` where ``|d| <= 2**(bits-1)``.  When it stays within
+      INT16 (``v16_ok``), the upcast path can skip the per-call
+      ``np.abs(v).max()`` overflow reduction *and* the int16
+      materialization -- the float64 values are already exact.
+    - ``z_bound``: bound on any GEMM accumulator, from the max
+      channel-wise absolute column sum of the quantized filter operand.
+      When it stays within INT32 (``z_wrap_free``), the reference's
+      wrap-on-overflow ``astype(np.int32)`` is the identity and the
+      fused kernels divide the float64 accumulators directly.
+    """
+    meta: Dict[str, Any] = {}
+    int16_max = int(np.iinfo(np.int16).max)
+    int32_max = int(np.iinfo(np.int32).max)
+    qabs = 1 << (getattr(layer, "bits", 8) - 1)
+    if algorithm in ("int8_upcast", "int8_downscale"):
+        row = _abs_colsum_max(layer.bt_int, axis=1)
+        meta["v_bound"] = qabs * row * row
+        if algorithm == "int8_upcast":
+            meta["v16_ok"] = meta["v_bound"] <= int16_max
+            # (T, C, K) int16 filters: |z[t,n,k]| <= max|v| * sum_c |u[t,c,k]|.
+            # Calls that survive the INT16 guard have |v| <= int16_max.
+            u_col = _abs_colsum_max(layer.u_int16, axis=1)
+            meta["z_bound"] = min(meta["v_bound"], int16_max) * u_col
+        else:
+            # Downscaled inputs are saturated to int8: |v8| <= 2**7.
+            u_col = _abs_colsum_max(layer.u_int8, axis=1)
+            meta["z_bound"] = 128 * u_col
+        meta["z_wrap_free"] = meta["z_bound"] <= int32_max
+    elif algorithm == "int8_direct":
+        k = layer.filters_q.shape[0]
+        w_col = _abs_colsum_max(layer.filters_q.reshape(k, -1), axis=1)
+        meta["z_bound"] = qabs * w_col
+        meta["z_wrap_free"] = meta["z_bound"] <= int32_max
+    return meta
+
+
 def build_plan(
     algorithm: str,
     filters: np.ndarray,
@@ -412,6 +467,7 @@ def build_plan(
         algorithm=algorithm,
         layer=layer,
         operands=_engine_operands(algorithm, layer),
+        meta=_plan_meta(algorithm, layer),
     )
 
 

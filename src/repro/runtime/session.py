@@ -66,6 +66,7 @@ class InferenceSession:
         collect_timings: bool = True,
         tracer: Optional[StageTracer] = None,
         registry: Optional[MetricsRegistry] = None,
+        backend: Optional[object] = None,
     ) -> None:
         self.model = model
         self.input_shape = tuple(int(s) for s in input_shape)
@@ -81,9 +82,16 @@ class InferenceSession:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer
         if engine is None:
-            engine = ExecutionEngine(cache=cache, tracer=tracer)
-        elif tracer is not None:
-            engine.tracer = tracer
+            # ``backend`` selects the fused-stage kernel backend
+            # ("numpy" / "threaded" / an instance); None = process default.
+            engine = ExecutionEngine(cache=cache, tracer=tracer, backend=backend)
+        else:
+            if tracer is not None:
+                engine.tracer = tracer
+            if backend is not None:
+                from .backends import resolve_backend
+
+                engine.backend = resolve_backend(backend)
         self.engine = engine
         if tracer is not None:
             self.registry.register_collector(tracer.collect)

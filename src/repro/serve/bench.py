@@ -79,6 +79,9 @@ class ServeBenchConfig:
     max_delay_ms: float = 5.0
     queue_size: int = 256
     workers: int = 1
+    #: Fused-stage kernel backend the served session executes on
+    #: (:func:`repro.runtime.backends.available_backends`).
+    backend: str = "numpy"
     seed: int = SEED
 
 
@@ -93,7 +96,10 @@ def _build_session(cfg: ServeBenchConfig):
     if cfg.algorithm != "fp32":
         quantize_model(model, cfg.algorithm, m=cfg.m, calibration_batches=[calib])
     input_shape = (cfg.request_batch, 3, cfg.hw, cfg.hw)
-    return model, InferenceSession(model, input_shape, collect_timings=False)
+    session = InferenceSession(
+        model, input_shape, collect_timings=False, backend=cfg.backend
+    )
+    return model, session
 
 
 def _client_inputs(cfg: ServeBenchConfig, threads: int) -> List[List[np.ndarray]]:
