@@ -1,10 +1,11 @@
 """Section 4.3.4 ablation: auto-tuned vs default vs pessimal blocking,
-and tuner wall clock."""
+tuner wall clock, and end-to-end algorithm selection (cold vs warm)."""
 
 import pytest
 
 from repro.experiments import blocking_ablation
 from repro.tuning import tune_gemm
+from repro.tuning.bench import TuneBenchConfig, run_tune_bench
 from repro.workloads import TABLE2_LAYERS, layer_by_name
 
 
@@ -29,6 +30,33 @@ def test_bench_tuner_wall_clock(benchmark):
     result = benchmark.pedantic(lambda: tune_gemm(t, n, c, k), rounds=1,
                                 iterations=1)
     assert result.candidates_evaluated > 50
+
+
+@pytest.mark.parametrize("model", ["resnet", "vgg"])
+def test_bench_selector_cold_vs_warm(benchmark, tmp_path, model):
+    """Algorithm selection end-to-end: the cold sweep measures every
+    unique conv geometry into a wisdom file; the warm sweep (what a
+    second worker or a restarted server pays) answers everything from
+    wisdom without a single measurement."""
+    cfg = TuneBenchConfig(model=model, width=8, hw=8, batch=2, repeats=2)
+    wisdom = tmp_path / "wisdom.json"
+    cold = run_tune_bench(cfg, wisdom=wisdom)
+    warm = benchmark.pedantic(lambda: run_tune_bench(cfg, wisdom=wisdom),
+                              rounds=1, iterations=1)
+    print()
+    print(f"{model}: {cold['summary']['geometries']} geometries, "
+          f"selected/static geomean "
+          f"{cold['summary']['selected_vs_static_geomean']:.3f}x, "
+          f"{cold['summary']['switched']} switched from static")
+    assert cold["deterministic"] is True
+    assert cold["summary"]["measured"] == cold["summary"]["geometries"]
+    # never-regress: the static plan is always in the measured set
+    assert all(r["selected_vs_static"] >= 1.0 for r in cold["geometries"])
+    # warm convergence: zero measurements, identical choices
+    assert warm["summary"]["measured"] == 0
+    assert warm["summary"]["from_wisdom"] == warm["summary"]["geometries"]
+    assert [r["selected"] for r in warm["geometries"]] == \
+        [r["selected"] for r in cold["geometries"]]
 
 
 def test_tuned_speedup_summary():

@@ -21,25 +21,31 @@ def main() -> None:
     wisdom_path.unlink(missing_ok=True)
     wisdom = WisdomFile(wisdom_path)
 
-    for name, m in [("VGG16_b", 4), ("ResNet-50_c", 4), ("U-Net_b", 2)]:
-        layer = layer_by_name(name)
-        t, n, c, k = layer.gemm_dims(m)
-        start = time.perf_counter()
-        tuned = wisdom.lookup_or_tune(t, n, c, k)
-        tune_time = time.perf_counter() - start
+    cases = [("VGG16_b", 4), ("ResNet-50_c", 4), ("U-Net_b", 2)]
+    problems = [layer_by_name(name).gemm_dims(m) for name, m in cases]
 
+    # One batched sweep: every newly tuned problem coalesces into a
+    # single read-merge-write of the wisdom file on exit, instead of a
+    # full-file rewrite per problem.
+    start = time.perf_counter()
+    tuned_params = wisdom.lookup_or_tune_many(problems)
+    sweep_time = time.perf_counter() - start
+
+    for (name, m), (t, n, c, k), tuned in zip(cases, problems, tuned_params):
         default = default_blocking(n, c, k)
         t_tuned = gemm_stage_cost(t, n, c, k, tuned)
         t_default = gemm_stage_cost(t, n, c, k, default)
         print(f"{name} F({m},3): GEMM T={t} N={n} C={c} K={k}")
-        print(f"  tuned blocking   {tuned} -> {t_tuned * 1e3:.3f} ms "
-              f"(searched in {tune_time:.1f}s)")
+        print(f"  tuned blocking   {tuned} -> {t_tuned * 1e3:.3f} ms")
         print(f"  default blocking {default} -> {t_default * 1e3:.3f} ms "
               f"({t_default / t_tuned:.2f}x slower)")
 
         start = time.perf_counter()
-        wisdom.lookup_or_tune(t, n, c, k)  # cache hit
+        wisdom.lookup_or_tune(t, n, c, k)  # cache hit, no tuner run
         print(f"  wisdom-file cache hit in {1e3 * (time.perf_counter() - start):.2f} ms\n")
+
+    print(f"swept {len(problems)} problems in {sweep_time:.1f}s "
+          f"(one wisdom-file write)")
 
     print(f"wisdom file at {wisdom_path} holds {len(wisdom)} entries")
 

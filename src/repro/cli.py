@@ -10,6 +10,7 @@
     python -m repro bench [--quick] [--out BENCH_runtime.json]
     python -m repro serve-bench [--threads 1,2,8] [--gate 1.5]
     python -m repro load-bench [--mode virtual] [--baseline BENCH_serve_quick.json]
+    python -m repro tune [--wisdom wisdom.json] [--baseline BENCH_tuning.json]
 
 Each subcommand prints the same rows the corresponding benchmark
 emits; ``selftest`` runs a fast numerics sanity sweep (the exactness
@@ -24,7 +25,11 @@ to serial eager execution; ``load-bench`` replays seeded open-loop
 traces (Poisson / bursty multi-model / overload) and reports SLO-style
 p50/p95/p99, goodput, and shed rate, gateable against a checked-in
 baseline.  Both persist their JSON documents under ``benchmarks/`` by
-default so the serve perf trajectory is first-class.
+default so the serve perf trajectory is first-class; ``tune`` measures
+the admissible algorithms per conv geometry, persists the winners to a
+shared wisdom file (``--wisdom``), and gates determinism plus the
+selected-vs-static ratio -- ``bench`` / ``serve-bench`` / ``load-bench``
+consume the same file via their own ``--wisdom`` flag.
 """
 
 from __future__ import annotations
@@ -226,6 +231,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         models=not args.no_models,
         backend=args.backend,
+        wisdom=args.wisdom,
     )
     print(rbench.format_bench(doc))
     if args.cache_stats:
@@ -367,6 +373,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         seed=args.seed,
+        wisdom=args.wisdom,
     )
     try:
         doc = sbench.run_serve_bench(cfg)
@@ -385,6 +392,58 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {v}")
         return 1
     print(f"\nserve gate: PASS (bit-identity + >= {args.gate:.2f}x throughput)")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .tuning import bench as tbench
+
+    cfg = tbench.TuneBenchConfig(
+        model=args.model,
+        width=args.width,
+        hw=args.hw,
+        batch=args.batch,
+        repeats=args.repeats,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    try:
+        doc = tbench.run_tune_bench(cfg, wisdom=args.wisdom)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(tbench.format_tune_bench(doc))
+    if args.wisdom:
+        print(f"wisdom: {args.wisdom}")
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    baseline = None
+    if args.baseline:
+        if args.update_baseline:
+            path = Path(args.baseline)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+            print(f"wrote baseline {args.baseline}")
+            return 0
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except FileNotFoundError:
+            print(f"baseline not found: {args.baseline}", file=sys.stderr)
+            return 2
+    violations = tbench.check_tuning_gate(doc, baseline=baseline, gate=args.gate)
+    if violations:
+        print(f"\ntune gate: {len(violations)} VIOLATION(S)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    against = f", baseline {args.baseline}" if baseline is not None else ""
+    print(f"\ntune gate: PASS (deterministic + never-regress{against})")
     return 0
 
 
@@ -411,7 +470,7 @@ def _cmd_load_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     try:
-        doc = loadgen.run_load_bench(cfg)
+        doc = loadgen.run_load_bench(cfg, wisdom=args.wisdom)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -546,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
     pbn.add_argument("--cache-stats", action="store_true",
                      help="print plan-cache hit/miss/eviction/bytes counters "
                           "(per session for the model cases)")
+    pbn.add_argument("--wisdom", default=None,
+                     help="wisdom file (repro tune) applying tuned algorithm "
+                          "choices to the model cases")
     pbn.set_defaults(fn=_cmd_bench)
 
     ppr = sub.add_parser(
@@ -626,6 +688,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: benchmarks/BENCH_serve_threads.json)")
     psv.add_argument("--no-out", action="store_true",
                      help="do not persist the JSON document")
+    psv.add_argument("--wisdom", default=None,
+                     help="wisdom file (repro tune) applying tuned algorithm "
+                          "choices to the served session")
     psv.set_defaults(fn=_cmd_serve_bench)
 
     plb = sub.add_parser(
@@ -678,7 +743,44 @@ def build_parser() -> argparse.ArgumentParser:
                           "and p95 against")
     plb.add_argument("--update-baseline", action="store_true",
                      help="record this run as the new baseline (with --baseline)")
+    plb.add_argument("--wisdom", default=None,
+                     help="wisdom file (repro tune) applying tuned algorithm "
+                          "choices to every tenant session (baseline-compatible: "
+                          "selection never changes outputs or schedules)")
     plb.set_defaults(fn=_cmd_load_bench)
+
+    ptn = sub.add_parser(
+        "tune",
+        help="measure + select the fastest admissible algorithm per conv "
+             "geometry, persisting choices to a shared wisdom file",
+    )
+    ptn.add_argument("--model", default="resnet",
+                     help="model family: vgg/resnet/alexnet/unet (default resnet)")
+    ptn.add_argument("--width", type=int, default=8,
+                     help="model width (default 8)")
+    ptn.add_argument("--hw", type=int, default=8,
+                     help="input spatial size (default 8)")
+    ptn.add_argument("--batch", type=int, default=2, help="batch size (default 2)")
+    ptn.add_argument("--repeats", type=int, default=2,
+                     help="timed repeats per candidate (best-of, default 2)")
+    ptn.add_argument("--seed", type=int, default=2021,
+                     help="measurement tensor seed (default 2021)")
+    ptn.add_argument("--backend", default="numpy", choices=_backend_choices(),
+                     help="fused-stage kernel backend (default numpy)")
+    ptn.add_argument("--wisdom", default=None,
+                     help="wisdom file to read + extend (default: throwaway "
+                          "-- pure benchmark mode)")
+    ptn.add_argument("--out", default=None,
+                     help="write the BENCH_tuning.json document here")
+    ptn.add_argument("--baseline", default=None,
+                     help="baseline JSON to gate the selected-vs-static "
+                          "geomean against")
+    ptn.add_argument("--gate", type=float, default=0.25,
+                     help="allowed fractional geomean regression vs baseline "
+                          "(default 0.25)")
+    ptn.add_argument("--update-baseline", action="store_true",
+                     help="record this run as the new baseline (with --baseline)")
+    ptn.set_defaults(fn=_cmd_tune)
     return parser
 
 

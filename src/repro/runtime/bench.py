@@ -197,6 +197,7 @@ def run_model_bench(
     profile: BenchProfile = FULL_PROFILE,
     seed: int = SEED,
     backend: Optional[str] = None,
+    wisdom=None,
 ) -> List[dict]:
     """Whole-model compiled-vs-eager measurements (``model_cases``).
 
@@ -207,6 +208,11 @@ def run_model_bench(
     ratio is pure execution-architecture.  Each entry also records
     bitwise equality of the two outputs (``exact``) and the session's
     plan-cache counters.
+
+    ``wisdom`` (path / :class:`~repro.tuning.wisdom.WisdomFile`) applies
+    tuned per-geometry algorithm choices at lowering time; selection
+    swaps the shared engine objects, so the eager reference swaps with
+    it and ``exact`` still gates bit-identity.
     """
     from ..nn.quantize import quantize_model
     from .session import InferenceSession
@@ -219,7 +225,7 @@ def run_model_bench(
         if case.algorithm != "fp32":
             quantize_model(model, case.algorithm, m=case.m, calibration_batches=[x])
         session = InferenceSession(
-            model, x.shape, collect_timings=False, backend=backend
+            model, x.shape, collect_timings=False, backend=backend, wisdom=wisdom
         )
         y_compiled = session.run(x)  # warm: builds plans + geometry scratch
         y_eager = model(x)  # warm eager (engines already prepared)
@@ -251,6 +257,7 @@ def run_bench(
     engine: Optional[ExecutionEngine] = None,
     models: bool = True,
     backend: Optional[str] = None,
+    wisdom=None,
 ) -> dict:
     """Run the benchmark and return the ``BENCH_runtime.json`` document.
 
@@ -319,12 +326,15 @@ def run_bench(
             }
         )
     model_entries = (
-        run_model_bench(profile, seed=seed, backend=backend) if models else []
+        run_model_bench(profile, seed=seed, backend=backend, wisdom=wisdom)
+        if models
+        else []
     )
     return {
         "schema": SCHEMA_VERSION,
         "profile": asdict(profile),
         "backend": engine.backend.name,
+        "wisdom": wisdom is not None,
         "seed": seed,
         "numpy": np.__version__,
         "machine": platform.machine(),

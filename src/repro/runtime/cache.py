@@ -68,18 +68,39 @@ def _entry_bytes(value: Any) -> int:
 
 
 class PlanCache:
-    """Thread-safe LRU keyed by any hashable plan key.
+    """Thread-safe bounded cache keyed by any hashable plan key.
 
     ``capacity`` bounds the entry count, ``max_bytes`` the summed
     ``nbytes`` of resident values (0 disables the byte bound).
+
+    ``eviction`` picks the victim policy: ``"lru"`` (default, least
+    recently used) or ``"lfu"`` -- least *frequently* used by the
+    per-key hit counters, recency breaking ties.  The serving layer
+    uses ``"lfu"`` so a hot geometry's plans survive cache pressure
+    from a burst of one-off shapes that would churn a pure LRU.
     """
 
-    def __init__(self, capacity: int = 128, max_bytes: int = 1 << 31) -> None:
+    _EVICTION_POLICIES = ("lru", "lfu")
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        max_bytes: int = 1 << 31,
+        eviction: str = "lru",
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if eviction not in self._EVICTION_POLICIES:
+            raise ValueError(
+                f"eviction must be one of {self._EVICTION_POLICIES}, got {eviction!r}"
+            )
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self.eviction = eviction
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: Per-key hit counters (fed to the LFU victim choice and
+        #: exported via :meth:`hit_counts` for telemetry).
+        self._hits: Dict[Hashable, int] = {}
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -96,6 +117,7 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._hits[key] = self._hits.get(key, 0) + 1
                 return self._entries[key]
             self.stats.misses += 1
             return None
@@ -105,7 +127,8 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = value
-            self._evict_locked()
+            self._hits.setdefault(key, 0)
+            self._evict_locked(protect=key)
             self.stats.entries = len(self._entries)
             return value
 
@@ -119,11 +142,13 @@ class PlanCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                self._hits[key] = self._hits.get(key, 0) + 1
                 return self._entries[key]
             self.stats.misses += 1
             value = builder()
             self._entries[key] = value
-            self._evict_locked()
+            self._hits.setdefault(key, 0)
+            self._evict_locked(protect=key)
             self.stats.entries = len(self._entries)
             return value
 
@@ -136,14 +161,34 @@ class PlanCache:
         """
         return max(0, sum(_entry_bytes(v) for v in self._entries.values()))
 
-    def _evict_locked(self) -> None:
+    def _victim_locked(self, protect: Optional[Hashable] = None) -> Hashable:
+        """Key to evict next under the configured policy.
+
+        ``protect`` (the just-inserted key) is exempt unless it is the
+        only entry left: a fresh plan always starts with 0 hits, so an
+        unprotected LFU would evict every admission immediately and new
+        geometries could never get cached.
+        """
+        candidates = [k for k in self._entries if k != protect]
+        if not candidates:
+            candidates = list(self._entries)
+        if self.eviction == "lru":
+            return candidates[0]
+        # LFU: fewest hits wins; the OrderedDict iterates in recency
+        # order (least recent first), so min() with a stable tie-break
+        # evicts the least-recently-used among the equally-cold keys.
+        return min(candidates, key=lambda k: self._hits.get(k, 0))
+
+    def _evict_locked(self, protect: Optional[Hashable] = None) -> None:
         resident = self._resident_bytes_locked()
         while len(self._entries) > self.capacity or (
             self.max_bytes > 0
             and resident > self.max_bytes
             and len(self._entries) > 1
         ):
-            _, evicted = self._entries.popitem(last=False)
+            key = self._victim_locked(protect)
+            evicted = self._entries.pop(key)
+            self._hits.pop(key, None)
             resident = max(0, resident - _entry_bytes(evicted))
             self.stats.evictions += 1
         self.stats.bytes = resident
@@ -172,10 +217,17 @@ class PlanCache:
         with self._lock:
             return list(self._entries.values())
 
+    def hit_counts(self) -> Dict[Hashable, int]:
+        """Per-key hit counters for the resident entries (the numbers
+        the LFU policy ranks by; exported for telemetry/tests)."""
+        with self._lock:
+            return {k: self._hits.get(k, 0) for k in self._entries}
+
     def clear(self) -> None:
         """Drop all entries; counters other than ``bytes`` are kept."""
         with self._lock:
             self._entries.clear()
+            self._hits.clear()
             self.stats.bytes = 0
             self.stats.entries = 0
 

@@ -49,6 +49,8 @@ from .plan import ConvPlan, _engine_operands, _plan_meta, get_plan
 __all__ = [
     "algorithm_of_engine",
     "plan_for_conv",
+    "apply_selection",
+    "relower_conv",
     "Step",
     "CompiledProgram",
     "lower",
@@ -110,6 +112,64 @@ def plan_for_conv(conv: Conv2d, cache: PlanCache) -> ConvPlan:
     )
 
 
+def apply_selection(graph: Graph, selector: Any, tune: bool = False) -> Dict[str, str]:
+    """Consult an :class:`~repro.tuning.selector.AlgorithmSelector` for
+    every *quantized* conv in ``graph`` and rebuild engines whose
+    wisdom-selected algorithm differs from the current one.
+
+    The swap happens on ``conv.engine`` itself -- the eager model and
+    the program lowered from this graph keep sharing one prepared
+    engine object, so the bitwise eager == compiled contract survives
+    re-selection.  FP32 convs (``engine is None``) are never touched.
+
+    With ``tune=False`` (the lowering-time default) only wisdom-known
+    geometries are applied; un-tuned ones keep whatever the quantizer
+    installed (``source="static"`` answers do not disturb calibrated
+    engines).  ``tune=True`` measures the un-tuned geometries first --
+    ``repro tune``'s in-process equivalent.
+
+    Returns ``{conv path: selected label}`` for the applied choices.
+    """
+    from ..tuning.selector import (
+        ConvGeometry,
+        build_engine_for,
+        swap_preserves_calibration,
+    )
+
+    applied: Dict[str, str] = {}
+    for node in graph.conv_nodes():
+        conv = node.layer
+        if conv.engine is None:
+            continue
+        geom = ConvGeometry.of_conv(conv, graph.in_shape(node))
+        result = selector.select(geom, measure=tune)
+        if result is None or result.source == "static":
+            continue
+        current = (algorithm_of_engine(conv.engine), getattr(conv.engine, "m", 0))
+        if (result.algorithm, result.m) != current:
+            if not swap_preserves_calibration(conv, result.algorithm, result.m):
+                # The wisdom choice would lose this conv's calibrated
+                # quantization (e.g. LoWino histograms cannot seed a
+                # spatial threshold); keep the installed engine.
+                continue
+            conv.engine = build_engine_for(conv, result.algorithm, result.m)
+        applied[node.path] = result.label
+    return applied
+
+
+def relower_conv(step: "Step", cache: PlanCache) -> None:
+    """Re-lower one conv step after its ``conv.engine`` was swapped.
+
+    The plan swap is a single attribute assignment (atomic under the
+    GIL), so in-flight ``run`` calls see either the old or the new plan
+    -- both bitwise-correct against the engine object each wraps.  The
+    cache key includes the engine's identity, so the old plan can never
+    be re-issued for the new engine.
+    """
+    step.plan = plan_for_conv(step.node.layer, cache)
+    step.bias = step.node.layer.bias
+
+
 @dataclass
 class Step:
     """One executable program step (a graph node, possibly with a fused
@@ -152,6 +212,10 @@ class CompiledProgram:
     steps: List[Step]
     cache: PlanCache
     engine: ExecutionEngine
+    #: conv path -> selected algorithm label, for choices the
+    #: :class:`AlgorithmSelector` applied at lowering time (empty when
+    #: lowered without a selector).
+    selection: Dict[str, str] = field(default_factory=dict)
     #: Remaining-consumer count per value *slot* (output counted once
     #: extra, so it survives the sweep); copied per run.
     _refcounts: List[int] = field(default_factory=list)
@@ -233,10 +297,20 @@ def _execute_step(
 
 
 def lower(graph: Graph, cache: Optional[PlanCache] = None,
-          engine: Optional[ExecutionEngine] = None) -> CompiledProgram:
-    """Lower a traced graph onto the vectorized runtime."""
+          engine: Optional[ExecutionEngine] = None,
+          selector: Optional[Any] = None, tune: bool = False) -> CompiledProgram:
+    """Lower a traced graph onto the vectorized runtime.
+
+    With a ``selector``, wisdom-known algorithm choices are applied to
+    the quantized convs *before* plans are built (see
+    :func:`apply_selection`); ``tune=True`` measures un-tuned
+    geometries first.
+    """
     cache = cache if cache is not None else PlanCache()
     engine = engine if engine is not None else ExecutionEngine(cache=cache)
+    selection = (
+        apply_selection(graph, selector, tune=tune) if selector is not None else {}
+    )
     consumers = graph.consumers()
 
     # A ReLU directly after a conv or residual add fuses into that
@@ -293,6 +367,7 @@ def lower(graph: Graph, cache: Optional[PlanCache] = None,
         steps=steps,
         cache=cache,
         engine=engine,
+        selection=selection,
         _refcounts=refcounts,
         _slots=slots,
         _input_slot=input_slot,
@@ -305,6 +380,9 @@ def compile_model(
     input_shape: Tuple[int, ...],
     cache: Optional[PlanCache] = None,
     engine: Optional[ExecutionEngine] = None,
+    selector: Optional[Any] = None,
+    tune: bool = False,
 ) -> CompiledProgram:
     """Trace + lower ``model`` for an NCHW ``input_shape``."""
-    return lower(trace(model, input_shape), cache=cache, engine=engine)
+    return lower(trace(model, input_shape), cache=cache, engine=engine,
+                 selector=selector, tune=tune)

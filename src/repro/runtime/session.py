@@ -47,7 +47,7 @@ from ..nn.layers import Layer
 from ..obs.metrics import MetricsRegistry, Sample
 from ..obs.tracer import StageTracer
 from .cache import PlanCache
-from .compiler import CompiledProgram, compile_model
+from .compiler import CompiledProgram, compile_model, relower_conv
 from .engine import ExecutionEngine
 from .plan import aggregate_lease_stats
 
@@ -67,6 +67,10 @@ class InferenceSession:
         tracer: Optional[StageTracer] = None,
         registry: Optional[MetricsRegistry] = None,
         backend: Optional[object] = None,
+        wisdom: Optional[object] = None,
+        selector: Optional[object] = None,
+        tune: bool = False,
+        cache_eviction: str = "lru",
     ) -> None:
         self.model = model
         self.input_shape = tuple(int(s) for s in input_shape)
@@ -74,7 +78,9 @@ class InferenceSession:
             # Room for every conv's plan + per-geometry scratch entries
             # without evicting within a run.
             n_convs = sum(1 for _ in _convs(model))
-            cache = PlanCache(capacity=max(64, 8 * max(1, n_convs)))
+            cache = PlanCache(
+                capacity=max(64, 8 * max(1, n_convs)), eviction=cache_eviction
+            )
         self.cache = cache
         #: Session-wide telemetry hub.  Private by default so two
         #: sessions never alias counters; pass a shared registry to
@@ -95,9 +101,28 @@ class InferenceSession:
         self.engine = engine
         if tracer is not None:
             self.registry.register_collector(tracer.collect)
+        #: Algorithm selector (wisdom-driven planning).  ``wisdom`` is a
+        #: convenience: a path / WisdomFile builds a selector matching
+        #: this session's kernel backend.  Lazy import keeps plain
+        #: sessions free of the tuning layer.
+        if selector is None and wisdom is not None:
+            from ..tuning.selector import AlgorithmSelector
+
+            selector = AlgorithmSelector(wisdom=wisdom, backend=self.engine.backend)
+        self.selector = selector
+        #: Bumped by :meth:`refresh_selection` whenever a conv was
+        #: re-lowered to a newly landed wisdom choice.
+        self.selection_epoch = 0
+        self._relower_lock = threading.Lock()
         self.program: CompiledProgram = compile_model(
-            model, self.input_shape, cache=self.cache, engine=self.engine
+            model, self.input_shape, cache=self.cache, engine=self.engine,
+            selector=selector, tune=tune,
         )
+        if self.program.selection:
+            # Warm the wisdom-known plans (and their geometry scratch)
+            # before the first request hits them; program.run bypasses
+            # the session counters so telemetry stays request-only.
+            self.program.run(np.zeros(self.input_shape))
         self.collect_timings = collect_timings
         #: Guards the cumulative statistics below; ``run`` itself holds
         #: no lock while executing, so N threads can run concurrently.
@@ -112,11 +137,79 @@ class InferenceSession:
         self._images = self.registry.counter(
             "repro_session_images_total", help="images executed by this session"
         )
+        #: Convs re-lowered by :meth:`refresh_selection`.
+        self._relowered = self.registry.counter(
+            "repro_session_relowered_total",
+            help="convs re-lowered to a newly landed wisdom choice",
+        )
         self.registry.register_collector(self._collect)
 
     @property
     def graph(self):
         return self.program.graph
+
+    @property
+    def selection(self) -> Dict[str, str]:
+        """conv path -> applied algorithm label (wisdom-driven choices)."""
+        return dict(self.program.selection)
+
+    def refresh_selection(self) -> list:
+        """Epoch-based re-lowering: adopt newly landed wisdom choices.
+
+        Re-consults the selector (``measure=False`` -- a cheap wisdom
+        refresh + lookup, never a measurement) for every quantized conv
+        and, where the persisted choice differs from the running
+        engine, swaps ``conv.engine`` and the step's plan in place.
+        Numerically safe by construction: a swap only applies when it
+        preserves the conv's calibrated quantization
+        (:func:`~repro.tuning.selector.swap_preserves_calibration`),
+        and eager + compiled keep sharing the one rebuilt engine
+        object.  New plans are warmed with a zero batch before the
+        epoch is published.
+
+        Returns the re-lowered conv paths (empty when nothing changed).
+        The background tuner calls this during idle periods only.
+        """
+        if self.selector is None:
+            return []
+        from ..runtime.compiler import algorithm_of_engine
+        from ..tuning.selector import (
+            ConvGeometry,
+            build_engine_for,
+            swap_preserves_calibration,
+        )
+
+        changed = []
+        with self._relower_lock:
+            graph = self.program.graph
+            for step in self.program.steps:
+                if step.kind != "conv":
+                    continue
+                conv = step.node.layer
+                if conv.engine is None:
+                    continue
+                geom = ConvGeometry.of_conv(conv, graph.in_shape(step.node))
+                result = self.selector.select(geom, measure=False)
+                if result is None or result.source != "wisdom":
+                    continue
+                current = (
+                    algorithm_of_engine(conv.engine),
+                    getattr(conv.engine, "m", 0),
+                )
+                if (result.algorithm, result.m) == current:
+                    self.program.selection[step.path] = result.label
+                    continue
+                if not swap_preserves_calibration(conv, result.algorithm, result.m):
+                    continue
+                conv.engine = build_engine_for(conv, result.algorithm, result.m)
+                relower_conv(step, self.cache)
+                self.program.selection[step.path] = result.label
+                changed.append(step.path)
+            if changed:
+                self.program.run(np.zeros(self.input_shape))
+                self.selection_epoch += 1
+                self._relowered.inc(len(changed))
+        return changed
 
     @property
     def runs(self) -> int:
@@ -177,6 +270,9 @@ class InferenceSession:
             "cache": self.cache_stats(),
             "scratch": self.scratch_stats(),
         }
+        if self.selector is not None:
+            doc["selection"] = self.selection
+            doc["selection_epoch"] = self.selection_epoch
         if self.tracer is not None:
             doc["stages"] = self.tracer.breakdown()
         return doc

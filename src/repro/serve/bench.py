@@ -83,6 +83,11 @@ class ServeBenchConfig:
     #: (:func:`repro.runtime.backends.available_backends`).
     backend: str = "numpy"
     seed: int = SEED
+    #: Optional wisdom-file path: the served session applies its
+    #: per-geometry algorithm choices at lowering time (``repro tune``
+    #: writes it; engine swaps keep eager == served bit-identical, so
+    #: the identity gate still holds).
+    wisdom: Optional[str] = None
 
 
 def _build_session(cfg: ServeBenchConfig):
@@ -97,7 +102,8 @@ def _build_session(cfg: ServeBenchConfig):
         quantize_model(model, cfg.algorithm, m=cfg.m, calibration_batches=[calib])
     input_shape = (cfg.request_batch, 3, cfg.hw, cfg.hw)
     session = InferenceSession(
-        model, input_shape, collect_timings=False, backend=cfg.backend
+        model, input_shape, collect_timings=False, backend=cfg.backend,
+        wisdom=cfg.wisdom,
     )
     return model, session
 

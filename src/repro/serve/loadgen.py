@@ -386,7 +386,7 @@ def _scenarios(cfg: LoadBenchConfig) -> List[_Scenario]:
     return scenarios
 
 
-def _build_tenants(cfg: LoadBenchConfig):
+def _build_tenants(cfg: LoadBenchConfig, wisdom=None):
     """Compile + calibrate one (model, session) per tenant (offline)."""
     from ..nn.quantize import quantize_model
 
@@ -399,7 +399,7 @@ def _build_tenants(cfg: LoadBenchConfig):
         if algorithm != "fp32":
             quantize_model(model, algorithm, m=cfg.m, calibration_batches=[calib])
         session = InferenceSession(
-            model, (2, 3, cfg.hw, cfg.hw), collect_timings=False
+            model, (2, 3, cfg.hw, cfg.hw), collect_timings=False, wisdom=wisdom
         )
         # Warm the small-batch geometries here (plan/tile-grid builds),
         # so scenario replays measure steady-state serving, and the
@@ -462,9 +462,18 @@ def _run_scenario(
     return entry
 
 
-def run_load_bench(cfg: LoadBenchConfig = LoadBenchConfig()) -> dict:
-    """Run the scenario sweep and return the load-bench JSON document."""
-    tenants = _build_tenants(cfg)
+def run_load_bench(cfg: LoadBenchConfig = LoadBenchConfig(), wisdom=None) -> dict:
+    """Run the scenario sweep and return the load-bench JSON document.
+
+    ``wisdom`` (a path or :class:`~repro.tuning.wisdom.WisdomFile`) makes
+    every tenant session apply tuned algorithm choices at lowering time.
+    It is deliberately *not* part of :class:`LoadBenchConfig`: selection
+    swaps engines, not semantics (bit-identity and schedule digests are
+    unchanged), so a wisdom-warmed run stays comparable to -- and
+    gateable against -- a baseline recorded without one.  The document
+    records it top-level, outside the config-compat comparison.
+    """
+    tenants = _build_tenants(cfg, wisdom=wisdom)
     entries = [_run_scenario(cfg, s, tenants) for s in _scenarios(cfg)]
     combined = hashlib.sha256(
         "".join(e["schedule_digest"] for e in entries).encode()
@@ -488,6 +497,7 @@ def run_load_bench(cfg: LoadBenchConfig = LoadBenchConfig()) -> dict:
     return {
         "schema": SCHEMA_VERSION,
         "config": asdict(cfg),
+        "wisdom": wisdom is not None,
         "numpy": np.__version__,
         "machine": platform.machine(),
         "scenarios": entries,

@@ -206,6 +206,9 @@ class Server:
         queue_size: int = 64,
         workers_per_model: int = 1,
         registry: Optional[MetricsRegistry] = None,
+        wisdom: Optional[object] = None,
+        tuner_interval_s: float = 0.02,
+        background_tuner: bool = True,
     ) -> None:
         self.max_batch = max_batch
         self.max_delay_ms = max_delay_ms
@@ -218,6 +221,25 @@ class Server:
         self._models: Dict[str, ServedModel] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Wisdom-driven planning: with ``wisdom`` (a path or
+        #: :class:`~repro.tuning.wisdom.WisdomFile`) every session this
+        #: server compiles consults the shared file at lowering time,
+        #: and a :class:`~repro.serve.tuner.BackgroundTuner` measures
+        #: un-tuned geometries whenever the request queues are idle
+        #: (``background_tuner=False`` keeps the selector without the
+        #: thread).  N workers pointing at one file converge on the
+        #: first persisted choice per geometry.
+        self.selector = None
+        self.tuner = None
+        if wisdom is not None:
+            from ..tuning.selector import AlgorithmSelector
+            from .tuner import BackgroundTuner
+
+            self.selector = AlgorithmSelector(wisdom=wisdom)
+            if background_tuner:
+                self.tuner = BackgroundTuner(
+                    self, self.selector, interval_s=tuner_interval_s
+                )
 
     # -- deployment -----------------------------------------------------
     def add_model(
@@ -238,7 +260,13 @@ class Server:
         if session is None:
             if model is None or input_shape is None:
                 raise ValueError("add_model needs a session, or a model + input_shape")
-            session = InferenceSession(model, input_shape)
+            # Serving sessions keep hot plans under pressure (LFU fed by
+            # the per-plan hit counters) and, when the server has a
+            # wisdom file, apply its known algorithm choices at
+            # lowering time.
+            session = InferenceSession(
+                model, input_shape, selector=self.selector, cache_eviction="lfu"
+            )
         with self._lock:
             if self._closed:
                 raise ServerClosed("server is closed")
@@ -331,12 +359,14 @@ class Server:
         return prometheus_text(self.registry)
 
     def close(self, drain: bool = True) -> None:
-        """Shut down all model workers; idempotent."""
+        """Shut down all model workers (and the tuner); idempotent."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             entries = list(self._models.values())
+        if self.tuner is not None:
+            self.tuner.stop()
         for entry in entries:
             entry.close(drain=drain)
 

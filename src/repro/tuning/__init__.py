@@ -1,8 +1,17 @@
-"""Auto-tuning of blocking parameters + wisdom-file persistence."""
+"""Auto-tuning: blocking parameters, algorithm selection, wisdom."""
 
 from .model_planner import LayerChoice, ModelPlan, plan_model
 from .search import TuneResult, candidate_space, gemm_stage_cost, tune_gemm
-from .wisdom import WisdomFile, problem_key
+from .selector import (
+    AlgorithmSelector,
+    ConvGeometry,
+    SelectionResult,
+    build_engine_for,
+    candidate_algorithms,
+    model_geometries,
+    swap_preserves_calibration,
+)
+from .wisdom import DEFAULT_BACKEND, SCHEMA_VERSION, WisdomFile, problem_key
 
 __all__ = [
     "LayerChoice",
@@ -12,6 +21,15 @@ __all__ = [
     "candidate_space",
     "gemm_stage_cost",
     "tune_gemm",
+    "AlgorithmSelector",
+    "ConvGeometry",
+    "SelectionResult",
+    "build_engine_for",
+    "candidate_algorithms",
+    "model_geometries",
+    "swap_preserves_calibration",
     "WisdomFile",
     "problem_key",
+    "DEFAULT_BACKEND",
+    "SCHEMA_VERSION",
 ]

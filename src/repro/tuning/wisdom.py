@@ -1,16 +1,42 @@
-"""Wisdom-file persistence for tuned blocking parameters.
+"""Wisdom-file persistence for tuned parameters and algorithm choices.
 
 The paper saves auto-tuning results "into a wisdom file and used in
-inference".  The wisdom file here is JSON keyed by the GEMM problem
-signature ``T x N x C x K``; entries round-trip exactly.
+inference".  The wisdom file here is a versioned JSON document with two
+namespaced sections:
 
-Durability: :meth:`WisdomFile.store` writes through a temporary file in
-the same directory followed by ``os.replace``, so readers only ever see
-a complete JSON document -- a crash mid-write can no longer truncate
-accumulated wisdom.  A corrupt or unreadable existing file is warned
-about and treated as empty (tuning regenerates it) instead of raising
-at construction, and ``store`` re-merges the on-disk entries first so
-concurrent tuners append rather than clobber each other.
+* ``gemm`` -- tuned :class:`~repro.gemm.BlockingParams` keyed by
+  ``<backend>|TxNxCxK`` (the GEMM problem signature); entries
+  round-trip exactly.
+* ``algorithms`` -- measured per-geometry algorithm selections written
+  by :class:`~repro.tuning.selector.AlgorithmSelector`, keyed by
+  ``<backend>|b{B}c{C}h{H}w{W}k{K}r{R}s{S}p{P}``.
+
+The kernel backend is part of every key: threaded-BLAS and pure-NumPy
+timings must never share (and poison) one entry.  Legacy flat files
+(schema 1: an un-namespaced ``{"TxNxCxK": {...}}`` mapping with no
+backend) are migrated transparently on load -- their keys land in the
+``gemm`` section under the default backend.
+
+Durability and sharing:
+
+* Writes go through a temporary file in the same directory followed by
+  ``os.replace``, so readers only ever see a complete JSON document.
+* Flushes hold an exclusive ``flock`` on a ``<name>.lock`` sidecar and
+  re-merge the on-disk document first, **disk entries winning** on key
+  collisions.  First-writer-wins is what makes N workers sharing one
+  file *converge*: whoever persists a geometry's choice first decides
+  it for everyone (:meth:`store_algorithm` returns the winning entry so
+  callers adopt it).
+* :meth:`refresh` is a cheap ``os.stat`` check -- server workers poll
+  it before lookups and only re-read the file when another process has
+  replaced it.
+* A corrupt or unreadable file is warned about and treated as empty
+  (tuning regenerates it) instead of raising.
+
+``store`` flushes immediately by default; wrap a sweep in
+:meth:`batch` (or call :meth:`store_many` / :meth:`lookup_or_tune_many`)
+to coalesce the whole sweep into a single read-merge-write instead of
+O(n^2) I/O.
 """
 
 from __future__ import annotations
@@ -18,78 +44,281 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import warnings
+from contextlib import contextmanager
 from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # POSIX; on platforms without flock we fall back to lock-free writes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 from ..gemm import BlockingParams
 from .search import TuneResult, tune_gemm
 
-__all__ = ["WisdomFile", "problem_key"]
+__all__ = ["WisdomFile", "problem_key", "SCHEMA_VERSION", "DEFAULT_BACKEND"]
+
+#: Current on-disk schema.  Version 1 was the flat, backend-less GEMM
+#: mapping; version 2 namespaces sections and folds the backend into
+#: every key.
+SCHEMA_VERSION = 2
+
+#: Backend legacy (schema 1) entries are attributed to, and the default
+#: when callers do not say otherwise -- the pure-NumPy kernel backend,
+#: which is what produced all pre-schema-2 wisdom.
+DEFAULT_BACKEND = "numpy"
 
 
-def problem_key(t: int, n: int, c: int, k: int) -> str:
-    return f"{t}x{n}x{c}x{k}"
+def problem_key(t: int, n: int, c: int, k: int, backend: str = DEFAULT_BACKEND) -> str:
+    """GEMM problem key, namespaced by kernel backend."""
+    return f"{backend}|{t}x{n}x{c}x{k}"
 
 
-def _read_entries(path: Path) -> Dict[str, dict]:
-    """Entries from ``path``; a missing, corrupt, or non-dict file is an
-    empty wisdom file (with a warning for the corrupt cases -- losing
-    tuning time silently would be worse than the noise)."""
+def _qualify(key: str) -> str:
+    """Schema-2 form of a possibly-legacy key."""
+    return key if "|" in key else f"{DEFAULT_BACKEND}|{key}"
+
+
+def _read_doc(path: Path) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    """``(gemm, algorithms)`` sections from ``path``.
+
+    A missing, corrupt, or non-dict file is an empty wisdom file (with
+    a warning for the corrupt cases -- losing tuning time silently
+    would be worse than the noise).  Legacy flat documents migrate into
+    the ``gemm`` section under :data:`DEFAULT_BACKEND`.
+    """
     try:
         raw = path.read_text()
     except FileNotFoundError:
-        return {}
+        return {}, {}
     try:
-        entries = json.loads(raw)
-        if not isinstance(entries, dict):
-            raise ValueError(f"expected a JSON object, got {type(entries).__name__}")
+        doc = json.loads(raw)
+        if not isinstance(doc, dict):
+            raise ValueError(f"expected a JSON object, got {type(doc).__name__}")
     except ValueError as exc:
         warnings.warn(
             f"wisdom file {path} is corrupt ({exc}); starting fresh",
             RuntimeWarning,
             stacklevel=3,
         )
-        return {}
-    return entries
+        return {}, {}
+    if isinstance(doc.get("schema"), int):
+        gemm = doc.get("gemm", {})
+        algorithms = doc.get("algorithms", {})
+        return (
+            dict(gemm) if isinstance(gemm, dict) else {},
+            dict(algorithms) if isinstance(algorithms, dict) else {},
+        )
+    # Legacy schema 1: flat {TxNxCxK: {...}} with no backend namespace.
+    return {_qualify(key): entry for key, entry in doc.items()}, {}
 
 
 class WisdomFile:
-    """Load/store tuned blocking parameters.
+    """Load/store tuned blocking parameters and algorithm choices.
 
     >>> wf = WisdomFile(path)
     >>> params = wf.lookup_or_tune(16, 14400, 512, 512)   # tunes once
     >>> params = wf.lookup_or_tune(16, 14400, 512, 512)   # cached
+
+    Instances are thread-safe (one file may back a Server's sessions
+    *and* its background tuner thread); cross-process sharing is safe
+    through the flock + disk-wins merge described in the module doc.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._entries: Dict[str, dict] = _read_entries(self.path)
+        self._mutex = threading.RLock()
+        self._gemm, self._algorithms = _read_doc(self.path)
+        self._disk_stat = self._stat()
+        self._batch_depth = 0
+        self._dirty = False
 
-    def lookup(self, t: int, n: int, c: int, k: int) -> Optional[BlockingParams]:
-        entry = self._entries.get(problem_key(t, n, c, k))
+    # -- GEMM blocking section -------------------------------------------
+
+    def lookup(
+        self, t: int, n: int, c: int, k: int, backend: str = DEFAULT_BACKEND
+    ) -> Optional[BlockingParams]:
+        with self._mutex:
+            entry = self._gemm.get(problem_key(t, n, c, k, backend))
         if entry is None:
             return None
         params = BlockingParams(**entry["params"])
         params.validate()
         return params
 
-    def store(self, t: int, n: int, c: int, k: int, result: TuneResult) -> None:
-        self._entries[problem_key(t, n, c, k)] = {
-            "params": asdict(result.params),
-            "predicted_time": result.predicted_time,
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        # Merge whatever is on disk now under our in-memory entries:
-        # another process may have tuned different problems since we
-        # loaded, and a plain overwrite would discard its work.
-        on_disk = _read_entries(self.path)
-        if on_disk:
-            merged = dict(on_disk)
-            merged.update(self._entries)
-            self._entries = merged
-        self._write_atomic(json.dumps(self._entries, indent=2, sort_keys=True))
+    def store(
+        self,
+        t: int,
+        n: int,
+        c: int,
+        k: int,
+        result: TuneResult,
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        with self._mutex:
+            self._gemm[problem_key(t, n, c, k, backend)] = {
+                "params": asdict(result.params),
+                "predicted_time": result.predicted_time,
+            }
+            self._dirty = True
+            if self._batch_depth == 0:
+                self._flush()
+
+    def store_many(
+        self,
+        items: Iterable[Tuple[int, int, int, int, TuneResult]],
+        backend: str = DEFAULT_BACKEND,
+    ) -> None:
+        """Store a whole sweep with one read-merge-write."""
+        with self.batch():
+            for t, n, c, k, result in items:
+                self.store(t, n, c, k, result, backend=backend)
+
+    def lookup_or_tune(
+        self,
+        t: int,
+        n: int,
+        c: int,
+        k: int,
+        backend: str = DEFAULT_BACKEND,
+        **tune_kwargs,
+    ) -> BlockingParams:
+        cached = self.lookup(t, n, c, k, backend=backend)
+        if cached is not None:
+            return cached
+        result = tune_gemm(t, n, c, k, **tune_kwargs)
+        self.store(t, n, c, k, result, backend=backend)
+        return result.params
+
+    def lookup_or_tune_many(
+        self,
+        problems: Sequence[Tuple[int, int, int, int]],
+        backend: str = DEFAULT_BACKEND,
+        **tune_kwargs,
+    ) -> List[BlockingParams]:
+        """Sweep :meth:`lookup_or_tune` over ``problems`` with a single
+        batched flush at the end (instead of one full-file rewrite per
+        newly tuned problem)."""
+        with self.batch():
+            return [
+                self.lookup_or_tune(t, n, c, k, backend=backend, **tune_kwargs)
+                for t, n, c, k in problems
+            ]
+
+    # -- Algorithm-choice section ----------------------------------------
+
+    def lookup_algorithm(self, key: str) -> Optional[dict]:
+        """The stored selection entry for a geometry key, if any."""
+        with self._mutex:
+            entry = self._algorithms.get(key)
+        return dict(entry) if entry is not None else None
+
+    def store_algorithm(self, key: str, entry: dict) -> dict:
+        """Persist a selection; returns the entry that *won*.
+
+        With a populated file on disk the first writer wins (disk-wins
+        merge), so the returned entry may be another worker's earlier
+        choice -- callers must adopt it to converge.  Inside a
+        :meth:`batch` the merge is deferred to the final flush and the
+        local entry is returned.
+        """
+        with self._mutex:
+            self._algorithms[key] = dict(entry)
+            self._dirty = True
+            if self._batch_depth == 0:
+                self._flush()
+            return dict(self._algorithms.get(key, entry))
+
+    def algorithm_entries(self) -> Dict[str, dict]:
+        """Copy of the algorithm-choice section (telemetry / tests)."""
+        with self._mutex:
+            return {k: dict(v) for k, v in self._algorithms.items()}
+
+    # -- Shared machinery -------------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Defer flushing: all stores inside the block coalesce into one
+        read-merge-write on exit.  Reentrant; only the outermost block
+        flushes."""
+        with self._mutex:
+            self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            with self._mutex:
+                self._batch_depth -= 1
+                if self._batch_depth == 0 and self._dirty:
+                    self._flush()
+
+    def refresh(self) -> bool:
+        """Adopt changes another process has flushed, if any.
+
+        Cheap when nothing changed: a single ``os.stat`` compared
+        against the signature of the last document this instance read
+        or wrote.  Returns True when new entries were merged in.
+        """
+        with self._mutex:
+            sig = self._stat()
+            if sig is None or sig == self._disk_stat:
+                return False
+            disk_gemm, disk_algorithms = _read_doc(self.path)
+            self._gemm.update(disk_gemm)
+            self._algorithms.update(disk_algorithms)
+            self._disk_stat = sig
+            return True
+
+    def _stat(self) -> Optional[Tuple[int, int, int]]:
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_ino, st.st_size)
+
+    @contextmanager
+    def _file_lock(self):
+        """Exclusive advisory lock on a ``.lock`` sidecar, making the
+        read-merge-write in :meth:`_flush` atomic across processes.
+        (The sidecar is deliberately never unlinked: removing a flock
+        file while another process holds its own fd open reintroduces
+        the race the lock exists to prevent.)"""
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(f"{self.path}.lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+    def _flush(self) -> None:
+        """Read-merge-write under the cross-process lock.
+
+        Disk entries win on collision (first writer decides), so
+        concurrent workers converge on one choice per key; entries only
+        this instance holds are unioned in, so no work is ever lost.
+        """
+        with self._mutex:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self._file_lock():
+                disk_gemm, disk_algorithms = _read_doc(self.path)
+                self._gemm.update(disk_gemm)
+                self._algorithms.update(disk_algorithms)
+                doc = {
+                    "schema": SCHEMA_VERSION,
+                    "gemm": self._gemm,
+                    "algorithms": self._algorithms,
+                }
+                self._write_atomic(json.dumps(doc, indent=2, sort_keys=True))
+                self._disk_stat = self._stat()
+            self._dirty = False
 
     def _write_atomic(self, text: str) -> None:
         """Write via tempfile + ``os.replace`` so the wisdom file on
@@ -110,13 +339,6 @@ class WisdomFile:
                 pass
             raise
 
-    def lookup_or_tune(self, t: int, n: int, c: int, k: int, **tune_kwargs) -> BlockingParams:
-        cached = self.lookup(t, n, c, k)
-        if cached is not None:
-            return cached
-        result = tune_gemm(t, n, c, k, **tune_kwargs)
-        self.store(t, n, c, k, result)
-        return result.params
-
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._gemm) + len(self._algorithms)

@@ -36,6 +36,65 @@ class TestLru:
             PlanCache(capacity=0)
 
 
+class TestLfu:
+    def test_eviction_policy_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(eviction="mru")
+        assert PlanCache().eviction == "lru"  # default is unchanged
+
+    def test_hot_key_survives_pressure_where_lru_evicts_it(self):
+        # A hot plan touched early, then a burst of one-off shapes: LRU
+        # churns the hot key out, LFU keeps it resident.
+        def burst(cache):
+            cache.put("hot", "plan")
+            for _ in range(5):
+                cache.get("hot")
+            for i in range(4):
+                cache.put(f"oneoff{i}", i)
+
+        lru = PlanCache(capacity=3, eviction="lru")
+        burst(lru)
+        assert "hot" not in lru
+
+        lfu = PlanCache(capacity=3, eviction="lfu")
+        burst(lfu)
+        assert "hot" in lfu
+        assert lfu.get("hot") == "plan"
+
+    def test_lfu_ties_break_by_recency(self):
+        cache = PlanCache(capacity=2, eviction="lfu")
+        cache.put("a", 1)
+        cache.put("b", 2)  # both cold (0 hits); "a" is least recent
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_hit_counts_exported_and_pruned(self):
+        cache = PlanCache(capacity=2, eviction="lfu")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_counts() == {"a": 2, "b": 1}
+        cache.put("c", 3)  # evicts "b" (fewest hits)
+        assert set(cache.hit_counts()) == {"a", "c"}
+
+    def test_get_or_build_feeds_counters(self):
+        cache = PlanCache(capacity=4, eviction="lfu")
+        cache.get_or_build("k", lambda: "v")
+        assert cache.hit_counts() == {"k": 0}  # build is a miss
+        cache.get_or_build("k", lambda: "w")
+        assert cache.hit_counts() == {"k": 1}
+
+    def test_clear_drops_counters(self):
+        cache = PlanCache(capacity=4, eviction="lfu")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert cache.hit_counts() == {}
+
+
 class TestByteBound:
     def test_bytes_tracked_and_bounded(self):
         one_kb = np.zeros(1024, dtype=np.uint8)

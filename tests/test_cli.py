@@ -20,6 +20,7 @@ SUBCOMMANDS = [
     "profile",
     "serve-bench",
     "load-bench",
+    "tune",
 ]
 
 
@@ -241,6 +242,37 @@ class TestHappyPaths:
         monkeypatch.chdir(tmp_path)
         assert main(["load-bench", "--single-tenant", "--horizon", "0.2",
                      "--rate", "15", "--overload-rate", "200", "--no-out",
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
+    def test_tune_wisdom_round_trip(self, tmp_path, capsys):
+        wisdom = tmp_path / "wisdom.json"
+        out_file = tmp_path / "tune.json"
+        baseline = tmp_path / "BENCH_tuning.json"
+        args = ["tune", "--width", "8", "--hw", "8", "--batch", "1",
+                "--repeats", "1", "--wisdom", str(wisdom),
+                "--out", str(out_file)]
+        # First run measures every geometry and records the baseline.
+        assert main(args + ["--baseline", str(baseline),
+                            "--update-baseline"]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == 1
+        assert doc["deterministic"] is True
+        assert doc["summary"]["measured"] == doc["summary"]["geometries"]
+        assert all(r["selected_vs_static"] >= 1.0 for r in doc["geometries"])
+        capsys.readouterr()
+        # Second run answers everything from the shared wisdom file and
+        # passes the gate against the recorded baseline.
+        assert main(args + ["--baseline", str(baseline)]) == 0
+        assert "tune gate: PASS" in capsys.readouterr().out
+        doc2 = json.loads(out_file.read_text())
+        assert doc2["summary"]["measured"] == 0
+        assert doc2["summary"]["from_wisdom"] == doc2["summary"]["geometries"]
+        assert [r["selected"] for r in doc2["geometries"]] == \
+            [r["selected"] for r in doc["geometries"]]
+
+    def test_tune_missing_baseline(self, tmp_path, capsys):
+        assert main(["tune", "--width", "8", "--hw", "8", "--batch", "1",
+                     "--repeats", "1",
                      "--baseline", str(tmp_path / "nope.json")]) == 2
 
     def test_bench_writes_json(self, tmp_path, capsys):

@@ -1,0 +1,159 @@
+"""Measured algorithm selection: admission, determinism, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.nn.quantize import quantize_model
+from repro.runtime.bench import ModelCase, build_case_model
+from repro.tuning import (
+    AlgorithmSelector,
+    ConvGeometry,
+    WisdomFile,
+    candidate_algorithms,
+    model_geometries,
+    swap_preserves_calibration,
+)
+
+GEOM = ConvGeometry(batch=1, c=4, h=8, w=8, k=4)
+
+
+def _selector(tmp_path, name="wisdom.json", **kwargs):
+    kwargs.setdefault("repeats", 1)
+    return AlgorithmSelector(wisdom=WisdomFile(tmp_path / name), **kwargs)
+
+
+class TestCandidates:
+    def test_budget_admits_f2_f4_rejects_f6(self):
+        labels = candidate_algorithms(GEOM)
+        ms = {m for _, m in labels}
+        assert ms == {0, 2, 4}  # direct + F(2,3) + F(4,3); F(6,3) is out
+        assert ("int8_direct", 0) in labels
+        assert ("lowino", 2) in labels and ("lowino", 4) in labels
+
+    def test_strict_budget_leaves_only_direct(self):
+        assert candidate_algorithms(GEOM, min_snr_db=1000.0) == [
+            ("int8_direct", 0)
+        ]
+
+    def test_strided_geometry_is_direct_only(self):
+        strided = ConvGeometry(batch=1, c=4, h=8, w=8, k=4, stride=2)
+        assert candidate_algorithms(strided) == [("int8_direct", 0)]
+
+
+class TestSelection:
+    def test_static_always_measured_so_never_regresses(self, tmp_path):
+        res = _selector(tmp_path).select(GEOM)
+        assert res.source == "measured"
+        assert res.static in res.measured
+        assert res.static_ratio >= 1.0
+
+    def test_same_seed_same_measurement_inputs(self, tmp_path):
+        # Selection out of wisdom is deterministic by construction; the
+        # deeper property is that two *fresh* selectors draw identical
+        # measurement tensors for a geometry (SeedSequence over the
+        # geometry fields), so candidate sets and labels always agree.
+        a = _selector(tmp_path, "a.json").select(GEOM, measure=False)
+        b = _selector(tmp_path, "b.json").select(GEOM, measure=False)
+        assert (a.algorithm, a.m, a.source) == (b.algorithm, b.m, "static")
+
+    def test_wisdom_hit_short_circuits_measurement(self, tmp_path):
+        sel = _selector(tmp_path)
+        first = sel.select(GEOM)
+        sel.measure = None  # any further measurement would crash
+        again = sel.select(GEOM)
+        assert again.source == "wisdom"
+        assert (again.algorithm, again.m) == (first.algorithm, first.m)
+
+    def test_measure_false_miss_is_static_fallback(self, tmp_path):
+        res = _selector(tmp_path).select(GEOM, measure=False)
+        assert res.source == "static"
+        assert res.label == res.static
+
+    def test_abort_hook_stops_measurement(self, tmp_path):
+        sel = _selector(tmp_path)
+        assert sel.select(GEOM, abort=lambda: True) is None
+        assert sel.wisdom.lookup_algorithm(GEOM.key(sel.backend_name)) is None
+
+    def test_two_workers_share_one_wisdom_file(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        a = AlgorithmSelector(wisdom=WisdomFile(path), repeats=1)
+        b = AlgorithmSelector(wisdom=WisdomFile(path), repeats=1)
+        first = a.select(GEOM)
+        second = b.select(GEOM)  # wisdom refresh -> adopts a's choice
+        assert second.source == "wisdom"
+        assert second.label == first.label
+
+    def test_first_writer_wins_on_store_race(self, tmp_path):
+        path = tmp_path / "wisdom.json"
+        a = AlgorithmSelector(wisdom=WisdomFile(path), repeats=1)
+        b = AlgorithmSelector(wisdom=WisdomFile(path), repeats=1)
+        first = a.select(GEOM)
+        # b measured concurrently (stale wisdom view) and tries to
+        # persist a conflicting choice; the disk merge makes it adopt
+        # the earlier entry instead.
+        res = b.measure(GEOM)
+        forced = res.entry()
+        forced["algorithm"] = "int8_direct" if first.algorithm != "int8_direct" \
+            else "int8_upcast"
+        won = b.wisdom.store_algorithm(GEOM.key(b.backend_name), forced)
+        assert won["algorithm"] == first.algorithm
+
+
+class TestSwapSafety:
+    """Engine swaps must preserve calibrated (static) quantization."""
+
+    def _quantized_model(self, algorithm):
+        model = build_case_model(ModelCase("resnet", algorithm, hw=8, width=8))
+        calib = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        quantize_model(model, algorithm, m=2, calibration_batches=[calib])
+        return model
+
+    def test_spatial_family_swaps_carry_threshold(self):
+        model = self._quantized_model("int8_direct")
+        _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
+        assert swap_preserves_calibration(conv, "int8_downscale", 4)
+        assert swap_preserves_calibration(conv, "int8_upcast", 2)
+
+    def test_lowino_target_never_applicable(self):
+        model = self._quantized_model("int8_direct")
+        _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
+        assert not swap_preserves_calibration(conv, "lowino", 4)
+
+    def test_lowino_source_cannot_seed_spatial_threshold(self):
+        model = self._quantized_model("lowino")
+        for _, conv, geom in model_geometries(model, (2, 3, 8, 8)):
+            if not geom.winograd_eligible:
+                continue  # strided convs fall back to int8_direct
+            assert not swap_preserves_calibration(conv, "int8_downscale", 4)
+
+    def test_no_op_swap_is_always_applicable(self):
+        model = self._quantized_model("lowino")
+        for _, conv, geom in model_geometries(model, (2, 3, 8, 8)):
+            if not geom.winograd_eligible:
+                continue
+            assert swap_preserves_calibration(conv, "lowino", 2)
+
+    def test_fp32_conv_is_never_swapped(self):
+        model = build_case_model(ModelCase("resnet", "fp32", hw=8, width=8))
+        _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
+        assert conv.engine is None
+        assert not swap_preserves_calibration(conv, "int8_direct", 0)
+
+
+@pytest.mark.slow
+class TestModelSweep:
+    def test_model_geometries_dedupe_and_select(self, tmp_path):
+        model = build_case_model(ModelCase("resnet", "auto", hw=8, width=8))
+        geoms = model_geometries(model, (2, 3, 8, 8))
+        assert len(geoms) >= 5
+        sel = _selector(tmp_path)
+        with sel.wisdom.batch():
+            results = {g.key(sel.backend_name): sel.select(g)
+                       for _, _, g in geoms}
+        for res in results.values():
+            assert res.static_ratio >= 0.999
+        # every choice now answers from wisdom, identically
+        for _, _, g in geoms:
+            again = sel.select(g, measure=False)
+            assert again.source == "wisdom"
+            assert again.label == results[g.key(sel.backend_name)].label
