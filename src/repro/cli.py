@@ -345,23 +345,29 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_count_list(raw: str, flag: str) -> Optional[tuple]:
+    try:
+        counts = tuple(int(s.strip()) for s in raw.split(",") if s.strip())
+    except ValueError:
+        print(f"invalid {flag} list: {raw!r}", file=sys.stderr)
+        return None
+    if not counts or any(c < 1 for c in counts):
+        print(f"{flag} must be positive integers, got {raw!r}", file=sys.stderr)
+        return None
+    return counts
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .serve import bench as sbench
 
-    try:
-        threads = tuple(
-            int(s.strip()) for s in args.threads.split(",") if s.strip()
-        )
-    except ValueError:
-        print(f"invalid --threads list: {args.threads!r}", file=sys.stderr)
-        return 2
-    if not threads or any(t < 1 for t in threads):
-        print(f"--threads must be positive integers, got {args.threads!r}",
-              file=sys.stderr)
+    if args.procs is not None:
+        return _run_proc_bench(args, sbench)
+    threads = _parse_count_list(args.threads, "--threads")
+    if threads is None:
         return 2
     cfg = sbench.ServeBenchConfig(
         model=args.model,
-        algorithm=args.algorithm,
+        algorithm=args.algorithm if args.algorithm is not None else "lowino",
         width=args.width,
         hw=args.hw,
         m=args.m,
@@ -392,6 +398,73 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {v}")
         return 1
     print(f"\nserve gate: PASS (bit-identity + >= {args.gate:.2f}x throughput)")
+    return 0
+
+
+def _run_proc_bench(args: argparse.Namespace, sbench) -> int:
+    """``serve-bench --procs``: the multi-process worker-count sweep."""
+    procs = _parse_count_list(args.procs, "--procs")
+    if procs is None:
+        return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = sbench.load_json(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read --baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    cfg = sbench.ProcBenchConfig(
+        model=args.model,
+        algorithm=args.algorithm if args.algorithm is not None else "int8_upcast",
+        width=args.width,
+        hw=args.hw,
+        m=args.m,
+        request_batch=args.request_batch,
+        requests_per_thread=args.requests,
+        client_threads=args.clients,
+        procs=procs,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        backend=args.backend,
+        transport=args.transport,
+        wisdom=not args.no_proc_wisdom,
+        seed=args.seed,
+    )
+    try:
+        doc = sbench.run_proc_bench(cfg)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(sbench.format_proc_bench(doc))
+    # Unlike the thread sweep, the default run does NOT overwrite the
+    # committed baseline it is usually gated against; ``--update-baseline``
+    # regenerates it explicitly.
+    out = None
+    if not args.no_out:
+        out = args.out or (
+            sbench.DEFAULT_PROC_BENCH_PATH if args.update_baseline else None
+        )
+    if out:
+        sbench.write_json(doc, out)
+        print(f"wrote {out}")
+    violations = sbench.check_proc_gate(
+        doc, baseline=baseline, min_speedup=args.gate,
+        speedup_tolerance=args.speedup_tolerance,
+    )
+    if violations:
+        print(f"\nproc gate: {len(violations)} VIOLATION(S)")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    parts = ["bit-identity"]
+    if cfg.wisdom:
+        parts.append("selection convergence")
+    if args.gate > 0:
+        parts.append(f">= {args.gate:.2f}x throughput")
+    if baseline is not None:
+        parts.append("baseline ratio")
+    print(f"\nproc gate: PASS ({' + '.join(parts)})")
     return 0
 
 
@@ -657,10 +730,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     psv.add_argument("--model", default="vgg",
                      help="model family: vgg/resnet/alexnet/unet (default vgg)")
-    psv.add_argument("--algorithm", default="lowino",
-                     help="quantize_model algorithm or 'fp32' (default lowino)")
+    psv.add_argument("--algorithm", default=None,
+                     help="quantize_model algorithm or 'fp32' (default lowino; "
+                          "int8_upcast with --procs so wisdom swaps apply)")
     psv.add_argument("--threads", default="1,2,8",
                      help="comma-separated client thread counts (default 1,2,8)")
+    psv.add_argument("--procs", default=None,
+                     help="comma-separated worker-process counts; switches the "
+                          "sweep to the multi-process tier (ProcServer), e.g. "
+                          "--procs 1,2,4")
+    psv.add_argument("--clients", type=int, default=8,
+                     help="closed-loop client threads for the --procs sweep "
+                          "(default 8)")
+    psv.add_argument("--transport", default="auto",
+                     choices=("auto", "shm", "pipe"),
+                     help="--procs tensor transport (default auto: shared-"
+                          "memory slabs when available)")
+    psv.add_argument("--no-proc-wisdom", action="store_true",
+                     help="disable in-worker tuning + the cross-process "
+                          "selection-convergence gate in the --procs sweep")
+    psv.add_argument("--baseline", default=None,
+                     help="committed proc-bench JSON to ratio-gate the "
+                          "measured speedup against (--procs only)")
+    psv.add_argument("--speedup-tolerance", type=float, default=0.5,
+                     help="--baseline ratio floor: measured speedup may not "
+                          "fall below this fraction of the baseline's "
+                          "(default 0.5)")
+    psv.add_argument("--update-baseline", action="store_true",
+                     help="with --procs: also write the document to "
+                          "benchmarks/BENCH_serve_procs.json")
     psv.add_argument("--requests", type=int, default=8,
                      help="requests per client thread (default 8)")
     psv.add_argument("--request-batch", type=int, default=2,

@@ -24,7 +24,14 @@ concurrent callers.  This package provides that deployment shape:
 * :mod:`~repro.serve.loadgen` -- ``repro load-bench``: replays traces
   open-loop (virtual clock for tests, real-time for benchmarking) and
   reports SLO-style p50/p95/p99, goodput vs offered load, and shed
-  rate from the obs registry's reservoir histograms.
+  rate from the obs registry's reservoir histograms;
+* :mod:`~repro.serve.procs` / :mod:`~repro.serve.router` -- the
+  process tier: :class:`~repro.serve.router.ProcServer` shards
+  execution across N worker processes (each compiling its own session
+  from one pickled model), with shared-memory tensor transport,
+  restart-on-crash health checks, and cross-process tuner coordination
+  through one shared wisdom file.  ``repro serve-bench --procs``
+  sweeps worker counts past the single-process GIL ceiling.
 
 Quick use::
 
@@ -38,6 +45,8 @@ Quick use::
 
 from .batching import InferenceFuture, Request, RequestQueue, ServerClosed, ServerOverloaded
 from .loadgen import LoadBenchConfig, ReplayResult, replay, run_load_bench
+from .procs import RemoteExecutionError, SlabRing, WorkerError, WorkerPool
+from .router import ProcServer, RemoteSession
 from .server import ServedModel, Server
 from .stats import LatencyStats, ModelStats
 from .workload import (
@@ -63,6 +72,9 @@ __all__ = [
     "ModelStats",
     "ModelWorkload",
     "PoissonArrivals",
+    "ProcServer",
+    "RemoteExecutionError",
+    "RemoteSession",
     "ReplayResult",
     "Request",
     "RequestQueue",
@@ -70,9 +82,12 @@ __all__ = [
     "Server",
     "ServerClosed",
     "ServerOverloaded",
+    "SlabRing",
     "Trace",
     "TraceEvent",
     "UniformArrivals",
+    "WorkerError",
+    "WorkerPool",
     "ZipfSizes",
     "build_trace",
     "replay",

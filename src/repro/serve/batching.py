@@ -137,9 +137,9 @@ class RequestQueue:
 
         Blocks for the first request; then keeps collecting compatible
         requests until ``max_batch`` images are assembled or
-        ``max_delay`` seconds have passed since the batch opened.  A
-        request larger than ``max_batch`` on its own is served as its
-        own batch rather than rejected.
+        ``max_delay`` seconds have passed since the batch's first
+        request *arrived*.  A request larger than ``max_batch`` on its
+        own is served as its own batch rather than rejected.
         """
         with self._cond:
             while True:
@@ -147,7 +147,14 @@ class RequestQueue:
                     if self._closed:
                         return None
                     self._cond.wait()
-                deadline = time.perf_counter() + max_delay
+                # Anchor the coalescing deadline to the first request's
+                # enqueue time, not to when this consumer woke up: a
+                # request that already waited in the queue has spent its
+                # delay budget, so its latency is bounded by queue-wait
+                # plus *one* ``max_delay`` -- a stale head-of-queue
+                # request is served immediately rather than paying the
+                # full coalescing window again.
+                deadline = self._items[0].enqueued_at + max_delay
                 while True:
                     batch, images = self._peek_batch(max_batch)
                     if images >= max_batch or self._closed:

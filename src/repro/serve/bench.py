@@ -39,10 +39,15 @@ from .server import Server
 
 __all__ = [
     "DEFAULT_BENCH_PATH",
+    "DEFAULT_PROC_BENCH_PATH",
+    "ProcBenchConfig",
     "ServeBenchConfig",
     "run_serve_bench",
+    "run_proc_bench",
     "check_serve_gate",
+    "check_proc_gate",
     "format_serve_bench",
+    "format_proc_bench",
     "load_json",
     "write_json",
 ]
@@ -50,6 +55,9 @@ __all__ = [
 #: Default persistence target: the closed-loop serve perf trajectory
 #: lives next to the runtime baselines in ``benchmarks/``.
 DEFAULT_BENCH_PATH = "benchmarks/BENCH_serve_threads.json"
+
+#: Default persistence target for the multi-process sweep.
+DEFAULT_PROC_BENCH_PATH = "benchmarks/BENCH_serve_procs.json"
 
 #: JSON document version; bump on breaking schema changes.
 SCHEMA_VERSION = 1
@@ -271,6 +279,288 @@ def format_serve_bench(doc: dict) -> str:
             f"vs 1: {speedup:.2f}x"
         )
     lines.append(f"bit-identity vs serial eager: {'yes' if doc['summary']['exact'] else 'NO'}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# multi-process sweep (``repro serve-bench --procs``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProcBenchConfig:
+    """One multi-process serving benchmark configuration.
+
+    ``procs`` is the sweep of worker-process counts; a fixed pool of
+    ``client_threads`` closed-loop clients hammers each configuration,
+    so the headline ratio ``throughput(N procs) / throughput(1 proc)``
+    isolates what process sharding buys past the GIL ceiling.
+
+    The default algorithm is ``int8_upcast`` (the spatial-threshold
+    family): its calibration carries across algorithm swaps, so
+    wisdom-driven selection actually *applies* in the workers and the
+    cross-process convergence check is non-vacuous.
+    """
+
+    model: str = "vgg"
+    algorithm: str = "int8_upcast"
+    width: int = 16
+    hw: int = 16
+    m: int = 4
+    request_batch: int = 2
+    requests_per_thread: int = 8
+    client_threads: int = 8
+    procs: Tuple[int, ...] = (1, 2, 4)
+    max_batch: int = 16
+    max_delay_ms: float = 5.0
+    queue_size: int = 256
+    backend: str = "numpy"
+    #: Tensor transport: "auto" (shared-memory slabs when available),
+    #: "shm", or "pipe".
+    transport: str = "auto"
+    #: Tune inside the workers against one shared wisdom file and gate
+    #: that every worker converges to identical algorithm selections.
+    wisdom: bool = True
+    seed: int = SEED
+
+
+def _build_proc_model(cfg: ProcBenchConfig):
+    """Build + quantize the benchmark model (workers compile their own
+    sessions from a pickle of this object)."""
+    from ..nn.quantize import quantize_model
+
+    case = ModelCase(cfg.model, cfg.algorithm, hw=cfg.hw, width=cfg.width, m=cfg.m)
+    model = build_case_model(case)
+    rng = np.random.default_rng(cfg.seed)
+    calib = rng.standard_normal((max(2, cfg.request_batch), 3, cfg.hw, cfg.hw))
+    if cfg.algorithm != "fp32":
+        quantize_model(model, cfg.algorithm, m=cfg.m, calibration_batches=[calib])
+    return model, (cfg.request_batch, 3, cfg.hw, cfg.hw)
+
+
+def _proc_inputs(cfg: ProcBenchConfig) -> List[List[np.ndarray]]:
+    rng = np.random.default_rng(cfg.seed + 1)
+    return [
+        [
+            rng.standard_normal((cfg.request_batch, 3, cfg.hw, cfg.hw))
+            for _ in range(cfg.requests_per_thread)
+        ]
+        for _ in range(cfg.client_threads)
+    ]
+
+
+def run_proc_bench(cfg: ProcBenchConfig = ProcBenchConfig()) -> dict:
+    """Run the worker-count sweep and return the JSON document.
+
+    Bit-identity is gated against serial eager execution *with the same
+    wisdom applied*: workers unpickle private model copies and apply the
+    shared wisdom file's algorithm choices at compile time, so the
+    parent applies the same choices to its reference copy (first deploy
+    persists them; every later consult is a wisdom hit).  The integer
+    pipeline is exact under any batch composition, so which worker (or
+    the reference) executed a request is unobservable in the bytes.
+    """
+    import tempfile
+
+    from .router import ProcServer
+
+    model, input_shape = _build_proc_model(cfg)
+    inputs = _proc_inputs(cfg)
+
+    with tempfile.TemporaryDirectory(prefix="repro-proc-bench-") as tmp:
+        wisdom_path = str(Path(tmp) / "wisdom.json") if cfg.wisdom else None
+        entries: List[dict] = []
+        expected: Optional[List[List[np.ndarray]]] = None
+        for procs in cfg.procs:
+            server = ProcServer(
+                procs=procs,
+                max_batch=cfg.max_batch,
+                max_delay_ms=cfg.max_delay_ms,
+                queue_size=cfg.queue_size,
+                backend=cfg.backend,
+                wisdom=wisdom_path,
+                tune_workers=cfg.wisdom,
+                transport=cfg.transport,
+            )
+            try:
+                server.add_model("bench", model, input_shape=input_shape)
+                if expected is None:
+                    # First deploy persisted the workers' wisdom; apply
+                    # the same choices to the parent's reference copy
+                    # (a wisdom hit -- no measurement) before computing
+                    # the serial eager baseline.
+                    if wisdom_path is not None:
+                        InferenceSession(
+                            model, input_shape, collect_timings=False,
+                            backend=cfg.backend, wisdom=wisdom_path,
+                        )
+                    expected = [[model(x) for x in reqs] for reqs in inputs]
+                server.infer("bench", inputs[0][0], timeout=60.0)
+                wall, outputs = _measure(server, "bench", inputs)
+                stats = server.stats()["bench"]
+                pool = server.pool_stats()
+                selections = (
+                    server.selection("bench") if cfg.wisdom else {}
+                )
+            finally:
+                server.close()
+            exact = all(
+                np.array_equal(outputs[tid][i], expected[tid][i])
+                for tid in range(cfg.client_threads)
+                for i in range(cfg.requests_per_thread)
+            )
+            distinct = {
+                tuple(sorted(sel.items())) for sel in selections.values()
+            }
+            images = cfg.client_threads * cfg.requests_per_thread * cfg.request_batch
+            entries.append(
+                {
+                    "procs": procs,
+                    "clients": cfg.client_threads,
+                    "images": images,
+                    "wall_s": wall,
+                    "throughput_ips": images / wall,
+                    "exact": exact,
+                    "restarts": pool["restarts"],
+                    "transports": sorted(
+                        {w["transport"] for w in pool["workers"].values()}
+                    ),
+                    "selection_workers": len(selections),
+                    "selection_converged": len(distinct) <= 1,
+                    "selection": (
+                        dict(sorted(next(iter(selections.values())).items()))
+                        if selections
+                        else {}
+                    ),
+                    "mean_batch_images": stats["mean_batch_images"],
+                    "batches": stats["batches"],
+                    "rejected": stats["rejected"],
+                    "latency": stats["latency"],
+                }
+            )
+
+    by_procs = {e["procs"]: e for e in entries}
+    max_procs = max(cfg.procs)
+    summary: Dict[str, object] = {
+        "exact": all(e["exact"] for e in entries),
+        "selection_converged": all(e["selection_converged"] for e in entries),
+    }
+    if 1 in by_procs and max_procs > 1:
+        summary["proc_speedup"] = (
+            by_procs[max_procs]["throughput_ips"] / by_procs[1]["throughput_ips"]
+        )
+        summary["speedup_procs"] = max_procs
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": asdict(cfg),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": entries,
+        "summary": summary,
+    }
+
+
+#: Baseline-comparison keys that must match for a ratio gate to be
+#: meaningful (same model, geometry, and sweep).
+_PROC_CONFIG_KEYS = (
+    "model", "algorithm", "width", "hw", "m", "request_batch",
+    "requests_per_thread", "client_threads", "procs", "backend", "wisdom",
+)
+
+
+def check_proc_gate(
+    doc: dict,
+    baseline: Optional[dict] = None,
+    min_speedup: float = 0.0,
+    speedup_tolerance: float = 0.5,
+) -> List[str]:
+    """Gates for one proc-bench document; empty list means PASS.
+
+    Hard, host-independent gates: every worker count serves bit-identical
+    bytes, and (when wisdom is on) all workers of every configuration
+    converge to identical algorithm selections.
+
+    Host-dependent gates are opt-in: ``min_speedup > 0`` requires
+    ``throughput(max procs) >= min_speedup * throughput(1 proc)``
+    (meaningless on single-core runners, hence off by default), and a
+    ``baseline`` document adds a *ratio* gate -- the measured speedup
+    may not collapse below ``speedup_tolerance`` times the committed
+    baseline's speedup (ratios drift far less across hosts than
+    absolute image rates).
+    """
+    violations: List[str] = []
+    for entry in doc["results"]:
+        if not entry["exact"]:
+            violations.append(
+                f"{entry['procs']} worker proc(s): served outputs are not "
+                f"bit-identical to serial eager execution"
+            )
+        if doc["config"].get("wisdom") and not entry["selection_converged"]:
+            violations.append(
+                f"{entry['procs']} worker proc(s): workers disagree on "
+                f"algorithm selections despite sharing one wisdom file"
+            )
+    speedup = doc["summary"].get("proc_speedup")
+    if min_speedup > 0 and speedup is not None and speedup < min_speedup:
+        violations.append(
+            f"throughput at {doc['summary']['speedup_procs']} procs is "
+            f"{speedup:.2f}x the 1-proc throughput (gate: >= {min_speedup:.2f}x)"
+        )
+    if baseline is not None:
+        for key in _PROC_CONFIG_KEYS:
+            ours, theirs = doc["config"].get(key), baseline["config"].get(key)
+            if isinstance(ours, list) or isinstance(theirs, list):
+                ours, theirs = list(ours or ()), list(theirs or ())
+            if ours != theirs:
+                violations.append(
+                    f"config mismatch vs baseline: {key} = {ours!r} "
+                    f"(baseline {theirs!r}); ratio gate not comparable"
+                )
+                return violations
+        base_speedup = baseline["summary"].get("proc_speedup")
+        if speedup is not None and base_speedup:
+            floor = base_speedup * speedup_tolerance
+            if speedup < floor:
+                violations.append(
+                    f"proc speedup regressed: {speedup:.2f}x vs baseline "
+                    f"{base_speedup:.2f}x (floor: {floor:.2f}x)"
+                )
+    return violations
+
+
+def format_proc_bench(doc: dict) -> str:
+    """Human-readable table for one proc-bench document."""
+    cfg = doc["config"]
+    lines = [
+        f"Multi-process serving benchmark -- model={cfg['model']}/"
+        f"{cfg['algorithm']} hw={cfg['hw']} width={cfg['width']} "
+        f"clients={cfg['client_threads']} request_batch={cfg['request_batch']} "
+        f"transport={cfg['transport']} wisdom={'on' if cfg['wisdom'] else 'off'}",
+        f"{'procs':>5s} {'images':>6s} {'wall':>9s} {'imgs/s':>8s} "
+        f"{'batch~':>6s} {'p95':>8s} {'exact':>6s} {'conv':>5s}",
+    ]
+    for e in doc["results"]:
+        lines.append(
+            f"{e['procs']:5d} {e['images']:6d} {e['wall_s'] * 1e3:7.1f}ms "
+            f"{e['throughput_ips']:8.1f} {e['mean_batch_images']:6.1f} "
+            f"{e['latency']['p95_ms']:6.1f}ms "
+            f"{'yes' if e['exact'] else 'NO':>6s} "
+            f"{('yes' if e['selection_converged'] else 'NO') if cfg['wisdom'] else '-':>5s}"
+        )
+    speedup = doc["summary"].get("proc_speedup")
+    if speedup is not None:
+        lines.append(
+            f"throughput speedup at {doc['summary']['speedup_procs']} procs "
+            f"vs 1: {speedup:.2f}x"
+        )
+    lines.append(
+        f"bit-identity vs serial eager: {'yes' if doc['summary']['exact'] else 'NO'}"
+    )
+    if cfg["wisdom"]:
+        lines.append(
+            "cross-process selection convergence: "
+            f"{'yes' if doc['summary']['selection_converged'] else 'NO'}"
+        )
     return "\n".join(lines)
 
 

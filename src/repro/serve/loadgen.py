@@ -6,7 +6,11 @@ against a live :class:`~repro.serve.server.Server` and reports SLO-style
 results -- p50/p95/p99 latency (from the obs registry's reservoir
 histograms, not ad-hoc timing lists), goodput vs offered load, the shed
 rate from :class:`~repro.serve.batching.ServerOverloaded` backpressure,
-and the micro-batcher's coalescing width.
+and the micro-batcher's coalescing width.  Shed counts mean exactly
+that: ``Server.submit`` records a rejection only when the bounded queue
+refused the request with ``ServerOverloaded`` -- a ``ServerClosed`` or
+an unexpected error propagates uncounted, so the shed rates gated by
+:func:`check_load_gate` are not inflated by shutdown races.
 
 Two replay modes:
 

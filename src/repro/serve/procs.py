@@ -1,0 +1,744 @@
+"""Worker processes and pickle-free tensor transport for the proc tier.
+
+The thread-based :class:`~repro.serve.server.Server` caps out at the
+GIL: however fast one fused step is, one Python process executes one
+interpreter instruction stream.  This module supplies the pieces the
+process tier (:class:`~repro.serve.router.ProcServer`) is built from:
+
+* :class:`SlabRing` -- a ring of fixed-size ``multiprocessing.shared_memory``
+  slabs.  Request and response tensors travel as raw NCHW bytes plus a
+  tiny header (slot index, shape, dtype) over the control pipe -- no
+  pickling of array payloads on the hot path.  Tensors that do not fit
+  a slab (or hosts without ``shared_memory``) fall back transparently
+  to plain-pipe byte transport.
+* :class:`WorkerProcess` -- the parent-side handle of one worker: a
+  spawned process owning its *own* compiled
+  :class:`~repro.runtime.session.InferenceSession` per deployed model
+  (LoWino's offline/online split at process granularity: prepare once
+  per worker, serve many), a duplex control pipe, and a private slab
+  ring.
+* :class:`WorkerPool` -- N workers behind a free-list, with health
+  checks and restart-on-crash: a dead or wedged worker is terminated,
+  respawned, and re-deployed with every model; its in-flight batch
+  fails over to another live worker (the request bytes still live in
+  the parent, so failover is a retry, not a loss).
+
+Bit-identity is preserved by construction: every worker compiles the
+same pickled model for the same input geometry, and the runtime's
+integer pipeline is exact, so a batch served by *any* worker is
+bytewise the serial eager result.
+
+Cross-process tuner coordination comes for free from the wisdom layer:
+every worker session points at one shared
+:class:`~repro.tuning.wisdom.WisdomFile` path, and the flock +
+disk-wins merge makes whoever persists a geometry's choice first
+decide it for the whole flock -- N processes converge on identical
+algorithm selections without any extra protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # Python >= 3.8 everywhere we run; guarded for exotic platforms.
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - non-standard build
+    _shm = None  # type: ignore[assignment]
+
+__all__ = [
+    "DEFAULT_SLOT_BYTES",
+    "RemoteExecutionError",
+    "SlabRing",
+    "WorkerError",
+    "WorkerPool",
+    "WorkerProcess",
+]
+
+#: Default slab size: comfortably holds a coalesced float64 batch of
+#: ``16 x 3 x 64 x 64`` images (~1.5 MiB) with headroom.
+DEFAULT_SLOT_BYTES = 4 << 20
+
+#: Control-channel timeouts (seconds).  Deploys compile (and possibly
+#: tune) whole models inside the worker, so they get a generous bound.
+DEFAULT_RUN_TIMEOUT_S = 60.0
+DEFAULT_DEPLOY_TIMEOUT_S = 300.0
+
+
+class WorkerError(RuntimeError):
+    """The worker process itself failed (died, hung, or lost its pipe).
+
+    Distinct from :class:`RemoteExecutionError`: a ``WorkerError`` means
+    the worker must be restarted; the request may be retried elsewhere.
+    """
+
+
+class RemoteExecutionError(RuntimeError):
+    """The deployed session raised inside a healthy worker.
+
+    The worker stays up; the error belongs to the request that caused
+    it (bad channel count, non-finite input, ...), mirroring how the
+    thread tier propagates session exceptions to the future."""
+
+
+def _attach_segment(name: str):
+    """Attach an existing shared-memory segment without registering it
+    with the resource tracker (the parent owns the unlink).
+
+    On Python < 3.13 there is no ``track=False``, and spawn children
+    share the parent's tracker process -- an attach-then-unregister
+    would *remove the parent's registration* (the tracker cache is a
+    set), making the parent's eventual ``unlink`` complain about an
+    unknown name.  Suppressing registration during the attach keeps the
+    tracker's books balanced: exactly one register (parent create) and
+    one unregister (parent unlink) per segment."""
+    try:
+        return _shm.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shm(name_, rtype):  # pragma: no cover - trivial shim
+            if rtype != "shared_memory":
+                original(name_, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return _shm.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
+class SlabRing:
+    """Ring of fixed-size shared-memory slabs (NCHW byte transport).
+
+    The parent *creates* a ring (``SlabRing(slots, slot_bytes)``) and
+    manages the free list; a worker *attaches* to the same segments by
+    name (:meth:`attach`) and never allocates -- it reuses the request's
+    slot for the response, so one slot round-trips one request.
+    """
+
+    def __init__(
+        self,
+        slots: int = 0,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
+        if _shm is None:
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        self.slot_bytes = int(slot_bytes)
+        self._owner = names is None
+        if names is None:
+            if slots < 1:
+                raise ValueError(f"slots must be >= 1, got {slots}")
+            self._segments = [
+                _shm.SharedMemory(create=True, size=self.slot_bytes)
+                for _ in range(slots)
+            ]
+        else:
+            self._segments = [_attach_segment(n) for n in names]
+        self.names: Tuple[str, ...] = tuple(seg.name for seg in self._segments)
+        self._cond = threading.Condition()
+        self._free: List[int] = list(range(len(self._segments)))
+
+    @classmethod
+    def attach(cls, names: Sequence[str], slot_bytes: int) -> "SlabRing":
+        return cls(slot_bytes=slot_bytes, names=names)
+
+    def acquire(self, timeout: Optional[float] = None) -> Optional[int]:
+        """A free slot index, or None once ``timeout`` elapses."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._cond:
+            while not self._free:
+                remaining = (
+                    None if deadline is None else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        with self._cond:
+            self._free.append(slot)
+            self._cond.notify()
+
+    def write(self, slot: int, data: bytes) -> None:
+        self._segments[slot].buf[: len(data)] = data
+
+    def read(self, slot: int, nbytes: int) -> memoryview:
+        return self._segments[slot].buf[:nbytes]
+
+    def close(self) -> None:
+        """Detach (and, for the owning parent, unlink) every segment."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except (OSError, BufferError):  # pragma: no cover - teardown race
+                pass
+            if self._owner:
+                try:
+                    seg.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+        self._segments = []
+
+
+def encode_array(
+    x: np.ndarray, ring: Optional[SlabRing], slot: Optional[int]
+) -> Dict[str, object]:
+    """Serialize ``x`` into a transport header (+ slab bytes).
+
+    Shared-memory when a slot is provided and the tensor fits its slab;
+    otherwise the raw bytes ride the control pipe (the documented
+    fallback -- still a single copy, just not zero-ish)."""
+    x = np.ascontiguousarray(x)
+    if ring is not None and slot is not None and x.nbytes <= ring.slot_bytes:
+        ring.write(slot, x.tobytes())
+        return {
+            "via": "shm",
+            "slot": slot,
+            "shape": tuple(int(s) for s in x.shape),
+            "dtype": str(x.dtype),
+        }
+    return {
+        "via": "pipe",
+        "shape": tuple(int(s) for s in x.shape),
+        "dtype": str(x.dtype),
+        "data": x.tobytes(),
+    }
+
+
+def decode_array(header: Dict[str, object], ring: Optional[SlabRing]) -> np.ndarray:
+    """Materialize (a private copy of) the tensor behind a header."""
+    shape = tuple(header["shape"])  # type: ignore[arg-type]
+    dtype = np.dtype(str(header["dtype"]))
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if header["via"] == "shm":
+        if ring is None:
+            raise WorkerError("shared-memory header but no attached slab ring")
+        buf = ring.read(int(header["slot"]), count * dtype.itemsize)
+        return np.frombuffer(buf, dtype=dtype).reshape(shape).copy()
+    return np.frombuffer(header["data"], dtype=dtype).reshape(shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# worker-side main loop
+# ---------------------------------------------------------------------------
+
+
+def _session_counters(sessions: Dict[str, object]) -> Dict[str, object]:
+    """Cumulative per-worker counters piggybacked on every reply."""
+    cache = {"hits": 0, "misses": 0, "evictions": 0, "bytes": 0, "entries": 0}
+    runs = images = 0
+    for session in sessions.values():
+        runs += int(getattr(session, "runs", 0))
+        images += int(getattr(session, "images_seen", 0))
+        try:
+            for key, value in session.cache_stats().items():
+                if key in cache:
+                    cache[key] += int(value)
+        except Exception:  # pragma: no cover - duck-typed sessions
+            pass
+    return {"runs": runs, "images": images, "cache": cache}
+
+
+def _worker_main(conn, worker_id: int, options: Dict[str, object]) -> None:
+    """One worker process: deploy models, serve run/stats/selection.
+
+    Top-level so it is importable under the ``spawn`` start method.
+    The loop exits on ``stop``, EOF (parent died), or a broken pipe;
+    everything raised while handling a command is reported as an
+    ``("err", ...)`` reply instead of killing the worker.
+    """
+    from ..runtime.session import InferenceSession
+
+    ring: Optional[SlabRing] = None
+    names = options.get("slab_names") or ()
+    if names and _shm is not None:
+        try:
+            ring = SlabRing.attach(names, int(options.get("slot_bytes", 0)))
+        except (OSError, RuntimeError):  # pragma: no cover - attach race
+            ring = None
+    sessions: Dict[str, InferenceSession] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        try:
+            if cmd == "deploy":
+                _, name, payload, input_shape, kw = msg
+                model = pickle.loads(payload)
+                sessions[name] = InferenceSession(
+                    model,
+                    tuple(input_shape),
+                    collect_timings=False,
+                    backend=options.get("backend"),
+                    wisdom=options.get("wisdom"),
+                    tune=bool(kw.get("tune", options.get("tune", False))),
+                    cache_eviction="lfu",
+                )
+                reply = ("ok", None)
+            elif cmd == "run":
+                _, name, header = msg
+                x = decode_array(header, ring)
+                y = sessions[name].run(x)
+                slot = header["slot"] if header["via"] == "shm" else None
+                out = encode_array(y, ring, slot)
+                reply = ("ok", out, _session_counters(sessions))
+            elif cmd == "selection":
+                _, name = msg
+                reply = ("ok", dict(sessions[name].selection))
+            elif cmd == "refresh_selection":
+                _, name = msg
+                reply = ("ok", [str(p) for p in sessions[name].refresh_selection()])
+            elif cmd == "stats":
+                reply = ("ok", _session_counters(sessions))
+            elif cmd == "stop":
+                try:
+                    conn.send(("ok", None))
+                finally:
+                    break
+            else:
+                reply = ("err", f"unknown command {cmd!r}")
+        except BaseException as exc:
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):  # parent went away
+            break
+    if ring is not None:
+        ring.close()
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side handles
+# ---------------------------------------------------------------------------
+
+
+class WorkerProcess:
+    """Parent-side handle of one worker: pipe, slab ring, liveness."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        ctx,
+        options: Dict[str, object],
+        slab_slots: int,
+        slot_bytes: int,
+        transport: str = "auto",
+    ) -> None:
+        self.worker_id = worker_id
+        self.ring: Optional[SlabRing] = None
+        if transport not in ("auto", "shm", "pipe"):
+            raise ValueError(f"transport must be auto/shm/pipe, got {transport!r}")
+        if transport != "pipe":
+            if _shm is not None:
+                self.ring = SlabRing(slab_slots, slot_bytes)
+            elif transport == "shm":  # pragma: no cover - non-standard build
+                raise RuntimeError("shared-memory transport unavailable on this host")
+        opts = dict(options)
+        opts["slab_names"] = self.ring.names if self.ring is not None else ()
+        opts["slot_bytes"] = slot_bytes
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._lock = threading.Lock()
+        #: Last counters doc the worker piggybacked on a reply.
+        self.last_stats: Dict[str, object] = {}
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, opts),
+            daemon=True,
+            name=f"repro-proc-worker-{worker_id}",
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def alive(self) -> bool:
+        return self.proc.is_alive()
+
+    def call(self, msg: tuple, timeout: Optional[float]):
+        """One request/reply over the control pipe (serialized per worker).
+
+        Raises :class:`RemoteExecutionError` for in-worker exceptions
+        and :class:`WorkerError` when the worker is gone or wedged --
+        after a timeout the pipe is desynchronized (a late reply could
+        answer the *next* command), so the caller must retire this
+        worker rather than reuse it."""
+        with self._lock:
+            try:
+                self._conn.send(msg)
+                if not self._conn.poll(timeout):
+                    raise WorkerError(
+                        f"worker {self.worker_id} timed out after {timeout}s "
+                        f"on {msg[0]!r}"
+                    )
+                reply = self._conn.recv()
+            except WorkerError:
+                raise
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                raise WorkerError(
+                    f"worker {self.worker_id} connection lost: {exc}"
+                ) from exc
+        if reply[0] == "err":
+            raise RemoteExecutionError(f"worker {self.worker_id}: {reply[1]}")
+        return reply[1] if len(reply) == 2 else reply[1:]
+
+    def run(self, name: str, x: np.ndarray, timeout: Optional[float]) -> np.ndarray:
+        """Execute one coalesced batch remotely; returns the output rows."""
+        slot = None
+        if self.ring is not None and x.nbytes <= self.ring.slot_bytes:
+            # Bounded wait: with one batch in flight per worker a slot is
+            # almost always free; contention means fall back to the pipe.
+            slot = self.ring.acquire(timeout=1.0)
+        try:
+            header = encode_array(x, self.ring, slot)
+            out_header, counters = self.call(("run", name, header), timeout)
+            self.last_stats = counters
+            return decode_array(out_header, self.ring)
+        finally:
+            if slot is not None:
+                self.ring.release(slot)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful stop, escalating to terminate/kill; frees the ring."""
+        if self.proc.is_alive():
+            try:
+                self.call(("stop",), timeout=timeout)
+            except (WorkerError, RemoteExecutionError):
+                pass
+        self.proc.join(timeout=timeout)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=timeout)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(timeout=timeout)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.ring is not None:
+            self.ring.close()
+            self.ring = None
+
+    def kill(self) -> None:
+        """Immediate termination (health loop / failover path)."""
+        if self.proc.is_alive():
+            self.proc.terminate()
+
+
+class WorkerPool:
+    """N worker processes behind a free-list, with restart-on-crash.
+
+    ``run`` checks a worker out of the free queue, ships the batch, and
+    checks it back in; a worker that dies or wedges mid-batch is
+    retired (terminated, never re-queued) and the batch fails over to
+    the next live worker.  A background health thread respawns retired
+    or crashed workers and re-deploys every model, so capacity recovers
+    without operator action; ``restarts`` counts how often.
+    """
+
+    def __init__(
+        self,
+        procs: int,
+        mp_context: str = "spawn",
+        backend: Optional[str] = None,
+        wisdom: Optional[object] = None,
+        tune: bool = False,
+        transport: str = "auto",
+        slab_slots: int = 2,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        run_timeout_s: float = DEFAULT_RUN_TIMEOUT_S,
+        deploy_timeout_s: float = DEFAULT_DEPLOY_TIMEOUT_S,
+        health_interval_s: float = 0.5,
+        registry=None,
+    ) -> None:
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        self.procs = procs
+        self.run_timeout_s = run_timeout_s
+        self.deploy_timeout_s = deploy_timeout_s
+        self.health_interval_s = health_interval_s
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._options = {
+            "backend": backend,
+            "wisdom": str(wisdom) if wisdom is not None else None,
+            "tune": tune,
+        }
+        self._spawn_args = (slab_slots, slot_bytes, transport)
+        self._lock = threading.Lock()
+        self._workers: List[WorkerProcess] = [
+            WorkerProcess(i, self._ctx, self._options, *self._spawn_args)
+            for i in range(procs)
+        ]
+        self._retired: set = set()  # worker ids awaiting respawn
+        self._deployed: Dict[str, Tuple[bytes, Tuple[int, ...], Dict[str, object]]] = {}
+        self._free: "queue.Queue[int]" = queue.Queue()
+        for i in range(procs):
+            self._free.put(i)
+        self.restarts = 0
+        self._closed = threading.Event()
+        self._health = threading.Thread(
+            target=self._health_loop, name="repro-proc-health", daemon=True
+        )
+        self._health.start()
+        if registry is not None:
+            registry.register_collector(self._collect)
+
+    # -- deployment -----------------------------------------------------
+    def deploy(self, name: str, payload: bytes, input_shape: Tuple[int, ...], **kw) -> None:
+        """Ship one pickled model to every worker (each compiles its own
+        session); remembered for re-deploys after a restart."""
+        with self._lock:
+            self._deployed[name] = (payload, tuple(input_shape), dict(kw))
+            workers = list(self._workers)
+        errors = []
+        for worker in workers:
+            try:
+                worker.call(
+                    ("deploy", name, payload, tuple(input_shape), dict(kw)),
+                    self.deploy_timeout_s,
+                )
+            except (WorkerError, RemoteExecutionError) as exc:
+                errors.append(exc)
+        if len(errors) == len(workers):
+            raise errors[0]
+        if errors:  # partial deploy: health loop will heal the dead ones
+            warnings.warn(
+                f"model {name!r} deployed to {len(workers) - len(errors)}/"
+                f"{len(workers)} workers ({errors[0]}); the health loop will "
+                f"restart and re-deploy the rest",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # -- request path ---------------------------------------------------
+    def run(self, name: str, x: np.ndarray) -> np.ndarray:
+        """Run one batch on the next free live worker, with failover."""
+        attempts = self.procs
+        for _ in range(attempts):
+            worker = self._checkout()
+            try:
+                y = worker.run(name, x, self.run_timeout_s)
+            except WorkerError:
+                self._retire(worker)
+                continue
+            except RemoteExecutionError:
+                self._checkin(worker)
+                raise
+            self._checkin(worker)
+            return y
+        raise WorkerError(
+            f"no live worker completed the batch after {attempts} attempt(s)"
+        )
+
+    def _checkout(self) -> WorkerProcess:
+        deadline = time.perf_counter() + self.run_timeout_s
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise WorkerError("no live worker became available in time")
+            try:
+                worker_id = self._free.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                if self._closed.is_set():
+                    raise WorkerError("worker pool is stopped")
+                continue
+            with self._lock:
+                worker = self._workers[worker_id]
+                retired = worker_id in self._retired
+            if retired:  # stale free-list entry from before a retirement
+                continue
+            if not worker.alive():
+                self._retire(worker)
+                continue
+            return worker
+
+    def _checkin(self, worker: WorkerProcess) -> None:
+        with self._lock:
+            if worker.worker_id in self._retired:
+                return
+            current = self._workers[worker.worker_id]
+        if current is worker:
+            self._free.put(worker.worker_id)
+
+    def _retire(self, worker: WorkerProcess) -> None:
+        """Take a broken worker out of rotation; the health loop
+        respawns it (the dead process cannot serve, but its slot and
+        deployments are rebuilt from the parent's records)."""
+        with self._lock:
+            if worker.worker_id in self._retired:
+                return
+            self._retired.add(worker.worker_id)
+        worker.kill()
+
+    # -- health / restart ----------------------------------------------
+    def _health_loop(self) -> None:
+        while not self._closed.wait(self.health_interval_s):
+            self._heal()
+
+    def _heal(self) -> None:
+        with self._lock:
+            dead = [
+                w.worker_id
+                for w in self._workers
+                if w.worker_id in self._retired or not w.alive()
+            ]
+        for worker_id in dead:
+            if self._closed.is_set():
+                return
+            try:
+                self._respawn(worker_id)
+            except Exception as exc:  # pragma: no cover - spawn failure
+                warnings.warn(
+                    f"worker {worker_id} respawn failed: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    def _respawn(self, worker_id: int) -> None:
+        with self._lock:
+            old = self._workers[worker_id]
+            deployed = dict(self._deployed)
+        old.stop(timeout=1.0)
+        replacement = WorkerProcess(
+            worker_id, self._ctx, self._options, *self._spawn_args
+        )
+        for name, (payload, input_shape, kw) in deployed.items():
+            replacement.call(
+                ("deploy", name, payload, input_shape, kw), self.deploy_timeout_s
+            )
+        with self._lock:
+            self._workers[worker_id] = replacement
+            self._retired.discard(worker_id)
+            self.restarts += 1
+        self._free.put(worker_id)
+
+    # -- introspection --------------------------------------------------
+    def live_count(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for w in self._workers
+                if w.worker_id not in self._retired and w.alive()
+            )
+
+    def selection(self, name: str) -> Dict[int, Dict[str, str]]:
+        """Per-worker applied algorithm selections for one model (the
+        cross-process wisdom-convergence gate reads this)."""
+        out: Dict[int, Dict[str, str]] = {}
+        with self._lock:
+            workers = [
+                w
+                for w in self._workers
+                if w.worker_id not in self._retired and w.alive()
+            ]
+        for worker in workers:
+            out[worker.worker_id] = worker.call(
+                ("selection", name), self.run_timeout_s
+            )
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        """Pool-level snapshot: liveness, restarts, per-worker counters."""
+        with self._lock:
+            workers = list(self._workers)
+            retired = set(self._retired)
+            restarts = self.restarts
+        return {
+            "procs": self.procs,
+            "live": sum(
+                1 for w in workers if w.worker_id not in retired and w.alive()
+            ),
+            "restarts": restarts,
+            "workers": {
+                w.worker_id: {
+                    "alive": w.alive() and w.worker_id not in retired,
+                    "transport": "shm" if w.ring is not None else "pipe",
+                    **(w.last_stats or {"runs": 0, "images": 0}),
+                }
+                for w in workers
+            },
+        }
+
+    def aggregate_cache_stats(self) -> Dict[str, int]:
+        """Summed plan-cache counters across workers (last-seen docs)."""
+        total = {"hits": 0, "misses": 0, "evictions": 0, "bytes": 0, "entries": 0}
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            cache = (worker.last_stats or {}).get("cache", {})
+            for key in total:
+                total[key] += int(cache.get(key, 0))
+        return total
+
+    def _collect(self):
+        """Registry collector: per-worker labeled liveness and counters,
+        aggregated in the parent's metrics export."""
+        from ..obs.metrics import Sample
+
+        with self._lock:
+            workers = list(self._workers)
+            retired = set(self._retired)
+            restarts = self.restarts
+        yield Sample(
+            "repro_pool_restarts_total",
+            restarts,
+            {},
+            "counter",
+            "worker process restarts (crash + wedge recoveries)",
+        )
+        for worker in workers:
+            labels = {"worker": str(worker.worker_id)}
+            stats = worker.last_stats or {}
+            yield Sample(
+                "repro_worker_up",
+                1.0 if (worker.alive() and worker.worker_id not in retired) else 0.0,
+                dict(labels),
+                "gauge",
+                "worker process liveness",
+            )
+            yield Sample(
+                "repro_worker_runs_total",
+                int(stats.get("runs", 0)),
+                dict(labels),
+                "counter",
+                "session.run calls executed by this worker",
+            )
+            yield Sample(
+                "repro_worker_images_total",
+                int(stats.get("images", 0)),
+                dict(labels),
+                "counter",
+                "images executed by this worker",
+            )
+
+    # -- lifecycle ------------------------------------------------------
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the health loop and every worker; idempotent."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._health.join(timeout=timeout)
+        with self._lock:
+            workers = list(self._workers)
+        for worker in workers:
+            worker.stop(timeout=timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

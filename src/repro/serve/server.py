@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,7 +39,13 @@ from ..nn.layers import Layer
 from ..obs.export import prometheus_text
 from ..obs.metrics import MetricsRegistry, Sample
 from ..runtime.session import InferenceSession
-from .batching import InferenceFuture, Request, RequestQueue, ServerClosed
+from .batching import (
+    InferenceFuture,
+    Request,
+    RequestQueue,
+    ServerClosed,
+    ServerOverloaded,
+)
 from .stats import ModelStats
 
 __all__ = ["Server", "ServedModel"]
@@ -122,18 +129,36 @@ class ServedModel:
             offset += req.n_images
             self.stats.latency.record(done - req.enqueued_at)
 
-    def close(self, drain: bool = True) -> None:
+    def close(self, drain: bool = True, join_timeout: float = 10.0) -> None:
         """Stop accepting requests; fail whatever cannot be drained.
 
         ``drain=True`` lets workers finish the queued backlog before
-        they exit; ``drain=False`` rejects the backlog immediately.
+        they exit; ``drain=False`` rejects the backlog immediately.  A
+        worker that is still alive ``join_timeout`` seconds after the
+        queue closed is a broken drain promise: it is *reported* (a
+        ``RuntimeWarning`` plus the ``leaked_workers`` count in
+        :meth:`snapshot` / ``repro_workers_leaked``) rather than
+        silently abandoned, so operators can tell "drained clean" from
+        "wedged worker still holds requests".
         """
         self.queue.close()
         if not drain:
             for req in self.queue.drain_rejected():
                 req.future.set_exception(ServerClosed(f"model {self.name!r} closed"))
+        leaked = 0
         for t in self._threads:
-            t.join(timeout=10.0)
+            t.join(timeout=join_timeout)
+            if t.is_alive():
+                leaked += 1
+        if leaked:
+            self.stats.record_leaked_workers(leaked)
+            warnings.warn(
+                f"model {self.name!r}: {leaked} worker(s) still running "
+                f"{join_timeout:.1f}s after close(drain={drain}); their "
+                f"in-flight requests were not drained",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         # Anything still pending after the join (e.g. drain=True racing
         # an already-exited worker) must not leave callers hanging.
         for req in self.queue.drain_rejected():
@@ -321,7 +346,11 @@ class Server:
         request = Request(images=images)
         try:
             entry.queue.put(request, timeout=timeout)
-        except Exception:
+        except ServerOverloaded:
+            # Only true backpressure counts as a shed.  A closed queue
+            # (shutdown racing a submit) raises ServerClosed instead --
+            # recording that as a rejection would inflate the shed rate
+            # ``check_load_gate`` gates against the committed baseline.
             entry.stats.record_rejection()
             raise
         entry.stats.record_request(request.n_images)
@@ -358,7 +387,7 @@ class Server:
         """All serving telemetry in the Prometheus text format."""
         return prometheus_text(self.registry)
 
-    def close(self, drain: bool = True) -> None:
+    def close(self, drain: bool = True, join_timeout: float = 10.0) -> None:
         """Shut down all model workers (and the tuner); idempotent."""
         with self._lock:
             if self._closed:
@@ -368,7 +397,7 @@ class Server:
         if self.tuner is not None:
             self.tuner.stop()
         for entry in entries:
-            entry.close(drain=drain)
+            entry.close(drain=drain, join_timeout=join_timeout)
 
     def __enter__(self) -> "Server":
         return self

@@ -128,6 +128,11 @@ class ModelStats:
         self._max_batch = reg.gauge(
             "repro_max_batch_images", help="largest coalesced batch observed", **labels
         )
+        self._leaked_workers = reg.gauge(
+            "repro_workers_leaked",
+            help="workers still running after a drain close timed out",
+            **labels,
+        )
         self.latency = LatencyStats(registry=reg, **labels)
 
     # -- recorded counters, exposed with the historical attribute names --
@@ -159,6 +164,10 @@ class ModelStats:
     def errors(self) -> int:
         return self._errors.value
 
+    @property
+    def leaked_workers(self) -> int:
+        return int(self._leaked_workers.value)
+
     # -- recording -------------------------------------------------------
     def record_request(self, images: int) -> None:
         self._requests.inc()
@@ -175,6 +184,9 @@ class ModelStats:
     def record_error(self, requests: int = 1) -> None:
         self._errors.inc(requests)
 
+    def record_leaked_workers(self, count: int) -> None:
+        self._leaked_workers.set(count)
+
     def snapshot(self) -> Dict[str, Any]:
         batches = self.batches
         return {
@@ -185,5 +197,6 @@ class ModelStats:
             "max_batch_images": self.max_batch_images,
             "rejected": self.rejected,
             "errors": self.errors,
+            "leaked_workers": self.leaked_workers,
             "latency": self.latency.snapshot(),
         }

@@ -27,7 +27,12 @@ host.
 Determinism: measurement inputs derive from ``(seed, geometry)`` via
 ``SeedSequence``, and a wisdom hit short-circuits measurement entirely
 -- two workers sharing one wisdom file converge on the first persisted
-choice (see :meth:`WisdomFile.store_algorithm`).
+choice (see :meth:`WisdomFile.store_algorithm`).  That convergence is
+deliberately process-agnostic: the flock + disk-wins merge works the
+same whether the "workers" are threads in one server or the spawned
+worker *processes* of :class:`repro.serve.router.ProcServer`
+(``tune_workers=True`` points every worker at one wisdom path and the
+proc bench gates that their applied selections are identical).
 """
 
 from __future__ import annotations

@@ -1,0 +1,223 @@
+"""Process tier: transport, bit-identity, failover, wisdom convergence.
+
+Workers are real spawned processes (the deployment shape the tier
+exists for), so these tests lean on one module-scoped server where they
+can; each spawn costs an interpreter start plus a model compile.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.quantize import quantize_model
+from repro.runtime.bench import ModelCase, build_case_model
+from repro.serve import (
+    ProcServer,
+    RemoteExecutionError,
+    ServerOverloaded,
+    SlabRing,
+)
+from repro.serve.procs import WorkerPool, decode_array, encode_array
+
+pytestmark = pytest.mark.concurrency
+
+HW = 8
+ITEM = (3, HW, HW)
+SHAPE = (2,) + ITEM
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    """Calibrated spatial-family model: wisdom swaps can apply to it."""
+    case = ModelCase("vgg", "int8_upcast", hw=HW, width=8, m=2)
+    model = build_case_model(case)
+    rng = np.random.default_rng(11)
+    quantize_model(
+        model, "int8_upcast", m=2,
+        calibration_batches=[rng.standard_normal(SHAPE)],
+    )
+    return model
+
+
+@pytest.fixture(scope="module")
+def proc_server(served_model):
+    server = ProcServer(procs=2, max_batch=8, max_delay_ms=1.0)
+    server.add_model("m", served_model, input_shape=SHAPE)
+    yield server
+    server.close()
+
+
+class TestSlabRing:
+    def test_roundtrip_through_shared_memory(self, make_rng):
+        ring = SlabRing(slots=2, slot_bytes=1 << 16)
+        try:
+            x = make_rng().standard_normal((2, 3, 4, 4))
+            slot = ring.acquire(timeout=1.0)
+            header = encode_array(x, ring, slot)
+            assert header["via"] == "shm"
+            y = decode_array(header, ring)
+            ring.release(slot)
+            assert np.array_equal(x, y)
+            assert y.flags.owndata  # a private copy, not a slab view
+        finally:
+            ring.close()
+
+    def test_oversized_tensor_falls_back_to_pipe_bytes(self, make_rng):
+        ring = SlabRing(slots=1, slot_bytes=64)
+        try:
+            x = make_rng().standard_normal((2, 3, 4, 4))  # >> 64 bytes
+            slot = ring.acquire(timeout=1.0)
+            header = encode_array(x, ring, slot)
+            ring.release(slot)
+            assert header["via"] == "pipe"
+            assert np.array_equal(decode_array(header, ring), x)
+        finally:
+            ring.close()
+
+    def test_acquire_blocks_until_release(self):
+        ring = SlabRing(slots=1, slot_bytes=64)
+        try:
+            slot = ring.acquire(timeout=1.0)
+            assert ring.acquire(timeout=0.05) is None
+            ring.release(slot)
+            assert ring.acquire(timeout=1.0) == slot
+        finally:
+            ring.close()
+
+
+class TestBitIdentity:
+    def test_served_outputs_bitwise_vs_eager(self, proc_server, served_model, make_rng):
+        rng = make_rng()
+        for _ in range(3):
+            x = rng.standard_normal(SHAPE)
+            got = proc_server.infer("m", x, timeout=120.0)
+            assert np.array_equal(got, served_model(x))
+
+    def test_concurrent_clients_stay_exact(self, proc_server, served_model, make_rng):
+        rng = make_rng()
+        inputs = [rng.standard_normal(SHAPE) for _ in range(8)]
+        expected = [served_model(x) for x in inputs]
+        futures = [
+            proc_server.submit("m", x, timeout=10.0) for x in inputs
+        ]
+        for fut, want in zip(futures, expected):
+            assert np.array_equal(fut.result(timeout=120.0), want)
+
+    def test_pipe_transport_is_bit_identical_too(self, served_model, make_rng):
+        x = make_rng().standard_normal(SHAPE)
+        with ProcServer(procs=1, transport="pipe", max_delay_ms=1.0) as server:
+            server.add_model("m", served_model, input_shape=SHAPE)
+            pool = server.pool_stats()
+            assert all(w["transport"] == "pipe" for w in pool["workers"].values())
+            assert np.array_equal(server.infer("m", x, timeout=120.0), served_model(x))
+
+
+class TestErrorsAndFailover:
+    def test_session_error_propagates_and_worker_survives(
+        self, proc_server, served_model, make_rng
+    ):
+        bad = make_rng().standard_normal((2, ITEM[0] + 1, HW, HW))  # wrong C
+        with pytest.raises(Exception) as excinfo:
+            proc_server.infer("m", bad, timeout=120.0)
+        assert isinstance(excinfo.value, RemoteExecutionError)
+        # The failure belonged to the request, not the worker.
+        assert proc_server._pool.live_count() == 2
+        x = make_rng(1).standard_normal(SHAPE)
+        assert np.array_equal(
+            proc_server.infer("m", x, timeout=120.0), served_model(x)
+        )
+
+    def test_crashed_worker_is_replaced_and_stays_exact(
+        self, proc_server, served_model, make_rng
+    ):
+        victim = proc_server._pool._workers[0]
+        victim.proc.terminate()
+        victim.proc.join(timeout=30.0)
+        x = make_rng().standard_normal(SHAPE)
+        # Requests keep succeeding while the pool heals (failover).
+        assert np.array_equal(
+            proc_server.infer("m", x, timeout=120.0), served_model(x)
+        )
+        deadline = time.time() + 60.0
+        while time.time() < deadline and proc_server._pool.live_count() < 2:
+            time.sleep(0.1)
+        stats = proc_server.pool_stats()
+        assert stats["live"] == 2
+        assert stats["restarts"] >= 1
+        # The respawned worker was re-deployed and serves identically.
+        for _ in range(4):
+            assert np.array_equal(
+                proc_server.infer("m", x, timeout=120.0), served_model(x)
+            )
+
+    def test_zero_live_workers_sheds_instead_of_queueing(self, served_model):
+        server = ProcServer(procs=1, max_delay_ms=1.0)
+        try:
+            server.add_model("m", served_model, input_shape=SHAPE)
+            # Slow the health loop so the dead-worker window stays open.
+            server._pool.health_interval_s = 60.0
+            worker = server._pool._workers[0]
+            worker.proc.terminate()
+            worker.proc.join(timeout=30.0)
+            assert server._pool.live_count() == 0
+            with pytest.raises(ServerOverloaded, match="no live worker"):
+                server.submit("m", np.zeros(SHAPE))
+            assert server.stats()["m"]["rejected"] == 1
+        finally:
+            server.close()
+
+
+class TestWisdomConvergence:
+    def test_two_tuning_workers_share_one_file_and_agree(
+        self, served_model, tmp_path, make_rng
+    ):
+        wisdom = str(tmp_path / "wisdom.json")
+        server = ProcServer(
+            procs=2, wisdom=wisdom, tune_workers=True, max_delay_ms=1.0
+        )
+        try:
+            server.add_model("m", served_model, input_shape=SHAPE)
+            assert os.path.exists(wisdom)
+            selections = server.selection("m")
+            assert sorted(selections) == [0, 1]
+            first, second = (selections[i] for i in (0, 1))
+            # Non-vacuous convergence: choices were actually applied,
+            # and both workers applied the same ones.
+            assert first and first == second
+            # Serving through tuned workers stays exact against an
+            # eager reference with the same wisdom applied.
+            from repro.runtime.session import InferenceSession
+
+            ref = InferenceSession(served_model, SHAPE, wisdom=wisdom)
+            x = make_rng().standard_normal(SHAPE)
+            got = server.infer("m", x, timeout=120.0)
+            assert np.array_equal(got, ref.run(x))
+        finally:
+            server.close()
+
+
+class TestRemoteSessionSurface:
+    def test_parent_counters_and_worker_cache_stats(self, proc_server, make_rng):
+        session = proc_server.session("m")
+        runs_before = session.runs
+        proc_server.infer("m", make_rng().standard_normal(SHAPE), timeout=120.0)
+        assert session.runs == runs_before + 1
+        assert session.images_seen >= SHAPE[0]
+        cache = session.cache_stats()
+        assert set(cache) >= {"hits", "misses", "evictions", "bytes", "entries"}
+        assert cache["hits"] > 0  # workers piggyback real counters
+
+    def test_per_worker_metrics_exported_by_parent_registry(self, proc_server):
+        from repro.obs.export import parse_prometheus_text
+
+        doc = parse_prometheus_text(proc_server.metrics_text())
+        assert doc.value("repro_worker_up", worker="0") == 1.0
+        assert doc.value("repro_worker_up", worker="1") == 1.0
+        assert doc.value("repro_pool_restarts_total") >= 0
+        assert (
+            doc.value("repro_worker_runs_total", worker="0")
+            + doc.value("repro_worker_runs_total", worker="1")
+        ) > 0

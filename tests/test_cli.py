@@ -214,6 +214,52 @@ class TestHappyPaths:
                      "--gate", "0", "--no-out"]) == 0
         assert not (tmp_path / "benchmarks").exists()
 
+    def test_serve_bench_procs_tiny_run(self, tmp_path, capsys):
+        """--procs switches to the multi-process sweep: worker processes,
+        bit-identity on every count, selection convergence."""
+        out_file = tmp_path / "procs.json"
+        assert main(["serve-bench", "--procs", "1,2", "--clients", "2",
+                     "--requests", "2", "--width", "8", "--hw", "8",
+                     "--m", "2", "--gate", "0", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-process serving benchmark" in out
+        assert "bit-identity vs serial eager: yes" in out
+        assert "cross-process selection convergence: yes" in out
+        assert "proc gate: PASS" in out
+        doc = json.loads(out_file.read_text())
+        assert doc["schema"] == 1
+        assert [e["procs"] for e in doc["results"]] == [1, 2]
+        assert doc["summary"]["exact"] is True
+        assert doc["summary"]["selection_converged"] is True
+
+    def test_serve_bench_procs_baseline_round_trip(self, tmp_path, capsys,
+                                                   monkeypatch):
+        """--update-baseline regenerates the committed document and a
+        second run ratio-gates against it."""
+        monkeypatch.chdir(tmp_path)
+        args = ["serve-bench", "--procs", "1,2", "--clients", "2",
+                "--requests", "2", "--width", "8", "--hw", "8", "--m", "2",
+                "--gate", "0", "--no-proc-wisdom",
+                # Tiny single-host runs are noisy; this test checks the
+                # plumbing, not the ratio itself.
+                "--speedup-tolerance", "0.05"]
+        assert main(args + ["--update-baseline"]) == 0
+        capsys.readouterr()
+        baseline = tmp_path / "benchmarks" / "BENCH_serve_procs.json"
+        assert json.loads(baseline.read_text())["schema"] == 1
+        # A plain run does NOT clobber the committed baseline...
+        assert main(args + ["--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline ratio" in out
+        assert json.loads(baseline.read_text())["schema"] == 1
+
+    def test_serve_bench_procs_rejects_bad_lists_and_baseline(self, tmp_path,
+                                                              capsys):
+        assert main(["serve-bench", "--procs", "1,zero"]) == 2
+        assert main(["serve-bench", "--procs", "0"]) == 2
+        assert main(["serve-bench", "--procs", "1",
+                     "--baseline", str(tmp_path / "nope.json")]) == 2
+
     def test_load_bench_run_and_baseline_round_trip(self, tmp_path, capsys,
                                                     monkeypatch):
         monkeypatch.chdir(tmp_path)
