@@ -482,6 +482,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         seed=args.seed,
         backend=args.backend,
+        family=args.family,
     )
     try:
         doc = tbench.run_tune_bench(cfg, wisdom=args.wisdom)
@@ -865,6 +866,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="measurement tensor seed (default 2021)")
     ptn.add_argument("--backend", default="numpy", choices=_backend_choices(),
                      help="fused-stage kernel backend (default numpy)")
+    ptn.add_argument("--family", default="quantized",
+                     choices=("quantized", "fp32"),
+                     help="candidate family per geometry: the INT8 pipelines "
+                          "or fp32_winograd@m vs fp32_direct (default "
+                          "quantized)")
     ptn.add_argument("--wisdom", default=None,
                      help="wisdom file to read + extend (default: throwaway "
                           "-- pure benchmark mode)")

@@ -31,11 +31,15 @@ registered with :meth:`MetricsRegistry.register_collector` that yield
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 import threading
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Counter",
@@ -320,6 +324,10 @@ class MetricsRegistry:
         self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
         self._kinds: Dict[str, str] = {}
         self._collectors: List[Callable[[], Iterable[Sample]]] = []
+        #: Created lazily on the first collector failure, so registries
+        #: with healthy collectors keep their historical snapshot shape.
+        self._collector_errors: Optional[Counter] = None
+        self._collector_warned = False
 
     # -- owned metrics --------------------------------------------------
     def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, Any], **kwargs):
@@ -385,14 +393,33 @@ class MetricsRegistry:
 
     def collect(self) -> List[Sample]:
         """Run every collector; a failing collector is skipped, never
-        fatal (export must not take the serving path down)."""
+        fatal (export must not take the serving path down) -- but never
+        *silently*: failures count into ``repro_collector_errors_total``
+        and the first one logs its traceback, so a broken collector
+        cannot quietly blank a dashboard.
+        """
         with self._lock:
             collectors = list(self._collectors)
         samples: List[Sample] = []
         for fn in collectors:
             try:
                 samples.extend(fn())
-            except Exception:  # pragma: no cover - defensive
+            except Exception:
+                if self._collector_errors is None:
+                    self._collector_errors = self.counter(
+                        "repro_collector_errors_total",
+                        help="collector callbacks that raised during "
+                        "collect() (their samples were dropped)",
+                    )
+                self._collector_errors.inc()
+                if not self._collector_warned:
+                    self._collector_warned = True
+                    logger.warning(
+                        "metrics collector %r raised (samples dropped; "
+                        "counted in repro_collector_errors_total):\n%s",
+                        fn,
+                        traceback.format_exc(),
+                    )
                 continue
         return samples
 

@@ -20,6 +20,14 @@ path is expressed as three *fused* kernels behind the
     bias/ReLU epilogue applied in place on the detached output (this is
     what removes the compiler's per-step ``y + bias`` allocation).
 
+The FP32 baselines run through the same three entry points (the
+"quantize" half of the first stage is simply empty): ``fp32_winograd``
+is input transform -> float GEMM -> output transform + epilogue, and
+``fp32_direct`` is pad + im2col -> float GEMM -> NHWC restore +
+epilogue.  Routing them here gives the Table 2 denominators the same
+scratch-backed ``out=`` pipeline, stage laps, and backend choice as the
+quantized numerators.
+
 Backends dispatch per algorithm; the engine
 (:class:`~repro.runtime.engine.ExecutionEngine`) owns plan/geometry
 lookup and the scratch lease and passes a :class:`FusedCall` context
@@ -44,7 +52,15 @@ materializations because each skip is an exact no-op:
   partitioned, over the leading tile-position/row axis, and every
   quantized GEMM is integer-exact in float -- so the partition-dependent
   BLAS summation order cannot change a single bit.  Float (non-exact)
-  stages are never partitioned.
+  stages are never partitioned -- with one proven exception: the
+  ``fp32_winograd`` GEMM is a *batched* ``(T, N, C) @ (T, C, K)``
+  contraction, and splitting it along the leading T axis changes which
+  thread issues each per-slice dgemm but not the dgemm itself (same
+  operands, dims, and strides per slice), so the float results are
+  bitwise partition-invariant.  The single 2D float GEMM of
+  ``fp32_direct`` has no such slice structure -- row-splitting *could*
+  change BLAS's blocking -- so it always runs serial (the plan records
+  this as ``meta["gemm_partition_safe"]``).
 """
 
 from __future__ import annotations
@@ -69,10 +85,18 @@ __all__ = [
     "available_backends",
 ]
 
-#: Algorithms executed through the fused backend entry points.  The fp32
-#: paths keep calling their prepared layer objects directly (their state
-#: lives on the layer and they are not part of the quantized pipeline).
-FUSED_ALGORITHMS = ("lowino", "int8_upcast", "int8_downscale", "int8_direct")
+#: Algorithms executed through the fused backend entry points -- the
+#: four quantized pipelines plus the two FP32 baselines (whose offline
+#: state still lives on the layer objects; the fused kernels replay the
+#: layers' exact op sequences against plan-cached operands).
+FUSED_ALGORITHMS = (
+    "lowino",
+    "int8_upcast",
+    "int8_downscale",
+    "int8_direct",
+    "fp32_winograd",
+    "fp32_direct",
+)
 
 _INT8_MIN = int(np.iinfo(np.int8).min)
 _INT8_MAX = int(np.iinfo(np.int8).max)
@@ -546,6 +570,97 @@ class NumpyKernelBackend:
         call.lap("output_transform")
         return self._apply_epilogue(call, out)
 
+    # -- fp32_winograd (full-precision baseline, Eq. 1) -----------------
+    # Stage order: input_transform -> gemm -> output_transform.  No
+    # quantize stage; the kernels replay Fp32WinogradConv2d.__call__'s
+    # exact op sequence (pad, B^T d B through a half buffer, the (T,N,C)
+    # scatter, the batched float GEMM against the precomputed U, and the
+    # A^T Z A assembly) with every intermediate in leased scratch --
+    # ``matmul(..., out=)`` into a C-contiguous buffer issues the same
+    # BLAS call as a fresh allocation, so the floats match bitwise.
+    def _itq_fp32_winograd(self, engine, call: FusedCall) -> None:
+        plan = call.plan
+        layer = plan.layer
+        images = call.images
+        b, c = images.shape[0], images.shape[1]
+        geom = engine._geometry(
+            plan, images, (images.shape[2] + 2 * layer.padding, images.shape[3] + 2 * layer.padding)
+        )
+        engine._lease(call, geom)
+        x = self._pad_into_scratch(call, images, layer.padding)
+        a = layer.alg.alpha
+        th, tw = geom.grid.tiles_h, geom.grid.tiles_w
+        tile_shape = (b, c, th, tw, a, a)
+        tiles, grid = prepare_input_tiles(
+            layer.alg, x, out=call.buf("tiles", tile_shape, np.float64)
+        )
+        call.grid = grid
+        bt = layer.alg.bt
+        half = np.matmul(tiles, bt.T, out=call.buf("half", tile_shape, np.float64))
+        v_tiles = np.matmul(bt, half, out=tiles)  # reuse the tiles buffer
+        call.operand = tiles_to_gemm_operand(
+            v_tiles, out=call.buf("v", (a * a, b * th * tw, c), np.float64)
+        )  # (T, N, C)
+        call.lap("input_transform")
+
+    def _gemm_fp32_winograd(self, engine, call: FusedCall) -> None:
+        t, n, _ = call.operand.shape
+        k = call.plan.layer.filters_fp32.shape[0]
+        call.z = np.matmul(
+            call.operand, call.plan.operands["u_f64"], out=call.buf("z", (t, n, k), np.float64)
+        )
+        call.lap("gemm")
+
+    def _deq_fp32_winograd(self, engine, call: FusedCall) -> np.ndarray:
+        out = self._winograd_z_to_output(engine, call, call.z)
+        call.lap("output_transform")
+        return self._apply_epilogue(call, out)
+
+    # -- fp32_direct (full-precision im2col baseline) -------------------
+    # Stage order: input_transform (pad + im2col) -> gemm -> NHWC
+    # restore.  Mirrors Fp32DirectConv2d.__call__ exactly, including the
+    # conv_output_shape-on-unpadded-dims / im2col-on-padded-input
+    # contract and the NHWC-backed output memory order (downstream
+    # layout-sensitive reductions sum in layout order).
+    def _itq_fp32_direct(self, engine, call: FusedCall) -> None:
+        plan = call.plan
+        layer = plan.layer
+        images = call.images
+        b, c, h, w = images.shape
+        r = layer.filters_fp32.shape[2]
+        geom = engine._geometry(
+            plan, images, (h + 2 * layer.padding, w + 2 * layer.padding)
+        )
+        engine._lease(call, geom)
+        x = self._pad_into_scratch(call, images, layer.padding)
+        oh, ow = conv_output_shape(h, w, r, stride=layer.stride, padding=layer.padding)
+        call.oh, call.ow = oh, ow
+        call.operand = im2col(
+            x,
+            r,
+            stride=layer.stride,
+            out=call.buf("cols", (b * oh * ow, c * r * r), np.float64),
+        )
+        call.lap("input_transform")
+
+    def _gemm_fp32_direct(self, engine, call: FusedCall) -> None:
+        k = call.plan.layer.filters_fp32.shape[0]
+        call.z = np.matmul(
+            call.operand,
+            call.plan.operands["w_f64"].T,
+            out=call.buf("z", (call.operand.shape[0], k), np.float64),
+        )
+        call.lap("gemm")
+
+    def _deq_fp32_direct(self, engine, call: FusedCall) -> np.ndarray:
+        k = call.plan.layer.filters_fp32.shape[0]
+        b = call.images.shape[0]
+        out_nhwc = np.empty((b, call.oh, call.ow, k), dtype=np.float64)
+        np.copyto(out_nhwc, call.z.reshape(b, call.oh, call.ow, k))
+        out = out_nhwc.transpose(0, 3, 1, 2)
+        call.lap("output_transform")
+        return self._apply_epilogue(call, out)
+
 
 class ThreadedBlasBackend(NumpyKernelBackend):
     """Fused kernels with the GEMM batch partitioned over the WorkerPool.
@@ -631,6 +746,27 @@ class ThreadedBlasBackend(NumpyKernelBackend):
             call.plan.operands["w_f64"].T,
             call.buf("z", (call.operand.shape[0], k), np.float64),
             batched=False,
+        )
+        call.lap("gemm")
+
+    def _gemm_fp32_winograd(self, engine, call: FusedCall) -> None:
+        # Float GEMM, but partition-safe: splitting the batched
+        # (T, N, C) @ (T, C, K) contraction along T changes which thread
+        # issues each per-slice dgemm, never the dgemm itself, so the
+        # non-associative float sums are still bitwise invariant.  The
+        # plan asserts this via meta["gemm_partition_safe"]; fp32_direct
+        # (a single 2D float GEMM, not partition-safe) deliberately has
+        # no override here and inherits the serial kernel.
+        if not call.plan.meta.get("gemm_partition_safe", False):
+            super()._gemm_fp32_winograd(engine, call)
+            return
+        t, n, _ = call.operand.shape
+        k = call.plan.layer.filters_fp32.shape[0]
+        call.z = self._partitioned_matmul(
+            call.operand,
+            call.plan.operands["u_f64"],
+            call.buf("z", (t, n, k), np.float64),
+            batched=True,
         )
         call.lap("gemm")
 

@@ -114,13 +114,19 @@ def plan_for_conv(conv: Conv2d, cache: PlanCache) -> ConvPlan:
 
 def apply_selection(graph: Graph, selector: Any, tune: bool = False) -> Dict[str, str]:
     """Consult an :class:`~repro.tuning.selector.AlgorithmSelector` for
-    every *quantized* conv in ``graph`` and rebuild engines whose
-    wisdom-selected algorithm differs from the current one.
+    every conv in ``graph`` and rebuild engines whose wisdom-selected
+    algorithm differs from the current one.
 
     The swap happens on ``conv.engine`` itself -- the eager model and
     the program lowered from this graph keep sharing one prepared
     engine object, so the bitwise eager == compiled contract survives
-    re-selection.  FP32 convs (``engine is None``) are never touched.
+    re-selection.  Each conv is tuned *within its own family*
+    (:func:`~repro.tuning.selector.conv_family`): quantized convs
+    choose among the INT8 pipelines, full-precision convs (``engine is
+    None`` or an fp32 engine) choose fp32_winograd@m vs fp32_direct.
+    An fp32 conv selected to ``fp32_direct`` with no prepared engine is
+    left as-is -- ``plan_for_conv`` already lowers ``engine is None``
+    to the cached fp32_direct plan.
 
     With ``tune=False`` (the lowering-time default) only wisdom-known
     geometries are applied; un-tuned ones keep whatever the quantizer
@@ -133,19 +139,22 @@ def apply_selection(graph: Graph, selector: Any, tune: bool = False) -> Dict[str
     from ..tuning.selector import (
         ConvGeometry,
         build_engine_for,
+        conv_family,
         swap_preserves_calibration,
     )
 
     applied: Dict[str, str] = {}
     for node in graph.conv_nodes():
         conv = node.layer
-        if conv.engine is None:
-            continue
+        family = conv_family(conv)
         geom = ConvGeometry.of_conv(conv, graph.in_shape(node))
-        result = selector.select(geom, measure=tune)
+        result = selector.select(geom, measure=tune, family=family)
         if result is None or result.source == "static":
             continue
-        current = (algorithm_of_engine(conv.engine), getattr(conv.engine, "m", 0))
+        if conv.engine is None:
+            current = ("fp32_direct", 0)
+        else:
+            current = (algorithm_of_engine(conv.engine), getattr(conv.engine, "m", 0))
         if (result.algorithm, result.m) != current:
             if not swap_preserves_calibration(conv, result.algorithm, result.m):
                 # The wisdom choice would lose this conv's calibrated

@@ -9,7 +9,8 @@ loop anywhere.  The loop-based implementations stay available as
 ``*_reference`` (:meth:`repro.core.LoWinoConv2d.reference_forward`,
 :func:`repro.gemm.batched_gemm_reference`) for differential testing.
 
-The four quantized algorithms run through *fused-stage kernel backends*
+All six algorithms -- the four quantized pipelines and the two FP32
+baselines -- run through *fused-stage kernel backends*
 (:mod:`repro.runtime.backends`): the engine resolves plan + geometry +
 scratch lease and then dispatches ``input_transform_quantize`` /
 ``gemm_bias`` / ``dequant_output_transform_epilogue`` on the configured
@@ -70,8 +71,8 @@ class ExecutionEngine:
     grows to one arena per peak-concurrent caller and reports contention
     via its :class:`~repro.runtime.plan.LeaseStats`.
 
-    ``backend`` selects the fused-stage kernel backend for the quantized
-    algorithms: ``None`` (the process default pure-NumPy backend), a
+    ``backend`` selects the fused-stage kernel backend for every
+    algorithm: ``None`` (the process default pure-NumPy backend), a
     registered name (``"numpy"``, ``"threaded"``), or a
     :class:`~repro.runtime.backends.KernelBackend` instance.
 
@@ -133,24 +134,9 @@ class ExecutionEngine:
         """Run one plan; ``bias``/``relu`` fuse the compiled graph's
         epilogue into the kernel (in place on the fresh output, bitwise
         ``np.maximum(y + bias, 0.0)``)."""
-        if plan.algorithm in FUSED_ALGORITHMS:
-            return self._run_fused(plan, images, bias, relu)
-        fn = getattr(self, f"_run_{plan.algorithm}", None)
-        if fn is None:
+        if plan.algorithm not in FUSED_ALGORITHMS:
             raise ValueError(f"engine cannot execute algorithm {plan.algorithm!r}")
-        y = fn(plan, images)
-        if bias is not None or relu:
-            tr = self._active_tracer()
-            t0 = time.perf_counter() if tr else 0.0
-            # The fp32 layers return freshly allocated (or freshly
-            # backed) arrays, so the in-place epilogue is private.
-            if bias is not None:
-                y += bias[None, :, None, None]
-            if relu:
-                np.maximum(y, 0.0, out=y)
-            if tr:
-                tr.lap("epilogue", t0)
-        return y
+        return self._run_fused(plan, images, bias, relu)
 
     def _run_fused(
         self,
@@ -213,26 +199,6 @@ class ExecutionEngine:
         if arena is not None and arena.aliases(out):
             return out.copy()
         return out
-
-    # -- fp32 algorithm bodies (not part of the fused pipeline) ---------
-    def _run_fp32_winograd(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        # The fp32 layer object already holds the precomputed transformed
-        # filters and runs the fully vectorized pipeline; execution just
-        # shares the plan-cached instance.  The stage tracer sees it as
-        # one undecomposed "op" (its internals live in the layer).
-        tr = self._active_tracer()
-        if tr:
-            with tr.span("op"):
-                return plan.layer(images)
-        return plan.layer(images)
-
-    def _run_fp32_direct(self, plan: ConvPlan, images: np.ndarray) -> np.ndarray:
-        tr = self._active_tracer()
-        if tr:
-            with tr.span("op"):
-                return plan.layer(images)
-        return plan.layer(images)
-
 
 class RuntimeLayer:
     """A callable layer bound to an engine and a cached plan.

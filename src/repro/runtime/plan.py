@@ -397,7 +397,12 @@ def _engine_operands(algorithm: str, layer: Any) -> Dict[str, np.ndarray]:
         ops["w_f64"] = np.ascontiguousarray(
             layer.filters_q.reshape(k, -1).astype(np.float64)
         )
-    # fp32_direct / fp32_winograd keep their operands on the layer itself.
+    elif algorithm == "fp32_winograd":
+        # Already float64 and contiguous on the layer; shared (not cast)
+        # so the fused GEMM contracts the exact bytes the reference does.
+        ops["u_f64"] = layer.u
+    elif algorithm == "fp32_direct":
+        ops["w_f64"] = layer.w_flat
     return ops
 
 
@@ -449,6 +454,18 @@ def _plan_meta(algorithm: str, layer: Any) -> Dict[str, Any]:
         w_col = _abs_colsum_max(layer.filters_q.reshape(k, -1), axis=1)
         meta["z_bound"] = qabs * w_col
         meta["z_wrap_free"] = meta["z_bound"] <= int32_max
+    elif algorithm in ("fp32_winograd", "fp32_direct"):
+        # The FP32 baselines carry genuinely inexact float accumulations,
+        # so no integer bound applies; what the backends need to know is
+        # whether the GEMM may be *partitioned* without moving a bit.
+        # The fp32_winograd GEMM is a batched (T, N, C) @ (T, C, K)
+        # contraction -- splitting along T reassigns whole per-slice
+        # dgemms (same operands, dims, strides per slice), so the float
+        # results are partition-invariant.  The fp32_direct GEMM is one
+        # 2D matmul whose row-split could change BLAS blocking, hence
+        # summation order: never partitioned.
+        meta["float_gemm"] = True
+        meta["gemm_partition_safe"] = algorithm == "fp32_winograd"
     return meta
 
 

@@ -157,9 +157,12 @@ class InferenceSession:
         """Epoch-based re-lowering: adopt newly landed wisdom choices.
 
         Re-consults the selector (``measure=False`` -- a cheap wisdom
-        refresh + lookup, never a measurement) for every quantized conv
-        and, where the persisted choice differs from the running
-        engine, swaps ``conv.engine`` and the step's plan in place.
+        refresh + lookup, never a measurement) for every conv, each
+        within its own family (quantized convs among the INT8
+        pipelines, full-precision convs among fp32_winograd@m /
+        fp32_direct), and, where the persisted choice differs from the
+        running engine, swaps ``conv.engine`` and the step's plan in
+        place.
         Numerically safe by construction: a swap only applies when it
         preserves the conv's calibrated quantization
         (:func:`~repro.tuning.selector.swap_preserves_calibration`),
@@ -176,6 +179,7 @@ class InferenceSession:
         from ..tuning.selector import (
             ConvGeometry,
             build_engine_for,
+            conv_family,
             swap_preserves_calibration,
         )
 
@@ -186,16 +190,18 @@ class InferenceSession:
                 if step.kind != "conv":
                     continue
                 conv = step.node.layer
-                if conv.engine is None:
-                    continue
+                family = conv_family(conv)
                 geom = ConvGeometry.of_conv(conv, graph.in_shape(step.node))
-                result = self.selector.select(geom, measure=False)
+                result = self.selector.select(geom, measure=False, family=family)
                 if result is None or result.source != "wisdom":
                     continue
-                current = (
-                    algorithm_of_engine(conv.engine),
-                    getattr(conv.engine, "m", 0),
-                )
+                if conv.engine is None:
+                    current = ("fp32_direct", 0)
+                else:
+                    current = (
+                        algorithm_of_engine(conv.engine),
+                        getattr(conv.engine, "m", 0),
+                    )
                 if (result.algorithm, result.m) == current:
                     self.program.selection[step.path] = result.label
                     continue

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
-import queue
 import threading
 import time
 import warnings
@@ -440,14 +439,21 @@ class WorkerProcess:
 
 
 class WorkerPool:
-    """N worker processes behind a free-list, with restart-on-crash.
+    """N worker processes behind depth-weighted checkout, with
+    restart-on-crash.
 
-    ``run`` checks a worker out of the free queue, ships the batch, and
-    checks it back in; a worker that dies or wedges mid-batch is
-    retired (terminated, never re-queued) and the batch fails over to
-    the next live worker.  A background health thread respawns retired
-    or crashed workers and re-deploys every model, so capacity recovers
-    without operator action; ``restarts`` counts how often.
+    ``run`` checks out the live worker with the fewest *outstanding*
+    runs (ties broken by lowest id), ships the batch, and checks it back
+    in.  Weighting by outstanding depth -- rather than FIFO free-list
+    order -- means a slow worker accumulates depth and naturally absorbs
+    fewer new batches, while a just-respawned worker (depth 0) picks up
+    load immediately; per-worker dispatch counts are exported in
+    :meth:`stats` and ``repro_worker_dispatched_total``.  A worker that
+    dies or wedges mid-batch is retired (terminated, never reselected)
+    and the batch fails over to the next live worker.  A background
+    health thread respawns retired or crashed workers and re-deploys
+    every model, so capacity recovers without operator action;
+    ``restarts`` counts how often.
     """
 
     def __init__(
@@ -485,9 +491,13 @@ class WorkerPool:
         ]
         self._retired: set = set()  # worker ids awaiting respawn
         self._deployed: Dict[str, Tuple[bytes, Tuple[int, ...], Dict[str, object]]] = {}
-        self._free: "queue.Queue[int]" = queue.Queue()
-        for i in range(procs):
-            self._free.put(i)
+        #: Signalled when checkout candidates may have changed (checkin,
+        #: respawn, stop); shares ``_lock`` so depth reads are consistent.
+        self._cond = threading.Condition(self._lock)
+        #: Outstanding (checked-out, not yet checked-in) runs per worker.
+        self._depth: List[int] = [0] * procs
+        #: Cumulative batches dispatched per worker slot.
+        self._dispatched: List[int] = [0] * procs
         self.restarts = 0
         self._closed = threading.Event()
         self._health = threading.Thread(
@@ -545,34 +555,46 @@ class WorkerPool:
         )
 
     def _checkout(self) -> WorkerProcess:
+        """The live worker with the fewest outstanding runs.
+
+        Never blocks while any worker is live (runs on one worker
+        serialize on its pipe lock, so stacking depth is safe); blocks
+        only when *zero* workers are live, waiting for the health loop
+        to respawn one within the run deadline.
+        """
         deadline = time.perf_counter() + self.run_timeout_s
-        while True:
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
-                raise WorkerError("no live worker became available in time")
-            try:
-                worker_id = self._free.get(timeout=min(remaining, 0.25))
-            except queue.Empty:
+        with self._cond:
+            while True:
+                candidates = [
+                    w
+                    for w in self._workers
+                    if w.worker_id not in self._retired and w.alive()
+                ]
+                if candidates:
+                    worker = min(
+                        candidates,
+                        key=lambda w: (self._depth[w.worker_id], w.worker_id),
+                    )
+                    self._depth[worker.worker_id] += 1
+                    self._dispatched[worker.worker_id] += 1
+                    return worker
                 if self._closed.is_set():
                     raise WorkerError("worker pool is stopped")
-                continue
-            with self._lock:
-                worker = self._workers[worker_id]
-                retired = worker_id in self._retired
-            if retired:  # stale free-list entry from before a retirement
-                continue
-            if not worker.alive():
-                self._retire(worker)
-                continue
-            return worker
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise WorkerError("no live worker became available in time")
+                self._cond.wait(timeout=min(remaining, 0.25))
 
     def _checkin(self, worker: WorkerProcess) -> None:
-        with self._lock:
-            if worker.worker_id in self._retired:
-                return
-            current = self._workers[worker.worker_id]
-        if current is worker:
-            self._free.put(worker.worker_id)
+        with self._cond:
+            # Only the still-installed object's depth is live state: a
+            # respawn resets the slot's depth, so a late checkin from
+            # before the restart must not go negative.
+            if self._workers[worker.worker_id] is worker:
+                self._depth[worker.worker_id] = max(
+                    0, self._depth[worker.worker_id] - 1
+                )
+            self._cond.notify_all()
 
     def _retire(self, worker: WorkerProcess) -> None:
         """Take a broken worker out of rotation; the health loop
@@ -620,11 +642,12 @@ class WorkerPool:
             replacement.call(
                 ("deploy", name, payload, input_shape, kw), self.deploy_timeout_s
             )
-        with self._lock:
+        with self._cond:
             self._workers[worker_id] = replacement
             self._retired.discard(worker_id)
+            self._depth[worker_id] = 0  # fresh worker starts unloaded
             self.restarts += 1
-        self._free.put(worker_id)
+            self._cond.notify_all()
 
     # -- introspection --------------------------------------------------
     def live_count(self) -> int:
@@ -657,6 +680,8 @@ class WorkerPool:
             workers = list(self._workers)
             retired = set(self._retired)
             restarts = self.restarts
+            depth = list(self._depth)
+            dispatched = list(self._dispatched)
         return {
             "procs": self.procs,
             "live": sum(
@@ -667,6 +692,8 @@ class WorkerPool:
                 w.worker_id: {
                     "alive": w.alive() and w.worker_id not in retired,
                     "transport": "shm" if w.ring is not None else "pipe",
+                    "depth": depth[w.worker_id],
+                    "dispatched": dispatched[w.worker_id],
                     **(w.last_stats or {"runs": 0, "images": 0}),
                 }
                 for w in workers
@@ -693,6 +720,8 @@ class WorkerPool:
             workers = list(self._workers)
             retired = set(self._retired)
             restarts = self.restarts
+            depth = list(self._depth)
+            dispatched = list(self._dispatched)
         yield Sample(
             "repro_pool_restarts_total",
             restarts,
@@ -724,6 +753,20 @@ class WorkerPool:
                 "counter",
                 "images executed by this worker",
             )
+            yield Sample(
+                "repro_worker_outstanding",
+                depth[worker.worker_id],
+                dict(labels),
+                "gauge",
+                "batches checked out to this worker and not yet returned",
+            )
+            yield Sample(
+                "repro_worker_dispatched_total",
+                dispatched[worker.worker_id],
+                dict(labels),
+                "counter",
+                "batches dispatched to this worker slot by the router",
+            )
 
     # -- lifecycle ------------------------------------------------------
     def stop(self, timeout: float = 10.0) -> None:
@@ -731,6 +774,8 @@ class WorkerPool:
         if self._closed.is_set():
             return
         self._closed.set()
+        with self._cond:
+            self._cond.notify_all()  # wake checkout waiters to fail fast
         self._health.join(timeout=timeout)
         with self._lock:
             workers = list(self._workers)

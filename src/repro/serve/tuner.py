@@ -23,10 +23,14 @@ all idle.
 
 from __future__ import annotations
 
+import logging
 import threading
+import traceback
 from typing import Dict, List, Optional
 
 __all__ = ["BackgroundTuner"]
+
+logger = logging.getLogger(__name__)
 
 
 class BackgroundTuner:
@@ -64,6 +68,11 @@ class BackgroundTuner:
             "repro_tuner_aborts_total",
             help="measurements aborted mid-flight by arriving traffic",
         )
+        self._errors = registry.counter(
+            "repro_tuner_errors_total",
+            help="tuner ticks that raised (tuning kept running; see logs)",
+        )
+        self._warned = False
         self._thread = threading.Thread(
             target=self._loop, name="repro-tuner", daemon=True
         )
@@ -85,8 +94,14 @@ class BackgroundTuner:
 
     # -- work selection -------------------------------------------------
     def _next_untuned(self):
-        """First (session, geometry) whose wisdom has no entry yet."""
-        from ..tuning.selector import ConvGeometry
+        """First ``(geometry, family)`` whose wisdom has no entry yet.
+
+        Every deployed conv is a tuning target in its own family:
+        quantized convs under their plain backend key, full-precision
+        convs (``engine is None`` or an fp32 engine) under the
+        family-qualified fp32 key.
+        """
+        from ..tuning.selector import ConvGeometry, conv_family
 
         wisdom = self.selector.wisdom
         for name in self.server.models:
@@ -96,14 +111,15 @@ class BackgroundTuner:
                 continue
             graph = session.program.graph
             for step in session.program.steps:
-                if step.kind != "conv" or step.node.layer.engine is None:
+                if step.kind != "conv":
                     continue
+                family = conv_family(step.node.layer)
                 geom = ConvGeometry.of_conv(
                     step.node.layer, graph.in_shape(step.node)
                 )
-                key = geom.key(self.selector.backend_name)
+                key = geom.key(self.selector.backend_name, family=family)
                 if wisdom is None or wisdom.lookup_algorithm(key) is None:
-                    return geom
+                    return geom, family
         return None
 
     # -- loop -----------------------------------------------------------
@@ -111,8 +127,20 @@ class BackgroundTuner:
         while not self._stop.wait(self.interval_s):
             try:
                 self._tick()
-            except Exception:  # pragma: no cover - tuning must never
-                pass  # take the serving path down
+            except Exception:
+                # Tuning must never take the serving path down -- but a
+                # selector that crashes every tick must not look idle
+                # either: count every failure and log the first
+                # traceback (warn-once; the counter keeps the rest
+                # visible in /metrics).
+                self._errors.inc()
+                if not self._warned:
+                    self._warned = True
+                    logger.warning(
+                        "background tuner tick raised (suppressed; "
+                        "counted in repro_tuner_errors_total):\n%s",
+                        traceback.format_exc(),
+                    )
 
     def _tick(self) -> None:
         if not self.server.models:
@@ -123,15 +151,18 @@ class BackgroundTuner:
             return
         if self.selector.wisdom is not None:
             self.selector.wisdom.refresh()
-        geom = self._next_untuned()
-        if geom is None:
+        untuned = self._next_untuned()
+        if untuned is None:
             # Everything known; keep live sessions converged on wisdom
             # (cheap: refresh_selection is stat + dict lookups when
             # nothing changed).
             if self.apply:
                 self._apply_all()
             return
-        result = self.selector.select(geom, abort=lambda: not self.is_idle())
+        geom, family = untuned
+        result = self.selector.select(
+            geom, abort=lambda: not self.is_idle(), family=family
+        )
         if result is None:
             self._aborts.inc()
             return
@@ -139,7 +170,8 @@ class BackgroundTuner:
         with self._events_lock:
             self.events.append(
                 {
-                    "key": geom.key(self.selector.backend_name),
+                    "key": geom.key(self.selector.backend_name, family=family),
+                    "family": family,
                     "selected": result.label,
                     "source": result.source,
                     "queue_depths": depths,

@@ -3,11 +3,13 @@
 from .model_planner import LayerChoice, ModelPlan, plan_model
 from .search import TuneResult, candidate_space, gemm_stage_cost, tune_gemm
 from .selector import (
+    FAMILIES,
     AlgorithmSelector,
     ConvGeometry,
     SelectionResult,
     build_engine_for,
     candidate_algorithms,
+    conv_family,
     model_geometries,
     swap_preserves_calibration,
 )
@@ -26,6 +28,8 @@ __all__ = [
     "SelectionResult",
     "build_engine_for",
     "candidate_algorithms",
+    "conv_family",
+    "FAMILIES",
     "model_geometries",
     "swap_preserves_calibration",
     "WisdomFile",

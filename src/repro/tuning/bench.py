@@ -45,7 +45,13 @@ DEFAULT_BENCH_PATH = "benchmarks/BENCH_tuning.json"
 
 @dataclass(frozen=True)
 class TuneBenchConfig:
-    """One ``repro tune`` sweep configuration."""
+    """One ``repro tune`` sweep configuration.
+
+    ``family`` selects the candidate set per geometry
+    (:data:`~repro.tuning.selector.FAMILIES`): ``"quantized"`` sweeps
+    the INT8 pipelines, ``"fp32"`` sweeps fp32_winograd@m vs
+    fp32_direct under the family-qualified wisdom keys.
+    """
 
     model: str = "resnet"
     width: int = 8
@@ -54,6 +60,7 @@ class TuneBenchConfig:
     repeats: int = 2
     seed: int = 2021
     backend: str = "numpy"
+    family: str = "quantized"
 
 
 def run_tune_bench(
@@ -88,7 +95,7 @@ def run_tune_bench(
     # Unique geometries, first-seen order, with every conv path using each.
     unique: Dict[str, dict] = {}
     for path, _conv, geom in model_geometries(model, input_shape):
-        key = geom.key(selector.backend_name)
+        key = geom.key(selector.backend_name, family=cfg.family)
         slot = unique.setdefault(key, {"geometry": geom, "paths": []})
         slot["paths"].append(path)
 
@@ -96,7 +103,7 @@ def run_tune_bench(
     with wisdom.batch():
         for key, slot in unique.items():
             geom = slot["geometry"]
-            res = selector.select(geom)
+            res = selector.select(geom, family=cfg.family)
             rows.append(
                 {
                     "key": key,
@@ -116,7 +123,9 @@ def run_tune_bench(
     # re-select to the same choice without measuring.
     deterministic = True
     for row in rows:
-        res = selector.select(unique[row["key"]]["geometry"], measure=False)
+        res = selector.select(
+            unique[row["key"]]["geometry"], measure=False, family=cfg.family
+        )
         if res.source != "wisdom" or res.label != row["selected"]:
             deterministic = False
 
@@ -145,7 +154,9 @@ def run_tune_bench(
 
 
 #: Config fields that must match for a baseline comparison to be valid.
-_COMPAT_KEYS = ("model", "width", "hw", "batch", "repeats", "seed", "backend")
+_COMPAT_KEYS = (
+    "model", "width", "hw", "batch", "repeats", "seed", "backend", "family",
+)
 
 
 def check_tuning_gate(
@@ -211,7 +222,8 @@ def format_tune_bench(doc: dict) -> str:
     lines = [
         f"Algorithm selection sweep -- model={cfg['model']} "
         f"batch={cfg['batch']} hw={cfg['hw']} width={cfg['width']} "
-        f"backend={doc['backend']} repeats={cfg['repeats']} seed={cfg['seed']}",
+        f"backend={doc['backend']} repeats={cfg['repeats']} seed={cfg['seed']} "
+        f"family={cfg.get('family', 'quantized')}",
         f"{'geometry':34s} {'convs':>5s} {'static':>16s} {'selected':>16s} "
         f"{'ratio':>6s} {'source':>8s}",
     ]

@@ -55,8 +55,10 @@ __all__ = [
     "candidate_algorithms",
     "build_engine_for",
     "swap_preserves_calibration",
+    "conv_family",
     "model_geometries",
     "DEFAULT_MIN_SNR_DB",
+    "FAMILIES",
 ]
 
 #: Error-budget floor (dB at 8 bits) for admitting an F(m, 3) tile.
@@ -73,6 +75,31 @@ _TILE_SIZES = (2, 4)
 #: Quantized Winograd variants measured per admitted tile size.
 _WINOGRAD_ALGOS = ("lowino", "int8_upcast", "int8_downscale")
 
+#: Selection families.  A conv is tuned within its own numerics family:
+#: quantized convs choose among the INT8 pipelines, full-precision convs
+#: (``engine is None`` or an fp32 engine) choose fp32_winograd@m vs
+#: fp32_direct.  Families never mix -- a selection can change *speed*,
+#: never a conv's numerics class.
+FAMILIES = ("quantized", "fp32")
+
+#: Algorithms belonging to the fp32 family.
+_FP32_ALGOS = ("fp32_direct", "fp32_winograd")
+
+
+def conv_family(conv) -> str:
+    """Selection family of a :class:`~repro.nn.layers.Conv2d`.
+
+    ``engine is None`` (the eager FP32-direct fallback) and the prepared
+    fp32 engine objects are the ``"fp32"`` family; every quantized
+    engine is ``"quantized"``.
+    """
+    from ..conv.fp32 import Fp32DirectConv2d, Fp32WinogradConv2d
+
+    engine = getattr(conv, "engine", None)
+    if engine is None or isinstance(engine, (Fp32DirectConv2d, Fp32WinogradConv2d)):
+        return "fp32"
+    return "quantized"
+
 
 @dataclass(frozen=True)
 class ConvGeometry:
@@ -87,10 +114,16 @@ class ConvGeometry:
     stride: int = 1
     padding: int = 1
 
-    def key(self, backend: str = DEFAULT_BACKEND) -> str:
-        """Wisdom key: backend-namespaced geometry signature."""
+    def key(self, backend: str = DEFAULT_BACKEND, family: str = "quantized") -> str:
+        """Wisdom key: backend-namespaced geometry signature.
+
+        The fp32 family gets its own namespace segment so a geometry
+        tuned in both families holds two independent entries; quantized
+        keys are unchanged from wisdom v2 (no migration needed).
+        """
+        prefix = f"{backend}|" if family == "quantized" else f"{backend}|{family}|"
         return (
-            f"{backend}|b{self.batch}c{self.c}h{self.h}w{self.w}"
+            f"{prefix}b{self.batch}c{self.c}h{self.h}w{self.w}"
             f"k{self.k}r{self.r}s{self.stride}p{self.padding}"
         )
 
@@ -130,15 +163,28 @@ def _parse_label(label: str) -> Tuple[str, int]:
 
 
 def candidate_algorithms(
-    geom: ConvGeometry, min_snr_db: float = DEFAULT_MIN_SNR_DB
+    geom: ConvGeometry,
+    min_snr_db: float = DEFAULT_MIN_SNR_DB,
+    family: str = "quantized",
 ) -> List[Tuple[str, int]]:
     """(algorithm, m) candidates the error budget admits for ``geom``.
 
-    Direct INT8 is always a candidate.  Winograd variants require unit
-    stride and r = 3, and each tile size must clear the analytic SNR
-    floor -- the budget decides what may even be *measured*.
+    Quantized family: direct INT8 is always a candidate; Winograd
+    variants require unit stride and r = 3, and each tile size must
+    clear the analytic SNR floor -- the budget decides what may even be
+    *measured*.
+
+    FP32 family: fp32_direct is always a candidate and every tile size
+    is admitted when Winograd applies -- full precision *is* the
+    conformance oracle, so there is no quantization error budget to
+    gate on.
     """
-    candidates: List[Tuple[str, int]] = [("int8_direct", 0)]
+    if family == "fp32":
+        candidates: List[Tuple[str, int]] = [("fp32_direct", 0)]
+        if geom.winograd_eligible:
+            candidates.extend(("fp32_winograd", m) for m in _TILE_SIZES)
+        return candidates
+    candidates = [("int8_direct", 0)]
     if not geom.winograd_eligible:
         return candidates
     for m in _TILE_SIZES:
@@ -213,6 +259,12 @@ def swap_preserves_calibration(conv, algorithm: str, m: int) -> bool:
     from ..runtime.compiler import algorithm_of_engine
 
     old = conv.engine
+    if algorithm in _FP32_ALGOS:
+        # FP32 engines carry no activation quantization at all, so any
+        # swap *within* the fp32 family is trivially calibration-safe;
+        # swapping a quantized conv to fp32 (or vice versa) would change
+        # its numerics class and is never a selection outcome.
+        return conv_family(conv) == "fp32"
     if old is None:
         return False
     current = (algorithm_of_engine(old), int(getattr(old, "m", 0) or 0))
@@ -246,6 +298,15 @@ def build_engine_for(conv, algorithm: str, m: int):
         engine = UpcastWinogradConv2d(conv.filters, m=m, padding=conv.padding)
     elif algorithm == "int8_downscale":
         engine = DownscaleWinogradConv2d(conv.filters, m=m, padding=conv.padding)
+    elif algorithm == "fp32_direct":
+        from ..conv.fp32 import Fp32DirectConv2d
+
+        engine = Fp32DirectConv2d(conv.filters, padding=conv.padding,
+                                  stride=conv.stride)
+    elif algorithm == "fp32_winograd":
+        from ..conv.fp32 import Fp32WinogradConv2d
+
+        engine = Fp32WinogradConv2d(conv.filters, m=m, padding=conv.padding)
     else:
         raise ValueError(f"cannot build an engine for algorithm {algorithm!r}")
     old = conv.engine
@@ -308,8 +369,15 @@ class AlgorithmSelector:
             )
         return self._engine
 
-    def static_choice(self, geom: ConvGeometry) -> Tuple[str, int]:
-        """The analytic cost model's pick (the planner's behaviour)."""
+    def static_choice(self, geom: ConvGeometry, family: str = "quantized") -> Tuple[str, int]:
+        """The analytic cost model's pick (the planner's behaviour).
+
+        The fp32 family's static choice is ``fp32_direct`` -- the eager
+        stack's FP32 fallback (``engine is None`` lowers to it), so the
+        no-regression baseline is exactly what un-tuned code runs.
+        """
+        if family == "fp32":
+            return ("fp32_direct", 0)
         if not geom.winograd_eligible:
             return ("int8_direct", 0)
         times = predict_layer_times(
@@ -325,6 +393,7 @@ class AlgorithmSelector:
         self,
         geom: ConvGeometry,
         abort: Optional[Callable[[], bool]] = None,
+        family: str = "quantized",
     ) -> Optional[SelectionResult]:
         """Seeded best-of measurement of every admitted candidate.
 
@@ -332,8 +401,8 @@ class AlgorithmSelector:
         passes a queue-idleness probe); returns None when aborted so
         nothing half-measured is ever persisted.
         """
-        static = self.static_choice(geom)
-        candidates = candidate_algorithms(geom, self.min_snr_db)
+        static = self.static_choice(geom, family=family)
+        candidates = candidate_algorithms(geom, self.min_snr_db, family=family)
         if static not in candidates:
             candidates.append(static)
         rng = np.random.default_rng(
@@ -350,7 +419,11 @@ class AlgorithmSelector:
         for algorithm, m in candidates:
             if abort is not None and abort():
                 return None
-            kwargs = {"stride": geom.stride} if algorithm == "int8_direct" else {}
+            kwargs = (
+                {"stride": geom.stride}
+                if algorithm in ("int8_direct", "fp32_direct")
+                else {}
+            )
             layer = engine.layer(filters, algorithm, m=max(m, 2),
                                  padding=geom.padding, **kwargs)
             layer(x)  # warm: plan build + scratch allocation
@@ -371,28 +444,30 @@ class AlgorithmSelector:
         geom: ConvGeometry,
         measure: bool = True,
         abort: Optional[Callable[[], bool]] = None,
+        family: str = "quantized",
     ) -> SelectionResult:
         """Wisdom hit > fresh measurement > static fallback.
 
         A persisted entry always wins (first writer decides for every
         worker); with ``measure=False`` and no entry the static choice
         is returned with ``source="static"`` so callers know not to
-        disturb existing engine state.
+        disturb existing engine state.  ``family`` namespaces both the
+        candidate set and the wisdom key (see :data:`FAMILIES`).
         """
-        key = geom.key(self.backend_name)
+        key = geom.key(self.backend_name, family=family)
         if self.wisdom is not None:
             self.wisdom.refresh()
             entry = self.wisdom.lookup_algorithm(key)
             if entry is not None:
                 return self._from_entry(geom, entry)
         if not measure:
-            algorithm, m = self.static_choice(geom)
+            algorithm, m = self.static_choice(geom, family=family)
             return SelectionResult(
                 geometry=geom, backend=self.backend_name,
                 algorithm=algorithm, m=m,
                 static=_label(algorithm, m), source="static",
             )
-        result = self.measure(geom, abort=abort)
+        result = self.measure(geom, abort=abort, family=family)
         if result is None:
             return None
         if self.wisdom is not None:

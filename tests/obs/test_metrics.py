@@ -218,7 +218,46 @@ class TestRegistry:
 
         reg.register_collector(broken)
         reg.register_collector(lambda: [Sample("ok", 1.0)])
-        assert [s.name for s in reg.collect()] == ["ok"]
+        assert "ok" in [s.name for s in reg.collect()]
+
+    def test_failing_collector_is_counted_and_logged_once(self, caplog):
+        # Regression: collect() used to drop a raising collector with no
+        # trace at all -- a broken collector could quietly blank a
+        # dashboard.  Failures must count into a registry counter (so
+        # they appear in the very snapshot whose rows went missing) and
+        # log exactly one traceback.
+        import logging
+
+        reg = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("collector exploded")
+
+        reg.register_collector(broken)
+        reg.register_collector(lambda: [Sample("ok", 1.0)])
+        with caplog.at_level(logging.WARNING, logger="repro.obs.metrics"):
+            for _ in range(3):
+                reg.collect()
+        # snapshot() reads owned metrics before its own collect pass, so
+        # it reports the 3 prior failures (its own pass is the 4th).
+        snap = reg.snapshot()
+        assert snap["counters"]["repro_collector_errors_total"] == 3
+        assert reg.counter("repro_collector_errors_total").value == 4
+        assert snap["collected"]["ok"] == 1.0  # healthy rows survive
+        warned = [
+            r for r in caplog.records
+            if "repro_collector_errors_total" in r.getMessage()
+        ]
+        assert len(warned) == 1, "traceback must be logged exactly once"
+        assert "collector exploded" in warned[0].getMessage()
+
+    def test_healthy_registry_has_no_error_counter(self):
+        # The counter is minted lazily: a registry whose collectors all
+        # succeed keeps its historical snapshot shape.
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: [Sample("ok", 1.0)])
+        snap = reg.snapshot()
+        assert "repro_collector_errors_total" not in snap["counters"]
 
     def test_reset_zeroes_owned_metrics(self):
         reg = MetricsRegistry()

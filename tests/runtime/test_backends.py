@@ -211,6 +211,32 @@ class TestPlanMetaBounds:
         meta = layer.plan.meta
         assert meta["z_wrap_free"] is True and meta["z_bound"] >= 1
 
+    def test_fp32_meta_partition_safety(self, rng):
+        """Only the batched winograd contraction may be split across
+        threads (per-T dgemms are unchanged by the split); the direct
+        2D float GEMM must stay serial (row-splitting could change BLAS
+        blocking and therefore bits)."""
+        engine = _engine("numpy")
+        w = rng.standard_normal((3, 4, 3, 3)) * 0.1
+        wino = engine.layer(w, "fp32_winograd", m=2, padding=1).plan.meta
+        assert wino["float_gemm"] is True
+        assert wino["gemm_partition_safe"] is True
+        direct = engine.layer(w, "fp32_direct", m=0, padding=1).plan.meta
+        assert direct["float_gemm"] is True
+        assert direct["gemm_partition_safe"] is False
+
+    def test_fp32_winograd_forced_serial_stays_bitwise(self, rng):
+        """Forcing gemm_partition_safe off must route the threaded
+        backend onto the serial fallback without changing a bit."""
+        engine = _engine("threaded")
+        w = rng.standard_normal((3, 4, 3, 3)) * 0.1
+        layer = engine.layer(w, "fp32_winograd", m=2, padding=1)
+        x = rng.standard_normal((2, 4, 12, 12))
+        fast = layer(x).copy()
+        layer.plan.meta["gemm_partition_safe"] = False
+        np.testing.assert_array_equal(layer(x), fast)
+        np.testing.assert_array_equal(layer(x), layer.reference(x))
+
 
 class TestScratchRouting:
     def test_direct_path_uses_scratch(self, rng):

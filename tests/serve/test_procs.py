@@ -170,6 +170,106 @@ class TestErrorsAndFailover:
             server.close()
 
 
+class _FakeWorker:
+    def __init__(self, worker_id):
+        self.worker_id = worker_id
+
+    def alive(self):
+        return True
+
+
+def _bare_pool(n):
+    """A WorkerPool skeleton with fake workers: exercises the checkout
+    bookkeeping without paying n process spawns."""
+    pool = WorkerPool.__new__(WorkerPool)
+    pool.procs = n
+    pool.run_timeout_s = 1.0
+    pool._lock = threading.Lock()
+    pool._cond = threading.Condition(pool._lock)
+    pool._workers = [_FakeWorker(i) for i in range(n)]
+    pool._retired = set()
+    pool._depth = [0] * n
+    pool._dispatched = [0] * n
+    pool._closed = threading.Event()
+    return pool
+
+
+class TestDepthWeightedCheckout:
+    def test_checkout_picks_min_depth_ties_by_id(self):
+        pool = _bare_pool(2)
+        # No checkins: depth accumulates, so checkout must alternate
+        # (the FIFO free-list this replaces would block after 2).
+        order = [pool._checkout().worker_id for _ in range(4)]
+        assert order == [0, 1, 0, 1]
+        assert pool._depth == [2, 2]
+        # Worker 1 drains; it is now strictly the least loaded.
+        pool._checkin(pool._workers[1])
+        pool._checkin(pool._workers[1])
+        assert pool._checkout().worker_id == 1
+        assert pool._dispatched == [2, 3]
+
+    def test_retired_worker_is_never_selected(self):
+        pool = _bare_pool(2)
+        pool._retired.add(0)
+        assert [pool._checkout().worker_id for _ in range(3)] == [1, 1, 1]
+
+    def test_stale_checkin_after_respawn_is_ignored(self):
+        pool = _bare_pool(2)
+        old = pool._checkout()
+        # The health loop respawned the slot: new object, depth reset.
+        pool._workers[old.worker_id] = _FakeWorker(old.worker_id)
+        pool._depth[old.worker_id] = 0
+        pool._checkin(old)  # late checkin from before the restart
+        assert pool._depth[old.worker_id] == 0  # not driven negative
+
+    def test_slowed_worker_receives_measurably_fewer_runs(
+        self, served_model, make_rng
+    ):
+        # ROADMAP follow-up: checkout used to be FIFO free-list order,
+        # which fed a slow worker at the same rate as a fast one.  With
+        # depth weighting, a worker that holds batches longer accumulates
+        # outstanding depth and absorbs measurably fewer dispatches.
+        server = ProcServer(procs=2, max_delay_ms=1.0)
+        try:
+            server.add_model("m", served_model, input_shape=SHAPE)
+            pool = server._pool
+            slow = pool._workers[0]
+            orig = slow.run
+
+            def slowed(name, x, timeout):
+                time.sleep(0.05)
+                return orig(name, x, timeout)
+
+            slow.run = slowed
+            x = make_rng().standard_normal(SHAPE)
+            expected = served_model(x)
+            clients, runs = 4, 8
+            mismatches = []
+
+            def client():
+                for _ in range(runs):
+                    if not np.array_equal(pool.run("m", x), expected):
+                        mismatches.append(1)
+
+            threads = [
+                threading.Thread(target=client) for _ in range(clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not mismatches  # slow worker still serves exact bytes
+            workers = server.pool_stats()["workers"]
+            total = clients * runs
+            dispatched = [workers[0]["dispatched"], workers[1]["dispatched"]]
+            assert sum(dispatched) == total
+            assert dispatched[0] < dispatched[1]
+            assert dispatched[0] < total / 2
+            assert workers[0]["depth"] == workers[1]["depth"] == 0  # drained
+        finally:
+            server.close()
+
+
 class TestWisdomConvergence:
     def test_two_tuning_workers_share_one_file_and_agree(
         self, served_model, tmp_path, make_rng

@@ -1,5 +1,6 @@
 """Background tuner: idle-gated measurement, wisdom convergence."""
 
+import logging
 import time
 
 import numpy as np
@@ -141,6 +142,46 @@ class TestBackgroundTuner:
         finally:
             a.close()
             b.close()
+
+    def test_raising_selector_is_counted_not_silent(self, tmp_path, caplog):
+        # Regression: the tick loop used to swallow every exception with
+        # a bare ``except: pass`` -- a selector that crashed on each tick
+        # was indistinguishable from one that never found work.  Failures
+        # must surface in /metrics and log one traceback.
+        wisdom = WisdomFile(tmp_path / "wisdom.json")
+        server = Server(wisdom=wisdom, background_tuner=False)
+        try:
+            server.add_model("m", model=_quantized_model(), input_shape=SHAPE)
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("selector exploded")
+
+            server.selector.select = boom
+            with caplog.at_level(logging.WARNING, logger="repro.serve.tuner"):
+                tuner = BackgroundTuner(
+                    server, server.selector, interval_s=0.002
+                )
+                try:
+                    assert _wait(
+                        lambda: server.metrics()["counters"].get(
+                            "repro_tuner_errors_total", 0
+                        ) >= 3
+                    )
+                    # tuning kept running *and* serving stayed up
+                    x = np.random.default_rng(1).standard_normal(SHAPE)
+                    out = server.infer("m", x, timeout=30.0)
+                    assert np.array_equal(out, server.session("m").model(x))
+                finally:
+                    tuner.stop()
+            warned = [
+                r for r in caplog.records
+                if "repro_tuner_errors_total" in r.getMessage()
+            ]
+            assert len(warned) == 1, "traceback must be logged exactly once"
+            assert "selector exploded" in warned[0].getMessage()
+            assert wisdom.algorithm_entries() == {}
+        finally:
+            server.close()
 
     def test_refresh_selection_relower_is_bit_identical(self, tmp_path):
         # Out-of-band tuning (another worker) followed by an epoch-based

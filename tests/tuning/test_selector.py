@@ -10,6 +10,7 @@ from repro.tuning import (
     ConvGeometry,
     WisdomFile,
     candidate_algorithms,
+    conv_family,
     model_geometries,
     swap_preserves_calibration,
 )
@@ -138,6 +139,139 @@ class TestSwapSafety:
         _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
         assert conv.engine is None
         assert not swap_preserves_calibration(conv, "int8_direct", 0)
+
+
+class TestFp32Family:
+    """fp32_winograd@m vs fp32_direct selection under family keys."""
+
+    def _fp32_model(self):
+        return build_case_model(ModelCase("resnet", "fp32", hw=8, width=8))
+
+    def test_conv_family_classifies_engines(self):
+        fp32 = self._fp32_model()
+        _, conv, _ = model_geometries(fp32, (2, 3, 8, 8))[0]
+        assert conv_family(conv) == "fp32"  # engine is None
+        from repro.conv.fp32 import Fp32WinogradConv2d
+
+        conv.engine = Fp32WinogradConv2d(conv.filters, m=2, padding=conv.padding)
+        assert conv_family(conv) == "fp32"
+        quantized = build_case_model(ModelCase("resnet", "int8_direct", hw=8, width=8))
+        calib = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        quantize_model(quantized, "int8_direct", m=2, calibration_batches=[calib])
+        _, qconv, _ = model_geometries(quantized, (2, 3, 8, 8))[0]
+        assert conv_family(qconv) == "quantized"
+
+    def test_fp32_candidates_have_no_snr_gate(self):
+        # Full precision *is* the oracle: every tile size is admitted,
+        # even under a budget that strips the quantized family to direct.
+        labels = candidate_algorithms(GEOM, min_snr_db=1000.0, family="fp32")
+        assert labels == [
+            ("fp32_direct", 0), ("fp32_winograd", 2), ("fp32_winograd", 4)
+        ]
+
+    def test_strided_fp32_geometry_is_direct_only(self):
+        strided = ConvGeometry(batch=1, c=4, h=8, w=8, k=4, stride=2)
+        assert candidate_algorithms(strided, family="fp32") == [
+            ("fp32_direct", 0)
+        ]
+
+    def test_family_keys_are_namespaced(self):
+        # fp32 entries live beside (never on top of) quantized ones.
+        assert GEOM.key("numpy") == GEOM.key("numpy", family="quantized")
+        assert "|fp32|" in GEOM.key("numpy", family="fp32")
+        assert GEOM.key("numpy", family="fp32") != GEOM.key("numpy")
+
+    def test_fp32_swaps_are_always_calibration_safe(self):
+        model = self._fp32_model()
+        _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
+        assert swap_preserves_calibration(conv, "fp32_winograd", 4)
+        assert swap_preserves_calibration(conv, "fp32_direct", 0)
+
+    def test_fp32_target_never_applies_to_quantized_conv(self):
+        model = build_case_model(ModelCase("resnet", "int8_direct", hw=8, width=8))
+        calib = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        quantize_model(model, "int8_direct", m=2, calibration_batches=[calib])
+        _, conv, _ = model_geometries(model, (2, 3, 8, 8))[0]
+        assert not swap_preserves_calibration(conv, "fp32_winograd", 2)
+
+    def test_fp32_selection_bitwise_after_swap(self, tmp_path):
+        # An fp32-family selection applied through build_engine_for must
+        # be bitwise vs the class built directly from the filters.
+        from repro.conv.fp32 import Fp32WinogradConv2d
+        from repro.tuning import build_engine_for
+
+        model = self._fp32_model()
+        _, conv, geom = model_geometries(model, (2, 3, 8, 8))[0]
+        x = np.random.default_rng(1).standard_normal(
+            (geom.batch, geom.c, geom.h, geom.w)
+        )
+        engine = build_engine_for(conv, "fp32_winograd", 2)
+        ref = Fp32WinogradConv2d(conv.filters, m=2, padding=conv.padding)
+        np.testing.assert_array_equal(engine(x), ref(x))
+
+    def test_fp32_selection_round_trips_through_wisdom(self, tmp_path):
+        sel = _selector(tmp_path)
+        first = sel.select(GEOM, family="fp32")
+        assert first.source == "measured"
+        assert first.algorithm.startswith("fp32_")
+        assert first.static == "fp32_direct@0"
+        sel.measure = None  # any further measurement would crash
+        again = sel.select(GEOM, family="fp32")
+        assert again.source == "wisdom"
+        assert again.label == first.label
+        assert sel.wisdom.lookup_algorithm(
+            GEOM.key(sel.backend_name, family="fp32")
+        ) is not None
+        # ...without contaminating the quantized namespace.
+        assert sel.wisdom.lookup_algorithm(GEOM.key(sel.backend_name)) is None
+
+    def test_apply_selection_swaps_fp32_engine_at_lowering(self, tmp_path):
+        from repro.nn.graph import trace
+        from repro.runtime.compiler import apply_selection
+
+        model = self._fp32_model()
+        graph = trace(model, (2, 3, 8, 8))
+        _, conv, geom = model_geometries(model, (2, 3, 8, 8))[0]
+        # Seed wisdom with a forced fp32_winograd@4 choice for this conv.
+        sel = _selector(tmp_path)
+        sel.wisdom.store_algorithm(
+            geom.key(sel.backend_name, family="fp32"),
+            {"algorithm": "fp32_winograd", "m": 4, "measured": {},
+             "static": "fp32_direct@0"},
+        )
+        applied = apply_selection(graph, sel)
+        from repro.conv.fp32 import Fp32WinogradConv2d
+
+        assert any(label == "fp32_winograd@4" for label in applied.values())
+        assert isinstance(conv.engine, Fp32WinogradConv2d)
+        assert conv.engine.m == 4
+
+    def test_refresh_selection_adopts_fp32_wisdom(self, tmp_path):
+        from repro.runtime.session import InferenceSession
+
+        model = self._fp32_model()
+        sel = _selector(tmp_path)
+        session = InferenceSession(model, (2, 3, 8, 8), selector=sel)
+        x = np.random.default_rng(2).standard_normal((2, 3, 8, 8))
+        before = session.run(x)
+        for step in session.program.steps:
+            if step.kind != "conv":
+                continue
+            geom = ConvGeometry.of_conv(
+                step.node.layer, session.program.graph.in_shape(step.node)
+            )
+            if not geom.winograd_eligible:
+                continue
+            sel.wisdom.store_algorithm(
+                geom.key(sel.backend_name, family="fp32"),
+                {"algorithm": "fp32_winograd", "m": 2, "measured": {},
+                 "static": "fp32_direct@0"},
+            )
+        changed = session.refresh_selection()
+        assert changed  # at least one conv re-lowered onto fp32_winograd
+        after = session.run(x)
+        assert after.shape == before.shape
+        np.testing.assert_allclose(after, before, rtol=1e-9, atol=1e-9)
 
 
 @pytest.mark.slow

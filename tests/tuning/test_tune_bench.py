@@ -1,0 +1,57 @@
+"""``repro tune`` document: family sweeps, wisdom round-trip, gating."""
+
+from repro.tuning.bench import (
+    TuneBenchConfig,
+    check_tuning_gate,
+    run_tune_bench,
+)
+from repro.tuning.wisdom import WisdomFile
+
+CFG = dict(model="resnet", width=8, hw=8, batch=2, repeats=1)
+
+
+class TestFp32FamilySweep:
+    def test_fp32_sweep_round_trips_through_wisdom(self, tmp_path):
+        cfg = TuneBenchConfig(family="fp32", **CFG)
+        wisdom = WisdomFile(tmp_path / "wisdom.json")
+        first = run_tune_bench(cfg, wisdom=wisdom)
+        assert first["config"]["family"] == "fp32"
+        assert first["deterministic"]
+        rows = first["geometries"]
+        assert rows
+        assert all("|fp32|" in r["key"] for r in rows)
+        assert all(r["selected"].startswith("fp32_") for r in rows)
+        assert all(r["static"] == "fp32_direct@0" for r in rows)
+        assert first["summary"]["measured"] == len(rows)
+        # Second sweep against the same wisdom: measures nothing, keeps
+        # every choice -- the CI tune-smoke contract, in-process.
+        second = run_tune_bench(cfg, wisdom=WisdomFile(tmp_path / "wisdom.json"))
+        assert second["summary"]["measured"] == 0
+        assert second["summary"]["from_wisdom"] == len(rows)
+        assert {r["key"]: r["selected"] for r in rows} == {
+            r["key"]: r["selected"] for r in second["geometries"]
+        }
+
+    def test_fp32_and_quantized_wisdom_namespaces_are_disjoint(self, tmp_path):
+        wisdom_path = tmp_path / "wisdom.json"
+        run_tune_bench(
+            TuneBenchConfig(family="fp32", **CFG), wisdom=WisdomFile(wisdom_path)
+        )
+        quant = run_tune_bench(
+            TuneBenchConfig(family="quantized", **CFG),
+            wisdom=WisdomFile(wisdom_path),
+        )
+        # The fp32 sweep left no entries the quantized family could
+        # answer from: every quantized geometry still measures.
+        assert quant["summary"]["from_wisdom"] == 0
+        assert all("|fp32|" not in r["key"] for r in quant["geometries"])
+
+
+class TestGateFamilyCompat:
+    def test_family_mismatch_invalidates_baseline(self, tmp_path):
+        cfg = TuneBenchConfig(family="fp32", **CFG)
+        current = run_tune_bench(cfg, wisdom=WisdomFile(tmp_path / "w.json"))
+        baseline = dict(current)
+        baseline["config"] = dict(current["config"], family="quantized")
+        violations = check_tuning_gate(current, baseline)
+        assert any("family" in v for v in violations)
